@@ -1,0 +1,145 @@
+(* capsim: command-line driver for the simulated CHERI heterogeneous system.
+
+   Subcommands:
+     list                      benchmarks and their accelerator shapes
+     run -b BENCH [-c CONFIG]  one end-to-end measurement
+     sweep -b BENCH            parallelism sweep (Figure 11 style)
+     attack [-s SCHEME]        run the attack suite against one scheme
+     matrix                    the full CWE matrix (Table 3) *)
+
+open Cmdliner
+
+let configs =
+  [
+    ("cpu", Soc.Config.cpu);
+    ("ccpu", Soc.Config.ccpu);
+    ("cpu+accel", Soc.Config.cpu_accel);
+    ("ccpu+accel", Soc.Config.ccpu_accel);
+    ("ccpu+caccel", Soc.Config.ccpu_caccel);
+    ("coarse", Soc.Config.ccpu_caccel_coarse);
+    ("iommu", Soc.Config.Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Soc.Config.Prot_iommu });
+    ("iopmp", Soc.Config.Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Soc.Config.Prot_iopmp });
+    ("snpu", Soc.Config.Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Soc.Config.Prot_snpu });
+  ]
+
+let config_conv = Arg.enum configs
+
+let bench_conv =
+  let parse s =
+    match Machsuite.Registry.find s with
+    | b -> Ok b
+    | exception Not_found ->
+        Error (`Msg (Printf.sprintf "unknown benchmark %s (try 'capsim list')" s))
+  in
+  Arg.conv (parse, fun fmt (b : Machsuite.Bench_def.t) -> Format.pp_print_string fmt b.name)
+
+let bench_arg =
+  Arg.(required & opt (some bench_conv) None & info [ "b"; "benchmark" ] ~doc:"Benchmark name.")
+
+let config_arg =
+  Arg.(value & opt config_conv Soc.Config.ccpu_caccel & info [ "c"; "config" ]
+         ~doc:"System configuration.")
+
+let tasks_arg =
+  Arg.(value & opt int 8 & info [ "t"; "tasks" ] ~doc:"Concurrent accelerator tasks.")
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Machsuite.Bench_def.t) ->
+        Printf.printf "%-14s %2d buffers  ipc %-6.0f %s\n" b.name
+          (List.length b.kernel.Kernel.Ir.bufs)
+          b.directives.Hls.Directives.compute_ipc b.description)
+      Machsuite.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the MachSuite benchmarks")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run bench config tasks =
+    let r = Soc.Run.run ~tasks config bench in
+    Printf.printf "%s on %s, %d task(s)\n" r.Soc.Run.benchmark r.Soc.Run.config_label
+      r.Soc.Run.tasks;
+    Printf.printf "  wall      %9d cycles\n" r.Soc.Run.wall;
+    Printf.printf "  alloc     %9d\n" r.Soc.Run.phases.Soc.Run.alloc;
+    Printf.printf "  init      %9d\n" r.Soc.Run.phases.Soc.Run.init;
+    Printf.printf "  compute   %9d\n" r.Soc.Run.phases.Soc.Run.compute;
+    Printf.printf "  teardown  %9d\n" r.Soc.Run.phases.Soc.Run.teardown;
+    Printf.printf "  correct   %b\n" r.Soc.Run.correct;
+    Printf.printf "  checks    %d (entries peak %d)\n" r.Soc.Run.checks r.Soc.Run.entries_peak;
+    Printf.printf "  area      %d LUTs, power %.0f mW\n" r.Soc.Run.area_luts r.Soc.Run.power_mw;
+    List.iter
+      (fun (d : Guard.Iface.denial) -> Printf.printf "  denial: %s\n" d.Guard.Iface.detail)
+      r.Soc.Run.denials
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one benchmark end to end")
+    Term.(const run $ bench_arg $ config_arg $ tasks_arg)
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let run bench =
+    Printf.printf "%-6s %12s %12s %10s %10s\n" "tasks" "base wall" "cc wall" "speedup" "overhead";
+    List.iter
+      (fun tasks ->
+        let cpu = Soc.Run.run ~tasks Soc.Config.cpu bench in
+        let base = Soc.Run.run ~tasks ~instances:16 Soc.Config.ccpu_accel bench in
+        let cc = Soc.Run.run ~tasks ~instances:16 Soc.Config.ccpu_caccel bench in
+        Printf.printf "%-6d %12d %12d %9.1fx %+9.2f%%\n" tasks base.Soc.Run.wall
+          cc.Soc.Run.wall
+          (float_of_int cpu.Soc.Run.wall /. float_of_int base.Soc.Run.wall)
+          ((float_of_int cc.Soc.Run.wall /. float_of_int base.Soc.Run.wall -. 1.) *. 100.))
+      [ 1; 2; 4; 8; 16 ]
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Parallelism sweep (Figure 11 style)")
+    Term.(const run $ bench_arg)
+
+(* ---- attack ---- *)
+
+let schemes =
+  [
+    ("none", Soc.Config.Prot_naive);
+    ("iopmp", Soc.Config.Prot_iopmp);
+    ("iommu", Soc.Config.Prot_iommu);
+    ("snpu", Soc.Config.Prot_snpu);
+    ("coarse", Soc.Config.Prot_cc_coarse);
+    ("fine", Soc.Config.Prot_cc_fine);
+  ]
+
+let attack_cmd =
+  let scheme_arg =
+    Arg.(value & opt (enum schemes) Soc.Config.Prot_cc_fine
+           & info [ "s"; "scheme" ] ~doc:"Protection scheme.")
+  in
+  let run scheme =
+    let show name outcome =
+      Printf.printf "  %-28s %s\n" name (Security.Attacks.outcome_to_string outcome)
+    in
+    show "cross-task overread" (Security.Attacks.overread_cross_task scheme);
+    show "cross-task overwrite" (Security.Attacks.overwrite_cross_task scheme);
+    show "same-task other object" (Security.Attacks.overread_same_task_object scheme);
+    show "intra-page slop" (Security.Attacks.overread_page_slop scheme);
+    show "untrusted pointer deref" (Security.Attacks.untrusted_pointer_deref scheme);
+    show "fixed OS address" (Security.Attacks.fixed_address_os scheme);
+    show "use after free" (Security.Attacks.use_after_free scheme);
+    show "uninitialized pointer" (Security.Attacks.uninitialized_pointer scheme);
+    show "capability forge" (Security.Attacks.forge_capability scheme)
+  in
+  Cmd.v (Cmd.info "attack" ~doc:"Run the attack suite against a scheme")
+    Term.(const run $ scheme_arg)
+
+let matrix_cmd =
+  let run () = print_endline (Security.Matrix.render ()) in
+  Cmd.v (Cmd.info "matrix" ~doc:"Print the CWE matrix (Table 3)")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "capsim" ~version:"1.0.0"
+      ~doc:"Simulated CHERI heterogeneous system with the CapChecker"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; attack_cmd; matrix_cmd ]))

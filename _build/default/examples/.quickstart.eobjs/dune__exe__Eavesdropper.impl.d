@@ -1,0 +1,1 @@
+examples/eavesdropper.ml: Attacks Printf Security Soc

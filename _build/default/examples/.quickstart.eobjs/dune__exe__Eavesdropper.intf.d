@@ -1,0 +1,1 @@
+examples/eavesdropper.mli:

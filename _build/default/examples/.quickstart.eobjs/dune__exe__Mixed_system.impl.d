@@ -1,0 +1,1 @@
+examples/mixed_system.ml: Capchecker List Machsuite Printf Security Soc String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accel Driver Guard Hls Kernel List Machsuite Option Printf Soc

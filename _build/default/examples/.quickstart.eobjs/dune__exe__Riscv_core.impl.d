@@ -1,0 +1,1 @@
+examples/riscv_core.ml: Array Cheri Kernel List Memops Printf Riscv String Tagmem

@@ -1,0 +1,1 @@
+examples/tinyml_cfu.ml: Capchecker Hls Kernel Machsuite Printf Security Soc

@@ -1,0 +1,1 @@
+examples/tinyml_cfu.mli:

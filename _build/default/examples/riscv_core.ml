@@ -1,0 +1,98 @@
+(* The instruction-level view: compile a kernel for the CHERI-RV64 core,
+   look at the generated code, and watch the same buggy binary behave
+   differently on the two targets — silent corruption on RV64, a precise
+   capability trap on purecap.
+
+   Run with: dune exec examples/riscv_core.exe *)
+
+open Kernel.Ir
+
+let dot_kernel =
+  {
+    name = "dot";
+    bufs =
+      [ buf ~writable:false "xs" F64 64; buf ~writable:false "ys" F64 64;
+        buf "out" F64 1 ];
+    scratch = [];
+    body =
+      [
+        let_ "acc" (f 0.0);
+        for_ "j" (i 0) (p "n")
+          [ let_ "acc" (v "acc" +.: (ld "xs" (v "j") *.: ld "ys" (v "j"))) ];
+        store "out" (i 0) (v "acc");
+      ];
+  }
+
+let fresh () =
+  let mem = Tagmem.Mem.create ~size:(1 lsl 20) in
+  let heap = Tagmem.Alloc.create ~base:4096 ~size:((1 lsl 20) - 4096) in
+  (mem, heap)
+
+let layout_of heap kernel =
+  Memops.Layout.make
+    (List.map
+       (fun (decl : buf_decl) ->
+         let bytes = buf_decl_bytes decl in
+         let align, padded = Cheri.Bounds_enc.malloc_shape ~length:bytes in
+         { Memops.Layout.decl; base = Tagmem.Alloc.malloc heap ~align padded })
+       kernel.bufs)
+
+let () =
+  let mem, heap = fresh () in
+  let layout = layout_of heap dot_kernel in
+  List.iter
+    (fun name ->
+      Memops.Layout.init_buffer mem
+        (Memops.Layout.find layout name)
+        (fun idx -> Kernel.Value.VF (float_of_int idx *. 0.5)))
+    [ "xs"; "ys" ];
+
+  (* 1. Show the purecap code the compiler emits. *)
+  let program =
+    Riscv.Codegen.compile ~target:Riscv.Codegen.Purecap_target ~layout
+      ~scratch_base:0
+      ~params:[ ("n", Kernel.Value.VI 64) ]
+      dot_kernel
+  in
+  print_endline "First 18 instructions of the purecap dot product:";
+  Riscv.Codegen.disassemble program
+  |> String.split_on_char '\n'
+  |> List.filteri (fun idx _ -> idx < 18)
+  |> List.iter print_endline;
+  Printf.printf "  ... (%d instructions total)\n\n" (Array.length program.insns);
+
+  (* 2. Run it with a benign parameter. *)
+  let run target n =
+    let mem, heap = fresh () in
+    let layout = layout_of heap dot_kernel in
+    List.iter
+      (fun name ->
+        Memops.Layout.init_buffer mem
+          (Memops.Layout.find layout name)
+          (fun idx -> Kernel.Value.VF (float_of_int idx *. 0.5)))
+      [ "xs"; "ys" ];
+    let r =
+      Riscv.Exec.run_kernel ~target ~mem ~heap ~layout
+        ~params:[ ("n", Kernel.Value.VI n) ]
+        dot_kernel
+    in
+    let out = Memops.Layout.find layout "out" in
+    (r.Riscv.Exec.machine, Tagmem.Mem.read_f64 mem ~addr:out.Memops.Layout.base)
+  in
+  let m, dot = run Riscv.Codegen.Purecap_target 64 in
+  Printf.printf "dot(xs, ys) over 64 elements = %g (%d instructions, %d cycles)\n\n"
+    dot m.Riscv.Machine.instructions m.Riscv.Machine.cycles;
+
+  (* 3. The classic bug: the host passes n = 80 for 64-element vectors. *)
+  let rv64, _ = run Riscv.Codegen.Rv64_target 80 in
+  (match rv64.Riscv.Machine.trap with
+  | None ->
+      print_endline
+        "RV64 with n=80: ran to completion, silently reading past both arrays"
+  | Some t -> Printf.printf "RV64 with n=80: unexpected trap %s\n" t.Riscv.Machine.reason);
+  let purecap, _ = run Riscv.Codegen.Purecap_target 80 in
+  match purecap.Riscv.Machine.trap with
+  | Some t ->
+      Printf.printf "purecap with n=80: trap at instruction %d: %s\n"
+        t.Riscv.Machine.pc t.Riscv.Machine.reason
+  | None -> print_endline "purecap with n=80: !? no trap"

@@ -1,0 +1,1 @@
+lib/accel/engine.ml: Bus Capchecker Guard Hls Kernel List Memops Printf Tagmem Trace

@@ -1,0 +1,1 @@
+lib/accel/engine.mli: Bus Guard Hls Kernel Memops Tagmem Trace

@@ -1,0 +1,1 @@
+lib/accel/replay.ml: Array Bus Guard List Queue Trace

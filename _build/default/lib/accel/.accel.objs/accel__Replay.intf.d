@@ -1,0 +1,1 @@
+lib/accel/replay.mli: Bus Trace

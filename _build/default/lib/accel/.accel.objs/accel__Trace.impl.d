@@ -1,0 +1,1 @@
+lib/accel/trace.ml: Array Bus Guard

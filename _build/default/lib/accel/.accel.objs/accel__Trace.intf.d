@@ -1,0 +1,1 @@
+lib/accel/trace.mli: Bus Guard

@@ -1,0 +1,153 @@
+type addressing = Plain | Coarse_ids | Fine_ports
+
+type task = {
+  instance : int;
+  kernel : Kernel.Ir.t;
+  layout : Memops.Layout.t;
+  params : (string * Kernel.Value.t) list;
+  obj_ids : (string * int) list;
+}
+
+type outcome = {
+  trace : Trace.t;
+  denied : Guard.Iface.denial option;
+  checks : int;
+  reads : int;
+  writes : int;
+  ops : int;
+}
+
+(* Raised internally to unwind the interpreter on a guard denial; the denial
+   itself is reported in the outcome. *)
+exception Denied_access of Guard.Iface.denial
+
+let run ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task =
+  let open Hls.Directives in
+  let trace = Trace.create () in
+  let pending_ops = ref 0 in
+  let total_ops = ref 0 in
+  let checks = ref 0 in
+  let reads = ref 0 and writes = ref 0 in
+  let obj_of name =
+    match List.assoc_opt name task.obj_ids with
+    | Some obj -> obj
+    | None -> invalid_arg ("Accel.Engine: no object id for buffer " ^ name)
+  in
+  let bus_addr (b : Memops.Layout.binding) name ~byte_offset =
+    match addressing with
+    | Plain | Fine_ports -> b.base + byte_offset
+    | Coarse_ids ->
+        Capchecker.Checker.compose_coarse ~obj:(obj_of name) b.base + byte_offset
+  in
+  let port_of name =
+    match addressing with
+    | Fine_ports -> Some (obj_of name)
+    | Plain | Coarse_ids -> None
+  in
+  (* Datapath time between transactions: ops since the last access divided by
+     the synthesized ops-per-cycle.  Fractional cycles carry over so that a
+     wide datapath really does issue back-to-back (gap-0) accesses that merge
+     into AXI bursts, instead of every access rounding up to a 1-cycle gap. *)
+  let gap_debt = ref 0.0 in
+  let take_gap () =
+    gap_debt := !gap_debt +. (float_of_int !pending_ops /. directives.compute_ipc);
+    pending_ops := 0;
+    let gap = int_of_float !gap_debt in
+    gap_debt := !gap_debt -. float_of_int gap;
+    gap
+  in
+  let adjudicate ~name ~addr ~size ~kind =
+    incr checks;
+    let req =
+      { Guard.Iface.source = task.instance; port = port_of name; addr; size; kind }
+    in
+    match guard.Guard.Iface.check req with
+    | Guard.Iface.Granted { phys; latency } -> (phys, latency)
+    | Guard.Iface.Denied denial -> raise (Denied_access denial)
+  in
+  let machine =
+    {
+      Kernel.Interp.load =
+        (fun name ~idx ~dependent ->
+          let b = Memops.Layout.find task.layout name in
+          let width = Kernel.Ir.elem_bytes b.decl.Kernel.Ir.elem in
+          let addr = bus_addr b name ~byte_offset:(idx * width) in
+          let phys, latency = adjudicate ~name ~addr ~size:width ~kind:Guard.Iface.Read in
+          incr reads;
+          Trace.add_access trace ~bus ~max_burst:bus.Bus.Params.max_burst
+            ~gap:(take_gap ()) ~kind:Guard.Iface.Read ~addr ~size:width ~dependent
+            ~latency;
+          Memops.Layout.read_elem mem b.decl.Kernel.Ir.elem ~addr:phys);
+      store =
+        (fun name ~idx value ->
+          let b = Memops.Layout.find task.layout name in
+          let width = Kernel.Ir.elem_bytes b.decl.Kernel.Ir.elem in
+          let addr = bus_addr b name ~byte_offset:(idx * width) in
+          let phys, latency = adjudicate ~name ~addr ~size:width ~kind:Guard.Iface.Write in
+          incr writes;
+          Trace.add_access trace ~bus ~max_burst:bus.Bus.Params.max_burst
+            ~gap:(take_gap ()) ~kind:Guard.Iface.Write ~addr ~size:width
+            ~dependent:false ~latency;
+          if naive_tag_writes then
+            Memops.Layout.write_elem_preserving_tags mem b.decl.Kernel.Ir.elem
+              ~addr:phys value
+          else Memops.Layout.write_elem mem b.decl.Kernel.Ir.elem ~addr:phys value);
+      copy =
+        (fun ~dst ~src ~elems ->
+          let db = Memops.Layout.find task.layout dst in
+          let sb = Memops.Layout.find task.layout src in
+          let width = Kernel.Ir.elem_bytes sb.decl.Kernel.Ir.elem in
+          let bytes = elems * width in
+          if bytes > 0 then begin
+            let src_addr = bus_addr sb src ~byte_offset:0 in
+            let dst_addr = bus_addr db dst ~byte_offset:0 in
+            let src_phys, rd_latency =
+              adjudicate ~name:src ~addr:src_addr ~size:bytes ~kind:Guard.Iface.Read
+            in
+            let dst_phys, wr_latency =
+              adjudicate ~name:dst ~addr:dst_addr ~size:bytes ~kind:Guard.Iface.Write
+            in
+            incr reads;
+            incr writes;
+            (* DMA block move: max_burst-sized bursts back to back. *)
+            let beats_left = ref (Bus.Params.beats_for bus bytes) in
+            let first = ref true in
+            while !beats_left > 0 do
+              let beats = min !beats_left bus.Bus.Params.max_burst in
+              beats_left := !beats_left - beats;
+              Trace.add trace
+                { Trace.gap = (if !first then take_gap () else 0);
+                  kind = Guard.Iface.Read; beats; dependent = false;
+                  latency = rd_latency };
+              Trace.add trace
+                { Trace.gap = 0; kind = Guard.Iface.Write; beats; dependent = false;
+                  latency = wr_latency };
+              first := false
+            done;
+            let data = Tagmem.Mem.read_bytes mem ~addr:src_phys ~size:bytes in
+            if naive_tag_writes then
+              Tagmem.Mem.unsafe_write_preserving_tags mem ~addr:dst_phys data
+            else Tagmem.Mem.write_bytes mem ~addr:dst_phys data
+          end);
+      tick =
+        (fun _cost n ->
+          pending_ops := !pending_ops + n;
+          total_ops := !total_ops + n);
+      param =
+        (fun name ->
+          match List.assoc_opt name task.params with
+          | Some value -> value
+          | None -> invalid_arg ("Accel.Engine: unknown param " ^ name));
+    }
+  in
+  let denied =
+    match Kernel.Interp.run task.kernel machine with
+    | () -> None
+    | exception Denied_access denial -> Some denial
+    | exception Tagmem.Mem.Out_of_range { addr; size } ->
+        (* An unguarded access escaped physical memory: a bus error. *)
+        Some
+          { Guard.Iface.code = "bus";
+            detail = Printf.sprintf "bus error at 0x%x+%d" addr size }
+  in
+  { trace; denied; checks = !checks; reads = !reads; writes = !writes; ops = !total_ops }

@@ -1,0 +1,51 @@
+(** Accelerator task execution: functional effects, protection checks and
+    trace recording.
+
+    This is the "black-box accelerator" of the paper as seen from its memory
+    interface.  The engine interprets the kernel exactly like the CPU model
+    does, but every buffer access becomes a DMA transaction: an address is
+    {e generated} (never checked by the accelerator itself), submitted to the
+    configured guard, and — only if granted — performed against physical
+    memory.  A denial aborts the task, mirroring the CapChecker catching the
+    access and raising its exception flag. *)
+
+type addressing =
+  | Plain        (** raw physical addresses, no provenance (unguarded, IOMMU,
+                     IOPMP, sNPU configurations) *)
+  | Coarse_ids   (** object id retrofitted into the top 8 address bits by the
+                     trusted driver (CapChecker Coarse) *)
+  | Fine_ports   (** per-object port provenance carried out of band
+                     (CapChecker Fine) *)
+
+type task = {
+  instance : int;  (** functional-unit instance = interconnect source id *)
+  kernel : Kernel.Ir.t;
+  layout : Memops.Layout.t;
+  params : (string * Kernel.Value.t) list;
+  obj_ids : (string * int) list;
+      (** object id per buffer, assigned by the driver at allocation *)
+}
+
+type outcome = {
+  trace : Trace.t;
+  denied : Guard.Iface.denial option;
+      (** [Some _] if the guard blocked an access; the trace stops there *)
+  checks : int;   (** guard adjudications performed *)
+  reads : int;
+  writes : int;
+  ops : int;      (** datapath operations executed *)
+}
+
+val run :
+  mem:Tagmem.Mem.t ->
+  guard:Guard.Iface.t ->
+  bus:Bus.Params.t ->
+  directives:Hls.Directives.t ->
+  addressing:addressing ->
+  naive_tag_writes:bool ->
+  task ->
+  outcome
+(** [naive_tag_writes] selects the tag-oblivious DMA write path of the
+    unguarded CHERI system (see {!Tagmem.Mem.unsafe_write_preserving_tags});
+    every guarded configuration must pass [false] — granted writes clear
+    tags, which is the CapChecker's anti-forgery rule. *)

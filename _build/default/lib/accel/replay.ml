@@ -1,0 +1,85 @@
+type result = {
+  makespan : int;
+  per_instance : (int * int) list;
+  bus_beats : int;
+}
+
+type stream = { instance : int; trace : Trace.t; max_outstanding : int }
+
+type instance_state = {
+  id : int;
+  events : Trace.event array;
+  limit : int;
+  mutable next : int;
+  mutable ready : int;
+  outstanding : int Queue.t;  (* completion times of in-flight streaming reads *)
+  mutable finish : int;
+}
+
+let candidate_time st =
+  let ev = st.events.(st.next) in
+  let cand = st.ready + ev.Trace.gap in
+  (* A streaming read with a full outstanding queue must wait for the oldest
+     in-flight read to return. *)
+  if
+    ev.Trace.kind = Guard.Iface.Read && (not ev.Trace.dependent)
+    && Queue.length st.outstanding >= st.limit
+  then max cand (Queue.peek st.outstanding)
+  else cand
+
+let run fabric ~start streams =
+  let states =
+    List.map
+      (fun s ->
+        { id = s.instance; events = Trace.events s.trace;
+          limit = max 1 s.max_outstanding; next = 0; ready = start;
+          outstanding = Queue.create (); finish = start })
+      streams
+  in
+  let rec step () =
+    (* Pick the instance whose next transaction is ready earliest. *)
+    let best =
+      List.fold_left
+        (fun acc st ->
+          if st.next >= Array.length st.events then acc
+          else
+            let cand = candidate_time st in
+            match acc with
+            | Some (_, best_cand) when best_cand <= cand -> acc
+            | Some _ | None -> Some (st, cand))
+        None states
+    in
+    match best with
+    | None -> ()
+    | Some (st, cand) ->
+        let ev = st.events.(st.next) in
+        st.next <- st.next + 1;
+        (if ev.Trace.kind = Guard.Iface.Read && (not ev.Trace.dependent)
+            && Queue.length st.outstanding >= st.limit
+         then ignore (Queue.pop st.outstanding));
+        let is_read = ev.Trace.kind = Guard.Iface.Read in
+        let grant =
+          Bus.Fabric.request fabric ~at:cand ~beats:ev.Trace.beats ~is_read
+            ~extra_latency:ev.Trace.latency
+        in
+        (match (ev.Trace.kind, ev.Trace.dependent) with
+        | Guard.Iface.Write, _ ->
+            (* Posted write: the instance moves on after the address phase. *)
+            st.ready <- grant.Bus.Fabric.granted_at + 1;
+            st.finish <- max st.finish grant.Bus.Fabric.data_done
+        | Guard.Iface.Read, true ->
+            st.ready <- grant.Bus.Fabric.completed;
+            st.finish <- max st.finish grant.Bus.Fabric.completed
+        | Guard.Iface.Read, false ->
+            Queue.push grant.Bus.Fabric.completed st.outstanding;
+            st.ready <- grant.Bus.Fabric.granted_at + 1;
+            st.finish <- max st.finish grant.Bus.Fabric.completed);
+        step ()
+  in
+  step ();
+  let makespan = List.fold_left (fun acc st -> max acc st.finish) start states in
+  {
+    makespan;
+    per_instance = List.map (fun st -> (st.id, st.finish)) states;
+    bus_beats = Bus.Fabric.total_beats fabric;
+  }

@@ -1,0 +1,29 @@
+(** Timing replay: schedule the recorded DMA streams of all concurrent
+    functional-unit instances through the shared interconnect.
+
+    Models exactly the contention the paper's prototype exhibits: one grant
+    per cycle on the AXI fabric, posted writes, pipelined streaming reads up
+    to the FU's outstanding limit, and dependent (pointer-chasing) reads that
+    stall their instance for the full round trip — including the guard's
+    checking latency, which is otherwise hidden under pipelining. *)
+
+type result = {
+  makespan : int;
+      (** cycles from start until the last instance's last transaction
+          completes *)
+  per_instance : (int * int) list;
+      (** (instance id, completion cycle) *)
+  bus_beats : int;  (** total data beats moved *)
+}
+
+type stream = {
+  instance : int;
+  trace : Trace.t;
+  max_outstanding : int;
+      (** this FU's streaming-read depth — mixed systems combine
+          accelerators with different interface quality *)
+}
+
+val run : Bus.Fabric.t -> start:int -> stream list -> result
+(** Replay every stream beginning at cycle [start].  Instances arbitrate in
+    earliest-ready order (FIFO).  An empty trace completes at [start]. *)

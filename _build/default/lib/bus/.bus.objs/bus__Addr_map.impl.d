@@ -1,0 +1,1 @@
+lib/bus/addr_map.ml:

@@ -1,0 +1,1 @@
+lib/bus/fabric.ml: Params

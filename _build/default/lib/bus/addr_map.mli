@@ -1,0 +1,27 @@
+(** The system physical address map.
+
+    One map shared by every configuration: DRAM at the bottom, then the
+    accelerator control-register window and the CapChecker's capability MMIO
+    window (reachable only from the CPU via the dedicated capability
+    interconnect of Figure 2). *)
+
+val dram_base : int
+val dram_size : int
+
+val heap_base : int
+(** Start of the driver-managed heap inside DRAM (below it live the "OS"
+    image and CPU task stacks that attacks like to aim at). *)
+
+val accel_ctrl_base : int
+(** Base of the accelerator control-register window. *)
+
+val accel_ctrl_stride : int
+(** Register window size per functional-unit instance. *)
+
+val capchecker_mmio_base : int
+(** Base of the CapChecker's capability-programming window. *)
+
+val ctrl_reg : instance:int -> reg:int -> int
+(** Address of control register [reg] of FU [instance]. *)
+
+val in_dram : addr:int -> size:int -> bool

@@ -1,0 +1,36 @@
+(** The shared-bus arbiter.
+
+    Models the paper's AXI interconnect as a single shared resource: at most
+    one transaction owns the data bus at a time and each beat takes one cycle.
+    Requests are served in arrival order (FIFO arbitration), which is how the
+    round-robin AXI crossbar behaves under sustained contention. *)
+
+type t
+
+type grant = {
+  granted_at : int;   (** cycle the address phase won arbitration *)
+  data_done : int;    (** cycle the last beat left the bus (address phase
+                          included) *)
+  completed : int;    (** cycle the requester observes completion
+                          (incl. memory latency for reads) *)
+}
+
+val create : Params.t -> t
+
+val params : t -> Params.t
+
+val request :
+  t -> at:int -> beats:int -> is_read:bool -> extra_latency:int -> grant
+(** [request t ~at ~beats ~is_read ~extra_latency] submits a transaction that
+    becomes ready at cycle [at].  [extra_latency] is added by interposed
+    hardware on the path (the CapChecker's pipeline stages).  Writes are
+    posted: their [completed] is the write-latency point but requesters
+    normally continue at [granted_at]. *)
+
+val busy_until : t -> int
+(** The cycle after which the bus is idle given all requests so far. *)
+
+val total_beats : t -> int
+(** Beats transferred so far (bandwidth accounting for the power model). *)
+
+val reset : t -> unit

@@ -1,0 +1,23 @@
+(** Timing parameters of the AXI-style system interconnect.
+
+    The prototype in the paper has one property that dominates accelerator
+    performance: the interconnect grants {e one memory access per clock
+    cycle}.  Everything else (DRAM latency, MMIO hop cost) is a fixed-latency
+    knob.  These defaults are the calibration used for every experiment; they
+    are plain data so sweeps can vary them. *)
+
+type t = {
+  beat_bytes : int;      (** data-bus width per beat (8 bytes) *)
+  max_burst : int;       (** maximum beats per AXI burst (16) *)
+  addr_phase : int;      (** address-phase cycles per transaction (1) —
+                             what makes bursts cheaper than single beats *)
+  read_latency : int;    (** DRAM read latency, request grant to data (20) *)
+  write_latency : int;   (** DRAM write latency; writes are posted (4) *)
+  mmio_write : int;      (** CPU MMIO register write, cycles (6) *)
+  mmio_read : int;       (** CPU MMIO register read, cycles (12) *)
+}
+
+val default : t
+
+val beats_for : t -> int -> int
+(** Beats needed to move [n] bytes. *)

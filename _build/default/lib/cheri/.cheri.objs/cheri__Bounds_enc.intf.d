@@ -1,0 +1,1 @@
+lib/cheri/bounds_enc.mli:

@@ -1,0 +1,1 @@
+lib/cheri/cap.ml: Bounds_enc Format Perms Printf

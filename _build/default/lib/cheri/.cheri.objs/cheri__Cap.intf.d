@@ -1,0 +1,1 @@
+lib/cheri/cap.mli: Format Perms

@@ -1,0 +1,1 @@
+lib/cheri/compress.ml: Bounds_enc Cap Int64 List Perms

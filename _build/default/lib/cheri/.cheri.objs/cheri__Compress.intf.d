@@ -1,0 +1,1 @@
+lib/cheri/compress.mli: Cap

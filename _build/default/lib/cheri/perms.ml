@@ -1,0 +1,42 @@
+type t = int
+
+let global = 1 lsl 0
+let execute = 1 lsl 1
+let load = 1 lsl 2
+let store = 1 lsl 3
+let load_cap = 1 lsl 4
+let store_cap = 1 lsl 5
+let store_local_cap = 1 lsl 6
+let seal = 1 lsl 7
+let invoke = 1 lsl 8
+let unseal = 1 lsl 9
+let system_regs = 1 lsl 10
+let set_cid = 1 lsl 11
+
+let none = 0
+let all = (1 lsl 12) - 1
+
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+
+let mem p set = p land set = p
+let subset a b = a land lnot b = 0
+
+let data_rw = global lor load lor store
+let data_ro = global lor load
+
+let of_mask m =
+  if m < 0 || m > all then invalid_arg "Perms.of_mask: out of range" else m
+
+let to_mask t = t
+
+let letters =
+  [ (global, 'G'); (execute, 'X'); (load, 'R'); (store, 'W'); (load_cap, 'r');
+    (store_cap, 'w'); (store_local_cap, 'l'); (seal, 'S'); (invoke, 'I');
+    (unseal, 'U'); (system_regs, 'Y'); (set_cid, 'C') ]
+
+let to_string t =
+  let buf = Buffer.create 12 in
+  List.iter (fun (bit, ch) -> if mem bit t then Buffer.add_char buf ch) letters;
+  if Buffer.length buf = 0 then "-" else Buffer.contents buf

@@ -1,0 +1,55 @@
+(** Architectural permission bits of a CHERI capability.
+
+    Permissions form a bitset that can only ever be reduced ({i monotonicity}).
+    The bit assignments follow the CHERI ISA's architectural permissions
+    (CHERI ISAv9, §2.3); the exact positions only matter for the 128-bit
+    in-memory encoding in {!Compress}. *)
+
+type t = private int
+(** A permission set (12-bit mask). *)
+
+val global : t
+val execute : t
+val load : t
+val store : t
+val load_cap : t
+val store_cap : t
+val store_local_cap : t
+val seal : t
+val invoke : t
+val unseal : t
+val system_regs : t
+val set_cid : t
+
+val none : t
+(** The empty permission set. *)
+
+val all : t
+(** Every permission (the root capability's set). *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val mem : t -> t -> bool
+(** [mem p set] is true when every bit of [p] is present in [set]. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true when [a]'s bits are all in [b]. *)
+
+val data_rw : t
+(** [load + store + global]: what the driver grants for an accelerator's data
+    buffer — deliberately excluding capability load/store so DMA can never
+    traffic in valid capabilities. *)
+
+val data_ro : t
+(** [load + global]: read-only buffer grant. *)
+
+val of_mask : int -> t
+(** Reconstruct from a raw 12-bit mask (used by decode). Out-of-range bits are
+    rejected with [Invalid_argument]. *)
+
+val to_mask : t -> int
+
+val to_string : t -> string
+(** Compact human-readable form, e.g. ["GRW"]. *)

@@ -1,0 +1,1 @@
+lib/core/cached.ml: Array Checker Cheri Guard Tagmem

@@ -1,0 +1,1 @@
+lib/core/cached.mli: Checker Cheri Guard Tagmem

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Area Bus Cheri Guard List Printf Table

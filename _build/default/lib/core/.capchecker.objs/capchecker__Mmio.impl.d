@@ -1,0 +1,1 @@
+lib/core/mmio.ml: Checker Cheri Int64 List Printf Table

@@ -1,0 +1,1 @@
+lib/core/mmio.mli: Checker Cheri

@@ -1,0 +1,1 @@
+lib/core/table.ml: Array Cheri List

@@ -1,0 +1,7 @@
+(* Fixed cost: capability decoder + exception unit + MMIO programming port.
+   Per entry: 128-bit storage, (task, obj) CAM match and the mux trees. *)
+let luts ~entries = 1_000 + (113 * entries)
+
+let luts_lightweight ~entries = 20 + (18 * entries)
+
+let prototype_entries = 256

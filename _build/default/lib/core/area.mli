@@ -1,0 +1,14 @@
+(** FPGA area model of the CapChecker, calibrated to §6.3:
+    the 256-entry prototype occupies ~30k LUTs; the lightweight CFU variant
+    for TinyML systems costs under 100 LUTs while the whole CFU system is
+    around 10k. *)
+
+val luts : entries:int -> int
+(** Full CapChecker: capability table (CAM + storage), CHERI-Concentrate
+    decoder, bounds comparators, exception logic. *)
+
+val luts_lightweight : entries:int -> int
+(** CFU variant: tiny table, no burst support, narrow address compare. *)
+
+val prototype_entries : int
+(** 256. *)

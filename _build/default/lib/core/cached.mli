@@ -1,0 +1,52 @@
+(** The cached CapChecker variant sketched in §5.2.3: instead of a table
+    large enough for every live capability, a small on-chip cache backed by a
+    larger in-(tagged-)memory capability table, "similar to page table
+    caching in IOMMUs/IOTLBs, but with each entry holding a capability".
+
+    The protection model is unchanged — the backing table lives in
+    driver-owned memory the accelerators are never granted, and entries are
+    still full CHERI capabilities whose tags ride the tagged memory; a
+    corrupted backing entry simply loses its tag and stops granting.  What
+    changes is area (a few cache entries instead of 256) against a miss
+    latency on the DMA path.
+
+    This module exists for the ablation study in the bench harness; the
+    prototype configuration of the paper uses {!Checker}. *)
+
+type t
+
+val create :
+  ?cache_entries:int ->
+  mode:Checker.mode ->
+  mem:Tagmem.Mem.t ->
+  table_base:int ->
+  max_tasks:int ->
+  max_objs:int ->
+  unit ->
+  t
+(** [cache_entries] defaults to 16.  The backing table occupies
+    [max_tasks * max_objs] capability granules starting at [table_base]
+    (driver-reserved memory). *)
+
+val backing_bytes : max_tasks:int -> max_objs:int -> int
+
+val install : t -> task:int -> obj:int -> Cheri.Cap.t -> (unit, string) result
+(** Driver path: writes the capability into the backing table and
+    invalidates the corresponding cache set. *)
+
+val evict_task : t -> task:int -> int
+(** Clears every backing entry of the task (and its cache sets);
+    returns the count cleared. *)
+
+val hit_latency : int
+val miss_latency : int
+
+val hits : t -> int
+val misses : t -> int
+
+val check : t -> Guard.Iface.req -> Guard.Iface.outcome
+val as_guard : t -> Guard.Iface.t
+
+val area_luts : t -> int
+(** Cache storage + comparators + the refill state machine — far below the
+    256-entry flat table. *)

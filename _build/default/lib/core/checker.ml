@@ -1,0 +1,95 @@
+type mode = Fine | Coarse
+
+type t = {
+  mode : mode;
+  table : Table.t;
+  mutable flag : bool;
+  mutable log : (int * Guard.Iface.denial) list;  (* (task, denial), newest first *)
+}
+
+let create ?(entries = 256) mode = { mode; table = Table.create ~entries; flag = false; log = [] }
+
+let mode t = t.mode
+let table t = t.table
+
+let check_latency = 1
+
+let obj_id_bits = 8
+
+let compose_coarse ~obj phys =
+  assert (obj >= 0 && obj < 1 lsl obj_id_bits);
+  assert (phys >= 0 && phys < Cheri.Cap.max_address);
+  (obj lsl Cheri.Cap.max_address_bits) lor phys
+
+let split_coarse addr =
+  ( (addr lsr Cheri.Cap.max_address_bits) land ((1 lsl obj_id_bits) - 1),
+    addr land (Cheri.Cap.max_address - 1) )
+
+let deny t ~task ~obj detail =
+  let denial = { Guard.Iface.code = "capchecker"; detail } in
+  t.flag <- true;
+  Table.mark_exception t.table ~task ~obj;
+  t.log <- (task, denial) :: t.log;
+  Guard.Iface.Denied denial
+
+let check t (req : Guard.Iface.req) =
+  let task = req.source in
+  let obj, phys =
+    match t.mode with
+    | Fine -> (
+        match req.port with
+        | Some port -> (port, req.addr)
+        | None -> (-1, req.addr))
+    | Coarse -> split_coarse req.addr
+  in
+  if obj < 0 then
+    deny t ~task ~obj:0 "fine-mode request without object provenance"
+  else
+    match Table.lookup t.table ~task ~obj with
+    | None ->
+        deny t ~task ~obj
+          (Printf.sprintf "no capability for task %d object %d" task obj)
+    | Some entry -> (
+        let kind =
+          match req.kind with
+          | Guard.Iface.Read -> Cheri.Cap.Read
+          | Guard.Iface.Write -> Cheri.Cap.Write
+        in
+        match Cheri.Cap.access_ok entry.Table.cap ~addr:phys ~size:req.size kind with
+        | Ok () -> Guard.Iface.Granted { phys; latency = check_latency }
+        | Error e ->
+            deny t ~task ~obj
+              (Printf.sprintf "task %d object %d: %s (%s)" task obj
+                 (Cheri.Cap.error_to_string e)
+                 (Guard.Iface.req_to_string req)))
+
+let install t ~task ~obj cap = Table.install t.table ~task ~obj cap
+let evict t ~task ~obj = Table.evict t.table ~task ~obj
+let evict_task t ~task = Table.evict_task t.table ~task
+
+let exception_flag t = t.flag
+let clear_exception_flag t = t.flag <- false
+let exception_log t = List.rev_map snd t.log
+
+let exception_log_for t ~task =
+  List.rev t.log
+  |> List.filter_map (fun (owner, d) -> if owner = task then Some d else None)
+
+let install_cycles (p : Bus.Params.t) = 3 * p.mmio_write
+let evict_cycles (p : Bus.Params.t) = p.mmio_write
+let poll_cycles (p : Bus.Params.t) = p.mmio_read
+
+let area_luts t = Area.luts ~entries:(Table.capacity t.table)
+
+let as_guard t =
+  {
+    Guard.Iface.info =
+      {
+        name = (match t.mode with Fine -> "capchecker-fine" | Coarse -> "capchecker-coarse");
+        granularity =
+          (match t.mode with Fine -> Guard.Iface.G_object | Coarse -> Guard.Iface.G_task);
+        area_luts = area_luts t;
+      };
+    check = (fun req -> check t req);
+    entries_in_use = (fun () -> Table.live_count t.table);
+  }

@@ -1,0 +1,80 @@
+(** The CapChecker: run-time capability checks on accelerator DMA (Figure 5).
+
+    Two provenance modes adapt to the accelerator's memory interface:
+    - {e Fine} — every object is distinguished by its hardware port (or an
+      object identifier hardened in the interface metadata); protection is at
+      object granularity.
+    - {e Coarse} — the accelerator multiplexes all traffic on one port with no
+      provenance; the driver retrofits an object id into the top
+      {!obj_id_bits} bits of the 64-bit address, leaving a
+      {!Cheri.Cap.max_address_bits}-bit physical space.  A task that corrupts
+      its own address arithmetic can reach its {e own} other objects (the
+      worst case degrades to task granularity) but never another task's,
+      because the task id comes from the interconnect source, which it cannot
+      forge.
+
+    On a violation the checker raises a global exception flag (visible to the
+    CPU over MMIO) and sets the per-entry exception bit for software tracing;
+    the access never reaches memory. *)
+
+type mode = Fine | Coarse
+
+type t
+
+val create : ?entries:int -> mode -> t
+(** [entries] defaults to 256 (the prototype's table size). *)
+
+val mode : t -> mode
+val table : t -> Table.t
+
+val check_latency : int
+(** Pipeline stages added on the DMA path: table fetch + capability decode +
+    bounds/permission compare, fully pipelined (1 cycle). *)
+
+(** {1 Coarse-mode address layout} *)
+
+val obj_id_bits : int
+(** 8 — the reserved top address bits. *)
+
+val compose_coarse : obj:int -> int -> int
+(** [compose_coarse ~obj phys] is the bus address the trusted driver loads
+    into the accelerator's pointer register. *)
+
+val split_coarse : int -> int * int
+(** [(obj, phys)] from a bus address. *)
+
+(** {1 The DMA-path check} *)
+
+val check : t -> Guard.Iface.req -> Guard.Iface.outcome
+
+val as_guard : t -> Guard.Iface.t
+
+(** {1 CPU-side MMIO interface (capability interconnect)} *)
+
+val install : t -> task:int -> obj:int -> Cheri.Cap.t -> Table.install_result
+val evict : t -> task:int -> obj:int -> bool
+val evict_task : t -> task:int -> int
+
+val exception_flag : t -> bool
+(** The global "an exception has been caught" flag. *)
+
+val clear_exception_flag : t -> unit
+
+val exception_log : t -> Guard.Iface.denial list
+(** Every denial recorded, oldest first (simulator observability; hardware
+    keeps only the flag and per-entry bits). *)
+
+val exception_log_for : t -> task:int -> Guard.Iface.denial list
+(** Denials attributable to one task (what the driver reports to the
+    application that owned the task). *)
+
+val install_cycles : Bus.Params.t -> int
+(** Driver cost of installing one capability: two 64-bit data words plus a
+    command word over the capability interconnect. *)
+
+val evict_cycles : Bus.Params.t -> int
+val poll_cycles : Bus.Params.t -> int
+(** Reading the global exception flag. *)
+
+val area_luts : t -> int
+(** See {!Area}. *)

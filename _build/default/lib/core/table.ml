@@ -1,0 +1,90 @@
+type entry = {
+  mutable cap : Cheri.Cap.t;
+  mutable task : int;
+  mutable obj : int;
+  mutable live : bool;
+  mutable exn_bit : bool;
+}
+
+type t = { slots : entry array }
+
+let create ~entries =
+  assert (entries > 0);
+  let fresh () =
+    { cap = Cheri.Cap.null; task = -1; obj = -1; live = false; exn_bit = false }
+  in
+  { slots = Array.init entries (fun _ -> fresh ()) }
+
+let capacity t = Array.length t.slots
+
+let live_count t =
+  Array.fold_left (fun acc e -> if e.live then acc + 1 else acc) 0 t.slots
+
+type install_result = Installed of int | Table_full | Rejected_untagged
+
+let find_slot t pred =
+  let n = Array.length t.slots in
+  let rec go idx =
+    if idx >= n then None
+    else if pred t.slots.(idx) then Some idx
+    else go (idx + 1)
+  in
+  go 0
+
+let install t ~task ~obj cap =
+  if not cap.Cheri.Cap.tag then Rejected_untagged
+  else
+    let slot =
+      match find_slot t (fun e -> e.live && e.task = task && e.obj = obj) with
+      | Some idx -> Some idx
+      | None -> find_slot t (fun e -> not e.live)
+    in
+    match slot with
+    | None -> Table_full
+    | Some idx ->
+        let e = t.slots.(idx) in
+        e.cap <- cap;
+        e.task <- task;
+        e.obj <- obj;
+        e.live <- true;
+        e.exn_bit <- false;
+        Installed idx
+
+let lookup t ~task ~obj =
+  match find_slot t (fun e -> e.live && e.task = task && e.obj = obj) with
+  | Some idx -> Some t.slots.(idx)
+  | None -> None
+
+let mark_exception t ~task ~obj =
+  match lookup t ~task ~obj with
+  | Some e -> e.exn_bit <- true
+  | None -> ()
+
+let evict t ~task ~obj =
+  match find_slot t (fun e -> e.live && e.task = task && e.obj = obj) with
+  | Some idx ->
+      let e = t.slots.(idx) in
+      e.live <- false;
+      e.cap <- Cheri.Cap.null;
+      true
+  | None -> false
+
+let evict_task t ~task =
+  let n = ref 0 in
+  Array.iter
+    (fun e ->
+      if e.live && e.task = task then begin
+        e.live <- false;
+        e.cap <- Cheri.Cap.null;
+        incr n
+      end)
+    t.slots;
+  !n
+
+let entries_with_exceptions t =
+  Array.fold_left
+    (fun acc e -> if e.exn_bit then (e.task, e.obj) :: acc else acc)
+    [] t.slots
+  |> List.rev
+
+let iter_live t f = Array.iter (fun e -> if e.live then f e) t.slots

@@ -1,0 +1,53 @@
+(** The CapChecker's capability table (Figure 5).
+
+    A fixed file of entries, each holding a decoded CHERI capability keyed by
+    (accelerator task, object id).  The table is the hardware repository the
+    paper describes: capabilities live {e inside} the CapChecker where no
+    accelerator access can reach them, which is what keeps them unforgeable.
+
+    Allocation is associative: the driver presents a capability and the table
+    finds a free slot; when none is free the driver must evict (the paper's
+    stall-until-eviction protocol).  Each entry carries an exception bit so
+    software can trace which object an offending access targeted. *)
+
+type t
+
+type entry = private {
+  mutable cap : Cheri.Cap.t;
+  mutable task : int;
+  mutable obj : int;
+  mutable live : bool;
+  mutable exn_bit : bool;
+}
+
+val create : entries:int -> t
+(** [entries] is the hardware capacity (256 in the paper's prototype). *)
+
+val capacity : t -> int
+val live_count : t -> int
+
+type install_result =
+  | Installed of int      (** slot index *)
+  | Table_full
+  | Rejected_untagged     (** the control logic verifies the tag (Fig. 6 ③) *)
+
+val install : t -> task:int -> obj:int -> Cheri.Cap.t -> install_result
+(** Install, replacing any live entry with the same (task, obj) key. *)
+
+val lookup : t -> task:int -> obj:int -> entry option
+(** The per-request associative fetch. *)
+
+val mark_exception : t -> task:int -> obj:int -> unit
+(** Set the exception bit if the entry exists (otherwise only the global flag
+    in {!Checker} records the event). *)
+
+val evict : t -> task:int -> obj:int -> bool
+(** Evict one entry; false if absent. *)
+
+val evict_task : t -> task:int -> int
+(** Evict every entry of a task (deallocation, Fig. 6 ②); returns the count. *)
+
+val entries_with_exceptions : t -> (int * int) list
+(** Live or dead (task, obj) keys whose exception bit is set. *)
+
+val iter_live : t -> (entry -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/cpu/model.ml: Cache Cheri Hashtbl Kernel List Memops Printf Tagmem

@@ -1,0 +1,1 @@
+lib/cpu/model.mli: Cache Kernel Memops Tagmem

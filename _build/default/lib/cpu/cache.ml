@@ -1,0 +1,52 @@
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  hit_cycles : int;
+  miss_cycles : int;
+}
+
+let default_config =
+  { size_bytes = 16 * 1024; line_bytes = 64; hit_cycles = 1; miss_cycles = 25 }
+
+type t = {
+  cfg : config;
+  tags : int array;  (* -1 = invalid *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create cfg =
+  let lines = cfg.size_bytes / cfg.line_bytes in
+  assert (lines > 0);
+  { cfg; tags = Array.make lines (-1); hits = 0; misses = 0 }
+
+let access t ~addr =
+  let line = addr / t.cfg.line_bytes in
+  let set = line mod Array.length t.tags in
+  if t.tags.(set) = line then begin
+    t.hits <- t.hits + 1;
+    t.cfg.hit_cycles
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    t.tags.(set) <- line;
+    t.cfg.miss_cycles
+  end
+
+let touch_range t ~addr ~size =
+  if size <= 0 then 0
+  else
+    let first = addr / t.cfg.line_bytes and last = (addr + size - 1) / t.cfg.line_bytes in
+    let cycles = ref 0 in
+    for line = first to last do
+      cycles := !cycles + access t ~addr:(line * t.cfg.line_bytes)
+    done;
+    !cycles
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.hits <- 0;
+  t.misses <- 0

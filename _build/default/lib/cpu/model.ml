@@ -1,0 +1,167 @@
+type isa = Rv64 | Cheri_rv64
+
+type costs = {
+  alu : int;
+  imul : int;
+  idiv : int;
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  fspec : int;
+  branch : int;
+}
+
+let default_costs =
+  { alu = 1; imul = 3; idiv = 12; fadd = 3; fmul = 4; fdiv = 18; fspec = 24; branch = 1 }
+
+type config = {
+  isa : isa;
+  cache : Cache.config;
+  costs : costs;
+  cheri_reg_traffic_period : int;
+}
+
+let config isa =
+  { isa; cache = Cache.default_config; costs = default_costs;
+    cheri_reg_traffic_period = 16 }
+
+type result = {
+  cycles : int;
+  loads : int;
+  stores : int;
+  cache_hits : int;
+  cache_misses : int;
+  trap : string option;
+}
+
+let cost_of cfg (c : Kernel.Interp.cost) =
+  match c with
+  | Alu -> cfg.costs.alu
+  | Imul -> cfg.costs.imul
+  | Idiv -> cfg.costs.idiv
+  | Fadd -> cfg.costs.fadd
+  | Fmul -> cfg.costs.fmul
+  | Fdiv -> cfg.costs.fdiv
+  | Fspec -> cfg.costs.fspec
+  | Branch -> cfg.costs.branch
+  | Sram -> 1
+
+let copy_bytes_per_cycle cfg =
+  match cfg.isa with Rv64 -> 8 | Cheri_rv64 -> 16
+
+let derive_caps layout =
+  let caps = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Memops.Layout.binding) ->
+      let decl = b.Memops.Layout.decl in
+      let perms =
+        if decl.Kernel.Ir.writable then Cheri.Perms.data_rw else Cheri.Perms.data_ro
+      in
+      let cap =
+        match
+          Cheri.Cap.set_bounds Cheri.Cap.root ~base:b.Memops.Layout.base
+            ~length:(Kernel.Ir.buf_decl_bytes decl)
+        with
+        | Ok c -> (
+            match Cheri.Cap.with_perms c perms with
+            | Ok c -> c
+            | Error e -> failwith (Cheri.Cap.error_to_string e))
+        | Error e -> failwith (Cheri.Cap.error_to_string e)
+      in
+      Hashtbl.add caps decl.Kernel.Ir.buf_name cap)
+    (Memops.Layout.bindings layout);
+  caps
+
+let run cfg mem kernel layout ?(params = []) () =
+  let cache = Cache.create cfg.cache in
+  let cycles = ref 0 in
+  let loads = ref 0 and stores = ref 0 in
+  let mem_accesses = ref 0 in
+  let caps = match cfg.isa with Cheri_rv64 -> Some (derive_caps layout) | Rv64 -> None in
+  let charge_cheri_traffic () =
+    match cfg.isa with
+    | Cheri_rv64 ->
+        incr mem_accesses;
+        if !mem_accesses mod cfg.cheri_reg_traffic_period = 0 then incr cycles
+    | Rv64 -> incr mem_accesses
+  in
+  let cheri_check name ~addr ~size kind =
+    match caps with
+    | None -> ()
+    | Some caps -> (
+        let cap = Hashtbl.find caps name in
+        match Cheri.Cap.access_ok cap ~addr ~size kind with
+        | Ok () -> ()
+        | Error e ->
+            raise
+              (Kernel.Interp.Aborted
+                 (Printf.sprintf "CHERI CPU trap on %s: %s" name
+                    (Cheri.Cap.error_to_string e))))
+  in
+  let machine =
+    {
+      Kernel.Interp.load =
+        (fun name ~idx ~dependent:_ ->
+          let b = Memops.Layout.find layout name in
+          let addr = Memops.Layout.elem_addr b idx in
+          let size = Kernel.Ir.elem_bytes b.decl.Kernel.Ir.elem in
+          cheri_check name ~addr ~size Cheri.Cap.Read;
+          incr loads;
+          charge_cheri_traffic ();
+          cycles := !cycles + Cache.access cache ~addr;
+          Memops.Layout.read_elem mem b.decl.Kernel.Ir.elem ~addr);
+      store =
+        (fun name ~idx value ->
+          let b = Memops.Layout.find layout name in
+          let addr = Memops.Layout.elem_addr b idx in
+          let size = Kernel.Ir.elem_bytes b.decl.Kernel.Ir.elem in
+          cheri_check name ~addr ~size Cheri.Cap.Write;
+          incr stores;
+          charge_cheri_traffic ();
+          cycles := !cycles + Cache.access cache ~addr;
+          Memops.Layout.write_elem mem b.decl.Kernel.Ir.elem ~addr value);
+      copy =
+        (fun ~dst ~src ~elems ->
+          let db = Memops.Layout.find layout dst in
+          let sb = Memops.Layout.find layout src in
+          let width = Kernel.Ir.elem_bytes sb.decl.Kernel.Ir.elem in
+          let bytes = elems * width in
+          cheri_check src ~addr:sb.base ~size:bytes Cheri.Cap.Read;
+          cheri_check dst ~addr:db.base ~size:bytes Cheri.Cap.Write;
+          let data = Tagmem.Mem.read_bytes mem ~addr:sb.base ~size:bytes in
+          Tagmem.Mem.write_bytes mem ~addr:db.base data;
+          let w = copy_bytes_per_cycle cfg in
+          cycles := !cycles + ((bytes + w - 1) / w);
+          cycles := !cycles + Cache.touch_range cache ~addr:sb.base ~size:bytes;
+          cycles := !cycles + Cache.touch_range cache ~addr:db.base ~size:bytes);
+      tick = (fun c n -> cycles := !cycles + (n * cost_of cfg c));
+      param =
+        (fun name ->
+          match List.assoc_opt name params with
+          | Some value -> value
+          | None -> invalid_arg ("Cpu.Model.run: unknown param " ^ name));
+    }
+  in
+  let trap =
+    match Kernel.Interp.run kernel machine with
+    | () -> None
+    | exception Kernel.Interp.Aborted reason -> Some reason
+  in
+  {
+    cycles = !cycles;
+    loads = !loads;
+    stores = !stores;
+    cache_hits = Cache.hits cache;
+    cache_misses = Cache.misses cache;
+    trap;
+  }
+
+let cap_setup_cycles cfg ~n_bufs =
+  match cfg.isa with Rv64 -> 0 | Cheri_rv64 -> 3 * n_bufs
+
+let init_store_cycles cfg ~bytes =
+  ignore cfg;
+  (* Streaming stores at one word per cycle plus the write-allocate misses. *)
+  (bytes / 8) + (bytes / 64 * 4)
+
+let area_luts = function Rv64 -> 40_000 | Cheri_rv64 -> 44_800

@@ -1,0 +1,1 @@
+lib/driver/driver.ml: Array Backend Bus Capchecker Cheri Guard Hashtbl Int64 Kernel List Memops Printf Revoker Tagmem

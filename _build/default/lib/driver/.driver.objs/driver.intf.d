@@ -1,0 +1,1 @@
+lib/driver/driver.mli: Backend Bus Cheri Guard Kernel Memops Revoker Tagmem

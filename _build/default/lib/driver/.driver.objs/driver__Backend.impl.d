@@ -1,0 +1,1 @@
+lib/driver/backend.ml: Accel Capchecker Guard Tagmem

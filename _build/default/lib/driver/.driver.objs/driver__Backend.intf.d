@@ -1,0 +1,1 @@
+lib/driver/backend.mli: Accel Capchecker Guard

@@ -1,0 +1,1 @@
+lib/driver/revoker.ml: Capchecker Cheri List Tagmem

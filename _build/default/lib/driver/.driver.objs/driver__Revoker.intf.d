@@ -1,0 +1,1 @@
+lib/driver/revoker.mli: Capchecker Tagmem

@@ -1,0 +1,43 @@
+type t =
+  | No_protection of { naive_tags : bool }
+  | Iopmp of Guard.Iopmp.t
+  | Iommu of Guard.Iommu.t
+  | Snpu of Guard.Snpu.t
+  | Capchecker of Capchecker.Checker.t
+  | Capchecker_cached of Capchecker.Cached.t
+
+let guard_of = function
+  | No_protection _ -> Guard.Iface.pass_through
+  | Iopmp g -> Guard.Iopmp.as_guard g
+  | Iommu g -> Guard.Iommu.as_guard g
+  | Snpu g -> Guard.Snpu.as_guard g
+  | Capchecker c -> Capchecker.Checker.as_guard c
+  | Capchecker_cached c -> Capchecker.Cached.as_guard c
+
+let addressing = function
+  | No_protection _ | Iopmp _ | Iommu _ | Snpu _ -> Accel.Engine.Plain
+  | Capchecker c -> (
+      match Capchecker.Checker.mode c with
+      | Capchecker.Checker.Fine -> Accel.Engine.Fine_ports
+      | Capchecker.Checker.Coarse -> Accel.Engine.Coarse_ids)
+  | Capchecker_cached _ -> Accel.Engine.Fine_ports
+
+let naive_tag_writes = function
+  | No_protection { naive_tags } -> naive_tags
+  | Iopmp _ | Iommu _ | Snpu _ | Capchecker _ | Capchecker_cached _ -> false
+
+let buffer_alignment = function
+  | Iommu _ -> Guard.Iommu.page_size
+  | No_protection _ | Iopmp _ | Snpu _ | Capchecker _ | Capchecker_cached _ ->
+      Tagmem.Mem.granule
+
+let name = function
+  | No_protection { naive_tags } -> if naive_tags then "none(naive-tags)" else "none"
+  | Iopmp _ -> "iopmp"
+  | Iommu _ -> "iommu"
+  | Snpu _ -> "snpu"
+  | Capchecker c -> (
+      match Capchecker.Checker.mode c with
+      | Capchecker.Checker.Fine -> "capchecker-fine"
+      | Capchecker.Checker.Coarse -> "capchecker-coarse")
+  | Capchecker_cached _ -> "capchecker-cached" 

@@ -1,0 +1,30 @@
+(** The protection backend a system configuration plugs into the DMA path.
+
+    The driver is the only component that knows how to {e program} each
+    scheme; at run time they are all just {!Guard.Iface.t} values in front of
+    the memory controller. *)
+
+type t =
+  | No_protection of { naive_tags : bool }
+      (** pass-through; [naive_tags] selects the tag-preserving DMA write
+          path of a naively integrated CHERI system (forgeable capabilities —
+          the Figure 2 attack) *)
+  | Iopmp of Guard.Iopmp.t
+  | Iommu of Guard.Iommu.t
+  | Snpu of Guard.Snpu.t
+  | Capchecker of Capchecker.Checker.t
+  | Capchecker_cached of Capchecker.Cached.t
+      (** the §5.2.3 variant: small cache + in-memory capability table *)
+
+val guard_of : t -> Guard.Iface.t
+
+val addressing : t -> Accel.Engine.addressing
+(** How the driver programs accelerator pointer registers for this backend. *)
+
+val naive_tag_writes : t -> bool
+
+val buffer_alignment : t -> int
+(** Allocation alignment the driver uses: 4096 for the IOMMU (the one-buffer-
+    per-page fairness rule of Fig. 12), {!Tagmem.Mem.granule} otherwise. *)
+
+val name : t -> string

@@ -1,0 +1,75 @@
+(** The trusted software driver (Figure 6).
+
+    The driver is the only software that programs protection hardware and
+    accelerator control registers; applications reach it through the
+    [allocate] / [deallocate] calls that bracket every accelerator task.
+    Everything it does is costed in CPU cycles so the system model can charge
+    setup and teardown to the wall clock — the constant overheads that
+    dominate short-running benchmarks (the paper's md_knn observation).
+
+    Per-backend programming policy:
+    - {b CapChecker}: derive a capability per buffer (bounded exactly to the
+      padded allocation, write permission only for writable buffers), install
+      it over the capability interconnect keyed by (task, object id); Coarse
+      mode additionally composes the object id into the pointer registers.
+    - {b IOMMU}: allocate page-aligned, map each buffer's pages.
+    - {b IOPMP}: allocate the task's buffers inside one contiguous arena and
+      program a single region rule per task (the region file is tiny).
+    - {b sNPU}: program one bounds-register pair per buffer inside the NPU.
+    - {b none}: nothing to program. *)
+
+module Backend = Backend
+(** Re-exported so users address everything through [Driver]. *)
+
+module Revoker = Revoker
+(** Temporal-safety extension: quarantine-and-sweep revocation. *)
+
+type t
+
+val create :
+  mem:Tagmem.Mem.t ->
+  heap:Tagmem.Alloc.t ->
+  backend:Backend.t ->
+  bus:Bus.Params.t ->
+  n_instances:int ->
+  t
+
+val backend : t -> Backend.t
+val mem : t -> Tagmem.Mem.t
+val free_instances : t -> int
+
+type handle = {
+  task_id : int;  (** the functional-unit instance owning the task *)
+  layout : Memops.Layout.t;
+  obj_ids : (string * int) list;
+  caps : (string * Cheri.Cap.t) list;
+      (** the capabilities delegated for this task (empty for
+          capability-less backends) *)
+}
+
+type allocated = { handle : handle; cycles : int }
+
+val allocate : t -> Kernel.Ir.t -> (allocated, string) result
+(** Find a free functional unit, allocate and (for the CapChecker) pad
+    buffers, program the backend and the pointer/control registers.  Fails
+    when every instance is busy (the caller decides whether to stall) or the
+    backend runs out of entries. *)
+
+type dealloc_report = {
+  cycles : int;
+  exception_seen : bool;
+  denials : Guard.Iface.denial list;
+  scrubbed_bytes : int;
+      (** on an exception all task buffers are cleared before the memory
+          returns to the allocator (Fig. 6 ②) *)
+}
+
+val deallocate :
+  t -> handle -> denied:Guard.Iface.denial option -> dealloc_report
+(** Tear the task down: collect the exception state ([denied] is what the
+    execution engine observed; the CapChecker is additionally polled over
+    MMIO), scrub on exception, evict protection entries, clear control
+    registers, release buffers and the functional unit. *)
+
+val malloc_cycles : int
+val free_cycles : int

@@ -1,0 +1,40 @@
+(** Temporal safety extension: quarantine-and-sweep revocation.
+
+    The paper's threat model leaves temporal safety to driver discipline
+    (assumption 3) and names lifting that restriction as future work.  This
+    module implements the standard CHERI answer (Cornucopia-style): freed
+    regions go into quarantine instead of being reused immediately; a
+    background {e sweep} scans tagged memory and invalidates every live
+    capability whose bounds overlap a quarantined region (and evicts matching
+    CapChecker entries); only then does the memory return to the allocator.
+
+    After a sweep, a use-after-free is structurally impossible: no valid
+    capability to the freed region exists anywhere — not in memory, not in
+    the CapChecker, so neither a CPU task nor an accelerator can dereference
+    a stale pointer. *)
+
+type t
+
+val create : Tagmem.Mem.t -> t
+
+val quarantine : t -> base:int -> size:int -> unit
+(** Park a freed region.  The caller must not return it to its allocator
+    until a subsequent {!sweep} has run. *)
+
+val quarantined_bytes : t -> int
+
+type sweep_report = {
+  granules_scanned : int;   (** tag-store entries visited *)
+  caps_revoked : int;       (** in-memory capabilities invalidated *)
+  entries_evicted : int;    (** CapChecker entries invalidated *)
+  cycles : int;             (** cost: the sweep reads the tag store at cache-
+                                line rate and touches only tagged granules *)
+  released : (int * int) list;  (** regions now safe to reuse *)
+}
+
+val sweep : ?checker:Capchecker.Checker.t -> t -> sweep_report
+(** Scan, revoke, empty the quarantine. *)
+
+val overlaps : t -> base:int -> top:int -> bool
+(** Whether a region intersects the current quarantine (exposed for tests
+    and for allocators that want to refuse reuse before a sweep). *)

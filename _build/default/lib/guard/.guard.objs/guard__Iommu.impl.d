@@ -1,0 +1,1 @@
+lib/guard/iommu.ml: Array Hashtbl Iface List

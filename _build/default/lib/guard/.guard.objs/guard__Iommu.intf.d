@@ -1,0 +1,1 @@
+lib/guard/iommu.mli: Iface

@@ -1,0 +1,1 @@
+lib/guard/iopmp.ml: Iface List Printf

@@ -1,0 +1,1 @@
+lib/guard/iopmp.mli: Iface

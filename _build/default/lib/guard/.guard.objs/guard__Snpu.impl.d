@@ -1,0 +1,1 @@
+lib/guard/snpu.ml: Hashtbl Iface List

@@ -1,0 +1,43 @@
+type kind = Read | Write
+
+type req = {
+  source : int;
+  port : int option;
+  addr : int;
+  size : int;
+  kind : kind;
+}
+
+type denial = { code : string; detail : string }
+
+type outcome = Granted of { phys : int; latency : int } | Denied of denial
+
+type granularity = G_none | G_page | G_task | G_object
+
+let granularity_label = function
+  | G_none -> "X"
+  | G_page -> "PG"
+  | G_task -> "TA"
+  | G_object -> "OB"
+
+type info = { name : string; granularity : granularity; area_luts : int }
+
+type t = {
+  info : info;
+  check : req -> outcome;
+  entries_in_use : unit -> int;
+}
+
+let pass_through =
+  {
+    info = { name = "none"; granularity = G_none; area_luts = 0 };
+    check = (fun r -> Granted { phys = r.addr; latency = 0 });
+    entries_in_use = (fun () -> 0);
+  }
+
+let req_to_string r =
+  Printf.sprintf "%s src=%d port=%s addr=0x%x size=%d"
+    (match r.kind with Read -> "R" | Write -> "W")
+    r.source
+    (match r.port with Some p -> string_of_int p | None -> "-")
+    r.addr r.size

@@ -1,0 +1,35 @@
+(** IOMMU model: page-granularity protection with an IOTLB.
+
+    Pages are 4 KiB (the paper's Figure 12 setting).  Since the prototype
+    shares physical memory between CPU and accelerators, the page tables here
+    are identity-mapped and only carry permissions — protection is what the
+    paper compares, translation being orthogonal (§3.2).
+
+    To make the comparison fair at equal safety (Fig. 12), the driver
+    allocates at page alignment so no two buffers share a page; the IOMMU then
+    needs [ceil(size / 4096)] entries per buffer, versus exactly one
+    CapChecker entry. *)
+
+type t
+
+val page_size : int
+(** 4096. *)
+
+val create : ?tlb_entries:int -> unit -> t
+(** [tlb_entries] defaults to 32. *)
+
+val map_range :
+  t -> source:int -> base:int -> size:int -> read:bool -> write:bool -> unit
+(** Install permissions for every page overlapping [\[base, base+size)].
+    A page already mapped for this source gets the union of permissions. *)
+
+val unmap_source : t -> source:int -> unit
+
+val entries_for_range : base:int -> size:int -> int
+(** Pure page math: how many entries a buffer costs (Fig. 12). *)
+
+val mapped_pages : t -> int
+
+val as_guard : t -> Iface.t
+(** Check latency models the IOTLB: 2 cycles on a hit, 20 on a miss (page
+    walk to the in-memory table). *)

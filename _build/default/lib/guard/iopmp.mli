@@ -1,0 +1,29 @@
+(** RISC-V IOPMP model: a small, fully associative set of (source, region,
+    permission) rules checked against every DMA transaction.
+
+    The associative lookup is what makes real IOPMPs expensive, so
+    implementations are "limited to single-digit or teen numbers of regions"
+    (paper §3.2) — the driver therefore programs one region per {e task}
+    arena rather than per buffer, yielding task-granularity protection. *)
+
+type t
+
+val create : ?regions:int -> unit -> t
+(** [regions] defaults to 16. *)
+
+val max_regions : t -> int
+
+type rule = {
+  source : int;   (** which DMA master the rule applies to *)
+  base : int;
+  top : int;      (** exclusive *)
+  can_read : bool;
+  can_write : bool;
+}
+
+val add_rule : t -> rule -> (unit, string) result
+(** Fails when the region file is full. *)
+
+val remove_rules_for : t -> source:int -> unit
+
+val as_guard : t -> Iface.t

@@ -1,0 +1,19 @@
+(** sNPU-style accelerator-specific protection (Feng et al., ISCA 2024),
+    modeled as the paper's comparison point.
+
+    sNPU integrates bounds registers inside the NPU: each task gets a set of
+    allowed regions, checked on scratchpad/DMA access.  Protection is at task
+    granularity — objects of the same task share one protection domain — and
+    the scheme is tied to the accelerator's own architecture, so its metadata
+    is ordinary (forgeable) configuration state rather than hardware-enforced
+    unforgeable capabilities.  That mismatch with the CPU-side scheme is the
+    heterogeneity weakness of §4.2. *)
+
+type t
+
+val create : ?regions_per_task:int -> unit -> t
+(** [regions_per_task] defaults to 8 bounds-register pairs per task. *)
+
+val grant : t -> source:int -> base:int -> size:int -> (unit, string) result
+val revoke_task : t -> source:int -> unit
+val as_guard : t -> Iface.t

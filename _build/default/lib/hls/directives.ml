@@ -1,0 +1,16 @@
+type t = {
+  compute_ipc : float;
+  max_outstanding : int;
+  fine_ports : bool;
+  area_luts : int;
+}
+
+let default =
+  { compute_ipc = 16.0; max_outstanding = 8; fine_ports = true; area_luts = 8_000 }
+
+let make ?(compute_ipc = default.compute_ipc)
+    ?(max_outstanding = default.max_outstanding)
+    ?(fine_ports = default.fine_ports) ?(area_luts = default.area_luts) () =
+  assert (compute_ipc > 0.0);
+  assert (max_outstanding >= 1);
+  { compute_ipc; max_outstanding; fine_ports; area_luts }

@@ -1,0 +1,33 @@
+(** HLS synthesis directives — the stand-in for Vitis HLS.
+
+    The paper generates each benchmark's accelerator with Vitis HLS; the
+    resulting hardware differs in parallelism, pipelining and memory-port
+    organization.  Here those differences are captured as per-kernel
+    directives that the accelerator model consumes.  They are performance/area
+    knobs only: the protection model never depends on them (the CapChecker
+    treats the accelerator as a black box behind its memory interface). *)
+
+type t = {
+  compute_ipc : float;
+      (** sustained kernel-IR operations per cycle of the synthesized
+          datapath (unroll × pipelining); CPUs are ~0.3-1, accelerators
+          reach hundreds *)
+  max_outstanding : int;
+      (** streaming read requests in flight before the FU stalls *)
+  fine_ports : bool;
+      (** the accelerator exposes one memory port (or hardened interface
+          metadata) per object — enables the CapChecker's Fine mode *)
+  area_luts : int;  (** synthesized area of one FU instance *)
+}
+
+val default : t
+(** A modest pipelined accelerator: ipc 16, 8 outstanding, fine ports,
+    8k LUTs. *)
+
+val make :
+  ?compute_ipc:float ->
+  ?max_outstanding:int ->
+  ?fine_ports:bool ->
+  ?area_luts:int ->
+  unit ->
+  t

@@ -1,0 +1,1 @@
+lib/kernel/interp.ml: Array Float Hashtbl Ir List Printf Value

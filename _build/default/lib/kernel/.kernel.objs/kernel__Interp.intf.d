@@ -1,0 +1,1 @@
+lib/kernel/interp.mli: Ir Value

@@ -1,0 +1,1 @@
+lib/kernel/ir.ml: List Printf String

@@ -1,0 +1,211 @@
+type cost = Alu | Imul | Idiv | Fadd | Fmul | Fdiv | Fspec | Branch | Sram
+
+exception Aborted of string
+exception Fuel_exhausted
+
+type machine = {
+  load : string -> idx:int -> dependent:bool -> Value.t;
+  store : string -> idx:int -> Value.t -> unit;
+  copy : dst:string -> src:string -> elems:int -> unit;
+  tick : cost -> int -> unit;
+  param : string -> Value.t;
+}
+
+let cost_of_binop : Ir.binop -> cost = function
+  | Add | Sub | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne | Imin | Imax -> Alu
+  | Mul -> Imul
+  | Div | Mod -> Idiv
+  | Fadd | Fsub | Flt | Fle | Fgt | Fge | Fmin | Fmax -> Fadd
+  | Fmul -> Fmul
+  | Fdiv -> Fdiv
+
+let cost_of_unop : Ir.unop -> cost = function
+  | Neg | Bnot | I2f | F2i -> Alu
+  | Fneg | Fabs -> Fadd
+  | Fsqrt | Fexp -> Fspec
+
+let bool_val b = Value.VI (if b then 1 else 0)
+
+let eval_binop (op : Ir.binop) a b =
+  let open Value in
+  match op with
+  | Add -> VI (as_int a + as_int b)
+  | Sub -> VI (as_int a - as_int b)
+  | Mul -> VI (as_int a * as_int b)
+  | Div ->
+      let d = as_int b in
+      if d = 0 then raise (Aborted "integer division by zero") else VI (as_int a / d)
+  | Mod ->
+      let d = as_int b in
+      if d = 0 then raise (Aborted "integer modulo by zero") else VI (as_int a mod d)
+  | Band -> VI (as_int a land as_int b)
+  | Bor -> VI (as_int a lor as_int b)
+  | Bxor -> VI (as_int a lxor as_int b)
+  | Shl -> VI (as_int a lsl as_int b)
+  | Shr -> VI (as_int a asr as_int b)
+  | Lt -> bool_val (as_int a < as_int b)
+  | Le -> bool_val (as_int a <= as_int b)
+  | Gt -> bool_val (as_int a > as_int b)
+  | Ge -> bool_val (as_int a >= as_int b)
+  | Eq -> bool_val (as_int a = as_int b)
+  | Ne -> bool_val (as_int a <> as_int b)
+  | Imin -> VI (min (as_int a) (as_int b))
+  | Imax -> VI (max (as_int a) (as_int b))
+  | Fadd -> VF (as_float a +. as_float b)
+  | Fsub -> VF (as_float a -. as_float b)
+  | Fmul -> VF (as_float a *. as_float b)
+  | Fdiv -> VF (as_float a /. as_float b)
+  | Flt -> bool_val (as_float a < as_float b)
+  | Fle -> bool_val (as_float a <= as_float b)
+  | Fgt -> bool_val (as_float a > as_float b)
+  | Fge -> bool_val (as_float a >= as_float b)
+  | Fmin -> VF (Float.min (as_float a) (as_float b))
+  | Fmax -> VF (Float.max (as_float a) (as_float b))
+
+let eval_unop (op : Ir.unop) a =
+  let open Value in
+  match op with
+  | Neg -> VI (-as_int a)
+  | Bnot -> VI (lnot (as_int a))
+  | Fneg -> VF (-.as_float a)
+  | Fabs -> VF (Float.abs (as_float a))
+  | Fsqrt -> VF (sqrt (as_float a))
+  | Fexp -> VF (exp (as_float a))
+  | I2f -> VF (float_of_int (as_int a))
+  | F2i -> VI (int_of_float (as_float a))
+
+let zero_of elem : Value.t =
+  if Ir.elem_is_float elem then Value.VF 0.0 else Value.VI 0
+
+let run ?(fuel = 100_000_000) (k : Ir.t) m =
+  let locals : (string, Value.t) Hashtbl.t = Hashtbl.create 32 in
+  let scratch : (string, Value.t array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.buf_decl) ->
+      Hashtbl.add scratch b.buf_name (Array.make b.len (zero_of b.elem)))
+    k.scratch;
+  let scratch_get name idx =
+    let a = Hashtbl.find scratch name in
+    if idx < 0 || idx >= Array.length a then
+      raise (Aborted (Printf.sprintf "scratch %s index %d out of bounds" name idx))
+    else a.(idx)
+  in
+  let scratch_set name idx value =
+    let a = Hashtbl.find scratch name in
+    if idx < 0 || idx >= Array.length a then
+      raise (Aborted (Printf.sprintf "scratch %s index %d out of bounds" name idx))
+    else a.(idx) <- value
+  in
+  let is_scratch name = Hashtbl.mem scratch name in
+  let fuel_left = ref fuel in
+  let rec eval (e : Ir.exp) : Value.t =
+    match e with
+    | Int n -> Value.VI n
+    | Flt x -> Value.VF x
+    | Var name -> (
+        match Hashtbl.find_opt locals name with
+        | Some value -> value
+        | None -> raise (Value.Type_error ("unbound local " ^ name)))
+    | Param name -> m.param name
+    | Load (b, idx_exp) ->
+        let dependent = Ir.contains_load idx_exp in
+        let idx = Value.as_int (eval idx_exp) in
+        if is_scratch b then begin
+          m.tick Sram 1;
+          scratch_get b idx
+        end
+        else m.load b ~idx ~dependent
+    | Bin (op, x, y) ->
+        let a = eval x in
+        let b = eval y in
+        m.tick (cost_of_binop op) 1;
+        eval_binop op a b
+    | Un (op, x) ->
+        let a = eval x in
+        m.tick (cost_of_unop op) 1;
+        eval_unop op a
+  in
+  let rec exec (s : Ir.stmt) =
+    match s with
+    | Let (name, e) -> Hashtbl.replace locals name (eval e)
+    | Store (b, idx_exp, value_exp) ->
+        let idx = Value.as_int (eval idx_exp) in
+        let value = eval value_exp in
+        if is_scratch b then begin
+          m.tick Sram 1;
+          scratch_set b idx value
+        end
+        else m.store b ~idx value
+    | For (var, lo_exp, hi_exp, body) ->
+        let lo = Value.as_int (eval lo_exp) in
+        let hi = Value.as_int (eval hi_exp) in
+        (* C semantics: the variable is assigned [lo] even for a zero-trip
+           loop and holds [hi] afterwards; writes to it from the body do not
+           affect the trip count. *)
+        Hashtbl.replace locals var (Value.VI lo);
+        for j = lo to hi - 1 do
+          Hashtbl.replace locals var (Value.VI j);
+          m.tick Branch 1;
+          List.iter exec body
+        done;
+        Hashtbl.replace locals var (Value.VI (max lo hi))
+    | While (cond, body) ->
+        let rec loop () =
+          m.tick Branch 1;
+          if Value.truthy (eval cond) then begin
+            decr fuel_left;
+            if !fuel_left <= 0 then raise Fuel_exhausted;
+            List.iter exec body;
+            loop ()
+          end
+        in
+        loop ()
+    | If (cond, then_, else_) ->
+        m.tick Branch 1;
+        if Value.truthy (eval cond) then List.iter exec then_
+        else List.iter exec else_
+    | Memcpy { dst; src; elems } ->
+        let n = Value.as_int (eval elems) in
+        if n < 0 then raise (Aborted "memcpy with negative length");
+        (* Copies touching scratch lower to element transfers: one side is a
+           DMA stream, the other is internal BRAM. *)
+        (match (is_scratch dst, is_scratch src) with
+        | false, false -> m.copy ~dst ~src ~elems:n
+        | true, true ->
+            m.tick Sram (2 * n);
+            for idx = 0 to n - 1 do
+              scratch_set dst idx (scratch_get src idx)
+            done
+        | true, false ->
+            m.tick Sram n;
+            for idx = 0 to n - 1 do
+              scratch_set dst idx (m.load src ~idx ~dependent:false)
+            done
+        | false, true ->
+            m.tick Sram n;
+            for idx = 0 to n - 1 do
+              m.store dst ~idx (scratch_get src idx)
+            done)
+  in
+  List.iter exec k.body
+
+let pure_machine ~bufs ?(params = []) () =
+  let arr name =
+    match List.assoc_opt name bufs with
+    | Some a -> a
+    | None -> invalid_arg ("pure_machine: unknown buffer " ^ name)
+  in
+  {
+    load = (fun b ~idx ~dependent:_ -> (arr b).(idx));
+    store = (fun b ~idx value -> (arr b).(idx) <- value);
+    copy =
+      (fun ~dst ~src ~elems ->
+        Array.blit (arr src) 0 (arr dst) 0 elems);
+    tick = (fun _ _ -> ());
+    param =
+      (fun name ->
+        match List.assoc_opt name params with
+        | Some value -> value
+        | None -> invalid_arg ("pure_machine: unknown param " ^ name));
+  }

@@ -1,0 +1,21 @@
+type t = VI of int | VF of float
+
+exception Type_error of string
+
+let as_int = function
+  | VI n -> n
+  | VF x -> raise (Type_error (Printf.sprintf "expected int, got float %g" x))
+
+let as_float = function
+  | VF x -> x
+  | VI n -> raise (Type_error (Printf.sprintf "expected float, got int %d" n))
+
+let truthy v = as_int v <> 0
+
+let equal a b =
+  match (a, b) with
+  | VI x, VI y -> x = y
+  | VF x, VF y -> Float.equal x y
+  | VI _, VF _ | VF _, VI _ -> false
+
+let to_string = function VI n -> string_of_int n | VF x -> Printf.sprintf "%g" x

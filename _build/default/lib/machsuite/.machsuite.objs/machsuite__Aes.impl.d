@@ -1,0 +1,1 @@
+lib/machsuite/aes.ml: Bench_def Hls Kernel

@@ -1,0 +1,1 @@
+lib/machsuite/backprop.ml: Bench_def Hls Kernel

@@ -1,0 +1,1 @@
+lib/machsuite/bench_def.ml: Array Hashtbl Hls Int32 Int64 Kernel List

@@ -1,0 +1,1 @@
+lib/machsuite/bench_def.mli: Hls Kernel

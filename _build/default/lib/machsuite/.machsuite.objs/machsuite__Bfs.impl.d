@@ -1,0 +1,1 @@
+lib/machsuite/bfs.ml: Bench_def Hls Kernel

@@ -1,0 +1,1 @@
+lib/machsuite/fft.ml: Bench_def Hls Kernel

@@ -1,0 +1,1 @@
+lib/machsuite/gemm.ml: Bench_def Hls Kernel

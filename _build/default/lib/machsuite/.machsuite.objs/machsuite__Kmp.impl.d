@@ -1,0 +1,1 @@
+lib/machsuite/kmp.ml: Bench_def Hls Kernel

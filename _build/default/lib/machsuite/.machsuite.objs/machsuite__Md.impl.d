@@ -1,0 +1,1 @@
+lib/machsuite/md.ml: Bench_def Hls Kernel

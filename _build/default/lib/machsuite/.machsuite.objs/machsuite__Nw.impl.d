@@ -1,0 +1,1 @@
+lib/machsuite/nw.ml: Bench_def Hls Kernel

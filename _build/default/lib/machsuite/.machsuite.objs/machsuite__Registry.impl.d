@@ -1,0 +1,1 @@
+lib/machsuite/registry.ml: Aes Backprop Bench_def Bfs Fft Gemm Kmp List Md Nw Sort Spmv Stencil Viterbi

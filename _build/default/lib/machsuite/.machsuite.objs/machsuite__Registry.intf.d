@@ -1,0 +1,1 @@
+lib/machsuite/registry.mli: Bench_def

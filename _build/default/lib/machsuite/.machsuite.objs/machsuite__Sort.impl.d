@@ -1,0 +1,1 @@
+lib/machsuite/sort.ml: Bench_def Hls Kernel

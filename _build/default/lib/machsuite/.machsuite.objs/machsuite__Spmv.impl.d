@@ -1,0 +1,1 @@
+lib/machsuite/spmv.ml: Bench_def Hls Kernel

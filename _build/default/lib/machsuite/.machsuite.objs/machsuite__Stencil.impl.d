@@ -1,0 +1,1 @@
+lib/machsuite/stencil.ml: Bench_def Hls Kernel

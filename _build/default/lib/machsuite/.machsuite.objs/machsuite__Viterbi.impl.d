@@ -1,0 +1,1 @@
+lib/machsuite/viterbi.ml: Bench_def Hls Kernel

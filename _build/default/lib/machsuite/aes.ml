@@ -1,0 +1,54 @@
+(* aes: block encryption over a 128-byte working buffer (Table 2: one 128 B
+   buffer per instance).  MachSuite's AES is table-driven; tables do not fit
+   the 128-byte DMA footprint of the paper's configuration, so this kernel is
+   an ARX cipher (add-rotate-xor rounds over 32-bit words) with the same
+   memory shape: stage the block into internal registers, many compute rounds,
+   write back. *)
+
+open Kernel.Ir
+
+let words = 16
+let rounds = 10
+
+(* All arithmetic is masked to 32 bits so every engine computes identical
+   values regardless of native word width. *)
+let m32 e = band e (i 0xFFFF_FFFF)
+
+let kernel =
+  {
+    name = "aes";
+    bufs = [ buf "block" I64 words ];
+    scratch = [ buf "st" I64 words ];
+    body =
+      [
+        memcpy ~dst:"st" ~src:"block" ~elems:(i words);
+        for_ "it" (i 0) (p "iters")
+          [
+            for_ "r" (i 0) (i rounds)
+              [
+                for_ "j" (i 0) (i words)
+                  [
+                    let_ "a" (ld "st" (v "j"));
+                    let_ "b" (ld "st" ((v "j" +: i 1) %: i words));
+                    let_ "x" (m32 (v "a" +: v "b"));
+                    let_ "rot"
+                      (m32 (bor (shl (v "b") (i 13)) (shr (v "b") (i 19))));
+                    let_ "x" (bxor (v "x") (v "rot"));
+                    store "st" (v "j") (m32 (v "x" +: (v "r" +: i 0x9E37)));
+                  ];
+              ];
+          ];
+        memcpy ~dst:"block" ~src:"st" ~elems:(i words);
+      ];
+  }
+
+let bench =
+  Bench_def.make ~kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:16.0 ~max_outstanding:4 ~area_luts:6_000 ())
+    ~init:(fun name idx ->
+      Kernel.Value.VI (Bench_def.hash_int name idx ~bound:0x1_0000_0000))
+    ~params:[ ("iters", Kernel.Value.VI 64) ]
+    ~output_bufs:[ "block" ]
+    ~description:"ARX block cipher rounds over a 128-byte staged block"
+    ()

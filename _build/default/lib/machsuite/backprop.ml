@@ -1,0 +1,119 @@
+(* backprop: forward passes plus an output-layer gradient step for a small
+   13-100-5-3 MLP over 64 training samples (Table 2: seven buffers per
+   instance, 12 B..10432 B).  Weights are staged into BRAM once; the datapath
+   then runs wide MAC trees — this is one of the two >1000x benchmarks. *)
+
+open Kernel.Ir
+
+let n_in = 13
+let n_h1 = 100
+let n_h2 = 5
+let n_out = 3
+let samples = 64
+
+let sigmoid e = f 1.0 /.: (f 1.0 +.: fexp (f 0.0 -.: e))
+
+let kernel =
+  {
+    name = "backprop";
+    bufs =
+      [
+        buf ~writable:false "weights1" F64 1304;  (* 13 x 100 used *)
+        buf ~writable:false "weights2" F64 512;   (* 100 x 5 used *)
+        buf "weights3" F64 192;                   (* 5 x 3 used; updated *)
+        buf ~writable:false "biases" F64 130;     (* 100 + 5 + 3 used *)
+        buf ~writable:false "training" F64 832;   (* 64 x 13 *)
+        buf ~writable:false "targets" F32 3;
+        buf "errors" F64 64;
+      ];
+    scratch =
+      [
+        buf "w1s" F64 (n_in * n_h1);
+        buf "w2s" F64 (n_h1 * n_h2);
+        buf "w3s" F64 (n_h2 * n_out);
+        buf "bs" F64 (n_h1 + n_h2 + n_out);
+        buf "ts" F64 n_out;
+        buf "x" F64 n_in;
+        buf "h1" F64 n_h1;
+        buf "h2" F64 n_h2;
+        buf "d3" F64 n_out;
+      ];
+    body =
+      [
+        memcpy ~dst:"w1s" ~src:"weights1" ~elems:(i (n_in * n_h1));
+        memcpy ~dst:"w2s" ~src:"weights2" ~elems:(i (n_h1 * n_h2));
+        memcpy ~dst:"w3s" ~src:"weights3" ~elems:(i (n_h2 * n_out));
+        memcpy ~dst:"bs" ~src:"biases" ~elems:(i (n_h1 + n_h2 + n_out));
+        for_ "c" (i 0) (i n_out) [ store "ts" (v "c") (ld "targets" (v "c")) ];
+        for_ "epoch" (i 0) (p "epochs")
+          [
+            for_ "s" (i 0) (i samples)
+              [
+                for_ "ii" (i 0) (i n_in)
+                  [ store "x" (v "ii") (ld "training" ((v "s" *: i n_in) +: v "ii")) ];
+                for_ "j" (i 0) (i n_h1)
+                  [
+                    let_ "sum" (ld "bs" (v "j"));
+                    for_ "ii" (i 0) (i n_in)
+                      [
+                        let_ "sum"
+                          (v "sum"
+                          +.: (ld "x" (v "ii") *.: ld "w1s" ((v "ii" *: i n_h1) +: v "j")));
+                      ];
+                    store "h1" (v "j") (sigmoid (v "sum"));
+                  ];
+                for_ "k" (i 0) (i n_h2)
+                  [
+                    let_ "sum" (ld "bs" (i n_h1 +: v "k"));
+                    for_ "j" (i 0) (i n_h1)
+                      [
+                        let_ "sum"
+                          (v "sum"
+                          +.: (ld "h1" (v "j") *.: ld "w2s" ((v "j" *: i n_h2) +: v "k")));
+                      ];
+                    store "h2" (v "k") (sigmoid (v "sum"));
+                  ];
+                let_ "err" (f 0.0);
+                for_ "c" (i 0) (i n_out)
+                  [
+                    let_ "sum" (ld "bs" (i (n_h1 + n_h2) +: v "c"));
+                    for_ "k" (i 0) (i n_h2)
+                      [
+                        let_ "sum"
+                          (v "sum"
+                          +.: (ld "h2" (v "k") *.: ld "w3s" ((v "k" *: i n_out) +: v "c")));
+                      ];
+                    let_ "delta" (v "sum" -.: ld "ts" (v "c"));
+                    store "d3" (v "c") (v "delta");
+                    let_ "err" (v "err" +.: (v "delta" *.: v "delta"));
+                  ];
+                store "errors" (v "s") (v "err");
+                for_ "c" (i 0) (i n_out)
+                  [
+                    for_ "k" (i 0) (i n_h2)
+                      [
+                        let_ "pos" ((v "k" *: i n_out) +: v "c");
+                        store "w3s" (v "pos")
+                          (ld "w3s" (v "pos")
+                          -.: (f 0.01 *.: (ld "d3" (v "c") *.: ld "h2" (v "k"))));
+                      ];
+                  ];
+              ];
+          ];
+        memcpy ~dst:"weights3" ~src:"w3s" ~elems:(i (n_h2 * n_out));
+      ];
+  }
+
+let bench =
+  Bench_def.make ~kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:2048.0 ~max_outstanding:16 ~area_luts:26_000 ())
+    ~init:(fun name idx ->
+      match name with
+      | "targets" -> Kernel.Value.VF (Bench_def.hash_float name idx)
+      | "errors" -> Kernel.Value.VF 0.0
+      | _ -> Kernel.Value.VF ((Bench_def.hash_float name idx -. 0.5) *. 0.5))
+    ~params:[ ("epochs", Kernel.Value.VI 8) ]
+    ~output_bufs:[ "errors"; "weights3" ]
+    ~description:"13-100-5-3 MLP forward + output-layer update, 64 samples"
+    ()

@@ -1,0 +1,115 @@
+(* bfs: breadth-first search over a 256-node, 4096-edge CSR graph (Table 2:
+   five buffers, 40 B..16384 B).  The frontier expansion dereferences
+   edge targets straight from DRAM — the pointer-chasing pattern that makes
+   both variants slower on the accelerator than on the cached CPU (Fig. 7). *)
+
+open Kernel.Ir
+
+let n_nodes = 256
+let degree = 16
+let n_edges = n_nodes * degree
+let n_levels = 10
+let unvisited = 255
+
+let bufs =
+  [
+    buf ~writable:false "nodes_begin" I32 n_nodes;
+    buf ~writable:false "nodes_end" I32 n_nodes;
+    buf ~writable:false "edges" I32 n_edges;
+    buf "level" U8 n_nodes;
+    buf "level_counts" I32 n_levels;
+  ]
+
+let init name idx =
+  match name with
+  | "nodes_begin" -> Kernel.Value.VI (idx * degree)
+  | "nodes_end" -> Kernel.Value.VI ((idx + 1) * degree)
+  | "edges" -> Kernel.Value.VI (Bench_def.hash_int name idx ~bound:n_nodes)
+  | "level" -> Kernel.Value.VI (if idx = 0 then 0 else unvisited)
+  | "level_counts" -> Kernel.Value.VI 0
+  | _ -> invalid_arg ("bfs init: " ^ name)
+
+let bulk_kernel =
+  {
+    name = "bfs_bulk";
+    bufs;
+    scratch = [];
+    body =
+      [
+        for_ "hor" (i 0) (i n_levels)
+          [
+            let_ "cnt" (i 0);
+            for_ "node" (i 0) (i n_nodes)
+              [
+                when_ (ld "level" (v "node") =: v "hor")
+                  [
+                    let_ "from" (ld "nodes_begin" (v "node"));
+                    let_ "until" (ld "nodes_end" (v "node"));
+                    for_ "e" (v "from") (v "until")
+                      [
+                        let_ "dst" (ld "edges" (v "e"));
+                        when_ (ld "level" (v "dst") =: i unvisited)
+                          [
+                            store "level" (v "dst") (v "hor" +: i 1);
+                            let_ "cnt" (v "cnt" +: i 1);
+                          ];
+                      ];
+                  ];
+              ];
+            store "level_counts" (v "hor") (v "cnt");
+          ];
+      ];
+  }
+
+let queue_kernel =
+  {
+    name = "bfs_queue";
+    bufs;
+    scratch = [ buf "queue" I32 n_nodes ];
+    body =
+      [
+        store "queue" (i 0) (i 0);
+        let_ "head" (i 0);
+        let_ "tail" (i 1);
+        while_ (v "head" <: v "tail")
+          [
+            let_ "node" (ld "queue" (v "head"));
+            let_ "head" (v "head" +: i 1);
+            let_ "lv" (ld "level" (v "node"));
+            let_ "from" (ld "nodes_begin" (v "node"));
+            let_ "until" (ld "nodes_end" (v "node"));
+            for_ "e" (v "from") (v "until")
+              [
+                let_ "dst" (ld "edges" (v "e"));
+                when_ (ld "level" (v "dst") =: i unvisited)
+                  [
+                    store "level" (v "dst") (v "lv" +: i 1);
+                    store "queue" (v "tail") (v "dst");
+                    let_ "tail" (v "tail" +: i 1);
+                  ];
+              ];
+          ];
+        (* Histogram the discovered levels. *)
+        for_ "node" (i 0) (i n_nodes)
+          [
+            let_ "lv" (ld "level" (v "node"));
+            when_ (v "lv" <: i n_levels)
+              [
+                store "level_counts" (v "lv") (ld "level_counts" (v "lv") +: i 1);
+              ];
+          ];
+      ];
+  }
+
+let directives =
+  Hls.Directives.make ~compute_ipc:4.0 ~max_outstanding:2 ~area_luts:5_000 ()
+
+let bulk =
+  Bench_def.make ~kernel:bulk_kernel ~directives ~init
+    ~output_bufs:[ "level"; "level_counts" ]
+    ~description:"horizon-sweep BFS, levels resident in DRAM" ()
+
+let queue =
+  Bench_def.make ~kernel:queue_kernel ~directives ~init
+    ~output_bufs:[ "level"; "level_counts" ]
+    ~description:"work-queue BFS with an on-chip frontier queue" ()

@@ -1,0 +1,152 @@
+(* fft: two transform variants.
+
+   - fft_strided: MachSuite's 512-point radix-2 DIT with strided butterflies
+     over DRAM-resident data and table twiddles (Table 2: six 4096 B
+     buffers).  Output is in bit-reversed order, as in MachSuite.
+   - fft_transpose: a 256-point fast Walsh-Hadamard transform computed as a
+     16x16 tile — stage, transform rows, transpose, transform rows, write
+     back (Table 2: two 2048 B buffers).  MachSuite's variant uses complex
+     twiddle ROMs inside the accelerator; the WHT keeps the identical
+     stage/transpose memory behaviour without internal ROM state. *)
+
+open Kernel.Ir
+
+let n = 512
+
+let strided_kernel =
+  {
+    name = "fft_strided";
+    bufs =
+      [
+        buf "real" F64 n;
+        buf "img" F64 n;
+        buf ~writable:false "real_twid" F64 n;
+        buf ~writable:false "img_twid" F64 n;
+        buf "work_real" F64 n;
+        buf "work_img" F64 n;
+      ];
+    scratch = [];
+    body =
+      [
+        let_ "log" (i 0);
+        let_ "span" (i (n / 2));
+        while_ (v "span" >: i 0)
+          [
+            let_ "odd0" (v "span");
+            while_ (v "odd0" <: i n)
+              [
+                let_ "odd" (bor (v "odd0") (v "span"));
+                let_ "even" (bxor (v "odd") (v "span"));
+                let_ "t_r" (ld "real" (v "even") +.: ld "real" (v "odd"));
+                store "real" (v "odd") (ld "real" (v "even") -.: ld "real" (v "odd"));
+                store "real" (v "even") (v "t_r");
+                let_ "t_i" (ld "img" (v "even") +.: ld "img" (v "odd"));
+                store "img" (v "odd") (ld "img" (v "even") -.: ld "img" (v "odd"));
+                store "img" (v "even") (v "t_i");
+                let_ "root" (band (shl (v "even") (v "log")) (i (n - 1)));
+                when_ (v "root" <>: i 0)
+                  [
+                    let_ "rt" (ld "real_twid" (v "root"));
+                    let_ "it" (ld "img_twid" (v "root"));
+                    let_ "temp"
+                      ((v "rt" *.: ld "real" (v "odd")) -.: (v "it" *.: ld "img" (v "odd")));
+                    store "img" (v "odd")
+                      ((v "rt" *.: ld "img" (v "odd")) +.: (v "it" *.: ld "real" (v "odd")));
+                    store "real" (v "odd") (v "temp");
+                  ];
+                let_ "odd0" (v "odd" +: i 1);
+              ];
+            let_ "span" (shr (v "span") (i 1));
+            let_ "log" (v "log" +: i 1);
+          ];
+        (* Scale pass into the work buffers (the benchmark's output copy). *)
+        for_ "k" (i 0) (i n)
+          [
+            store "work_real" (v "k") (ld "real" (v "k") *.: f (1.0 /. float_of_int n));
+            store "work_img" (v "k") (ld "img" (v "k") *.: f (1.0 /. float_of_int n));
+          ];
+      ];
+  }
+
+let strided_init name idx =
+  let pi = 4.0 *. atan 1.0 in
+  match name with
+  | "real" | "img" -> Kernel.Value.VF (Bench_def.hash_float name idx -. 0.5)
+  | "real_twid" ->
+      Kernel.Value.VF (cos (-2.0 *. pi *. float_of_int idx /. float_of_int n))
+  | "img_twid" ->
+      Kernel.Value.VF (sin (-2.0 *. pi *. float_of_int idx /. float_of_int n))
+  | "work_real" | "work_img" -> Kernel.Value.VF 0.0
+  | _ -> invalid_arg ("fft_strided init: " ^ name)
+
+let side = 16
+let m = side * side  (* 256 points *)
+
+let wht_rows buffer =
+  (* In-scratch fast Walsh-Hadamard transform of every length-16 row. *)
+  [
+    let_ "span" (i 1);
+    while_ (v "span" <: i side)
+      [
+        for_ "row" (i 0) (i side)
+          [
+            let_ "o" (i 0);
+            while_ (v "o" <: i side)
+              [
+                for_ "k" (i 0) (v "span")
+                  [
+                    let_ "p" ((v "row" *: i side) +: (v "o" +: v "k"));
+                    let_ "q" (v "p" +: v "span");
+                    let_ "a" (ld buffer (v "p"));
+                    let_ "b" (ld buffer (v "q"));
+                    store buffer (v "p") (v "a" +.: v "b");
+                    store buffer (v "q") (v "a" -.: v "b");
+                  ];
+                let_ "o" (v "o" +: (v "span" *: i 2));
+              ];
+          ];
+        let_ "span" (v "span" *: i 2);
+      ];
+  ]
+
+let transpose_tile =
+  [
+    for_ "row" (i 0) (i side)
+      [
+        for_ "col" (i 0) (i side)
+          [
+            store "tile_t" ((v "col" *: i side) +: v "row")
+              (ld "tile" ((v "row" *: i side) +: v "col"));
+          ];
+      ];
+  ]
+
+let transform_plane plane =
+  [ memcpy ~dst:"tile" ~src:plane ~elems:(i m) ]
+  @ wht_rows "tile" @ transpose_tile @ wht_rows "tile_t"
+  @ [ memcpy ~dst:plane ~src:"tile_t" ~elems:(i m) ]
+
+let transpose_kernel =
+  {
+    name = "fft_transpose";
+    bufs = [ buf "work_x" F64 m; buf "work_y" F64 m ];
+    scratch = [ buf "tile" F64 m; buf "tile_t" F64 m ];
+    body = transform_plane "work_x" @ transform_plane "work_y";
+  }
+
+let strided =
+  Bench_def.make ~kernel:strided_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:32.0 ~max_outstanding:8 ~area_luts:14_000 ())
+    ~init:strided_init
+    ~output_bufs:[ "real"; "img"; "work_real"; "work_img" ]
+    ~description:"512-point radix-2 DIT FFT, strided butterflies in DRAM" ()
+
+let transpose =
+  Bench_def.make ~kernel:transpose_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:32.0 ~max_outstanding:8 ~area_luts:12_000 ())
+    ~init:(fun name idx ->
+      Kernel.Value.VF (Bench_def.hash_float name idx -. 0.5))
+    ~output_bufs:[ "work_x"; "work_y" ]
+    ~description:"16x16 staged transform with transpose between row passes" ()

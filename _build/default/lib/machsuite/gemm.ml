@@ -1,0 +1,123 @@
+(* gemm: 64x64 single-precision matrix multiply, two variants (Table 2:
+   three 16384 B buffers per instance).
+
+   - gemm_ncubed: the classic triple loop.  The HLS version stages the whole
+     B matrix and one A row in BRAM, then the datapath runs at full tilt —
+     this is the parallelism-sweep benchmark of Figure 11.
+   - gemm_blocked: 8x8 blocking with staged tiles, slightly better CPU cache
+     behaviour and burstier DMA. *)
+
+open Kernel.Ir
+
+let n = 64
+
+let mat name ?(writable = false) () = buf ~writable name F32 (n * n)
+
+let init_mat name idx = Kernel.Value.VF (Bench_def.hash_float name idx -. 0.5)
+
+let ncubed_kernel =
+  {
+    name = "gemm_ncubed";
+    bufs = [ mat "m1" (); mat "m2" (); mat "prod" ~writable:true () ];
+    scratch = [ buf "bmat" F32 (n * n); buf "arow" F32 n ];
+    body =
+      [
+        memcpy ~dst:"bmat" ~src:"m2" ~elems:(i (n * n));
+        for_ "row" (i 0) (i n)
+          [
+            for_ "k" (i 0) (i n) [ store "arow" (v "k") (ld "m1" ((v "row" *: i n) +: v "k")) ];
+            for_ "col" (i 0) (i n)
+              [
+                let_ "sum" (f 0.0);
+                for_ "k" (i 0) (i n)
+                  [
+                    let_ "sum"
+                      (v "sum" +.: (ld "arow" (v "k") *.: ld "bmat" ((v "k" *: i n) +: v "col")));
+                  ];
+                store "prod" ((v "row" *: i n) +: v "col") (v "sum");
+              ];
+          ];
+      ];
+  }
+
+let block = 8
+
+let blocked_kernel =
+  {
+    name = "gemm_blocked";
+    bufs = [ mat "m1" (); mat "m2" (); mat "prod" ~writable:true () ];
+    scratch =
+      [ buf "atile" F32 (block * n); buf "btile" F32 (n * block);
+        buf "ctile" F32 (block * block) ];
+    body =
+      [
+        for_ "jj" (i 0) (i (n / block))
+          [
+            (* Stage the B panel for this block column: n x block. *)
+            for_ "k" (i 0) (i n)
+              [
+                for_ "j" (i 0) (i block)
+                  [
+                    store "btile"
+                      ((v "k" *: i block) +: v "j")
+                      (ld "m2" ((v "k" *: i n) +: ((v "jj" *: i block) +: v "j")));
+                  ];
+              ];
+            for_ "ii" (i 0) (i (n / block))
+              [
+                (* Stage the A panel: block x n (contiguous rows, bursts). *)
+                for_ "bi" (i 0) (i block)
+                  [
+                    for_ "k" (i 0) (i n)
+                      [
+                        store "atile"
+                          ((v "bi" *: i n) +: v "k")
+                          (ld "m1" ((((v "ii" *: i block) +: v "bi") *: i n) +: v "k"));
+                      ];
+                  ];
+                for_ "bi" (i 0) (i block)
+                  [
+                    for_ "j" (i 0) (i block)
+                      [
+                        let_ "sum" (f 0.0);
+                        for_ "k" (i 0) (i n)
+                          [
+                            let_ "sum"
+                              (v "sum"
+                              +.: (ld "atile" ((v "bi" *: i n) +: v "k")
+                                  *.: ld "btile" ((v "k" *: i block) +: v "j")));
+                          ];
+                        store "ctile" ((v "bi" *: i block) +: v "j") (v "sum");
+                      ];
+                  ];
+                (* Write the finished tile back, row bursts. *)
+                for_ "bi" (i 0) (i block)
+                  [
+                    for_ "j" (i 0) (i block)
+                      [
+                        store "prod"
+                          ((((v "ii" *: i block) +: v "bi") *: i n)
+                          +: ((v "jj" *: i block) +: v "j"))
+                          (ld "ctile" ((v "bi" *: i block) +: v "j"));
+                      ];
+                  ];
+              ];
+          ];
+      ];
+  }
+
+let ncubed =
+  Bench_def.make ~kernel:ncubed_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:64.0 ~max_outstanding:4 ~area_luts:20_000 ())
+    ~init:init_mat ~output_bufs:[ "prod" ]
+    ~description:"64x64 f32 matrix multiply, triple loop with staged operands"
+    ()
+
+let blocked =
+  Bench_def.make ~kernel:blocked_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:64.0 ~max_outstanding:16 ~area_luts:18_000 ())
+    ~init:init_mat ~output_bufs:[ "prod" ]
+    ~description:"64x64 f32 matrix multiply, 8x8 blocked with staged tiles"
+    ()

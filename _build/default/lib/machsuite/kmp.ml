@@ -1,0 +1,69 @@
+(* kmp: Knuth-Morris-Pratt string search of a 4-byte pattern in a 64824-byte
+   text (Table 2: four buffers, 4 B..64824 B).  The failure table is built
+   and then staged on-chip together with the pattern; the text streams
+   through in long bursts — a bandwidth benchmark. *)
+
+open Kernel.Ir
+
+let pattern_len = 4
+let text_len = 64824
+
+let kernel =
+  {
+    name = "kmp";
+    bufs =
+      [
+        buf ~writable:false "pattern" U8 pattern_len;
+        buf ~writable:false "input" U8 text_len;
+        buf "kmp_next" I32 pattern_len;
+        buf "n_matches" I32 1;
+      ];
+    scratch = [ buf "pat" I32 pattern_len; buf "next" I32 pattern_len ];
+    body =
+      [
+        for_ "q" (i 0) (i pattern_len) [ store "pat" (v "q") (ld "pattern" (v "q")) ];
+        (* Failure function. *)
+        store "next" (i 0) (i 0);
+        let_ "k" (i 0);
+        for_ "q" (i 1) (i pattern_len)
+          [
+            while_ ((v "k" >: i 0) &&: (ld "pat" (v "k") <>: ld "pat" (v "q")))
+              [ let_ "k" (ld "next" (v "k" -: i 1)) ];
+            when_ (ld "pat" (v "k") =: ld "pat" (v "q")) [ let_ "k" (v "k" +: i 1) ];
+            store "next" (v "q") (v "k");
+          ];
+        for_ "q" (i 0) (i pattern_len)
+          [ store "kmp_next" (v "q") (ld "next" (v "q")) ];
+        (* Scan. *)
+        let_ "q" (i 0);
+        let_ "matches" (i 0);
+        for_ "pos" (i 0) (i text_len)
+          [
+            let_ "c" (ld "input" (v "pos"));
+            while_ ((v "q" >: i 0) &&: (ld "pat" (v "q") <>: v "c"))
+              [ let_ "q" (ld "next" (v "q" -: i 1)) ];
+            when_ (ld "pat" (v "q") =: v "c") [ let_ "q" (v "q" +: i 1) ];
+            when_ (v "q" =: i pattern_len)
+              [
+                let_ "matches" (v "matches" +: i 1);
+                let_ "q" (ld "next" (v "q" -: i 1));
+              ];
+          ];
+        store "n_matches" (i 0) (v "matches");
+      ];
+  }
+
+let bench =
+  Bench_def.make ~kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:8.0 ~max_outstanding:8 ~area_luts:4_000 ())
+    ~init:(fun name idx ->
+      match name with
+      | "pattern" | "input" ->
+          (* A 4-symbol alphabet so the pattern occurs many times. *)
+          Kernel.Value.VI (Bench_def.hash_int name idx ~bound:4)
+      | "kmp_next" | "n_matches" -> Kernel.Value.VI 0
+      | _ -> invalid_arg ("kmp init: " ^ name))
+    ~output_bufs:[ "kmp_next"; "n_matches" ]
+    ~description:"KMP search of a 4-byte pattern over a 63 KiB streamed text"
+    ()

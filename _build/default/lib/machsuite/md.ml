@@ -1,0 +1,175 @@
+(* md: molecular-dynamics force computation, two variants (Table 2: seven
+   buffers each).
+
+   - md_grid: 4x4x4 cell grid, up to 5 particles per cell, Lennard-Jones
+     forces between neighbouring cells; positions staged on-chip, heavy
+     floating-point per pair — a compute-bound benchmark.
+   - md_knn: neighbour-list forces over a deliberately small batch of atoms;
+     short absolute runtime with a naive single-outstanding memory interface,
+     which is what makes it both slower than the CPU (Fig. 7) and the largest
+     relative CapChecker overhead (Fig. 8). *)
+
+open Kernel.Ir
+
+let cells = 4
+let max_points = 5
+let grid_len = cells * cells * cells * max_points  (* 320 *)
+
+let lj_pair ~xi ~yi ~zi ~px ~py ~pz ~other =
+  [
+    let_ "dx" (v xi -.: ld px other);
+    let_ "dy" (v yi -.: ld py other);
+    let_ "dz" (v zi -.: ld pz other);
+    let_ "r2"
+      ((v "dx" *.: v "dx") +.: ((v "dy" *.: v "dy") +.: ((v "dz" *.: v "dz") +.: f 0.01)));
+    let_ "r6" (v "r2" *.: (v "r2" *.: v "r2"));
+    let_ "pot" ((f 1.0 /.: (v "r6" *.: v "r6")) -.: (f 1.0 /.: v "r6"));
+    let_ "fx" (v "fx" +.: (v "pot" *.: v "dx"));
+    let_ "fy" (v "fy" +.: (v "pot" *.: v "dy"));
+    let_ "fz" (v "fz" +.: (v "pot" *.: v "dz"));
+  ]
+
+let grid_kernel =
+  {
+    name = "md_grid";
+    bufs =
+      [
+        buf ~writable:false "n_points" I32 64;
+        buf ~writable:false "position_x" F64 grid_len;
+        buf ~writable:false "position_y" F64 grid_len;
+        buf ~writable:false "position_z" F64 grid_len;
+        buf "force_x" F64 grid_len;
+        buf "force_y" F64 grid_len;
+        buf "force_z" F64 grid_len;
+      ];
+    scratch =
+      [
+        buf "np" I32 64;
+        buf "px" F64 grid_len; buf "py" F64 grid_len; buf "pz" F64 grid_len;
+      ];
+    body =
+      [
+        for_ "c" (i 0) (i 64) [ store "np" (v "c") (ld "n_points" (v "c")) ];
+        memcpy ~dst:"px" ~src:"position_x" ~elems:(i grid_len);
+        memcpy ~dst:"py" ~src:"position_y" ~elems:(i grid_len);
+        memcpy ~dst:"pz" ~src:"position_z" ~elems:(i grid_len);
+        for_ "cx" (i 0) (i cells)
+          [
+            for_ "cy" (i 0) (i cells)
+              [
+                for_ "cz" (i 0) (i cells)
+                  [
+                    let_ "cell" ((v "cx" *: i 16) +: ((v "cy" *: i 4) +: v "cz"));
+                    let_ "homecount" (ld "np" (v "cell"));
+                    for_ "pt" (i 0) (v "homecount")
+                      [
+                        let_ "self" ((v "cell" *: i max_points) +: v "pt");
+                        let_ "xi" (ld "px" (v "self"));
+                        let_ "yi" (ld "py" (v "self"));
+                        let_ "zi" (ld "pz" (v "self"));
+                        let_ "fx" (f 0.0); let_ "fy" (f 0.0); let_ "fz" (f 0.0);
+                        for_ "nx" (imax (v "cx" -: i 1) (i 0))
+                          (imin (v "cx" +: i 2) (i cells))
+                          [
+                            for_ "ny" (imax (v "cy" -: i 1) (i 0))
+                              (imin (v "cy" +: i 2) (i cells))
+                              [
+                                for_ "nz" (imax (v "cz" -: i 1) (i 0))
+                                  (imin (v "cz" +: i 2) (i cells))
+                                  [
+                                    let_ "ncell"
+                                      ((v "nx" *: i 16) +: ((v "ny" *: i 4) +: v "nz"));
+                                    for_ "q" (i 0) (ld "np" (v "ncell"))
+                                      [
+                                        let_ "other"
+                                          ((v "ncell" *: i max_points) +: v "q");
+                                        when_ (v "other" <>: v "self")
+                                          (lj_pair ~xi:"xi" ~yi:"yi" ~zi:"zi"
+                                             ~px:"px" ~py:"py" ~pz:"pz"
+                                             ~other:(v "other"));
+                                      ];
+                                  ];
+                              ];
+                          ];
+                        store "force_x" (v "self") (v "fx");
+                        store "force_y" (v "self") (v "fy");
+                        store "force_z" (v "self") (v "fz");
+                      ];
+                  ];
+              ];
+          ];
+      ];
+  }
+
+let knn_atoms = 8
+let knn_neighbors = 32
+let knn_points = 128
+
+let knn_kernel =
+  {
+    name = "md_knn";
+    bufs =
+      [
+        buf ~writable:false "position_x" F64 knn_points;
+        buf ~writable:false "position_y" F64 knn_points;
+        buf ~writable:false "position_z" F64 knn_points;
+        buf "force_x" F64 knn_points;
+        buf "force_y" F64 knn_points;
+        buf "force_z" F64 knn_points;
+        buf ~writable:false "nl" I32 4096;  (* 128 atoms x 32 neighbour slots *)
+      ];
+    scratch = [];
+    body =
+      [
+        (* Naive HLS output: every neighbour position is gathered straight
+           from DRAM through the neighbour-list index — three dependent
+           loads per pair. *)
+        for_ "a" (i 0) (i knn_atoms)
+          [
+            let_ "xi" (ld "position_x" (v "a"));
+            let_ "yi" (ld "position_y" (v "a"));
+            let_ "zi" (ld "position_z" (v "a"));
+            let_ "fx" (f 0.0); let_ "fy" (f 0.0); let_ "fz" (f 0.0);
+            for_ "j" (i 0) (i knn_neighbors)
+              [
+                let_ "nid" (ld "nl" ((v "a" *: i knn_neighbors) +: v "j"));
+                let_ "dx" (v "xi" -.: ld "position_x" (v "nid"));
+                let_ "dy" (v "yi" -.: ld "position_y" (v "nid"));
+                let_ "dz" (v "zi" -.: ld "position_z" (v "nid"));
+                let_ "r2"
+                  ((v "dx" *.: v "dx")
+                  +.: ((v "dy" *.: v "dy") +.: ((v "dz" *.: v "dz") +.: f 0.01)));
+                let_ "pot" (f 1.0 /.: v "r2");
+                let_ "fx" (v "fx" +.: (v "pot" *.: v "dx"));
+                let_ "fy" (v "fy" +.: (v "pot" *.: v "dy"));
+                let_ "fz" (v "fz" +.: (v "pot" *.: v "dz"));
+              ];
+            store "force_x" (v "a") (v "fx");
+            store "force_y" (v "a") (v "fy");
+            store "force_z" (v "a") (v "fz");
+          ];
+      ];
+  }
+
+let init name idx =
+  match name with
+  | "n_points" -> Kernel.Value.VI (2 + Bench_def.hash_int name idx ~bound:(max_points - 1))
+  | "nl" -> Kernel.Value.VI (Bench_def.hash_int name idx ~bound:knn_points)
+  | "force_x" | "force_y" | "force_z" -> Kernel.Value.VF 0.0
+  | _ -> Kernel.Value.VF (Bench_def.hash_float name idx *. 4.0)
+
+let grid =
+  Bench_def.make ~kernel:grid_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:128.0 ~max_outstanding:8 ~area_luts:22_000 ())
+    ~init
+    ~output_bufs:[ "force_x"; "force_y"; "force_z" ]
+    ~description:"cell-grid Lennard-Jones forces, staged positions" ()
+
+let knn =
+  Bench_def.make ~kernel:knn_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:16.0 ~max_outstanding:1 ~area_luts:10_000 ())
+    ~init
+    ~output_bufs:[ "force_x"; "force_y"; "force_z" ]
+    ~description:"neighbour-list Lennard-Jones forces, small batch" ()

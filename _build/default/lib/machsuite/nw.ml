@@ -1,0 +1,115 @@
+(* nw: Needleman-Wunsch global sequence alignment of two 128-symbol
+   sequences (Table 2: six buffers, 512 B..66564 B).  The 129x129 score and
+   direction matrices live in DRAM and stream out row by row; the traceback
+   then pointer-chases back through the direction matrix. *)
+
+open Kernel.Ir
+
+let seq_len = 128
+let dim = seq_len + 1  (* 129 *)
+let gap_penalty = -1
+
+(* Direction codes. *)
+let d_diag = 0
+let d_up = 1
+let d_left = 2
+
+let kernel =
+  {
+    name = "nw";
+    bufs =
+      [
+        buf ~writable:false "seqA" I32 seq_len;
+        buf ~writable:false "seqB" I32 seq_len;
+        buf "alignedA" I32 (2 * seq_len);
+        buf "alignedB" I32 (2 * seq_len);
+        buf "m" I32 (dim * dim);
+        buf "ptr" I32 (dim * dim);
+      ];
+    scratch =
+      [ buf "sa" I32 seq_len; buf "sb" I32 seq_len;
+        buf "prev_row" I32 dim; buf "cur_row" I32 dim ];
+    body =
+      [
+        for_ "k" (i 0) (i seq_len)
+          [
+            store "sa" (v "k") (ld "seqA" (v "k"));
+            store "sb" (v "k") (ld "seqB" (v "k"));
+          ];
+        (* Border row/column. *)
+        for_ "col" (i 0) (i dim)
+          [
+            store "prev_row" (v "col") (v "col" *: i gap_penalty);
+            store "m" (v "col") (v "col" *: i gap_penalty);
+            store "ptr" (v "col") (i d_left);
+          ];
+        for_ "row" (i 1) (i dim)
+          [
+            store "cur_row" (i 0) (v "row" *: i gap_penalty);
+            store "m" (v "row" *: i dim) (v "row" *: i gap_penalty);
+            store "ptr" (v "row" *: i dim) (i d_up);
+            for_ "col" (i 1) (i dim)
+              [
+                let_ "score" (i (-1));
+                when_ (ld "sa" (v "row" -: i 1) =: ld "sb" (v "col" -: i 1))
+                  [ let_ "score" (i 1) ];
+                let_ "diag" (ld "prev_row" (v "col" -: i 1) +: v "score");
+                let_ "up" (ld "prev_row" (v "col") +: i gap_penalty);
+                let_ "left" (ld "cur_row" (v "col" -: i 1) +: i gap_penalty);
+                let_ "best" (v "diag");
+                let_ "dir" (i d_diag);
+                when_ (v "up" >: v "best")
+                  [ let_ "best" (v "up"); let_ "dir" (i d_up) ];
+                when_ (v "left" >: v "best")
+                  [ let_ "best" (v "left"); let_ "dir" (i d_left) ];
+                store "cur_row" (v "col") (v "best");
+                store "m" ((v "row" *: i dim) +: v "col") (v "best");
+                store "ptr" ((v "row" *: i dim) +: v "col") (v "dir");
+              ];
+            for_ "col" (i 0) (i dim)
+              [ store "prev_row" (v "col") (ld "cur_row" (v "col")) ];
+          ];
+        (* Traceback: dependent loads through the DRAM-resident ptr matrix. *)
+        let_ "row" (i seq_len);
+        let_ "col" (i seq_len);
+        let_ "out" (i 0);
+        while_ ((v "row" >: i 0) &&: (v "col" >: i 0))
+          [
+            let_ "dir" (ld "ptr" ((v "row" *: i dim) +: v "col"));
+            if_ (v "dir" =: i d_diag)
+              [
+                store "alignedA" (v "out") (ld "sa" (v "row" -: i 1));
+                store "alignedB" (v "out") (ld "sb" (v "col" -: i 1));
+                let_ "row" (v "row" -: i 1);
+                let_ "col" (v "col" -: i 1);
+              ]
+              [
+                if_ (v "dir" =: i d_up)
+                  [
+                    store "alignedA" (v "out") (ld "sa" (v "row" -: i 1));
+                    store "alignedB" (v "out") (i (-1));
+                    let_ "row" (v "row" -: i 1);
+                  ]
+                  [
+                    store "alignedA" (v "out") (i (-1));
+                    store "alignedB" (v "out") (ld "sb" (v "col" -: i 1));
+                    let_ "col" (v "col" -: i 1);
+                  ];
+              ];
+            let_ "out" (v "out" +: i 1);
+          ];
+      ];
+  }
+
+let bench =
+  Bench_def.make ~kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:16.0 ~max_outstanding:4 ~area_luts:9_000 ())
+    ~init:(fun name idx ->
+      match name with
+      | "seqA" | "seqB" -> Kernel.Value.VI (Bench_def.hash_int name idx ~bound:4)
+      (* -2 marks never-written alignment slots; -1 is an alignment gap. *)
+      | "alignedA" | "alignedB" -> Kernel.Value.VI (-2)
+      | _ -> Kernel.Value.VI 0)
+    ~output_bufs:[ "m"; "ptr"; "alignedA"; "alignedB" ]
+    ~description:"Needleman-Wunsch alignment with DRAM score matrix" ()

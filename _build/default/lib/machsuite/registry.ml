@@ -1,0 +1,25 @@
+let all =
+  [
+    Aes.bench;
+    Backprop.bench;
+    Bfs.bulk;
+    Bfs.queue;
+    Fft.strided;
+    Fft.transpose;
+    Gemm.blocked;
+    Gemm.ncubed;
+    Kmp.bench;
+    Md.grid;
+    Md.knn;
+    Nw.bench;
+    Sort.merge;
+    Sort.radix;
+    Spmv.crs;
+    Spmv.ellpack;
+    Stencil.stencil2d;
+    Stencil.stencil3d;
+    Viterbi.bench;
+  ]
+
+let find name = List.find (fun (b : Bench_def.t) -> b.name = name) all
+let names = List.map (fun (b : Bench_def.t) -> b.Bench_def.name) all

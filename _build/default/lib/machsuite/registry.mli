@@ -1,0 +1,9 @@
+(** The complete MachSuite benchmark registry (Table 2's rows). *)
+
+val all : Bench_def.t list
+(** All 19 benchmarks in Table 2 order. *)
+
+val find : string -> Bench_def.t
+(** Lookup by name; raises [Not_found]. *)
+
+val names : string list

@@ -1,0 +1,130 @@
+(* sort: two 2048-element integer sorts (Table 2: merge has two 8192 B
+   buffers; radix adds the 2048 B bucket array and the 16 B digit-sum
+   buffer).
+
+   sort_merge's per-pass copy-back is a genuine buffer-to-buffer memcpy —
+   on the CHERI CPU it runs at 16 bytes per cycle via the capability copy
+   instruction, which is the paper's mechanism for a CHERI CPU beating the
+   baseline (§6.3, gemm_blocked discussion). *)
+
+open Kernel.Ir
+
+let n = 2048
+
+let merge_kernel =
+  {
+    name = "sort_merge";
+    bufs = [ buf "a" I32 n; buf "temp" I32 n ];
+    scratch = [];
+    body =
+      [
+        let_ "width" (i 1);
+        while_ (v "width" <: i n)
+          [
+            let_ "left" (i 0);
+            while_ (v "left" <: i n)
+              [
+                let_ "mid" (imin (v "left" +: v "width") (i n));
+                let_ "right" (imin (v "left" +: (v "width" *: i 2)) (i n));
+                let_ "p" (v "left");
+                let_ "q" (v "mid");
+                let_ "k" (v "left");
+                while_ ((v "p" <: v "mid") &&: (v "q" <: v "right"))
+                  [
+                    let_ "x" (ld "a" (v "p"));
+                    let_ "y" (ld "a" (v "q"));
+                    if_ (v "x" <=: v "y")
+                      [
+                        store "temp" (v "k") (v "x");
+                        let_ "p" (v "p" +: i 1);
+                      ]
+                      [
+                        store "temp" (v "k") (v "y");
+                        let_ "q" (v "q" +: i 1);
+                      ];
+                    let_ "k" (v "k" +: i 1);
+                  ];
+                while_ (v "p" <: v "mid")
+                  [
+                    store "temp" (v "k") (ld "a" (v "p"));
+                    let_ "p" (v "p" +: i 1);
+                    let_ "k" (v "k" +: i 1);
+                  ];
+                while_ (v "q" <: v "right")
+                  [
+                    store "temp" (v "k") (ld "a" (v "q"));
+                    let_ "q" (v "q" +: i 1);
+                    let_ "k" (v "k" +: i 1);
+                  ];
+                let_ "left" (v "right");
+              ];
+            memcpy ~dst:"a" ~src:"temp" ~elems:(i n);
+            let_ "width" (v "width" *: i 2);
+          ];
+      ];
+  }
+
+let radix_bits = 2
+let radix_buckets = 1 lsl radix_bits
+let radix_passes = 10  (* keys are bounded by 2^20 *)
+
+let radix_kernel =
+  {
+    name = "sort_radix";
+    bufs =
+      [
+        buf "a" I32 n;
+        buf "b" I32 n;
+        buf "bucket" I32 512;
+        buf "sum" I32 radix_buckets;
+      ];
+    scratch = [ buf "off" I32 radix_buckets ];
+    body =
+      [
+        for_ "pass" (i 0) (i radix_passes)
+          [
+            let_ "sh" (v "pass" *: i radix_bits);
+            for_ "q" (i 0) (i radix_buckets) [ store "bucket" (v "q") (i 0) ];
+            for_ "k" (i 0) (i n)
+              [
+                let_ "d" (band (shr (ld "a" (v "k")) (v "sh")) (i (radix_buckets - 1)));
+                store "bucket" (v "d") (ld "bucket" (v "d") +: i 1);
+              ];
+            store "sum" (i 0) (i 0);
+            for_ "q" (i 1) (i radix_buckets)
+              [
+                store "sum" (v "q")
+                  (ld "sum" (v "q" -: i 1) +: ld "bucket" (v "q" -: i 1));
+              ];
+            for_ "q" (i 0) (i radix_buckets) [ store "off" (v "q") (ld "sum" (v "q")) ];
+            for_ "k" (i 0) (i n)
+              [
+                let_ "x" (ld "a" (v "k"));
+                let_ "d" (band (shr (v "x") (v "sh")) (i (radix_buckets - 1)));
+                let_ "pos" (ld "off" (v "d"));
+                store "off" (v "d") (v "pos" +: i 1);
+                store "b" (v "pos") (v "x");
+              ];
+            memcpy ~dst:"a" ~src:"b" ~elems:(i n);
+          ];
+      ];
+  }
+
+let init name idx =
+  match name with
+  | "a" -> Kernel.Value.VI (Bench_def.hash_int name idx ~bound:(1 lsl 20))
+  | _ -> Kernel.Value.VI 0
+
+let merge =
+  Bench_def.make ~kernel:merge_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:8.0 ~max_outstanding:8 ~area_luts:6_000 ())
+    ~init ~output_bufs:[ "a" ]
+    ~description:"bottom-up merge sort with per-pass DMA copy-back" ()
+
+let radix =
+  Bench_def.make ~kernel:radix_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:8.0 ~max_outstanding:8 ~area_luts:7_000 ())
+    ~init ~output_bufs:[ "a" ]
+    ~description:"LSD radix sort, 2-bit digits with DRAM histograms" ()

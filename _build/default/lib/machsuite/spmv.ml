@@ -1,0 +1,99 @@
+(* spmv: sparse matrix-vector product, CRS and ELLPACK storage (Table 2: five
+   and four buffers).  CRS gathers the dense vector through column indices —
+   dependent loads all the way; ELLPACK stages the (small) dense vector
+   on-chip, so only the regular val/cols streams hit DRAM. *)
+
+open Kernel.Ir
+
+(* CRS: 493 rows, 833 nonzeros (row-delimiter buffer holds 494 entries). *)
+let crs_rows = 493
+let crs_nnz = 833
+
+let crs_kernel =
+  {
+    name = "spmv_crs";
+    bufs =
+      [
+        buf ~writable:false "val" F64 crs_nnz;
+        buf ~writable:false "cols" I32 crs_nnz;
+        buf ~writable:false "rowstr" I32 (crs_rows + 1);
+        buf ~writable:false "vec" F64 crs_rows;
+        buf "out" F64 crs_rows;
+      ];
+    scratch = [ buf "vs" F64 crs_rows ];
+    body =
+      [
+        memcpy ~dst:"vs" ~src:"vec" ~elems:(i crs_rows);
+        for_ "r" (i 0) (i crs_rows)
+          [
+            let_ "sum" (f 0.0);
+            let_ "from" (ld "rowstr" (v "r"));
+            let_ "until" (ld "rowstr" (v "r" +: i 1));
+            for_ "j" (v "from") (v "until")
+              [
+                let_ "sum"
+                  (v "sum" +.: (ld "val" (v "j") *.: ld "vs" (ld "cols" (v "j"))));
+              ];
+            store "out" (v "r") (v "sum");
+          ];
+      ];
+  }
+
+(* ELLPACK: 247 rows, 10 nonzeros per row. *)
+let ell_rows = 247
+let ell_l = 10
+
+let ellpack_kernel =
+  {
+    name = "spmv_ellpack";
+    bufs =
+      [
+        buf ~writable:false "val" F64 (ell_rows * ell_l);
+        buf ~writable:false "cols" I32 (ell_rows * ell_l);
+        buf ~writable:false "vec" F64 ell_rows;
+        buf "out" F64 ell_rows;
+      ];
+    scratch = [ buf "vs" F64 ell_rows ];
+    body =
+      [
+        memcpy ~dst:"vs" ~src:"vec" ~elems:(i ell_rows);
+        for_ "r" (i 0) (i ell_rows)
+          [
+            let_ "sum" (f 0.0);
+            for_ "j" (i 0) (i ell_l)
+              [
+                let_ "pos" ((v "r" *: i ell_l) +: v "j");
+                let_ "sum"
+                  (v "sum" +.: (ld "val" (v "pos") *.: ld "vs" (ld "cols" (v "pos"))));
+              ];
+            store "out" (v "r") (v "sum");
+          ];
+      ];
+  }
+
+let crs_init name idx =
+  match name with
+  | "rowstr" -> Kernel.Value.VI (idx * crs_nnz / crs_rows)
+  | "cols" -> Kernel.Value.VI (Bench_def.hash_int name idx ~bound:crs_rows)
+  | "out" -> Kernel.Value.VF 0.0
+  | _ -> Kernel.Value.VF (Bench_def.hash_float name idx -. 0.5)
+
+let ell_init name idx =
+  match name with
+  | "cols" -> Kernel.Value.VI (Bench_def.hash_int name idx ~bound:ell_rows)
+  | "out" -> Kernel.Value.VF 0.0
+  | _ -> Kernel.Value.VF (Bench_def.hash_float name idx -. 0.5)
+
+let crs =
+  Bench_def.make ~kernel:crs_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:16.0 ~max_outstanding:4 ~area_luts:8_000 ())
+    ~init:crs_init ~output_bufs:[ "out" ]
+    ~description:"CRS sparse matrix-vector product, staged vector, irregular rows" ()
+
+let ellpack =
+  Bench_def.make ~kernel:ellpack_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:16.0 ~max_outstanding:4 ~area_luts:8_000 ())
+    ~init:ell_init ~output_bufs:[ "out" ]
+    ~description:"ELLPACK sparse matrix-vector product, staged vector" ()

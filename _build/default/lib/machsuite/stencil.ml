@@ -1,0 +1,106 @@
+(* stencil: 2D 3x3 convolution over a 64x128 grid and 3D 7-point stencil over
+   a 16x32x32 volume (Table 2: three buffers each; the filter/constant
+   buffers are the 36 B and 8 B minima).
+
+   stencil2d is synthesized naively — single outstanding access, every tap
+   fetched from DRAM — which is why it lands below 1x speedup in Fig. 7. *)
+
+open Kernel.Ir
+
+let rows2 = 64
+let cols2 = 128
+
+let stencil2d_kernel =
+  {
+    name = "stencil2d";
+    bufs =
+      [
+        buf ~writable:false "orig" F32 (rows2 * cols2);
+        buf "sol" F32 (rows2 * cols2);
+        buf ~writable:false "filter" F32 9;
+      ];
+    scratch = [];
+    body =
+      [
+        for_ "r" (i 0) (i (rows2 - 2))
+          [
+            for_ "c" (i 0) (i (cols2 - 2))
+              [
+                let_ "sum" (f 0.0);
+                for_ "k1" (i 0) (i 3)
+                  [
+                    for_ "k2" (i 0) (i 3)
+                      [
+                        let_ "sum"
+                          (v "sum"
+                          +.: (ld "filter" ((v "k1" *: i 3) +: v "k2")
+                              *.: ld "orig"
+                                    (((v "r" +: v "k1") *: i cols2)
+                                    +: (v "c" +: v "k2"))));
+                      ];
+                  ];
+                store "sol" (((v "r" +: i 1) *: i cols2) +: (v "c" +: i 1)) (v "sum");
+              ];
+          ];
+      ];
+  }
+
+let hd = 16
+let rd = 32
+let cd = 32
+let idx3 z y x = ((z *: i (rd * cd)) +: (y *: i cd)) +: x
+
+let stencil3d_kernel =
+  {
+    name = "stencil3d";
+    bufs =
+      [
+        buf ~writable:false "orig" F32 (hd * rd * cd);
+        buf "sol" F32 (hd * rd * cd);
+        buf ~writable:false "c" F32 2;
+      ];
+    scratch = [];
+    body =
+      [
+        let_ "c0" (ld "c" (i 0));
+        let_ "c1" (ld "c" (i 1));
+        for_ "z" (i 1) (i (hd - 1))
+          [
+            for_ "y" (i 1) (i (rd - 1))
+              [
+                for_ "x" (i 1) (i (cd - 1))
+                  [
+                    let_ "acc"
+                      (ld "orig" (idx3 (v "z" -: i 1) (v "y") (v "x"))
+                      +.: (ld "orig" (idx3 (v "z" +: i 1) (v "y") (v "x"))
+                          +.: (ld "orig" (idx3 (v "z") (v "y" -: i 1) (v "x"))
+                              +.: (ld "orig" (idx3 (v "z") (v "y" +: i 1) (v "x"))
+                                  +.: (ld "orig" (idx3 (v "z") (v "y") (v "x" -: i 1))
+                                      +.: ld "orig" (idx3 (v "z") (v "y") (v "x" +: i 1)))))));
+                    store "sol" (idx3 (v "z") (v "y") (v "x"))
+                      ((v "c0" *.: ld "orig" (idx3 (v "z") (v "y") (v "x")))
+                      +.: (v "c1" *.: v "acc"));
+                  ];
+              ];
+          ];
+      ];
+  }
+
+let init name idx =
+  match name with
+  | "sol" -> Kernel.Value.VF 0.0
+  | _ -> Kernel.Value.VF (Bench_def.hash_float name idx -. 0.5)
+
+let stencil2d =
+  Bench_def.make ~kernel:stencil2d_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:32.0 ~max_outstanding:1 ~area_luts:11_000 ())
+    ~init ~output_bufs:[ "sol" ]
+    ~description:"3x3 convolution, every tap (incl. filter) fetched from DRAM" ()
+
+let stencil3d =
+  Bench_def.make ~kernel:stencil3d_kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:32.0 ~max_outstanding:4 ~area_luts:13_000 ())
+    ~init ~output_bufs:[ "sol" ]
+    ~description:"7-point 3D stencil over a 16x32x32 volume" ()

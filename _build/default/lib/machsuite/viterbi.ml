@@ -1,0 +1,97 @@
+(* viterbi: maximum-likelihood decoding of a 64-step observation sequence
+   over a 64-state HMM in log space (Table 2: five buffers, 256 B..16384 B).
+   Transition and emission matrices are staged into BRAM once; the 64x64
+   inner max-reduction is massively unrolled by HLS — the other >1000x
+   benchmark next to backprop. *)
+
+open Kernel.Ir
+
+let states = 64
+let steps = 64
+
+let kernel =
+  {
+    name = "viterbi";
+    bufs =
+      [
+        buf ~writable:false "obs" I32 steps;
+        buf ~writable:false "init" F64 states;
+        buf ~writable:false "transition" F32 (states * states);
+        buf ~writable:false "emission" F32 (states * states);
+        buf "path" I32 steps;
+      ];
+    scratch =
+      [
+        buf "tr" F32 (states * states);
+        buf "em" F32 (states * states);
+        buf "prev" F64 states;
+        buf "cur" F64 states;
+        buf "bp" I32 (steps * states);
+      ];
+    body =
+      [
+        memcpy ~dst:"tr" ~src:"transition" ~elems:(i (states * states));
+        memcpy ~dst:"em" ~src:"emission" ~elems:(i (states * states));
+        for_ "rep" (i 0) (p "reps")
+          [
+            let_ "o0" (ld "obs" (i 0));
+            for_ "s" (i 0) (i states)
+              [
+                store "prev" (v "s")
+                  (ld "init" (v "s") +.: ld "em" ((v "s" *: i states) +: v "o0"));
+              ];
+            for_ "t" (i 1) (i steps)
+              [
+                let_ "o" (ld "obs" (v "t"));
+                for_ "s2" (i 0) (i states)
+                  [
+                    let_ "best" (f (-1.0e30));
+                    let_ "arg" (i 0);
+                    for_ "s1" (i 0) (i states)
+                      [
+                        let_ "cand"
+                          (ld "prev" (v "s1") +.: ld "tr" ((v "s1" *: i states) +: v "s2"));
+                        when_ (v "cand" >.: v "best")
+                          [ let_ "best" (v "cand"); let_ "arg" (v "s1") ];
+                      ];
+                    store "cur" (v "s2")
+                      (v "best" +.: ld "em" ((v "s2" *: i states) +: v "o"));
+                    store "bp" ((v "t" *: i states) +: v "s2") (v "arg");
+                  ];
+                for_ "s" (i 0) (i states) [ store "prev" (v "s") (ld "cur" (v "s")) ];
+              ];
+            (* Select the best final state and trace the path back. *)
+            let_ "best" (f (-1.0e30));
+            let_ "arg" (i 0);
+            for_ "s" (i 0) (i states)
+              [
+                when_ (ld "prev" (v "s") >.: v "best")
+                  [ let_ "best" (ld "prev" (v "s")); let_ "arg" (v "s") ];
+              ];
+            store "path" (i (steps - 1)) (v "arg");
+            let_ "t" (i (steps - 1));
+            while_ (v "t" >: i 0)
+              [
+                let_ "arg" (ld "bp" ((v "t" *: i states) +: v "arg"));
+                store "path" (v "t" -: i 1) (v "arg");
+                let_ "t" (v "t" -: i 1);
+              ];
+          ];
+      ];
+  }
+
+let bench =
+  Bench_def.make ~kernel
+    ~directives:
+      (Hls.Directives.make ~compute_ipc:2048.0 ~max_outstanding:16 ~area_luts:24_000 ())
+    ~init:(fun name idx ->
+      match name with
+      | "obs" -> Kernel.Value.VI (Bench_def.hash_int name idx ~bound:states)
+      | "path" -> Kernel.Value.VI 0
+      | "init" | "transition" | "emission" ->
+          (* log-probabilities *)
+          Kernel.Value.VF (log (Bench_def.hash_float name idx +. 0.01))
+      | _ -> invalid_arg ("viterbi init: " ^ name))
+    ~params:[ ("reps", Kernel.Value.VI 4) ]
+    ~output_bufs:[ "path" ]
+    ~description:"64-state, 64-step log-space Viterbi decode, staged HMM" ()

@@ -1,0 +1,1 @@
+lib/memops/layout.ml: Array Bytes Char Hashtbl Int32 Int64 Ir Kernel List Tagmem Value

@@ -1,0 +1,1 @@
+lib/memops/layout.mli: Kernel Tagmem

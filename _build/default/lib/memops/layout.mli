@@ -1,0 +1,41 @@
+(** Placement of a kernel's buffers in physical memory, and element-level
+    access to tagged memory.
+
+    A layout is produced by the driver when it allocates a task's buffers and
+    is consumed by both execution engines (CPU model and accelerator model),
+    which turn element indices into physical byte addresses.  Note that
+    {!elem_addr} performs {e no} bounds checking — address generation is the
+    attacker-controlled part of the system; all checking happens in whatever
+    protection hardware the configuration interposes. *)
+
+type binding = { decl : Kernel.Ir.buf_decl; base : int }
+
+type t
+
+val make : binding list -> t
+val find : t -> string -> binding
+(** Raises [Not_found] for an unbound buffer name. *)
+
+val bindings : t -> binding list
+
+val elem_addr : binding -> int -> int
+(** [elem_addr b idx = b.base + idx * elem_bytes] — for any [idx], including
+    out-of-range ones. *)
+
+val read_elem : Tagmem.Mem.t -> Kernel.Ir.elem -> addr:int -> Kernel.Value.t
+(** Typed element load (sign-extending [I32], narrowing rules of the IR). *)
+
+val write_elem :
+  Tagmem.Mem.t -> Kernel.Ir.elem -> addr:int -> Kernel.Value.t -> unit
+
+val write_elem_preserving_tags :
+  Tagmem.Mem.t -> Kernel.Ir.elem -> addr:int -> Kernel.Value.t -> unit
+(** The naive tag-oblivious DMA write path (see {!Tagmem.Mem}): used only by
+    the unguarded accelerator configuration to demonstrate capability
+    forgery. *)
+
+val init_buffer :
+  Tagmem.Mem.t -> binding -> (int -> Kernel.Value.t) -> unit
+(** Fill a bound buffer element-by-element from a generator. *)
+
+val read_buffer : Tagmem.Mem.t -> binding -> Kernel.Value.t array

@@ -1,0 +1,1 @@
+lib/riscv/codegen.ml: Array Hashtbl Insn Kernel List Memops Printf String

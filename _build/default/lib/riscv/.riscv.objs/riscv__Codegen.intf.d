@@ -1,0 +1,1 @@
+lib/riscv/codegen.mli: Insn Kernel Memops

@@ -1,0 +1,1 @@
+lib/riscv/exec.ml: Cheri Codegen Kernel List Machine Memops Tagmem

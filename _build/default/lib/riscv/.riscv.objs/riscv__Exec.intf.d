@@ -1,0 +1,1 @@
+lib/riscv/exec.mli: Codegen Kernel Machine Memops Tagmem

@@ -1,0 +1,1 @@
+lib/riscv/machine.ml: Array Cheri Cpu Float Insn Int64 Printf Tagmem

@@ -1,0 +1,1 @@
+lib/riscv/machine.mli: Cheri Cpu Insn Tagmem

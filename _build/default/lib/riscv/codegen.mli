@@ -1,0 +1,51 @@
+(** The kernel compiler: Kernel IR to RV64 / CHERI-RV64 purecap code.
+
+    This is the counterpart of compiling MachSuite's C for the prototype's
+    CPU.  The generated program computes {e exactly} what the reference
+    interpreter computes (asserted benchmark-by-benchmark in the tests); in
+    [Purecap_target] every memory access goes through a bounded capability
+    register, so the compiled kernel inherits CHERI's spatial safety — an
+    out-of-bounds index traps in the core instead of corrupting memory.
+
+    Register conventions (fixed ABI of the generated code):
+    - [x1]..[x8]: expression temporaries ([x1] doubles as the macro-op
+      scratch register); [x9]..[x31]: locals and loop bounds.
+    - [f1]..[f8]: FP temporaries; [f9]..[f31]: FP locals.
+    - Purecap: [c2] address scratch, [c9] the scratch-arena capability,
+      [c10+i] the capability of the kernel's i-th heap buffer.
+
+    Kernels whose locals or expression depth exceed the register file are
+    rejected with {!Codegen_error} — every MachSuite kernel fits (a test
+    asserts this), which is also why the generator needs no spilling. *)
+
+type target = Rv64_target | Purecap_target
+
+exception Codegen_error of string
+
+type program = {
+  insns : Insn.t array;
+  scratch_bytes : int;
+      (** bytes of scratch arena the program expects (8 bytes per scratch
+          element — on-chip arrays hold full-width values) *)
+  scratch_offsets : (string * int) list;  (** arena byte offset per scratch *)
+  buffer_cregs : (string * int) list;
+      (** purecap: which capability register carries each heap buffer *)
+}
+
+val scratch_creg : int
+(** 9 — the arena capability register. *)
+
+val compile :
+  target:target ->
+  layout:Memops.Layout.t ->
+  scratch_base:int ->
+  params:(string * Kernel.Value.t) list ->
+  Kernel.Ir.t ->
+  program
+(** [layout] gives heap buffer placement ([Rv64_target] bakes the addresses
+    in as immediates; [Purecap_target] only uses it for element widths —
+    addresses come from the capability registers at run time).
+    [scratch_base] is the arena's address for [Rv64_target] (pass the
+    capability's base for purecap; offsets are relative either way). *)
+
+val disassemble : program -> string

@@ -1,0 +1,57 @@
+type run = {
+  machine : Machine.result;
+  program : Codegen.program;
+}
+
+let derive_buffer_cap (binding : Memops.Layout.binding) =
+  let decl = binding.Memops.Layout.decl in
+  let bytes = Kernel.Ir.buf_decl_bytes decl in
+  let _, padded = Cheri.Bounds_enc.malloc_shape ~length:bytes in
+  let perms =
+    if decl.Kernel.Ir.writable then Cheri.Perms.data_rw else Cheri.Perms.data_ro
+  in
+  match Cheri.Cap.set_bounds Cheri.Cap.root ~base:binding.Memops.Layout.base ~length:padded with
+  | Error e -> failwith (Cheri.Cap.error_to_string e)
+  | Ok cap -> (
+      match Cheri.Cap.with_perms cap perms with
+      | Ok cap -> cap
+      | Error e -> failwith (Cheri.Cap.error_to_string e))
+
+let run_kernel ~target ~mem ~heap ~layout ?(params = []) ?fuel kernel =
+  (* Scratch arena: allocated for the run, like a stack frame. *)
+  let probe =
+    Codegen.compile ~target ~layout ~scratch_base:0 ~params kernel
+  in
+  let scratch_base =
+    if probe.Codegen.scratch_bytes = 0 then 0
+    else Tagmem.Alloc.malloc heap ~align:16 probe.Codegen.scratch_bytes
+  in
+  let program =
+    if probe.Codegen.scratch_bytes = 0 then probe
+    else Codegen.compile ~target ~layout ~scratch_base ~params kernel
+  in
+  let mode =
+    match target with
+    | Codegen.Rv64_target -> Machine.Rv64
+    | Codegen.Purecap_target -> Machine.Purecap
+  in
+  let machine = Machine.create mode mem in
+  (match target with
+  | Codegen.Rv64_target -> ()
+  | Codegen.Purecap_target ->
+      List.iter
+        (fun (name, creg) ->
+          Machine.set_creg machine creg
+            (derive_buffer_cap (Memops.Layout.find layout name)))
+        program.Codegen.buffer_cregs;
+      if program.Codegen.scratch_bytes > 0 then
+        Machine.set_creg machine Codegen.scratch_creg
+          (match
+             Cheri.Cap.set_bounds Cheri.Cap.root ~base:scratch_base
+               ~length:program.Codegen.scratch_bytes
+           with
+          | Ok c -> c
+          | Error e -> failwith (Cheri.Cap.error_to_string e)));
+  let result = Machine.run ?fuel machine program.Codegen.insns in
+  if program.Codegen.scratch_bytes > 0 then Tagmem.Alloc.free heap scratch_base;
+  { machine = result; program }

@@ -1,0 +1,26 @@
+(** The kernel runner: compile, set up the machine, execute.
+
+    In [Purecap_target] the runner plays the role of a CHERI-aware runtime:
+    it derives one bounded capability per heap buffer (write permission only
+    for writable buffers) and one for the scratch arena, installs them in the
+    capability registers the generated code expects, and starts the core.
+    The kernel code itself never sees a raw address. *)
+
+type run = {
+  machine : Machine.result;
+  program : Codegen.program;
+}
+
+val run_kernel :
+  target:Codegen.target ->
+  mem:Tagmem.Mem.t ->
+  heap:Tagmem.Alloc.t ->
+  layout:Memops.Layout.t ->
+  ?params:(string * Kernel.Value.t) list ->
+  ?fuel:int ->
+  Kernel.Ir.t ->
+  run
+(** Compiles the kernel, allocates the scratch arena from [heap] (freed
+    before returning), executes, and reports the machine result.  Raises
+    {!Codegen.Codegen_error} on uncompilable kernels; traps are reported in
+    the result, not raised. *)

@@ -1,0 +1,153 @@
+type reg = int
+type freg = int
+type creg = int
+
+type width = B | W | D
+type fwidth = FW | FD
+
+type t =
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Sll of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  | Addi of reg * reg * int
+  | Li of reg * int
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Jal of int
+  | Lx of width * reg * reg * int
+  | Sx of width * reg * reg * int
+  | Fadd of freg * freg * freg
+  | Fsub of freg * freg * freg
+  | Fmul of freg * freg * freg
+  | Fdiv of freg * freg * freg
+  | Fsqrt of freg * freg
+  | Fexp of freg * freg
+      (** pseudo: the libm exp() call the compiler emits, folded to one
+          long-latency instruction *)
+  | Fmin of freg * freg * freg
+  | Fmax of freg * freg * freg
+  | Fneg of freg * freg
+  | Fabs of freg * freg
+  | Fmv of freg * freg
+  | Feq of reg * freg * freg
+  | Flt_ of reg * freg * freg
+  | Fle of reg * freg * freg
+  | Fcvt_d_l of freg * reg
+  | Fcvt_l_d of reg * freg
+  | Fli of freg * float
+  | Flx of fwidth * freg * reg * int
+  | Fsx of fwidth * freg * reg * int
+  | Cmove of creg * creg
+  | Csetbounds of creg * creg * reg
+  | Candperm of creg * creg * reg
+  | Cincoffset of creg * creg * reg
+  | Cincoffsetimm of creg * creg * int
+  | Clx of width * reg * creg * int
+  | Csx of width * reg * creg * int
+  | Cflx of fwidth * freg * creg * int
+  | Cfsx of fwidth * freg * creg * int
+  | Halt
+
+let width_name = function B -> "b" | W -> "w" | D -> "d"
+let fwidth_name = function FW -> "w" | FD -> "d"
+
+let r3 name d a b = Printf.sprintf "%-6s x%d, x%d, x%d" name d a b
+let f3 name d a b = Printf.sprintf "%-6s f%d, f%d, f%d" name d a b
+
+let to_string = function
+  | Add (d, a, b) -> r3 "add" d a b
+  | Sub (d, a, b) -> r3 "sub" d a b
+  | Mul (d, a, b) -> r3 "mul" d a b
+  | Div (d, a, b) -> r3 "div" d a b
+  | Rem (d, a, b) -> r3 "rem" d a b
+  | And (d, a, b) -> r3 "and" d a b
+  | Or (d, a, b) -> r3 "or" d a b
+  | Xor (d, a, b) -> r3 "xor" d a b
+  | Sll (d, a, b) -> r3 "sll" d a b
+  | Sra (d, a, b) -> r3 "sra" d a b
+  | Slt (d, a, b) -> r3 "slt" d a b
+  | Sltu (d, a, b) -> r3 "sltu" d a b
+  | Addi (d, a, imm) -> Printf.sprintf "%-6s x%d, x%d, %d" "addi" d a imm
+  | Li (d, imm) -> Printf.sprintf "%-6s x%d, %d" "li" d imm
+  | Beq (a, b, t) -> Printf.sprintf "%-6s x%d, x%d, @%d" "beq" a b t
+  | Bne (a, b, t) -> Printf.sprintf "%-6s x%d, x%d, @%d" "bne" a b t
+  | Blt (a, b, t) -> Printf.sprintf "%-6s x%d, x%d, @%d" "blt" a b t
+  | Bge (a, b, t) -> Printf.sprintf "%-6s x%d, x%d, @%d" "bge" a b t
+  | Jal t -> Printf.sprintf "%-6s @%d" "j" t
+  | Lx (w, d, base, off) ->
+      Printf.sprintf "l%-5s x%d, %d(x%d)" (width_name w) d off base
+  | Sx (w, s, base, off) ->
+      Printf.sprintf "s%-5s x%d, %d(x%d)" (width_name w) s off base
+  | Fadd (d, a, b) -> f3 "fadd.d" d a b
+  | Fsub (d, a, b) -> f3 "fsub.d" d a b
+  | Fmul (d, a, b) -> f3 "fmul.d" d a b
+  | Fdiv (d, a, b) -> f3 "fdiv.d" d a b
+  | Fsqrt (d, a) -> Printf.sprintf "%-6s f%d, f%d" "fsqrt.d" d a
+  | Fexp (d, a) -> Printf.sprintf "%-6s f%d, f%d" "call_exp" d a
+  | Fmin (d, a, b) -> f3 "fmin.d" d a b
+  | Fmax (d, a, b) -> f3 "fmax.d" d a b
+  | Fneg (d, a) -> Printf.sprintf "%-6s f%d, f%d" "fneg.d" d a
+  | Fabs (d, a) -> Printf.sprintf "%-6s f%d, f%d" "fabs.d" d a
+  | Fmv (d, a) -> Printf.sprintf "%-6s f%d, f%d" "fmv.d" d a
+  | Feq (d, a, b) -> Printf.sprintf "%-6s x%d, f%d, f%d" "feq.d" d a b
+  | Flt_ (d, a, b) -> Printf.sprintf "%-6s x%d, f%d, f%d" "flt.d" d a b
+  | Fle (d, a, b) -> Printf.sprintf "%-6s x%d, f%d, f%d" "fle.d" d a b
+  | Fcvt_d_l (d, a) -> Printf.sprintf "%-6s f%d, x%d" "fcvt.d.l" d a
+  | Fcvt_l_d (d, a) -> Printf.sprintf "%-6s x%d, f%d" "fcvt.l.d" d a
+  | Fli (d, x) -> Printf.sprintf "%-6s f%d, %g" "fli" d x
+  | Flx (w, d, base, off) ->
+      Printf.sprintf "fl%-4s f%d, %d(x%d)" (fwidth_name w) d off base
+  | Fsx (w, s, base, off) ->
+      Printf.sprintf "fs%-4s f%d, %d(x%d)" (fwidth_name w) s off base
+  | Cmove (d, a) -> Printf.sprintf "%-6s c%d, c%d" "cmove" d a
+  | Csetbounds (d, a, r) -> Printf.sprintf "%-6s c%d, c%d, x%d" "csetbounds" d a r
+  | Candperm (d, a, r) -> Printf.sprintf "%-6s c%d, c%d, x%d" "candperm" d a r
+  | Cincoffset (d, a, r) -> Printf.sprintf "%-6s c%d, c%d, x%d" "cincoffset" d a r
+  | Cincoffsetimm (d, a, imm) ->
+      Printf.sprintf "%-6s c%d, c%d, %d" "cincoffset" d a imm
+  | Clx (w, d, base, off) ->
+      Printf.sprintf "cl%-4s x%d, %d(c%d)" (width_name w) d off base
+  | Csx (w, s, base, off) ->
+      Printf.sprintf "cs%-4s x%d, %d(c%d)" (width_name w) s off base
+  | Cflx (w, d, base, off) ->
+      Printf.sprintf "cfl%-3s f%d, %d(c%d)" (fwidth_name w) d off base
+  | Cfsx (w, s, base, off) ->
+      Printf.sprintf "cfs%-3s f%d, %d(c%d)" (fwidth_name w) s off base
+  | Halt -> "halt"
+
+type cost_class =
+  | C_alu
+  | C_mul
+  | C_div
+  | C_branch
+  | C_mem
+  | C_fadd
+  | C_fmul
+  | C_fdiv
+  | C_fspec
+  | C_cheri
+
+let cost_class = function
+  | Add _ | Sub _ | And _ | Or _ | Xor _ | Sll _ | Sra _ | Slt _ | Sltu _
+  | Addi _ | Li _ -> C_alu
+  | Mul _ -> C_mul
+  | Div _ | Rem _ -> C_div
+  | Beq _ | Bne _ | Blt _ | Bge _ | Jal _ | Halt -> C_branch
+  | Lx _ | Sx _ | Flx _ | Fsx _ | Clx _ | Csx _ | Cflx _ | Cfsx _ -> C_mem
+  | Fadd _ | Fsub _ | Fmin _ | Fmax _ | Fneg _ | Fabs _ | Fmv _ | Feq _
+  | Flt_ _ | Fle _ | Fcvt_d_l _ | Fcvt_l_d _ | Fli _ -> C_fadd
+  | Fmul _ -> C_fmul
+  | Fdiv _ -> C_fdiv
+  | Fsqrt _ | Fexp _ -> C_fspec
+  | Cmove _ | Csetbounds _ | Candperm _ | Cincoffset _ | Cincoffsetimm _ -> C_cheri

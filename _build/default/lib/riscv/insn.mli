@@ -1,0 +1,107 @@
+(** The instruction set of the simulated CPU core: the RV64 subset the kernel
+    code generator emits, the D-extension floating point it needs, and the
+    CHERI capability instructions of the purecap target.
+
+    Conventions:
+    - [x0] is hardwired zero; integer registers are [x0]..[x31].
+    - Floating-point registers [f0]..[f31] hold doubles; [Flw]/[Fsw] widen and
+      narrow at the memory boundary (the simulator's FPU computes in double
+      precision, matching the kernel IR's semantics).
+    - Capability registers [c0]..[c31] exist in purecap mode; [Cincoffset] /
+      [Csetbounds] / [Candperm] derive, and the capability memory
+      instructions ([Clx]/[Csx]) dereference with full CHERI checks.
+    - Arithmetic follows the host's 63-bit boxed-integer semantics, exactly
+      like the kernel IR interpreter — the two engines must agree
+      bit-for-bit, which the test suite asserts. *)
+
+(** Register indices: [reg] is x0..x31, [freg] f0..f31, [creg] c0..c31. *)
+type reg = int
+
+type freg = int
+type creg = int
+
+type width = B | W | D
+(** Memory access widths: byte, 32-bit word, 64-bit double word. *)
+
+type fwidth = FW | FD
+(** f32 (widen/narrow at memory) and f64. *)
+
+type t =
+  (* integer register-register *)
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Sll of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  (* integer register-immediate *)
+  | Addi of reg * reg * int
+  | Li of reg * int          (** pseudo: load (possibly wide) immediate *)
+  (* control flow; targets are resolved instruction indices *)
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Jal of int
+  (* integer memory, RV64 addressing (integer base register) *)
+  | Lx of width * reg * reg * int     (** rd, base, offset; Lb zero-extends *)
+  | Sx of width * reg * reg * int     (** rs, base, offset *)
+  (* floating point *)
+  | Fadd of freg * freg * freg
+  | Fsub of freg * freg * freg
+  | Fmul of freg * freg * freg
+  | Fdiv of freg * freg * freg
+  | Fsqrt of freg * freg
+  | Fexp of freg * freg
+      (** pseudo: the libm exp() call the compiler emits, folded to one
+          long-latency instruction *)
+  | Fmin of freg * freg * freg
+  | Fmax of freg * freg * freg
+  | Fneg of freg * freg
+  | Fabs of freg * freg
+  | Fmv of freg * freg
+  | Feq of reg * freg * freg
+  | Flt_ of reg * freg * freg
+  | Fle of reg * freg * freg
+  | Fcvt_d_l of freg * reg   (** int -> double *)
+  | Fcvt_l_d of reg * freg   (** double -> int, truncating *)
+  | Fli of freg * float      (** pseudo: load float constant *)
+  | Flx of fwidth * freg * reg * int  (** FP load, integer base *)
+  | Fsx of fwidth * freg * reg * int
+  (* CHERI: derivation *)
+  | Cmove of creg * creg
+  | Csetbounds of creg * creg * reg   (** cd = cs with [addr, addr+len(rs)) *)
+  | Candperm of creg * creg * reg
+  | Cincoffset of creg * creg * reg   (** cd = cs with addr += rs *)
+  | Cincoffsetimm of creg * creg * int
+  (* CHERI: memory through a capability *)
+  | Clx of width * reg * creg * int
+  | Csx of width * reg * creg * int
+  | Cflx of fwidth * freg * creg * int
+  | Cfsx of fwidth * freg * creg * int
+  (* end of kernel *)
+  | Halt
+
+val to_string : t -> string
+
+type cost_class =
+  | C_alu
+  | C_mul
+  | C_div
+  | C_branch
+  | C_mem
+  | C_fadd
+  | C_fmul
+  | C_fdiv
+  | C_fspec
+  | C_cheri
+
+val cost_class : t -> cost_class
+(** Used by the timing model; memory instructions additionally pay the cache
+    access. *)

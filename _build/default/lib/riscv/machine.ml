@@ -1,0 +1,267 @@
+type mode = Rv64 | Purecap
+
+type trap = { pc : int; reason : string }
+
+type result = {
+  instructions : int;
+  cycles : int;
+  trap : trap option;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type costs = {
+  alu : int;
+  mul : int;
+  div : int;
+  branch : int;
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  fspec : int;
+  cheri : int;
+}
+
+let default_costs =
+  { alu = 1; mul = 3; div = 12; branch = 1; fadd = 3; fmul = 4; fdiv = 18;
+    fspec = 24; cheri = 1 }
+
+type t = {
+  mode : mode;
+  mem : Tagmem.Mem.t;
+  costs : costs;
+  cache : Cpu.Cache.t;
+  xregs : int array;
+  fregs : float array;
+  cregs : Cheri.Cap.t array;
+}
+
+exception Trapped of string
+
+let create ?(costs = default_costs) ?(cache = Cpu.Cache.default_config) mode mem =
+  {
+    mode; mem; costs;
+    cache = Cpu.Cache.create cache;
+    xregs = Array.make 32 0;
+    fregs = Array.make 32 0.0;
+    cregs = Array.make 32 Cheri.Cap.null;
+  }
+
+let check_reg r = if r < 0 || r > 31 then invalid_arg "Machine: bad register"
+
+let set_xreg t r v =
+  check_reg r;
+  if r <> 0 then t.xregs.(r) <- v
+
+let xreg t r =
+  check_reg r;
+  if r = 0 then 0 else t.xregs.(r)
+
+let set_freg t r v =
+  check_reg r;
+  t.fregs.(r) <- v
+
+let freg t r =
+  check_reg r;
+  t.fregs.(r)
+
+let set_creg t r c =
+  check_reg r;
+  t.cregs.(r) <- c
+
+let creg t r =
+  check_reg r;
+  t.cregs.(r)
+
+let require_purecap t =
+  match t.mode with
+  | Purecap -> ()
+  | Rv64 -> raise (Trapped "capability instruction in RV64 mode")
+
+let width_bytes : Insn.width -> int = function B -> 1 | W -> 4 | D -> 8
+let fwidth_bytes : Insn.fwidth -> int = function FW -> 4 | FD -> 8
+
+(* Integer memory primitives shared by the plain and capability paths. *)
+let load_int t (w : Insn.width) addr =
+  match w with
+  | Insn.B -> Tagmem.Mem.read_u8 t.mem ~addr
+  | Insn.W ->
+      let v = Tagmem.Mem.read_u32 t.mem ~addr in
+      if v land 0x8000_0000 <> 0 then v - (1 lsl 32) else v
+  | Insn.D -> Int64.to_int (Tagmem.Mem.read_u64 t.mem ~addr)
+
+let store_int t (w : Insn.width) addr v =
+  match w with
+  | Insn.B -> Tagmem.Mem.write_u8 t.mem ~addr v
+  | Insn.W -> Tagmem.Mem.write_u32 t.mem ~addr (v land 0xffff_ffff)
+  | Insn.D -> Tagmem.Mem.write_u64 t.mem ~addr (Int64.of_int v)
+
+let load_float t (w : Insn.fwidth) addr =
+  match w with
+  | Insn.FW -> Tagmem.Mem.read_f32 t.mem ~addr
+  | Insn.FD -> Tagmem.Mem.read_f64 t.mem ~addr
+
+let store_float t (w : Insn.fwidth) addr v =
+  match w with
+  | Insn.FW -> Tagmem.Mem.write_f32 t.mem ~addr v
+  | Insn.FD -> Tagmem.Mem.write_f64 t.mem ~addr v
+
+let cap_effective t cs off size kind =
+  require_purecap t;
+  let cap = t.cregs.(cs) in
+  let addr = cap.Cheri.Cap.addr + off in
+  match Cheri.Cap.access_ok cap ~addr ~size kind with
+  | Ok () -> addr
+  | Error e -> raise (Trapped ("CHERI " ^ Cheri.Cap.error_to_string e))
+
+let bool_int b = if b then 1 else 0
+
+let run ?(fuel = 200_000_000) t program =
+  let n = Array.length program in
+  let pc = ref 0 in
+  let instructions = ref 0 in
+  let cycles = ref 0 in
+  let trap = ref None in
+  let charge (insn : Insn.t) =
+    let c =
+      match Insn.cost_class insn with
+      | Insn.C_alu -> t.costs.alu
+      | Insn.C_mul -> t.costs.mul
+      | Insn.C_div -> t.costs.div
+      | Insn.C_branch -> t.costs.branch
+      | Insn.C_fadd -> t.costs.fadd
+      | Insn.C_fmul -> t.costs.fmul
+      | Insn.C_fdiv -> t.costs.fdiv
+      | Insn.C_fspec -> t.costs.fspec
+      | Insn.C_cheri -> t.costs.cheri
+      | Insn.C_mem -> 0 (* the cache access is charged at execution *)
+    in
+    cycles := !cycles + c
+  in
+  let mem_cycles addr = cycles := !cycles + Cpu.Cache.access t.cache ~addr in
+  let x = xreg t and setx = set_xreg t in
+  let f = freg t and setf = set_freg t in
+  let div_checked a b = if b = 0 then raise (Trapped "division by zero") else a / b in
+  let rem_checked a b = if b = 0 then raise (Trapped "division by zero") else a mod b in
+  let branch_target tgt =
+    if tgt < 0 || tgt > n then raise (Trapped "branch outside program") else tgt
+  in
+  (try
+     while !pc < n do
+       if !instructions >= fuel then raise (Trapped "out of fuel");
+       let insn = program.(!pc) in
+       incr instructions;
+       charge insn;
+       let next = ref (!pc + 1) in
+       (match insn with
+       | Insn.Add (d, a, b) -> setx d (x a + x b)
+       | Insn.Sub (d, a, b) -> setx d (x a - x b)
+       | Insn.Mul (d, a, b) -> setx d (x a * x b)
+       | Insn.Div (d, a, b) -> setx d (div_checked (x a) (x b))
+       | Insn.Rem (d, a, b) -> setx d (rem_checked (x a) (x b))
+       | Insn.And (d, a, b) -> setx d (x a land x b)
+       | Insn.Or (d, a, b) -> setx d (x a lor x b)
+       | Insn.Xor (d, a, b) -> setx d (x a lxor x b)
+       | Insn.Sll (d, a, b) -> setx d (x a lsl x b)
+       | Insn.Sra (d, a, b) -> setx d (x a asr x b)
+       | Insn.Slt (d, a, b) -> setx d (bool_int (x a < x b))
+       | Insn.Sltu (d, a, b) ->
+           (* Unsigned compare on the 63-bit host representation; used by the
+              code generator only for zero tests, where it is exact. *)
+           let ua = x a land max_int and ub = x b land max_int in
+           setx d (bool_int (ua < ub))
+       | Insn.Addi (d, a, imm) -> setx d (x a + imm)
+       | Insn.Li (d, imm) -> setx d imm
+       | Insn.Beq (a, b, tgt) -> if x a = x b then next := branch_target tgt
+       | Insn.Bne (a, b, tgt) -> if x a <> x b then next := branch_target tgt
+       | Insn.Blt (a, b, tgt) -> if x a < x b then next := branch_target tgt
+       | Insn.Bge (a, b, tgt) -> if x a >= x b then next := branch_target tgt
+       | Insn.Jal tgt -> next := branch_target tgt
+       | Insn.Lx (w, d, base, off) ->
+           let addr = x base + off in
+           mem_cycles addr;
+           setx d (load_int t w addr)
+       | Insn.Sx (w, s, base, off) ->
+           let addr = x base + off in
+           mem_cycles addr;
+           store_int t w addr (x s)
+       | Insn.Fadd (d, a, b) -> setf d (f a +. f b)
+       | Insn.Fsub (d, a, b) -> setf d (f a -. f b)
+       | Insn.Fmul (d, a, b) -> setf d (f a *. f b)
+       | Insn.Fdiv (d, a, b) -> setf d (f a /. f b)
+       | Insn.Fsqrt (d, a) -> setf d (sqrt (f a))
+       | Insn.Fexp (d, a) -> setf d (exp (f a))
+       | Insn.Fmin (d, a, b) -> setf d (Float.min (f a) (f b))
+       | Insn.Fmax (d, a, b) -> setf d (Float.max (f a) (f b))
+       | Insn.Fneg (d, a) -> setf d (-.f a)
+       | Insn.Fabs (d, a) -> setf d (Float.abs (f a))
+       | Insn.Fmv (d, a) -> setf d (f a)
+       | Insn.Feq (d, a, b) -> setx d (bool_int (f a = f b))
+       | Insn.Flt_ (d, a, b) -> setx d (bool_int (f a < f b))
+       | Insn.Fle (d, a, b) -> setx d (bool_int (f a <= f b))
+       | Insn.Fcvt_d_l (d, a) -> setf d (float_of_int (x a))
+       | Insn.Fcvt_l_d (d, a) -> setx d (int_of_float (f a))
+       | Insn.Fli (d, v) -> setf d v
+       | Insn.Flx (w, d, base, off) ->
+           let addr = x base + off in
+           mem_cycles addr;
+           setf d (load_float t w addr)
+       | Insn.Fsx (w, s, base, off) ->
+           let addr = x base + off in
+           mem_cycles addr;
+           store_float t w addr (f s)
+       | Insn.Cmove (d, a) ->
+           require_purecap t;
+           t.cregs.(d) <- t.cregs.(a)
+       | Insn.Csetbounds (d, a, r) -> (
+           require_purecap t;
+           let cap = t.cregs.(a) in
+           match
+             Cheri.Cap.set_bounds cap ~base:cap.Cheri.Cap.addr ~length:(x r)
+           with
+           | Ok c -> t.cregs.(d) <- c
+           | Error e -> raise (Trapped ("CHERI " ^ Cheri.Cap.error_to_string e)))
+       | Insn.Candperm (d, a, r) -> (
+           require_purecap t;
+           match Cheri.Cap.with_perms t.cregs.(a) (Cheri.Perms.of_mask (x r)) with
+           | Ok c -> t.cregs.(d) <- c
+           | Error e -> raise (Trapped ("CHERI " ^ Cheri.Cap.error_to_string e)))
+       | Insn.Cincoffset (d, a, r) ->
+           require_purecap t;
+           let cap = t.cregs.(a) in
+           t.cregs.(d) <- Cheri.Cap.set_address cap (cap.Cheri.Cap.addr + x r)
+       | Insn.Cincoffsetimm (d, a, imm) ->
+           require_purecap t;
+           let cap = t.cregs.(a) in
+           t.cregs.(d) <- Cheri.Cap.set_address cap (cap.Cheri.Cap.addr + imm)
+       | Insn.Clx (w, d, cs, off) ->
+           let addr = cap_effective t cs off (width_bytes w) Cheri.Cap.Read in
+           mem_cycles addr;
+           setx d (load_int t w addr)
+       | Insn.Csx (w, s, cs, off) ->
+           let addr = cap_effective t cs off (width_bytes w) Cheri.Cap.Write in
+           mem_cycles addr;
+           store_int t w addr (x s)
+       | Insn.Cflx (w, d, cs, off) ->
+           let addr = cap_effective t cs off (fwidth_bytes w) Cheri.Cap.Read in
+           mem_cycles addr;
+           setf d (load_float t w addr)
+       | Insn.Cfsx (w, s, cs, off) ->
+           let addr = cap_effective t cs off (fwidth_bytes w) Cheri.Cap.Write in
+           mem_cycles addr;
+           store_float t w addr (f s)
+       | Insn.Halt -> next := n);
+       pc := !next
+     done
+   with
+  | Trapped reason -> trap := Some { pc = !pc; reason }
+  | Tagmem.Mem.Out_of_range { addr; size } ->
+      trap :=
+        Some { pc = !pc; reason = Printf.sprintf "bus error at 0x%x+%d" addr size });
+  {
+    instructions = !instructions;
+    cycles = !cycles;
+    trap = !trap;
+    cache_hits = Cpu.Cache.hits t.cache;
+    cache_misses = Cpu.Cache.misses t.cache;
+  }

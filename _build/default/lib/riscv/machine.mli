@@ -1,0 +1,65 @@
+(** The instruction-level CPU core: an RV64 + D + CHERI simulator — the
+    Flute-class softcore of the prototype, at architectural fidelity.
+
+    The core executes programs over tagged memory with the same data cache
+    and per-operation costs as the abstract model in [lib/cpu], so the two
+    agree on timing to first order; functionally they must agree exactly,
+    which the test suite checks kernel-by-kernel against the reference
+    interpreter.
+
+    Two execution modes:
+    - [Rv64]: integer addressing, no checks beyond the physical memory range
+      (an out-of-range access is a bus-error trap);
+    - [Purecap]: memory is reachable only through capability registers; every
+      [Clx]/[Csx]/[Cflx]/[Cfsx] dereference is checked and a violation traps
+      with the capability error. *)
+
+type mode = Rv64 | Purecap
+
+type trap = { pc : int; reason : string }
+
+type result = {
+  instructions : int;
+  cycles : int;
+  trap : trap option;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type costs = {
+  alu : int;
+  mul : int;
+  div : int;
+  branch : int;
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  fspec : int;
+  cheri : int;
+}
+
+val default_costs : costs
+(** Matches [Cpu.Model.default_costs] so the ISA core and the abstract model
+    are calibrated identically. *)
+
+type t
+
+val create :
+  ?costs:costs -> ?cache:Cpu.Cache.config -> mode -> Tagmem.Mem.t -> t
+
+val set_xreg : t -> int -> int -> unit
+(** [x0] stays zero regardless. *)
+
+val xreg : t -> int -> int
+val set_freg : t -> int -> float -> unit
+val freg : t -> int -> float
+
+val set_creg : t -> int -> Cheri.Cap.t -> unit
+(** Only meaningful in [Purecap] mode; the runner installs the kernel's
+    buffer capabilities here before starting. *)
+
+val creg : t -> int -> Cheri.Cap.t
+
+val run : ?fuel:int -> t -> Insn.t array -> result
+(** Execute from instruction 0 until [Halt], a trap, or [fuel] instructions
+    (default 200 million; exceeding it is reported as a trap). *)

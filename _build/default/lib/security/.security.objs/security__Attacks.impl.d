@@ -1,0 +1,1 @@
+lib/security/attacks.ml: Accel Cheri Driver Guard Int64 Kernel List Memops Scenario Soc Tagmem

@@ -1,0 +1,1 @@
+lib/security/matrix.ml: Attacks Ccsim List Soc

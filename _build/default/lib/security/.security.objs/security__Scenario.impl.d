@@ -1,0 +1,1 @@
+lib/security/scenario.ml: Accel Capchecker Cpu Driver Hls Int64 Kernel List Memops Option Soc Tagmem

@@ -1,0 +1,164 @@
+type outcome =
+  | Blocked of string
+  | Leaked
+  | Corrupted
+  | Granted_in_task
+  | Granted_page_slop
+  | Forged
+  | Neutralized
+
+let outcome_to_string = function
+  | Blocked reason -> "blocked (" ^ reason ^ ")"
+  | Leaked -> "LEAKED"
+  | Corrupted -> "CORRUPTED"
+  | Granted_in_task -> "granted within task"
+  | Granted_page_slop -> "granted page slop"
+  | Forged -> "FORGED"
+  | Neutralized -> "neutralized (tag cleared)"
+
+let is_protected = function
+  | Blocked _ | Neutralized -> true
+  | Leaked | Corrupted | Granted_in_task | Granted_page_slop | Forged -> false
+
+open Kernel.Ir
+
+let read_probe_body = [ let_ "x" (ld "a" (p "idx")); store "a" (i 0) (v "x") ]
+let write_probe_body = [ store "a" (p "idx") (i 0x41414141) ]
+
+let blocked_of (denial : Guard.Iface.denial) = Blocked denial.Guard.Iface.code
+
+(* Generic read probe at a raw physical target address. *)
+let read_probe protection ~target ~granted_outcome =
+  let env = Scenario.setup ~attacker_body:read_probe_body protection in
+  let idx = Scenario.index_for env ~target_addr:(target env) in
+  let outcome = Scenario.run_attacker ~params:[ ("idx", Kernel.Value.VI idx) ] env in
+  match outcome.Accel.Engine.denied with
+  | Some denial -> blocked_of denial
+  | None -> granted_outcome env
+
+let overread_cross_task protection =
+  read_probe protection
+    ~target:(fun env -> Scenario.base_of env.Scenario.victim "secret")
+    ~granted_outcome:(fun env ->
+      if Int64.equal (Scenario.read_attacker_word env 0) Scenario.secret_word then
+        Leaked
+      else Granted_in_task)
+
+let overwrite_cross_task protection =
+  let env = Scenario.setup ~attacker_body:write_probe_body protection in
+  let target = Scenario.base_of env.Scenario.victim "secret" in
+  let idx = Scenario.index_for env ~target_addr:target in
+  let outcome = Scenario.run_attacker ~params:[ ("idx", Kernel.Value.VI idx) ] env in
+  match outcome.Accel.Engine.denied with
+  | Some denial -> blocked_of denial
+  | None -> if Scenario.victim_secret_intact env then Granted_in_task else Corrupted
+
+let overread_same_task_object protection =
+  read_probe protection
+    ~target:(fun env -> Scenario.base_of env.Scenario.attacker "b")
+    ~granted_outcome:(fun _ -> Granted_in_task)
+
+let overread_page_slop protection =
+  read_probe protection
+    ~target:(fun env ->
+      (* Just past [a]'s 64-byte object but far from any other allocation
+         granule: the last word of the page holding [a]. *)
+      let a_base = Scenario.base_of env.Scenario.attacker "a" in
+      (a_base / 4096 * 4096) + 4096 - 8)
+    ~granted_outcome:(fun _ -> Granted_page_slop)
+
+let fixed_address_os protection =
+  read_probe protection
+    ~target:(fun _ -> 0x8000 (* OS image, far below the driver heap *))
+    ~granted_outcome:(fun _ -> Leaked)
+
+let use_after_free protection =
+  let env = Scenario.setup ~attacker_body:read_probe_body protection in
+  (* The driver tears the attacker's task down; the functional unit keeps
+     DMAing through its stale pointer register. *)
+  let _report = Driver.deallocate env.Scenario.driver env.Scenario.attacker ~denied:None in
+  let outcome = Scenario.run_attacker ~params:[ ("idx", Kernel.Value.VI 0) ] env in
+  match outcome.Accel.Engine.denied with
+  | Some denial -> blocked_of denial
+  | None -> Granted_in_task
+
+let uninitialized_pointer protection =
+  read_probe protection
+    ~target:(fun _ -> 16 (* the null page: a never-programmed pointer register *))
+    ~granted_outcome:(fun _ -> Leaked)
+
+let untrusted_pointer_deref protection =
+  (* The classic gadget: the accelerator indexes a buffer with a value it
+     loaded from its own input data, which the attacker fully controls. *)
+  let body =
+    [ let_ "evil" (ld "a" (i 1)); let_ "x" (ld "a" (v "evil")); store "a" (i 0) (v "x") ]
+  in
+  let env = Scenario.setup ~attacker_body:body protection in
+  let target = Scenario.base_of env.Scenario.victim "secret" in
+  let idx = Scenario.index_for env ~target_addr:target in
+  (* Plant the evil index in the attacker's own input. *)
+  let a = Memops.Layout.find env.Scenario.attacker.Driver.layout "a" in
+  Tagmem.Mem.write_u64 env.Scenario.sys.Soc.System.mem
+    ~addr:(Memops.Layout.elem_addr a 1) (Int64.of_int idx);
+  let outcome = Scenario.run_attacker env in
+  match outcome.Accel.Engine.denied with
+  | Some denial -> blocked_of denial
+  | None ->
+      if Int64.equal (Scenario.read_attacker_word env 0) Scenario.secret_word then
+        Leaked
+      else Granted_in_task
+
+let forge_capability protection =
+  let env = Scenario.setup ~attacker_body:write_probe_body protection in
+  let mem = env.Scenario.sys.Soc.System.mem in
+  (* A CPU task keeps a (tagged) capability to the victim's secret in memory
+     just past the attacker's buffer — e.g. the CPU task's spilled register
+     state sharing the heap. *)
+  let a_base = Scenario.base_of env.Scenario.attacker "a" in
+  let cap_addr = (a_base + 64 + 15) / 16 * 16 in
+  let victim_cap =
+    match
+      Cheri.Cap.set_bounds Cheri.Cap.root
+        ~base:(Scenario.base_of env.Scenario.victim "secret") ~length:256
+    with
+    | Ok c -> c
+    | Error e -> failwith (Cheri.Cap.error_to_string e)
+  in
+  Tagmem.Mem.store_cap mem ~addr:cap_addr victim_cap;
+  let before = Tagmem.Mem.load_cap mem ~addr:cap_addr in
+  assert before.Cheri.Cap.tag;
+  (* The attacker overwrites the capability's first word (its address /
+     bounds material) through DMA. *)
+  let idx = Scenario.index_for env ~target_addr:cap_addr in
+  let outcome = Scenario.run_attacker ~params:[ ("idx", Kernel.Value.VI idx) ] env in
+  match outcome.Accel.Engine.denied with
+  | Some denial -> blocked_of denial
+  | None ->
+      let after = Tagmem.Mem.load_cap mem ~addr:cap_addr in
+      if after.Cheri.Cap.tag && not (Cheri.Cap.equal after before) then Forged
+      else if not after.Cheri.Cap.tag then Neutralized
+      else Granted_in_task
+
+let coarse_object_id_forge () =
+  let run ~to_obj ~target env =
+    let idx = Scenario.coarse_forge_index env ~to_obj ~target_addr:target in
+    let outcome = Scenario.run_attacker ~params:[ ("idx", Kernel.Value.VI idx) ] env in
+    match outcome.Accel.Engine.denied with
+    | Some denial -> blocked_of denial
+    | None ->
+        if Int64.equal (Scenario.read_attacker_word env 0) Scenario.secret_word then
+          Leaked
+        else Granted_in_task
+  in
+  let env1 = Scenario.setup ~attacker_body:read_probe_body Soc.Config.Prot_cc_coarse in
+  let own_other =
+    run
+      ~to_obj:(List.assoc "b" env1.Scenario.attacker.Driver.obj_ids)
+      ~target:(Scenario.base_of env1.Scenario.attacker "b")
+      env1
+  in
+  let env2 = Scenario.setup ~attacker_body:read_probe_body Soc.Config.Prot_cc_coarse in
+  let cross_task =
+    run ~to_obj:0 ~target:(Scenario.base_of env2.Scenario.victim "secret") env2
+  in
+  (own_other, cross_task)

@@ -1,0 +1,67 @@
+(** The attack library: each attack is a concrete malicious accelerator task
+    executed against a victim on a shared system, parameterized by the
+    protection scheme (the columns of Table 3).
+
+    Outcomes are observable facts — "the secret appeared in the attacker's
+    buffer", "the victim's memory changed", "a still-tagged capability now
+    has different bounds" — not the guard's self-reported intentions. *)
+
+type outcome =
+  | Blocked of string     (** the protection hardware denied the access *)
+  | Leaked                (** the victim's secret reached the attacker *)
+  | Corrupted             (** victim (or OS) memory was modified *)
+  | Granted_in_task       (** granted, but the target was the attacker's own
+                              task's other object — the task-granularity
+                              escape of Coarse/sNPU/IOPMP *)
+  | Granted_page_slop     (** granted out-of-object access inside the
+                              attacker's own mapped page (IOMMU slop) *)
+  | Forged                (** a valid capability was rewritten while its tag
+                              survived — the Figure 2 disaster *)
+  | Neutralized           (** the write landed but the tag was cleared: the
+                              capability bits changed yet cannot be used *)
+
+val outcome_to_string : outcome -> string
+
+val is_protected : outcome -> bool
+(** Blocked or Neutralized. *)
+
+(** {1 Individual attacks} — each builds a fresh system. *)
+
+val overread_cross_task : Soc.Config.protection -> outcome
+(** Buffer over-read reaching another task's secret (CWE 125/126 family). *)
+
+val overwrite_cross_task : Soc.Config.protection -> outcome
+(** Buffer overflow write into another task's buffer (CWE 787/120...). *)
+
+val overread_same_task_object : Soc.Config.protection -> outcome
+(** Over-read into the {e same} task's other object — distinguishes object-
+    from task-granularity schemes. *)
+
+val overread_page_slop : Soc.Config.protection -> outcome
+(** Out-of-object read inside the attacker's own page (IOMMU's intra-page
+    blind spot). *)
+
+val fixed_address_os : Soc.Config.protection -> outcome
+(** Dereference of a fixed absolute address in OS-reserved memory
+    (CWE 587). *)
+
+val use_after_free : Soc.Config.protection -> outcome
+(** DMA after the driver deallocated the task (CWE 416/825 as seen from the
+    device side). *)
+
+val uninitialized_pointer : Soc.Config.protection -> outcome
+(** DMA through a pointer register the driver never programmed (CWE 824). *)
+
+val untrusted_pointer_deref : Soc.Config.protection -> outcome
+(** The accelerator dereferences an index read from attacker-controlled
+    input data (CWE 822/823) aimed at the victim. *)
+
+val forge_capability : Soc.Config.protection -> outcome
+(** DMA-write over a valid in-memory capability, attempting to widen its
+    bounds while keeping the tag (the §2 motivating attack). *)
+
+val coarse_object_id_forge : unit -> outcome * outcome
+(** Address-arithmetic forging of the Coarse object id (§5.2.3): returns the
+    outcome against the attacker's own other object (expected granted — task
+    granularity) and against the victim's object (expected blocked — the
+    source id on the interconnect is not forgeable). *)

@@ -1,0 +1,1 @@
+lib/sim/report.ml: List Printf String

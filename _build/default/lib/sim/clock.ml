@@ -1,0 +1,11 @@
+type t = { mutable cycle : int }
+
+let create () = { cycle = 0 }
+let now t = t.cycle
+
+let advance t n =
+  assert (n >= 0);
+  t.cycle <- t.cycle + n
+
+let advance_to t c = if c > t.cycle then t.cycle <- c
+let reset t = t.cycle <- 0

@@ -1,0 +1,23 @@
+(** The simulation clock.
+
+    Everything in the simulated SoC shares one cycle counter.  Components
+    advance it explicitly; there is no hidden global state, so two systems can
+    be simulated side by side with independent clocks. *)
+
+type t
+
+val create : unit -> t
+(** A clock at cycle 0. *)
+
+val now : t -> int
+(** Current cycle. *)
+
+val advance : t -> int -> unit
+(** [advance t n] moves the clock forward [n >= 0] cycles. *)
+
+val advance_to : t -> int -> unit
+(** [advance_to t c] moves the clock to cycle [c] if [c] is in the future;
+    otherwise leaves it unchanged (time never goes backwards). *)
+
+val reset : t -> unit
+(** Back to cycle 0 (used between independent experiment runs). *)

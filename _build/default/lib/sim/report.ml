@@ -1,0 +1,37 @@
+let table ~header rows =
+  List.iter (fun r -> assert (List.length r = List.length header)) rows;
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let rstrip full =
+    let rec go i = if i > 0 && full.[i - 1] = ' ' then go (i - 1) else i in
+    String.sub full 0 (go (String.length full))
+  in
+  let render_row row =
+    List.mapi (fun c cell -> Printf.sprintf "%-*s" (List.nth widths c) cell) row
+    |> String.concat "  " |> rstrip
+  in
+  let rule =
+    List.map (fun w -> String.make w '-') widths |> String.concat "  "
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let section title = Printf.sprintf "\n== %s ==\n" title
+
+let bar ~width ~max v =
+  let v = if v < 0.0 then 0.0 else if v > max then max else v in
+  let n = if max <= 0.0 then 0 else int_of_float (v /. max *. float_of_int width) in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let log_bar ~width ~max v =
+  if v <= 1.0 then String.make width ' '
+  else
+    let lv = log10 v and lm = log10 max in
+    bar ~width ~max:lm lv
+
+let pct r = Printf.sprintf "%+.2f%%" (r *. 100.0)
+
+let fixed d v = Printf.sprintf "%.*f" d v

@@ -1,0 +1,25 @@
+(** Plain-text rendering of the paper's tables and figures.
+
+    The bench harness prints each reproduced table as an aligned text table and
+    each figure as labelled rows (optionally with an ASCII bar), so the output
+    can be diffed against EXPERIMENTS.md. *)
+
+val table : header:string list -> string list list -> string
+(** [table ~header rows] renders an aligned table with a rule under the
+    header.  Every row must have the same arity as the header. *)
+
+val section : string -> string
+(** A titled separator ("== title ==") used between experiments. *)
+
+val bar : width:int -> max:float -> float -> string
+(** [bar ~width ~max v] is a proportional ASCII bar for [v] in [\[0,max\]]. *)
+
+val log_bar : width:int -> max:float -> float -> string
+(** Like {!bar} but on a log10 scale, for speedup plots spanning decades.
+    Values at or below 1.0 render as an empty bar. *)
+
+val pct : float -> string
+(** Format a ratio as a signed percentage, e.g. [0.014 -> "+1.40%"]. *)
+
+val fixed : int -> float -> string
+(** [fixed d v] formats with [d] decimals. *)

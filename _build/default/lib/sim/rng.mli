@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation for reproducible experiments.
+
+    The simulator never uses [Stdlib.Random]; every source of randomness is an
+    explicitly-seeded [Rng.t] so that each experiment is replayable from its
+    seed alone.  The generator is SplitMix64, which is small, fast and has
+    well-understood statistical quality. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator, advancing [t]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniformly chosen element. Requires a non-empty array. *)

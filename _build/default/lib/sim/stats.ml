@@ -1,0 +1,44 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () = Hashtbl.create 32
+
+let find_or_create t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let incr t name = Stdlib.incr (find_or_create t name)
+
+let add t name n =
+  let r = find_or_create t name in
+  r := !r + n
+
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge_into ~dst src = Hashtbl.iter (fun k r -> add dst k !r) src
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+      exp (log_sum /. n)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  assert (xs <> []);
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  List.nth sorted idx

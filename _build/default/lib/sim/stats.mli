@@ -1,0 +1,32 @@
+(** Named statistics counters collected during a simulation run, plus the small
+    numeric summaries (geometric mean, percentiles) used by the evaluation. *)
+
+type t
+(** A mutable bag of named counters. *)
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Add one to a counter, creating it at zero if absent. *)
+
+val add : t -> string -> int -> unit
+(** Add an arbitrary amount to a counter. *)
+
+val get : t -> string -> int
+(** Current value, 0 if the counter was never touched. *)
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val merge_into : dst:t -> t -> unit
+(** Accumulate every counter of the source into [dst]. *)
+
+val geomean : float list -> float
+(** Geometric mean; requires all elements positive; 1.0 on the empty list. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0.0 on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on the sorted list.
+    Requires a non-empty list. *)

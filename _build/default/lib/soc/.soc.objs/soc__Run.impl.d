@@ -1,0 +1,1 @@
+lib/soc/run.ml: Accel Array Bus Cheri Config Cpu Driver Guard Hls Kernel List Machsuite Memops Option Power System Tagmem

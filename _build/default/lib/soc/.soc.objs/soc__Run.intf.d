@@ -1,0 +1,1 @@
+lib/soc/run.mli: Bus Config Guard Machsuite

@@ -1,0 +1,1 @@
+lib/soc/system.ml: Bus Capchecker Config Cpu Driver Guard Option Tagmem

@@ -1,0 +1,1 @@
+lib/soc/system.mli: Bus Capchecker Config Cpu Driver Guard Tagmem

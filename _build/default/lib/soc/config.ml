@@ -1,0 +1,40 @@
+type protection =
+  | Prot_none
+  | Prot_naive
+  | Prot_iopmp
+  | Prot_iommu
+  | Prot_snpu
+  | Prot_cc_fine
+  | Prot_cc_coarse
+  | Prot_cc_cached
+
+type t =
+  | Cpu_only of Cpu.Model.isa
+  | Hetero of { cpu_isa : Cpu.Model.isa; protection : protection }
+
+let label = function
+  | Cpu_only Cpu.Model.Rv64 -> "cpu"
+  | Cpu_only Cpu.Model.Cheri_rv64 -> "ccpu"
+  | Hetero { cpu_isa; protection } -> (
+      let cpu = match cpu_isa with Cpu.Model.Rv64 -> "cpu" | Cpu.Model.Cheri_rv64 -> "ccpu" in
+      match protection with
+      | Prot_none | Prot_naive -> cpu ^ "+accel"
+      | Prot_iopmp -> cpu ^ "+accel(iopmp)"
+      | Prot_iommu -> cpu ^ "+accel(iommu)"
+      | Prot_snpu -> cpu ^ "+accel(snpu)"
+      | Prot_cc_fine -> cpu ^ "+caccel"
+      | Prot_cc_coarse -> cpu ^ "+caccel(coarse)"
+      | Prot_cc_cached -> cpu ^ "+caccel(cached)")
+
+let cpu = Cpu_only Cpu.Model.Rv64
+let ccpu = Cpu_only Cpu.Model.Cheri_rv64
+let cpu_accel = Hetero { cpu_isa = Cpu.Model.Rv64; protection = Prot_none }
+let ccpu_accel = Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Prot_naive }
+let ccpu_caccel = Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Prot_cc_fine }
+let ccpu_caccel_coarse =
+  Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Prot_cc_coarse }
+
+let ccpu_caccel_cached =
+  Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Prot_cc_cached }
+
+let evaluated = [ cpu; ccpu; cpu_accel; ccpu_accel; ccpu_caccel ]

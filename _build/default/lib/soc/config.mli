@@ -1,0 +1,42 @@
+(** The system configurations evaluated in §6.3.
+
+    Five headline configurations (Fig. 10) plus the alternative protection
+    backends used by the security analysis (Table 3) and the scalability
+    comparison (Fig. 12). *)
+
+type protection =
+  | Prot_none
+      (** unguarded accelerator in a capability-less system *)
+  | Prot_naive
+      (** unguarded accelerator naively wired into a CHERI system: DMA writes
+          reach tagged memory without clearing tags — the forgeable-
+          capability hazard of Figure 2 *)
+  | Prot_iopmp
+  | Prot_iommu
+  | Prot_snpu
+  | Prot_cc_fine
+  | Prot_cc_coarse
+  | Prot_cc_cached
+      (** the cached CapChecker of §5.2.3: small on-chip cache backed by an
+          in-memory capability table (ablation configuration) *)
+
+type t =
+  | Cpu_only of Cpu.Model.isa
+  | Hetero of { cpu_isa : Cpu.Model.isa; protection : protection }
+
+val label : t -> string
+(** The paper's names: "cpu", "ccpu", "cpu+accel", "ccpu+accel",
+    "ccpu+caccel", and backend-suffixed labels for the rest. *)
+
+val cpu : t
+val ccpu : t
+val cpu_accel : t
+val ccpu_accel : t
+val ccpu_caccel : t
+(** The headline system: CHERI CPU + CapChecker (Fine) accelerators. *)
+
+val ccpu_caccel_coarse : t
+val ccpu_caccel_cached : t
+
+val evaluated : t list
+(** The five configurations of Figure 10, in the paper's order. *)

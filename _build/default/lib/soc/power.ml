@@ -1,0 +1,3 @@
+let power_mw ~luts ~utilization =
+  let utilization = Float.max 0.0 (Float.min 1.0 utilization) in
+  1_500.0 +. (0.005 *. float_of_int luts) +. (900.0 *. utilization)

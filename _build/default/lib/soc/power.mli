@@ -1,0 +1,6 @@
+(** FPGA power model, calibrated for relative comparisons (Figure 8's power
+    overhead): static floor + per-LUT leakage/clocking + dynamic toggling
+    proportional to interconnect utilization. *)
+
+val power_mw : luts:int -> utilization:float -> float
+(** [utilization] is data beats per cycle on the fabric, in [\[0, 1\]]. *)

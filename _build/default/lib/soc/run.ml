@@ -1,0 +1,275 @@
+type phases = { alloc : int; init : int; compute : int; teardown : int }
+
+let wall_of p = p.alloc + p.init + p.compute + p.teardown
+
+type result = {
+  config_label : string;
+  benchmark : string;
+  tasks : int;
+  phases : phases;
+  wall : int;
+  correct : bool;
+  denials : Guard.Iface.denial list;
+  checks : int;
+  entries_peak : int;
+  bus_beats : int;
+  area_luts : int;
+  power_mw : float;
+}
+
+let buffer_bytes (kernel : Kernel.Ir.t) =
+  List.fold_left (fun acc b -> acc + Kernel.Ir.buf_decl_bytes b) 0 kernel.bufs
+
+let init_layout mem (bench : Machsuite.Bench_def.t) layout =
+  List.iter
+    (fun (binding : Memops.Layout.binding) ->
+      Memops.Layout.init_buffer mem binding (fun idx ->
+          bench.init binding.decl.Kernel.Ir.buf_name idx))
+    (Memops.Layout.bindings layout)
+
+let verify mem (bench : Machsuite.Bench_def.t) layout =
+  let golden = Machsuite.Bench_def.golden bench in
+  List.for_all
+    (fun name ->
+      let binding = Memops.Layout.find layout name in
+      let actual = Memops.Layout.read_buffer mem binding in
+      let expected = List.assoc name golden in
+      Array.length actual = Array.length expected
+      && Array.for_all2 Kernel.Value.equal actual expected)
+    bench.output_bufs
+
+let finish (sys : System.t) ~config_label ~benchmark ~tasks ~phases ~correct
+    ~denials ~checks ~entries_peak ~bus_beats ~accel_luts =
+  let area_luts = System.total_area_luts sys ~accel_luts_per_instance:accel_luts in
+  let utilization =
+    if phases.compute <= 0 then 0.0
+    else float_of_int bus_beats /. float_of_int phases.compute
+  in
+  {
+    config_label; benchmark; tasks; phases; wall = wall_of phases; correct;
+    denials; checks; entries_peak; bus_beats; area_luts;
+    power_mw = Power.power_mw ~luts:area_luts ~utilization;
+  }
+
+(* CPU-only execution: tasks run back-to-back on the one core. *)
+let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
+  let kernel = bench.Machsuite.Bench_def.kernel in
+  let cfg = Cpu.Model.config isa in
+  let n_bufs = List.length kernel.bufs in
+  let bindings =
+    List.map
+      (fun (decl : Kernel.Ir.buf_decl) ->
+        let bytes = Kernel.Ir.buf_decl_bytes decl in
+        let align, padded = Cheri.Bounds_enc.malloc_shape ~length:bytes in
+        { Memops.Layout.decl;
+          base = Tagmem.Alloc.malloc sys.System.heap ~align:(max align 16) padded })
+      kernel.bufs
+  in
+  let layout = Memops.Layout.make bindings in
+  init_layout sys.System.mem bench layout;
+  let res =
+    Cpu.Model.run cfg sys.System.mem kernel layout ~params:bench.params ()
+  in
+  (match res.Cpu.Model.trap with
+  | None -> ()
+  | Some reason -> failwith ("benign CPU run trapped: " ^ reason));
+  let correct = verify sys.System.mem bench layout in
+  List.iter (fun b -> Tagmem.Alloc.free sys.System.heap b.Memops.Layout.base) bindings;
+  let bytes = buffer_bytes kernel in
+  let per_task_compute =
+    res.Cpu.Model.cycles + Cpu.Model.cap_setup_cycles cfg ~n_bufs
+  in
+  let phases =
+    {
+      alloc = tasks * n_bufs * Driver.malloc_cycles;
+      init = tasks * Cpu.Model.init_store_cycles cfg ~bytes;
+      compute = tasks * per_task_compute;
+      teardown = tasks * n_bufs * Driver.free_cycles;
+    }
+  in
+  finish sys ~config_label:(Config.label sys.System.config) ~benchmark:kernel.name
+    ~tasks ~phases ~correct ~denials:[] ~checks:0 ~entries_peak:0 ~bus_beats:0
+    ~accel_luts:0
+
+(* Heterogeneous execution: allocate every task, interpret the kernel once as
+   the accelerator, replicate its DMA stream per instance, and replay the
+   contention. *)
+let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
+  let kernel = bench.Machsuite.Bench_def.kernel in
+  let driver = Option.get sys.System.driver in
+  let backend = Option.get sys.System.backend in
+  let directives = bench.directives in
+  let cfg = sys.System.cpu_cfg in
+  let rec allocate acc n =
+    if n = 0 then List.rev acc
+    else
+      match Driver.allocate driver kernel with
+      | Ok a -> allocate (a :: acc) (n - 1)
+      | Error msg -> failwith ("driver allocation failed: " ^ msg)
+  in
+  let allocated = allocate [] tasks in
+  let alloc_cycles =
+    List.fold_left (fun acc (a : Driver.allocated) -> acc + a.cycles) 0 allocated
+  in
+  List.iter
+    (fun (a : Driver.allocated) ->
+      init_layout sys.System.mem bench a.handle.Driver.layout)
+    allocated;
+  let bytes = buffer_bytes kernel in
+  let init_cycles = tasks * Cpu.Model.init_store_cycles cfg ~bytes in
+  let first = (List.hd allocated).handle in
+  let outcome =
+    Accel.Engine.run ~mem:sys.System.mem ~guard:(System.guard sys)
+      ~bus:sys.System.bus ~directives
+      ~addressing:(Driver.Backend.addressing backend)
+      ~naive_tag_writes:(System.naive_tag_writes sys)
+      {
+        Accel.Engine.instance = first.Driver.task_id;
+        kernel;
+        layout = first.Driver.layout;
+        params = bench.params;
+        obj_ids = first.Driver.obj_ids;
+      }
+  in
+  let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
+  let streams =
+    List.map
+      (fun (a : Driver.allocated) ->
+        { Accel.Replay.instance = a.handle.Driver.task_id;
+          trace = outcome.Accel.Engine.trace;
+          max_outstanding = directives.Hls.Directives.max_outstanding })
+      allocated
+  in
+  let replayed = Accel.Replay.run sys.System.fabric ~start:0 streams in
+  let correct =
+    outcome.Accel.Engine.denied = None
+    && verify sys.System.mem bench first.Driver.layout
+  in
+  let denied_first = outcome.Accel.Engine.denied in
+  let teardown_cycles, denials =
+    List.fold_left
+      (fun (cycles, denials) (a : Driver.allocated) ->
+        let denied =
+          if a.handle.Driver.task_id = first.Driver.task_id then
+            denied_first
+          else None
+        in
+        let report = Driver.deallocate driver a.handle ~denied in
+        (cycles + report.Driver.cycles, denials @ report.Driver.denials))
+      (0, []) allocated
+  in
+  let phases =
+    { alloc = alloc_cycles; init = init_cycles;
+      compute = replayed.Accel.Replay.makespan; teardown = teardown_cycles }
+  in
+  finish sys ~config_label:(Config.label sys.System.config) ~benchmark:kernel.name
+    ~tasks ~phases ~correct ~denials
+    ~checks:(outcome.Accel.Engine.checks * tasks)
+    ~entries_peak ~bus_beats:replayed.Accel.Replay.bus_beats
+    ~accel_luts:directives.Hls.Directives.area_luts
+
+let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
+    config bench =
+  assert (tasks > 0);
+  let instances = match instances with Some n -> max n tasks | None -> max 8 tasks in
+  let sys = System.create ~instances ~cc_entries ~bus config in
+  match config with
+  | Config.Cpu_only isa -> run_cpu_only sys isa bench ~tasks
+  | Config.Hetero _ -> run_hetero sys bench ~tasks
+
+let run_mixed ?instances config benches =
+  let tasks = List.length benches in
+  assert (tasks > 0);
+  let instances = match instances with Some n -> max n tasks | None -> tasks in
+  (match config with
+  | Config.Hetero _ -> ()
+  | Config.Cpu_only _ -> invalid_arg "Run.run_mixed: needs a heterogeneous config");
+  let sys = System.create ~instances config in
+  let driver = Option.get sys.System.driver in
+  let backend = Option.get sys.System.backend in
+  let cfg = sys.System.cpu_cfg in
+  let allocated =
+    List.map
+      (fun (bench : Machsuite.Bench_def.t) ->
+        match Driver.allocate driver bench.kernel with
+        | Ok a -> (bench, a)
+        | Error msg ->
+            failwith ("driver allocation failed for " ^ bench.name ^ ": " ^ msg))
+      benches
+  in
+  let alloc_cycles =
+    List.fold_left (fun acc (_, (a : Driver.allocated)) -> acc + a.cycles) 0 allocated
+  in
+  List.iter
+    (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated)) ->
+      init_layout sys.System.mem bench a.handle.Driver.layout)
+    allocated;
+  let init_cycles =
+    List.fold_left
+      (fun acc ((bench : Machsuite.Bench_def.t), _) ->
+        acc + Cpu.Model.init_store_cycles cfg ~bytes:(buffer_bytes bench.kernel))
+      0 allocated
+  in
+  let outcomes =
+    List.map
+      (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated)) ->
+        let outcome =
+          Accel.Engine.run ~mem:sys.System.mem ~guard:(System.guard sys)
+            ~bus:sys.System.bus ~directives:bench.directives
+            ~addressing:(Driver.Backend.addressing backend)
+            ~naive_tag_writes:(System.naive_tag_writes sys)
+            {
+              Accel.Engine.instance = a.handle.Driver.task_id;
+              kernel = bench.kernel;
+              layout = a.handle.Driver.layout;
+              params = bench.params;
+              obj_ids = a.handle.Driver.obj_ids;
+            }
+        in
+        (bench, a, outcome))
+      allocated
+  in
+  let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
+  let streams =
+    List.map
+      (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), outcome) ->
+        { Accel.Replay.instance = a.handle.Driver.task_id;
+          trace = outcome.Accel.Engine.trace;
+          max_outstanding = bench.directives.Hls.Directives.max_outstanding })
+      outcomes
+  in
+  let replayed = Accel.Replay.run sys.System.fabric ~start:0 streams in
+  let correct =
+    List.for_all
+      (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), outcome) ->
+        outcome.Accel.Engine.denied = None
+        && verify sys.System.mem bench a.handle.Driver.layout)
+      outcomes
+  in
+  let teardown_cycles, denials =
+    List.fold_left
+      (fun (cycles, denials) (_, (a : Driver.allocated), outcome) ->
+        let report =
+          Driver.deallocate driver a.handle
+            ~denied:outcome.Accel.Engine.denied
+        in
+        (cycles + report.Driver.cycles, denials @ report.Driver.denials))
+      (0, []) outcomes
+  in
+  let checks =
+    List.fold_left (fun acc (_, _, o) -> acc + o.Accel.Engine.checks) 0 outcomes
+  in
+  let mean_accel_luts =
+    List.fold_left
+      (fun acc (b : Machsuite.Bench_def.t) ->
+        acc + b.directives.Hls.Directives.area_luts)
+      0 benches
+    / tasks
+  in
+  let phases =
+    { alloc = alloc_cycles; init = init_cycles;
+      compute = replayed.Accel.Replay.makespan; teardown = teardown_cycles }
+  in
+  finish sys ~config_label:(Config.label config) ~benchmark:"mixed" ~tasks ~phases
+    ~correct ~denials ~checks ~entries_peak
+    ~bus_beats:replayed.Accel.Replay.bus_beats ~accel_luts:mean_accel_luts

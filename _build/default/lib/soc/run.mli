@@ -1,0 +1,50 @@
+(** End-to-end benchmark execution on a configured system.
+
+    Reproduces the paper's measurement protocol: the wall clock covers driver
+    allocation, application data initialization, the offloaded (or CPU)
+    computation, and driver teardown — the four segments of Figure 10's
+    breakdown.  Functional correctness is verified against the reference
+    semantics on every run; a protected system that blocked a benign access
+    would show up as [correct = false], not as a silently different number. *)
+
+type phases = {
+  alloc : int;     (** driver allocation + protection programming *)
+  init : int;      (** application writing input data *)
+  compute : int;   (** kernel execution / accelerator makespan *)
+  teardown : int;  (** eviction, scrubbing, free *)
+}
+
+val wall_of : phases -> int
+
+type result = {
+  config_label : string;
+  benchmark : string;
+  tasks : int;
+  phases : phases;
+  wall : int;
+  correct : bool;
+  denials : Guard.Iface.denial list;
+  checks : int;         (** protection adjudications (all instances) *)
+  entries_peak : int;   (** live guard entries while tasks were resident *)
+  bus_beats : int;
+  area_luts : int;
+  power_mw : float;
+}
+
+val run :
+  ?tasks:int ->
+  ?instances:int ->
+  ?cc_entries:int ->
+  ?bus:Bus.Params.t ->
+  Config.t ->
+  Machsuite.Bench_def.t ->
+  result
+(** Run [tasks] identical independent tasks (default 8, the paper's eight
+    instances).  [cc_entries] sizes the CapChecker table (default 256).  Homogeneous accelerator tasks are interpreted once and their
+    DMA stream replicated per instance — concurrent timing is still modeled
+    exactly, per-instance, through the shared interconnect. *)
+
+val run_mixed :
+  ?instances:int -> Config.t -> Machsuite.Bench_def.t list -> result
+(** One task per (distinct) benchmark on one shared system — the
+    mixed-accelerator SoCs of Figure 9.  Requires a heterogeneous config. *)

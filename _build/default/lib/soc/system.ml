@@ -1,0 +1,95 @@
+type t = {
+  config : Config.t;
+  mem : Tagmem.Mem.t;
+  heap : Tagmem.Alloc.t;
+  bus : Bus.Params.t;
+  fabric : Bus.Fabric.t;
+  cpu_cfg : Cpu.Model.config;
+  backend : Driver.Backend.t option;
+  driver : Driver.t option;
+  checker : Capchecker.Checker.t option;
+  instances : int;
+}
+
+let cpu_isa = function
+  | Config.Cpu_only isa -> isa
+  | Config.Hetero { cpu_isa; _ } -> cpu_isa
+
+(* The cached CapChecker's backing table lives in driver-reserved memory
+   below the heap. *)
+let cached_table_base = 512 * 1024
+let cached_max_objs = 64
+
+let make_backend ~cc_entries ~mem ~instances (protection : Config.protection) =
+  match protection with
+  | Config.Prot_none -> (Driver.Backend.No_protection { naive_tags = false }, None)
+  | Config.Prot_naive -> (Driver.Backend.No_protection { naive_tags = true }, None)
+  | Config.Prot_iopmp -> (Driver.Backend.Iopmp (Guard.Iopmp.create ()), None)
+  | Config.Prot_iommu -> (Driver.Backend.Iommu (Guard.Iommu.create ()), None)
+  | Config.Prot_snpu -> (Driver.Backend.Snpu (Guard.Snpu.create ()), None)
+  | Config.Prot_cc_fine ->
+      let c = Capchecker.Checker.create ~entries:cc_entries Capchecker.Checker.Fine in
+      (Driver.Backend.Capchecker c, Some c)
+  | Config.Prot_cc_coarse ->
+      let c = Capchecker.Checker.create ~entries:cc_entries Capchecker.Checker.Coarse in
+      (Driver.Backend.Capchecker c, Some c)
+  | Config.Prot_cc_cached ->
+      let c =
+        Capchecker.Cached.create ~cache_entries:16 ~mode:Capchecker.Checker.Fine
+          ~mem ~table_base:cached_table_base ~max_tasks:instances
+          ~max_objs:cached_max_objs ()
+      in
+      (Driver.Backend.Capchecker_cached c, None)
+
+let create ?(instances = 8) ?(cc_entries = 256) ?(bus = Bus.Params.default) config =
+  let mem = Tagmem.Mem.create ~size:Bus.Addr_map.dram_size in
+  let heap =
+    Tagmem.Alloc.create ~base:Bus.Addr_map.heap_base
+      ~size:(Bus.Addr_map.dram_size - Bus.Addr_map.heap_base)
+  in
+  let fabric = Bus.Fabric.create bus in
+  let cpu_cfg = Cpu.Model.config (cpu_isa config) in
+  let backend, checker =
+    match config with
+    | Config.Cpu_only _ -> (None, None)
+    | Config.Hetero { protection; _ } ->
+        let b, c = make_backend ~cc_entries ~mem ~instances protection in
+        (Some b, c)
+  in
+  let driver =
+    Option.map
+      (fun backend ->
+        Driver.create ~mem ~heap ~backend ~bus ~n_instances:instances)
+      backend
+  in
+  { config; mem; heap; bus; fabric; cpu_cfg; backend; driver; checker; instances }
+
+let guard t =
+  match t.backend with
+  | Some b -> Driver.Backend.guard_of b
+  | None -> Guard.Iface.pass_through
+
+let naive_tag_writes t =
+  match t.backend with Some b -> Driver.Backend.naive_tag_writes b | None -> false
+
+let guard_area_luts t =
+  match t.backend with
+  | None -> 0
+  | Some (Driver.Backend.No_protection _) -> 0
+  | Some b -> (Driver.Backend.guard_of b).Guard.Iface.info.area_luts
+
+let interconnect_luts = 12_000
+let memory_controller_luts = 20_000
+
+(* Per-instance AXI master adapter and DMA engine around the synthesized
+   datapath. *)
+let dma_adapter_luts = 5_000
+
+let total_area_luts t ~accel_luts_per_instance =
+  let cpu = Cpu.Model.area_luts t.cpu_cfg.Cpu.Model.isa in
+  match t.config with
+  | Config.Cpu_only _ -> cpu
+  | Config.Hetero _ ->
+      cpu + interconnect_luts + memory_controller_luts
+      + (t.instances * (accel_luts_per_instance + dma_adapter_luts))
+      + guard_area_luts t

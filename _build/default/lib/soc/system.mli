@@ -1,0 +1,35 @@
+(** A concrete instantiated system: memory, heap, interconnect, protection
+    backend and driver, ready to run tasks.
+
+    One [System.t] corresponds to one powered-on SoC; experiments that need a
+    clean slate build a fresh one (cheap — a few MiB of zeroed memory). *)
+
+type t = {
+  config : Config.t;
+  mem : Tagmem.Mem.t;
+  heap : Tagmem.Alloc.t;
+  bus : Bus.Params.t;
+  fabric : Bus.Fabric.t;
+  cpu_cfg : Cpu.Model.config;
+  backend : Driver.Backend.t option;  (** None for CPU-only systems *)
+  driver : Driver.t option;
+  checker : Capchecker.Checker.t option;
+      (** the CapChecker instance when the protection is Fine/Coarse *)
+  instances : int;
+}
+
+val create : ?instances:int -> ?cc_entries:int -> ?bus:Bus.Params.t -> Config.t -> t
+(** [instances] defaults to 8 (the paper's setting), [cc_entries] to 256,
+    [bus] to {!Bus.Params.default} (override for interconnect ablations). *)
+
+val guard : t -> Guard.Iface.t
+(** The active guard ({!Guard.Iface.pass_through} for unguarded systems). *)
+
+val cpu_isa : Config.t -> Cpu.Model.isa
+
+val naive_tag_writes : t -> bool
+
+val guard_area_luts : t -> int
+
+val total_area_luts : t -> accel_luts_per_instance:int -> int
+(** CPU + accelerator instances + interconnect + protection hardware. *)

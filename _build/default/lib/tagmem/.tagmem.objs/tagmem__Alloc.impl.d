@@ -1,0 +1,1 @@
+lib/tagmem/alloc.ml: Hashtbl List Mem Printf

@@ -1,0 +1,1 @@
+lib/tagmem/mem.ml: Bytes Char Cheri Int32 Int64

@@ -1,0 +1,32 @@
+(** The driver's heap: a first-fit free-list allocator over a physical address
+    range.  This is the [malloc()]/[free()] of the paper's bare-metal testbed;
+    buffers for accelerator tasks come from here and capabilities are derived
+    to exactly the allocated region. *)
+
+type t
+
+val create : base:int -> size:int -> t
+(** An allocator managing [\[base, base+size)]. *)
+
+exception Out_of_memory of int
+(** Raised by {!malloc} when no free block fits; carries the request size. *)
+
+val malloc : t -> ?align:int -> int -> int
+(** [malloc t ~align size] returns the address of a fresh block of [size]
+    bytes aligned to [align] (default {!Mem.granule}, so any buffer may hold
+    capabilities and CHERI-Concentrate rounding stays exact for small
+    objects).  Zero-size requests consume one alignment unit so that distinct
+    allocations always have distinct addresses. *)
+
+val free : t -> int -> unit
+(** Release a block by its address.  Raises [Invalid_argument] if the address
+    is not a live allocation (double free / invalid free — CWE 415/763 are the
+    driver's responsibility, and it treats them as fatal). *)
+
+val size_of : t -> int -> int
+(** Size of the live allocation at the given address. *)
+
+val live_blocks : t -> (int * int) list
+(** All live [(addr, size)] pairs, sorted by address. *)
+
+val bytes_free : t -> int

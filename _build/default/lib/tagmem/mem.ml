@@ -1,0 +1,102 @@
+type t = { data : Bytes.t; tags : Bytes.t }
+
+let granule = 16
+
+exception Out_of_range of { addr : int; size : int }
+
+let create ~size =
+  let size = (size + granule - 1) / granule * granule in
+  { data = Bytes.make size '\000'; tags = Bytes.make (size / granule) '\000' }
+
+let size t = Bytes.length t.data
+
+let check t ~addr ~size:sz =
+  if addr < 0 || sz < 0 || addr + sz > Bytes.length t.data then
+    raise (Out_of_range { addr; size = sz })
+
+let clear_tags t ~addr ~size:sz =
+  if sz > 0 then
+    for g = addr / granule to (addr + sz - 1) / granule do
+      Bytes.set t.tags g '\000'
+    done
+
+let read_bytes t ~addr ~size:sz =
+  check t ~addr ~size:sz;
+  Bytes.sub t.data addr sz
+
+let write_bytes t ~addr b =
+  let sz = Bytes.length b in
+  check t ~addr ~size:sz;
+  Bytes.blit b 0 t.data addr sz;
+  clear_tags t ~addr ~size:sz
+
+let read_u8 t ~addr =
+  check t ~addr ~size:1;
+  Char.code (Bytes.get t.data addr)
+
+let write_u8 t ~addr v =
+  check t ~addr ~size:1;
+  Bytes.set t.data addr (Char.chr (v land 0xff));
+  clear_tags t ~addr ~size:1
+
+let read_u32 t ~addr =
+  check t ~addr ~size:4;
+  Int32.to_int (Bytes.get_int32_le t.data addr) land 0xffffffff
+
+let write_u32 t ~addr v =
+  check t ~addr ~size:4;
+  Bytes.set_int32_le t.data addr (Int32.of_int v);
+  clear_tags t ~addr ~size:4
+
+let read_u64 t ~addr =
+  check t ~addr ~size:8;
+  Bytes.get_int64_le t.data addr
+
+let write_u64 t ~addr v =
+  check t ~addr ~size:8;
+  Bytes.set_int64_le t.data addr v;
+  clear_tags t ~addr ~size:8
+
+let read_f32 t ~addr = Int32.float_of_bits (Int32.of_int (read_u32 t ~addr))
+let write_f32 t ~addr v = write_u32 t ~addr (Int32.to_int (Int32.bits_of_float v) land 0xffffffff)
+let read_f64 t ~addr = Int64.float_of_bits (read_u64 t ~addr)
+let write_f64 t ~addr v = write_u64 t ~addr (Int64.bits_of_float v)
+
+let fill t ~addr ~size:sz c =
+  check t ~addr ~size:sz;
+  Bytes.fill t.data addr sz c;
+  clear_tags t ~addr ~size:sz
+
+let unsafe_write_preserving_tags t ~addr b =
+  let sz = Bytes.length b in
+  check t ~addr ~size:sz;
+  Bytes.blit b 0 t.data addr sz
+
+let check_cap_addr addr =
+  if addr mod granule <> 0 then
+    invalid_arg "Mem: capability access must be 16-byte aligned"
+
+let store_cap t ~addr cap =
+  check_cap_addr addr;
+  check t ~addr ~size:granule;
+  let w = Cheri.Compress.encode cap in
+  Bytes.set_int64_le t.data addr w.Cheri.Compress.lo;
+  Bytes.set_int64_le t.data (addr + 8) w.Cheri.Compress.hi;
+  Bytes.set t.tags (addr / granule) (if cap.Cheri.Cap.tag then '\001' else '\000')
+
+let load_cap t ~addr =
+  check_cap_addr addr;
+  check t ~addr ~size:granule;
+  let lo = Bytes.get_int64_le t.data addr in
+  let hi = Bytes.get_int64_le t.data (addr + 8) in
+  let tag = Bytes.get t.tags (addr / granule) <> '\000' in
+  Cheri.Compress.decode ~tag { Cheri.Compress.hi; lo }
+
+let tag_at t ~addr =
+  check t ~addr ~size:1;
+  Bytes.get t.tags (addr / granule) <> '\000'
+
+let count_tags t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr n) t.tags;
+  !n

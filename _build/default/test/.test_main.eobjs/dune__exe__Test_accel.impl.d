@@ -1,0 +1,1 @@
+test/test_accel.ml: Accel Alcotest Bus Capchecker Cheri Guard Hls Kernel List Memops QCheck QCheck_alcotest Tagmem

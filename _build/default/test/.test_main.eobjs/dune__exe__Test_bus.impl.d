@@ -1,0 +1,1 @@
+test/test_bus.ml: Addr_map Alcotest Bus Fabric List Params QCheck QCheck_alcotest

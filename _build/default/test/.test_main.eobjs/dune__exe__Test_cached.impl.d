@@ -1,0 +1,1 @@
+test/test_cached.ml: Alcotest Area Cached Capchecker Checker Cheri Guard Result Tagmem

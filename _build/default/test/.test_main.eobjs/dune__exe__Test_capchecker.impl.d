@@ -1,0 +1,1 @@
+test/test_capchecker.ml: Alcotest Area Bus Capchecker Checker Cheri Guard List QCheck QCheck_alcotest Table

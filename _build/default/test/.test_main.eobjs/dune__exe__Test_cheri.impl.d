@@ -1,0 +1,1 @@
+test/test_cheri.ml: Alcotest Bounds_enc Cap Cheri Compress List Perms QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_claims.ml: Alcotest Ccsim Guard Kernel List Machsuite Printf Soc

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Cheri Cpu Kernel List Memops Tagmem

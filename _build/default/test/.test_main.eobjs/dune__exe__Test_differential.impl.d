@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Ccsim Cheri Cpu Kernel List Memops Printf Riscv Tagmem

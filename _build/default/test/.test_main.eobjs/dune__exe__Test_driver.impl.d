@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Bus Capchecker Cheri Driver Guard Kernel List Memops Result Tagmem

@@ -1,0 +1,1 @@
+test/test_guard.ml: Alcotest Guard Iface Iommu Iopmp List QCheck QCheck_alcotest Result Snpu

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Hashtbl Interp Ir Kernel List Option QCheck QCheck_alcotest Result Value

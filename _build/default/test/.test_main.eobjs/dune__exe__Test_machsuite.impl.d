@@ -1,0 +1,1 @@
+test/test_machsuite.ml: Alcotest Array Capchecker Hls Kernel List Machsuite

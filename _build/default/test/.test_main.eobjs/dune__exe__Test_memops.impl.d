@@ -1,0 +1,1 @@
+test/test_memops.ml: Alcotest Array Cheri Kernel List Memops Tagmem

@@ -1,0 +1,1 @@
+test/test_mmio.ml: Alcotest Capchecker Checker Cheri Guard Int64 Mmio Table

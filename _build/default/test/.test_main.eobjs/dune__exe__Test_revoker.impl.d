@@ -1,0 +1,1 @@
+test/test_revoker.ml: Alcotest Capchecker Cheri Driver Guard Revoker Tagmem

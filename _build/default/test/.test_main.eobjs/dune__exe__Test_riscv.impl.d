@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Array Cheri Kernel List Machsuite Memops Riscv String Tagmem

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Attacks Bytes Cheri Driver List Matrix Memops Printf Scenario Security Soc Tagmem

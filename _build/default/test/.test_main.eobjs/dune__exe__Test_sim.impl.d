@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Ccsim Clock List QCheck QCheck_alcotest Report Rng Stats String

@@ -1,0 +1,1 @@
+test/test_soc.ml: Alcotest Capchecker Cpu Guard List Machsuite Soc

@@ -1,0 +1,1 @@
+test/test_tagmem.ml: Alcotest Alloc Bytes Char Cheri List Mem QCheck QCheck_alcotest Tagmem

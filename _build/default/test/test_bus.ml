@@ -1,0 +1,102 @@
+(* Interconnect model: beat math, FIFO arbitration, address map. *)
+
+open Bus
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_beats_for () =
+  let p = Params.default in
+  checki "1 byte = 1 beat" 1 (Params.beats_for p 1);
+  checki "8 bytes = 1 beat" 1 (Params.beats_for p 8);
+  checki "9 bytes = 2 beats" 2 (Params.beats_for p 9);
+  checki "0 bytes still 1 beat" 1 (Params.beats_for p 0);
+  checki "128 bytes = 16 beats" 16 (Params.beats_for p 128)
+
+let ap = Params.default.Params.addr_phase
+
+let test_fabric_single_request () =
+  let f = Fabric.create Params.default in
+  let g = Fabric.request f ~at:10 ~beats:4 ~is_read:true ~extra_latency:0 in
+  checki "granted when requested" 10 g.Fabric.granted_at;
+  checki "data done after address phase + beats" (10 + ap + 4) g.Fabric.data_done;
+  checki "completed adds read latency"
+    (10 + ap + 4 + Params.default.Params.read_latency) g.Fabric.completed
+
+let test_fabric_serializes () =
+  let f = Fabric.create Params.default in
+  let g1 = Fabric.request f ~at:0 ~beats:8 ~is_read:true ~extra_latency:0 in
+  let g2 = Fabric.request f ~at:0 ~beats:8 ~is_read:true ~extra_latency:0 in
+  checki "first immediate" 0 g1.Fabric.granted_at;
+  checki "second waits for the bus" (ap + 8) g2.Fabric.granted_at;
+  checki "beats accounted" 16 (Fabric.total_beats f)
+
+let test_fabric_idle_gap () =
+  let f = Fabric.create Params.default in
+  let _ = Fabric.request f ~at:0 ~beats:2 ~is_read:false ~extra_latency:0 in
+  let g = Fabric.request f ~at:100 ~beats:2 ~is_read:false ~extra_latency:0 in
+  checki "no queueing after idle gap" 100 g.Fabric.granted_at
+
+let test_fabric_extra_latency () =
+  let f = Fabric.create Params.default in
+  let g0 = Fabric.request f ~at:0 ~beats:1 ~is_read:true ~extra_latency:0 in
+  Fabric.reset f;
+  let g1 = Fabric.request f ~at:0 ~beats:1 ~is_read:true ~extra_latency:3 in
+  checki "latency added to completion only" (g0.Fabric.completed + 3)
+    g1.Fabric.completed;
+  checki "data phase unchanged" g0.Fabric.data_done g1.Fabric.data_done
+
+let test_fabric_write_latency () =
+  let f = Fabric.create Params.default in
+  let g = Fabric.request f ~at:0 ~beats:1 ~is_read:false ~extra_latency:0 in
+  checki "write completion" (ap + 1 + Params.default.Params.write_latency)
+    g.Fabric.completed
+
+let test_addr_map () =
+  checkb "dram holds heap" true
+    (Addr_map.in_dram ~addr:Addr_map.heap_base ~size:4096);
+  checkb "ctrl regs outside dram" false
+    (Addr_map.in_dram ~addr:Addr_map.accel_ctrl_base ~size:8);
+  let r0 = Addr_map.ctrl_reg ~instance:0 ~reg:0 in
+  let r1 = Addr_map.ctrl_reg ~instance:1 ~reg:0 in
+  checki "instance stride" Addr_map.accel_ctrl_stride (r1 - r0);
+  checki "reg stride" 8 (Addr_map.ctrl_reg ~instance:0 ~reg:1 - r0)
+
+let prop_fifo_monotonic =
+  QCheck.Test.make ~count:200 ~name:"grants never move backwards"
+    QCheck.(small_list (pair (int_bound 50) (int_range 1 16)))
+    (fun reqs ->
+      let f = Fabric.create Params.default in
+      let now = ref 0 in
+      List.for_all
+        (fun (delay, beats) ->
+          now := !now + delay;
+          let g = Fabric.request f ~at:!now ~beats ~is_read:true ~extra_latency:0 in
+          g.Fabric.granted_at >= !now
+          && g.Fabric.data_done = g.Fabric.granted_at + ap + beats)
+        reqs)
+
+let prop_beats_conserved =
+  QCheck.Test.make ~count:200 ~name:"total beats equals sum of requests"
+    QCheck.(small_list (int_range 1 16))
+    (fun beats_list ->
+      let f = Fabric.create Params.default in
+      List.iter
+        (fun b -> ignore (Fabric.request f ~at:0 ~beats:b ~is_read:true ~extra_latency:0))
+        beats_list;
+      Fabric.total_beats f = List.fold_left ( + ) 0 beats_list)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_fifo_monotonic; prop_beats_conserved ]
+
+let suite =
+  [
+    ("beats_for", `Quick, test_beats_for);
+    ("single request", `Quick, test_fabric_single_request);
+    ("bus serializes", `Quick, test_fabric_serializes);
+    ("idle gap", `Quick, test_fabric_idle_gap);
+    ("extra latency", `Quick, test_fabric_extra_latency);
+    ("write latency", `Quick, test_fabric_write_latency);
+    ("address map", `Quick, test_addr_map);
+  ]
+  @ qsuite

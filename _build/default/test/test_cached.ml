@@ -1,0 +1,127 @@
+(* The cached CapChecker variant (§5.2.3): a small cache in front of an
+   in-tagged-memory capability table. *)
+
+open Capchecker
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let table_base = 0x8000
+let max_tasks = 4
+let max_objs = 8
+
+let make ?(cache_entries = 4) () =
+  let mem = Tagmem.Mem.create ~size:(1 lsl 17) in
+  let c =
+    Cached.create ~cache_entries ~mode:Checker.Fine ~mem ~table_base ~max_tasks
+      ~max_objs ()
+  in
+  (mem, c)
+
+let cap base len =
+  match Cheri.Cap.set_bounds Cheri.Cap.root ~base ~length:len with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "cap: %s" (Cheri.Cap.error_to_string e)
+
+let read_req ~port ~source ~addr =
+  { Guard.Iface.source; port = Some port; addr; size = 8; kind = Guard.Iface.Read }
+
+let granted = function Guard.Iface.Granted _ -> true | Guard.Iface.Denied _ -> false
+
+let latency_of c req =
+  match Cached.check c req with
+  | Guard.Iface.Granted { latency; _ } -> latency
+  | Guard.Iface.Denied d -> Alcotest.failf "denied: %s" d.Guard.Iface.detail
+
+let test_install_check_hit_miss () =
+  let _, c = make () in
+  (match Cached.install c ~task:1 ~obj:0 (cap 0x1000 64) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let req = read_req ~port:0 ~source:1 ~addr:0x1000 in
+  checki "first access misses" Cached.miss_latency (latency_of c req);
+  checki "second access hits" Cached.hit_latency (latency_of c req);
+  checki "hits" 1 (Cached.hits c);
+  checki "misses" 1 (Cached.misses c)
+
+let test_check_denies_oob () =
+  let _, c = make () in
+  (match Cached.install c ~task:1 ~obj:0 (cap 0x1000 64) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  checkb "oob denied" false (granted (Cached.check c (read_req ~port:0 ~source:1 ~addr:0x2000)));
+  checkb "missing entry denied" false
+    (granted (Cached.check c (read_req ~port:5 ~source:1 ~addr:0x1000)));
+  checkb "out-of-range key denied" false
+    (granted (Cached.check c (read_req ~port:200 ~source:1 ~addr:0x1000)))
+
+let test_conflict_misses () =
+  let _, c = make ~cache_entries:1 () in
+  (match Cached.install c ~task:0 ~obj:0 (cap 0x1000 64) with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Cached.install c ~task:0 ~obj:1 (cap 0x2000 64) with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore (latency_of c (read_req ~port:0 ~source:0 ~addr:0x1000));
+  ignore (latency_of c (read_req ~port:1 ~source:0 ~addr:0x2000));
+  checki "thrashing: both miss again" Cached.miss_latency
+    (latency_of c (read_req ~port:0 ~source:0 ~addr:0x1000));
+  checki "three misses" 3 (Cached.misses c)
+
+let test_evict_task () =
+  let _, c = make () in
+  (match Cached.install c ~task:1 ~obj:0 (cap 0x1000 64) with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Cached.install c ~task:1 ~obj:1 (cap 0x2000 64) with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore (latency_of c (read_req ~port:0 ~source:1 ~addr:0x1000));
+  checki "two cleared" 2 (Cached.evict_task c ~task:1);
+  checkb "stale access denied after evict" false
+    (granted (Cached.check c (read_req ~port:0 ~source:1 ~addr:0x1000)))
+
+let test_backing_corruption_detags () =
+  (* Any raw write over the backing table clears the tag — a corrupted entry
+     stops granting instead of granting wrongly. *)
+  let mem, c = make () in
+  (match Cached.install c ~task:1 ~obj:0 (cap 0x1000 64) with Ok () -> () | Error e -> Alcotest.fail e);
+  let key = (1 * max_objs) + 0 in
+  Tagmem.Mem.write_u64 mem ~addr:(table_base + (key * 16)) 0xFFFFFFFFL;
+  checkb "corrupted entry denies" false
+    (granted (Cached.check c (read_req ~port:0 ~source:1 ~addr:0x1000)))
+
+let test_install_invalidates_stale_line () =
+  let _, c = make () in
+  (match Cached.install c ~task:1 ~obj:0 (cap 0x1000 64) with Ok () -> () | Error e -> Alcotest.fail e);
+  ignore (latency_of c (read_req ~port:0 ~source:1 ~addr:0x1000));
+  (* Reinstall with different bounds; the cached line must not keep granting
+     the old region. *)
+  (match Cached.install c ~task:1 ~obj:0 (cap 0x4000 64) with Ok () -> () | Error e -> Alcotest.fail e);
+  checkb "old grant gone" false
+    (granted (Cached.check c (read_req ~port:0 ~source:1 ~addr:0x1000)));
+  checkb "new grant live" true
+    (granted (Cached.check c (read_req ~port:0 ~source:1 ~addr:0x4000)))
+
+let test_area_saving () =
+  let _, c = make ~cache_entries:16 () in
+  checkb "cached variant much smaller than the flat 256-entry table" true
+    (Cached.area_luts c * 5 < Area.luts ~entries:256)
+
+let test_entries_in_use () =
+  let _, c = make () in
+  let g = Cached.as_guard c in
+  checki "empty" 0 (g.Guard.Iface.entries_in_use ());
+  (match Cached.install c ~task:2 ~obj:3 (cap 0 16) with Ok () -> () | Error e -> Alcotest.fail e);
+  checki "one live" 1 (g.Guard.Iface.entries_in_use ())
+
+let test_out_of_range_install () =
+  let _, c = make () in
+  checkb "task beyond range rejected" true
+    (Result.is_error (Cached.install c ~task:99 ~obj:0 (cap 0 16)))
+
+let suite =
+  [
+    ("install + hit/miss", `Quick, test_install_check_hit_miss);
+    ("denies OOB and missing", `Quick, test_check_denies_oob);
+    ("conflict thrashing", `Quick, test_conflict_misses);
+    ("evict task", `Quick, test_evict_task);
+    ("backing corruption detags", `Quick, test_backing_corruption_detags);
+    ("install invalidates line", `Quick, test_install_invalidates_stale_line);
+    ("area saving", `Quick, test_area_saving);
+    ("entries in use", `Quick, test_entries_in_use);
+    ("out-of-range install", `Quick, test_out_of_range_install);
+  ]

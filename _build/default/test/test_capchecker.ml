@@ -1,0 +1,218 @@
+(* The CapChecker: capability table management, Fine/Coarse adjudication,
+   exception reporting, Coarse address composition, area model. *)
+
+open Capchecker
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let cap ?(perms = Cheri.Perms.data_rw) base len =
+  let c =
+    match Cheri.Cap.set_bounds Cheri.Cap.root ~base ~length:len with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "cap: %s" (Cheri.Cap.error_to_string e)
+  in
+  match Cheri.Cap.with_perms c perms with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "perms: %s" (Cheri.Cap.error_to_string e)
+
+let read_req ?port ~source ~addr ~size () =
+  { Guard.Iface.source; port; addr; size; kind = Guard.Iface.Read }
+
+let write_req ?port ~source ~addr ~size () =
+  { Guard.Iface.source; port; addr; size; kind = Guard.Iface.Write }
+
+let granted = function Guard.Iface.Granted _ -> true | Guard.Iface.Denied _ -> false
+
+let install_exn c ~task ~obj capability =
+  match Checker.install c ~task ~obj capability with
+  | Table.Installed slot -> slot
+  | Table.Table_full -> Alcotest.fail "table full"
+  | Table.Rejected_untagged -> Alcotest.fail "rejected"
+
+(* ---------------- table ---------------- *)
+
+let test_table_install_lookup () =
+  let t = Table.create ~entries:8 in
+  (match Table.install t ~task:1 ~obj:0 (cap 0x1000 64) with
+  | Table.Installed _ -> ()
+  | Table.Table_full | Table.Rejected_untagged -> Alcotest.fail "install");
+  checki "live" 1 (Table.live_count t);
+  checkb "found" true (Table.lookup t ~task:1 ~obj:0 <> None);
+  checkb "missing obj" true (Table.lookup t ~task:1 ~obj:1 = None);
+  checkb "missing task" true (Table.lookup t ~task:2 ~obj:0 = None)
+
+let test_table_replace_same_key () =
+  let t = Table.create ~entries:8 in
+  ignore (Table.install t ~task:1 ~obj:0 (cap 0x1000 64));
+  ignore (Table.install t ~task:1 ~obj:0 (cap 0x2000 64));
+  checki "still one entry" 1 (Table.live_count t);
+  match Table.lookup t ~task:1 ~obj:0 with
+  | Some e -> checki "latest wins" 0x2000 e.Table.cap.Cheri.Cap.base
+  | None -> Alcotest.fail "lost entry"
+
+let test_table_full () =
+  let t = Table.create ~entries:2 in
+  ignore (Table.install t ~task:0 ~obj:0 (cap 0 16));
+  ignore (Table.install t ~task:0 ~obj:1 (cap 32 16));
+  (match Table.install t ~task:0 ~obj:2 (cap 64 16) with
+  | Table.Table_full -> ()
+  | Table.Installed _ | Table.Rejected_untagged -> Alcotest.fail "expected full");
+  (* Eviction frees a slot again (the driver's stall-until-evict protocol). *)
+  checkb "evicted" true (Table.evict t ~task:0 ~obj:0);
+  match Table.install t ~task:0 ~obj:2 (cap 64 16) with
+  | Table.Installed _ -> ()
+  | Table.Table_full | Table.Rejected_untagged -> Alcotest.fail "slot not reusable"
+
+let test_table_rejects_untagged () =
+  let t = Table.create ~entries:4 in
+  match Table.install t ~task:0 ~obj:0 (Cheri.Cap.clear_tag (cap 0 16)) with
+  | Table.Rejected_untagged -> ()
+  | Table.Installed _ | Table.Table_full -> Alcotest.fail "accepted untagged"
+
+let test_table_evict_task () =
+  let t = Table.create ~entries:8 in
+  ignore (Table.install t ~task:1 ~obj:0 (cap 0 16));
+  ignore (Table.install t ~task:1 ~obj:1 (cap 32 16));
+  ignore (Table.install t ~task:2 ~obj:0 (cap 64 16));
+  checki "two evicted" 2 (Table.evict_task t ~task:1);
+  checki "one left" 1 (Table.live_count t);
+  checkb "other task intact" true (Table.lookup t ~task:2 ~obj:0 <> None)
+
+(* ---------------- fine mode ---------------- *)
+
+let test_fine_grants_and_denies () =
+  let c = Checker.create ~entries:8 Checker.Fine in
+  ignore (install_exn c ~task:1 ~obj:0 (cap 0x1000 64));
+  checkb "in bounds" true
+    (granted (Checker.check c (read_req ~port:0 ~source:1 ~addr:0x1020 ~size:8 ())));
+  checkb "oob denied" false
+    (granted (Checker.check c (read_req ~port:0 ~source:1 ~addr:0x1040 ~size:8 ())));
+  checkb "wrong port denied" false
+    (granted (Checker.check c (read_req ~port:1 ~source:1 ~addr:0x1020 ~size:8 ())));
+  checkb "wrong task denied" false
+    (granted (Checker.check c (read_req ~port:0 ~source:2 ~addr:0x1020 ~size:8 ())));
+  checkb "no provenance denied" false
+    (granted (Checker.check c (read_req ~source:1 ~addr:0x1020 ~size:8 ())))
+
+let test_fine_readonly_cap () =
+  let c = Checker.create ~entries:8 Checker.Fine in
+  ignore (install_exn c ~task:1 ~obj:0 (cap ~perms:Cheri.Perms.data_ro 0x1000 64));
+  checkb "read ok" true
+    (granted (Checker.check c (read_req ~port:0 ~source:1 ~addr:0x1000 ~size:8 ())));
+  checkb "write denied" false
+    (granted (Checker.check c (write_req ~port:0 ~source:1 ~addr:0x1000 ~size:8 ())))
+
+(* ---------------- coarse mode ---------------- *)
+
+let test_coarse_compose_split () =
+  let addr = Checker.compose_coarse ~obj:3 0x1234 in
+  let obj, phys = Checker.split_coarse addr in
+  checki "obj" 3 obj;
+  checki "phys" 0x1234 phys
+
+let test_coarse_grants_and_strips () =
+  let c = Checker.create ~entries:8 Checker.Coarse in
+  ignore (install_exn c ~task:1 ~obj:2 (cap 0x8000 128));
+  let addr = Checker.compose_coarse ~obj:2 0x8010 in
+  (match Checker.check c (read_req ~source:1 ~addr ~size:8 ()) with
+  | Guard.Iface.Granted { phys; _ } -> checki "id stripped" 0x8010 phys
+  | Guard.Iface.Denied d -> Alcotest.failf "denied: %s" d.Guard.Iface.detail);
+  (* Address overflow that stays under the same object id is caught. *)
+  checkb "plain overflow denied" false
+    (granted
+       (Checker.check c
+          (read_req ~source:1 ~addr:(Checker.compose_coarse ~obj:2 0x9000) ~size:8 ())))
+
+let test_coarse_unknown_object () =
+  let c = Checker.create ~entries:8 Checker.Coarse in
+  ignore (install_exn c ~task:1 ~obj:2 (cap 0x8000 128));
+  checkb "unknown id denied" false
+    (granted
+       (Checker.check c
+          (read_req ~source:1 ~addr:(Checker.compose_coarse ~obj:7 0x8000) ~size:8 ())))
+
+(* ---------------- exceptions ---------------- *)
+
+let test_exception_flag_and_log () =
+  let c = Checker.create ~entries:8 Checker.Fine in
+  ignore (install_exn c ~task:1 ~obj:0 (cap 0x1000 64));
+  ignore (install_exn c ~task:2 ~obj:0 (cap 0x2000 64));
+  checkb "flag clear" false (Checker.exception_flag c);
+  ignore (Checker.check c (read_req ~port:0 ~source:1 ~addr:0x9999 ~size:8 ()));
+  checkb "flag raised" true (Checker.exception_flag c);
+  checki "task 1 logged" 1 (List.length (Checker.exception_log_for c ~task:1));
+  checki "task 2 clean" 0 (List.length (Checker.exception_log_for c ~task:2));
+  checki "entry bit set" 1
+    (List.length (Table.entries_with_exceptions (Checker.table c)));
+  Checker.clear_exception_flag c;
+  checkb "flag cleared" false (Checker.exception_flag c);
+  checki "log survives the flag" 1 (List.length (Checker.exception_log c))
+
+let test_granted_after_denial () =
+  (* A denial must not wedge the checker: subsequent legal traffic flows. *)
+  let c = Checker.create ~entries:8 Checker.Fine in
+  ignore (install_exn c ~task:1 ~obj:0 (cap 0x1000 64));
+  ignore (Checker.check c (read_req ~port:0 ~source:1 ~addr:0 ~size:8 ()));
+  checkb "still grants" true
+    (granted (Checker.check c (read_req ~port:0 ~source:1 ~addr:0x1000 ~size:8 ())))
+
+(* ---------------- costs and area ---------------- *)
+
+let test_mmio_costs_positive () =
+  let p = Bus.Params.default in
+  checkb "install" true (Checker.install_cycles p > 0);
+  checkb "evict" true (Checker.evict_cycles p > 0);
+  checkb "poll" true (Checker.poll_cycles p > 0);
+  checkb "install is the expensive one" true
+    (Checker.install_cycles p > Checker.evict_cycles p)
+
+let test_area_calibration () =
+  let full = Area.luts ~entries:Area.prototype_entries in
+  checkb "256 entries ~ 30k LUTs" true (full > 28_000 && full < 32_000);
+  let tiny = Area.luts_lightweight ~entries:4 in
+  checkb "CFU variant < 100 LUTs" true (tiny < 100)
+
+let test_guard_view () =
+  let c = Checker.create Checker.Fine in
+  let g = Checker.as_guard c in
+  checkb "object granularity" true
+    (g.Guard.Iface.info.granularity = Guard.Iface.G_object);
+  let coarse = Checker.as_guard (Checker.create Checker.Coarse) in
+  checkb "coarse is task granularity" true
+    (coarse.Guard.Iface.info.granularity = Guard.Iface.G_task);
+  ignore (install_exn c ~task:0 ~obj:0 (cap 0 16));
+  checki "entries view" 1 (g.Guard.Iface.entries_in_use ())
+
+let prop_check_agrees_with_cap =
+  QCheck.Test.make ~count:300 ~name:"grant iff the capability allows"
+    QCheck.(triple (int_bound 100_000) (int_range 1 1_000) (int_bound 120_000))
+    (fun (base, len, addr) ->
+      let c = Checker.create ~entries:4 Checker.Fine in
+      let capability = cap base len in
+      ignore (install_exn c ~task:0 ~obj:0 capability);
+      let req = read_req ~port:0 ~source:0 ~addr ~size:8 () in
+      granted (Checker.check c req)
+      = (Cheri.Cap.access_ok capability ~addr ~size:8 Cheri.Cap.Read = Ok ()))
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_check_agrees_with_cap ]
+
+let suite =
+  [
+    ("table install/lookup", `Quick, test_table_install_lookup);
+    ("table replace same key", `Quick, test_table_replace_same_key);
+    ("table full and evict", `Quick, test_table_full);
+    ("table rejects untagged", `Quick, test_table_rejects_untagged);
+    ("table evict task", `Quick, test_table_evict_task);
+    ("fine grants/denies", `Quick, test_fine_grants_and_denies);
+    ("fine read-only cap", `Quick, test_fine_readonly_cap);
+    ("coarse compose/split", `Quick, test_coarse_compose_split);
+    ("coarse grant strips id", `Quick, test_coarse_grants_and_strips);
+    ("coarse unknown object", `Quick, test_coarse_unknown_object);
+    ("exception flag and log", `Quick, test_exception_flag_and_log);
+    ("grants after denial", `Quick, test_granted_after_denial);
+    ("mmio costs", `Quick, test_mmio_costs_positive);
+    ("area calibration", `Quick, test_area_calibration);
+    ("guard view", `Quick, test_guard_view);
+  ]
+  @ qsuite

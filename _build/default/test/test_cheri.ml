@@ -1,0 +1,282 @@
+(* Unit and property tests for the CHERI capability substrate: permissions,
+   compressed-bounds arithmetic, capability derivation monotonicity and the
+   128-bit encode/decode round trip. *)
+
+open Cheri
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let ok_exn = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Cap.error_to_string e)
+
+let err_exn name = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error e -> e
+
+(* ---------------- Perms ---------------- *)
+
+let test_perms_mem () =
+  checkb "load in data_rw" true (Perms.mem Perms.load Perms.data_rw);
+  checkb "store in data_rw" true (Perms.mem Perms.store Perms.data_rw);
+  checkb "store not in data_ro" false (Perms.mem Perms.store Perms.data_ro);
+  checkb "store_cap not in data_rw" false (Perms.mem Perms.store_cap Perms.data_rw);
+  checkb "none subset of all" true (Perms.subset Perms.none Perms.all);
+  checkb "all not subset of none" false (Perms.subset Perms.all Perms.none)
+
+let test_perms_ops () =
+  let u = Perms.union Perms.load Perms.store in
+  checkb "union has both" true (Perms.mem Perms.load u && Perms.mem Perms.store u);
+  checki "inter with none" 0 (Perms.to_mask (Perms.inter u Perms.none));
+  let d = Perms.diff u Perms.store in
+  checkb "diff removes" false (Perms.mem Perms.store d);
+  checkb "diff keeps" true (Perms.mem Perms.load d)
+
+let test_perms_mask_roundtrip () =
+  for mask = 0 to Perms.to_mask Perms.all do
+    checki "roundtrip" mask (Perms.to_mask (Perms.of_mask mask))
+  done;
+  Alcotest.check_raises "of_mask out of range"
+    (Invalid_argument "Perms.of_mask: out of range") (fun () ->
+      ignore (Perms.of_mask (1 lsl 12)))
+
+let test_perms_to_string () =
+  check Alcotest.string "empty" "-" (Perms.to_string Perms.none);
+  check Alcotest.string "rw" "GRW" (Perms.to_string Perms.data_rw)
+
+(* ---------------- Bounds_enc ---------------- *)
+
+let test_round_small_exact () =
+  (* Anything below 2^mantissa bytes at byte granularity is exact. *)
+  List.iter
+    (fun (base, len) ->
+      let b', t' = Bounds_enc.round ~base ~top:(base + len) in
+      checki "base unchanged" base b';
+      checki "top unchanged" (base + len) t')
+    [ (0, 0); (0, 1); (17, 3); (4096, 8191); (123, 16000); (1, 16382) ]
+
+let test_round_large_covers () =
+  let base = 1_000_003 and top = 1_000_003 + 1_000_000 in
+  let b', t' = Bounds_enc.round ~base ~top in
+  checkb "covers base" true (b' <= base);
+  checkb "covers top" true (t' >= top);
+  checkb "rounded is exact" true (Bounds_enc.is_exact ~base:b' ~top:t')
+
+let test_exponent_zero_for_small () =
+  checki "small exponent" 0 (Bounds_enc.exponent_for ~base:0 ~top:16383);
+  checkb "bigger needs exponent" true (Bounds_enc.exponent_for ~base:0 ~top:70000 > 0)
+
+let test_malloc_shape () =
+  let align, padded = Bounds_enc.malloc_shape ~length:66564 in
+  checkb "align pow2" true (align land (align - 1) = 0);
+  checkb "padded covers" true (padded >= 66564);
+  checki "padded aligned" 0 (padded mod align);
+  (* A base aligned to [align] must give exact bounds. *)
+  checkb "shape exact" true (Bounds_enc.is_exact ~base:(3 * align) ~top:((3 * align) + padded))
+
+let test_decode_roundtrip_manual () =
+  let base = 0x12340 and top = 0x12340 + 4096 in
+  let e, b_low, len_m = Bounds_enc.encode_bounds ~base ~top in
+  List.iter
+    (fun addr ->
+      let b', t' = Bounds_enc.decode_bounds ~addr ~e ~b_low ~len_m in
+      checki "base" base b';
+      checki "top" top t')
+    [ base; base + 1; base + 2048; top - 1; top ]
+
+let prop_round_covers =
+  QCheck.Test.make ~count:500 ~name:"round covers the request"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 5_000_000))
+    (fun (base, len) ->
+      let b', t' = Bounds_enc.round ~base ~top:(base + len) in
+      b' <= base && t' >= base + len && Bounds_enc.is_exact ~base:b' ~top:t')
+
+let prop_bounds_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"encode/decode bounds roundtrip (addr within)"
+    QCheck.(triple (int_bound 2_000_000) (int_bound 3_000_000) (int_bound 10_000))
+    (fun (base, len, off) ->
+      let b', t' = Bounds_enc.round ~base ~top:(base + len) in
+      let e, b_low, len_m = Bounds_enc.encode_bounds ~base:b' ~top:t' in
+      let addr = b' + (off mod (t' - b' + 1)) in
+      Bounds_enc.decode_bounds ~addr ~e ~b_low ~len_m = (b', t'))
+
+(* ---------------- Cap derivation ---------------- *)
+
+let test_root_shape () =
+  checkb "root tagged" true Cap.root.tag;
+  checkb "root unsealed" false (Cap.is_sealed Cap.root);
+  checki "root base" 0 Cap.root.base;
+  checki "root length" Cap.max_address (Cap.length Cap.root)
+
+let test_set_bounds_basic () =
+  let c = ok_exn (Cap.set_bounds Cap.root ~base:0x1000 ~length:256) in
+  checki "base" 0x1000 c.Cap.base;
+  checki "top" 0x1100 c.Cap.top;
+  checki "addr at base" 0x1000 c.Cap.addr;
+  checkb "still tagged" true c.Cap.tag
+
+let test_set_bounds_monotonic () =
+  let parent = ok_exn (Cap.set_bounds Cap.root ~base:0x1000 ~length:256) in
+  let _child = ok_exn (Cap.set_bounds parent ~base:0x1040 ~length:64) in
+  (match err_exn "grow" (Cap.set_bounds parent ~base:0x0800 ~length:64) with
+  | Cap.Monotonicity_violation -> ()
+  | e -> Alcotest.failf "wrong error: %s" (Cap.error_to_string e));
+  match err_exn "past top" (Cap.set_bounds parent ~base:0x10c0 ~length:128) with
+  | Cap.Monotonicity_violation -> ()
+  | e -> Alcotest.failf "wrong error: %s" (Cap.error_to_string e)
+
+let test_set_bounds_untagged_rejected () =
+  let dead = Cap.clear_tag Cap.root in
+  match err_exn "untagged" (Cap.set_bounds dead ~base:0 ~length:16) with
+  | Cap.Tag_violation -> ()
+  | e -> Alcotest.failf "wrong error: %s" (Cap.error_to_string e)
+
+let test_set_bounds_exact_rejects_unrepresentable () =
+  match Cap.set_bounds_exact Cap.root ~base:1 ~length:1_000_001 with
+  | Error Cap.Representability_error -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Cap.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected representability error"
+
+let test_set_address () =
+  let c = ok_exn (Cap.set_bounds Cap.root ~base:0x1000 ~length:256) in
+  let inside = Cap.set_address c 0x1080 in
+  checkb "inside keeps tag" true inside.Cap.tag;
+  checki "cursor moved" 0x1080 inside.Cap.addr;
+  let outside = Cap.set_address c 0x2000 in
+  checkb "outside clears tag" false outside.Cap.tag
+
+let test_with_perms_only_reduces () =
+  let c = ok_exn (Cap.set_bounds Cap.root ~base:0 ~length:64) in
+  let ro = ok_exn (Cap.with_perms c Perms.data_ro) in
+  checkb "no store" false (Perms.mem Perms.store ro.Cap.perms);
+  (* Attempting to regain a permission silently yields the intersection. *)
+  let again = ok_exn (Cap.with_perms ro Perms.data_rw) in
+  checkb "store not regained" false (Perms.mem Perms.store again.Cap.perms)
+
+let test_seal_unseal () =
+  let sealer =
+    Cap.set_address (ok_exn (Cap.set_bounds Cap.root ~base:0x40 ~length:16)) 0x42
+  in
+  let c = ok_exn (Cap.set_bounds Cap.root ~base:0x1000 ~length:64) in
+  let sealed = ok_exn (Cap.seal_with c ~sealer) in
+  checkb "sealed" true (Cap.is_sealed sealed);
+  checki "otype" 0x42 sealed.Cap.otype;
+  (match Cap.access_ok sealed ~addr:0x1000 ~size:8 Cap.Read with
+  | Error Cap.Seal_violation -> ()
+  | Ok () | Error _ -> Alcotest.fail "sealed capability dereferenced");
+  let unsealed = ok_exn (Cap.unseal_with sealed ~unsealer:sealer) in
+  checkb "unsealed" false (Cap.is_sealed unsealed);
+  (* Wrong otype cannot unseal. *)
+  let wrong = Cap.set_address sealer 0x43 in
+  match Cap.unseal_with sealed ~unsealer:wrong with
+  | Error Cap.Seal_violation -> ()
+  | Ok _ | Error _ -> Alcotest.fail "unsealed with wrong otype"
+
+let test_access_ok_matrix () =
+  let c =
+    ok_exn
+      (Cap.with_perms (ok_exn (Cap.set_bounds Cap.root ~base:0x100 ~length:64))
+         Perms.data_ro)
+  in
+  checkb "read in bounds" true (Cap.access_ok c ~addr:0x100 ~size:8 Cap.Read = Ok ());
+  checkb "read whole" true (Cap.access_ok c ~addr:0x100 ~size:64 Cap.Read = Ok ());
+  (match Cap.access_ok c ~addr:0x13c ~size:8 Cap.Read with
+  | Error (Cap.Bounds_violation _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "straddling access allowed");
+  (match Cap.access_ok c ~addr:0xf8 ~size:8 Cap.Read with
+  | Error (Cap.Bounds_violation _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "underflow allowed");
+  (match Cap.access_ok c ~addr:0x100 ~size:8 Cap.Write with
+  | Error (Cap.Perm_violation _) -> ()
+  | Ok () | Error _ -> Alcotest.fail "write through read-only");
+  match Cap.access_ok (Cap.clear_tag c) ~addr:0x100 ~size:8 Cap.Read with
+  | Error Cap.Tag_violation -> ()
+  | Ok () | Error _ -> Alcotest.fail "untagged dereference"
+
+let test_derives () =
+  let parent = ok_exn (Cap.set_bounds Cap.root ~base:0x1000 ~length:4096) in
+  let child = ok_exn (Cap.set_bounds parent ~base:0x1100 ~length:64) in
+  checkb "child derives" true (Cap.derives ~parent child);
+  checkb "parent does not derive from child" false (Cap.derives ~parent:child parent)
+
+let gen_cap =
+  QCheck.Gen.(
+    let* base = int_bound 1_000_000 in
+    let* len = int_bound 2_000_000 in
+    let* mask = int_bound (Perms.to_mask Perms.all) in
+    let cap =
+      match Cap.set_bounds Cap.root ~base ~length:len with
+      | Ok c -> c
+      | Error _ -> Cap.root
+    in
+    match Cap.with_perms cap (Perms.of_mask mask) with
+    | Ok c -> return c
+    | Error _ -> return cap)
+
+let arb_cap = QCheck.make ~print:Cap.to_string gen_cap
+
+let prop_derivation_monotonic =
+  QCheck.Test.make ~count:500 ~name:"set_bounds never grows authority"
+    QCheck.(pair arb_cap (pair (int_bound 2_000_000) (int_bound 100_000)))
+    (fun (parent, (base, len)) ->
+      match Cap.set_bounds parent ~base ~length:len with
+      | Ok child -> Cap.derives ~parent child
+      | Error _ -> true)
+
+let prop_compress_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"128-bit encode/decode roundtrip"
+    QCheck.(pair arb_cap (int_bound 1_000_000))
+    (fun (cap, off) ->
+      let cap = Cap.set_address cap (cap.Cap.base + (off mod (Cap.length cap + 1))) in
+      let decoded = Compress.decode ~tag:cap.Cap.tag (Compress.encode cap) in
+      Cap.equal decoded cap)
+
+let prop_access_ok_model =
+  QCheck.Test.make ~count:500 ~name:"access_ok agrees with the naive model"
+    QCheck.(pair arb_cap (pair (int_bound 3_000_000) (int_bound 64)))
+    (fun (cap, (addr, size)) ->
+      let expected =
+        cap.Cap.tag
+        && (not (Cap.is_sealed cap))
+        && Perms.mem Perms.load cap.Cap.perms
+        && addr >= cap.Cap.base
+        && addr + size <= cap.Cap.top
+      in
+      (Cap.access_ok cap ~addr ~size Cap.Read = Ok ()) = expected)
+
+let test_compress_zero () =
+  let z = Compress.zero in
+  checkb "zero equals itself" true (Compress.equal_words z z);
+  let decoded = Compress.decode ~tag:false z in
+  checkb "zero decodes untagged" false decoded.Cap.tag
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+  [ prop_round_covers; prop_bounds_roundtrip; prop_derivation_monotonic;
+    prop_compress_roundtrip; prop_access_ok_model ]
+
+let suite =
+  [
+    ("perms membership", `Quick, test_perms_mem);
+    ("perms set ops", `Quick, test_perms_ops);
+    ("perms mask roundtrip", `Quick, test_perms_mask_roundtrip);
+    ("perms to_string", `Quick, test_perms_to_string);
+    ("round: small exact", `Quick, test_round_small_exact);
+    ("round: large covers", `Quick, test_round_large_covers);
+    ("exponent selection", `Quick, test_exponent_zero_for_small);
+    ("malloc shape", `Quick, test_malloc_shape);
+    ("bounds decode roundtrip", `Quick, test_decode_roundtrip_manual);
+    ("root capability", `Quick, test_root_shape);
+    ("set_bounds basic", `Quick, test_set_bounds_basic);
+    ("set_bounds monotonic", `Quick, test_set_bounds_monotonic);
+    ("set_bounds untagged", `Quick, test_set_bounds_untagged_rejected);
+    ("set_bounds_exact unrepresentable", `Quick, test_set_bounds_exact_rejects_unrepresentable);
+    ("set_address in/out of bounds", `Quick, test_set_address);
+    ("with_perms reduces only", `Quick, test_with_perms_only_reduces);
+    ("seal and unseal", `Quick, test_seal_unseal);
+    ("access_ok matrix", `Quick, test_access_ok_matrix);
+    ("derives", `Quick, test_derives);
+    ("compress zero", `Quick, test_compress_zero);
+  ]
+  @ qsuite

@@ -1,0 +1,261 @@
+(* Differential testing: randomly generated (well-typed, in-bounds,
+   terminating) kernels executed by all four engines —
+
+     1. the reference interpreter over plain arrays,
+     2. the abstract CPU cost model over tagged memory,
+     3. the RV64 instruction-level core,
+     4. the purecap CHERI core,
+
+   — must leave bit-identical buffer contents.  This is the strongest check
+   in the suite: any semantic drift between the interpreter, the memory
+   element codecs, the code generator or the ISA simulator shows up as a
+   counterexample kernel. *)
+
+open Kernel.Ir
+
+let buf_len = 16
+
+(* ------------------------------------------------------------------ *)
+(* Random kernel generation                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Indices are masked to the buffer length, divisors forced nonzero, shifts
+   bounded, and loops bounded by constants — generated kernels always
+   terminate and never leave their buffers, so every engine must finish
+   cleanly (purecap included). *)
+
+type genv = {
+  rng : Ccsim.Rng.t;
+  mutable int_locals : string list;
+  mutable float_locals : string list;
+  mutable fresh : int;
+}
+
+let pick g xs = List.nth xs (Ccsim.Rng.int g.rng (List.length xs))
+
+let safe_index g e = band e (i (buf_len - 1)) |> fun masked ->
+  ignore g;
+  masked
+
+let rec gen_int_exp g depth =
+  if depth = 0 || Ccsim.Rng.int g.rng 3 = 0 then
+    match g.int_locals with
+    | [] -> i (Ccsim.Rng.int_in g.rng (-20) 20)
+    | locals when Ccsim.Rng.bool g.rng -> v (pick g locals)
+    | _ -> i (Ccsim.Rng.int_in g.rng (-20) 20)
+  else
+    match Ccsim.Rng.int g.rng 12 with
+    | 0 -> gen_int_exp g (depth - 1) +: gen_int_exp g (depth - 1)
+    | 1 -> gen_int_exp g (depth - 1) -: gen_int_exp g (depth - 1)
+    | 2 -> gen_int_exp g (depth - 1) *: i (Ccsim.Rng.int_in g.rng (-5) 5)
+    | 3 ->
+        (* nonzero divisor *)
+        gen_int_exp g (depth - 1) /: (band (gen_int_exp g (depth - 1)) (i 7) +: i 1)
+    | 4 -> gen_int_exp g (depth - 1) %: (band (gen_int_exp g (depth - 1)) (i 7) +: i 1)
+    | 5 -> band (gen_int_exp g (depth - 1)) (gen_int_exp g (depth - 1))
+    | 6 -> bxor (gen_int_exp g (depth - 1)) (gen_int_exp g (depth - 1))
+    | 7 -> shl (gen_int_exp g (depth - 1)) (band (gen_int_exp g (depth - 1)) (i 7))
+    | 8 -> gen_int_exp g (depth - 1) <: gen_int_exp g (depth - 1)
+    | 9 -> imin (gen_int_exp g (depth - 1)) (gen_int_exp g (depth - 1))
+    | 10 -> ld "ints" (safe_index g (gen_int_exp g (depth - 1)))
+    | _ -> f2i (fmin (gen_float_exp g (depth - 1)) (f 1000.0))
+
+and gen_float_exp g depth =
+  if depth = 0 || Ccsim.Rng.int g.rng 3 = 0 then
+    match g.float_locals with
+    | [] -> f (Ccsim.Rng.float g.rng 4.0 -. 2.0)
+    | locals when Ccsim.Rng.bool g.rng -> v (pick g locals)
+    | _ -> f (Ccsim.Rng.float g.rng 4.0 -. 2.0)
+  else
+    match Ccsim.Rng.int g.rng 8 with
+    | 0 -> gen_float_exp g (depth - 1) +.: gen_float_exp g (depth - 1)
+    | 1 -> gen_float_exp g (depth - 1) -.: gen_float_exp g (depth - 1)
+    | 2 -> gen_float_exp g (depth - 1) *.: gen_float_exp g (depth - 1)
+    | 3 -> fmax (gen_float_exp g (depth - 1)) (gen_float_exp g (depth - 1))
+    | 4 -> fabs_ (gen_float_exp g (depth - 1))
+    | 5 -> i2f (gen_int_exp g (depth - 1))
+    | 6 -> ld "floats" (safe_index g (gen_int_exp g (depth - 1)))
+    | _ -> ld "fscratch" (safe_index g (gen_int_exp g (depth - 1)))
+
+let gen_cond g depth =
+  match Ccsim.Rng.int g.rng 3 with
+  | 0 -> gen_int_exp g depth <: gen_int_exp g depth
+  | 1 -> gen_float_exp g depth <.: gen_float_exp g depth
+  | _ -> band (gen_int_exp g depth) (i 1)
+
+let fresh_local g prefix =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s%d" prefix g.fresh
+
+let rec gen_stmt g depth =
+  match Ccsim.Rng.int g.rng (if depth = 0 then 6 else 9) with
+  | 0 ->
+      let name =
+        if g.int_locals <> [] && Ccsim.Rng.bool g.rng then pick g g.int_locals
+        else begin
+          let n = fresh_local g "iv" in
+          g.int_locals <- n :: g.int_locals;
+          n
+        end
+      in
+      let_ name (gen_int_exp g 2)
+  | 1 ->
+      let name =
+        if g.float_locals <> [] && Ccsim.Rng.bool g.rng then pick g g.float_locals
+        else begin
+          let n = fresh_local g "fv" in
+          g.float_locals <- n :: g.float_locals;
+          n
+        end
+      in
+      let_ name (gen_float_exp g 2)
+  | 2 -> store "ints" (safe_index g (gen_int_exp g 2)) (gen_int_exp g 2)
+  | 3 -> store "floats" (safe_index g (gen_int_exp g 2)) (gen_float_exp g 2)
+  | 4 -> store "iscratch" (safe_index g (gen_int_exp g 2)) (gen_int_exp g 2)
+  | 5 -> store "fscratch" (safe_index g (gen_int_exp g 2)) (gen_float_exp g 2)
+  | 6 ->
+      let var = fresh_local g "loop" in
+      let body = gen_block g (depth - 1) in
+      g.int_locals <- var :: g.int_locals;
+      for_ var (i 0) (i (1 + Ccsim.Rng.int g.rng 6)) body
+  | 7 -> if_ (gen_cond g 2) (gen_block g (depth - 1)) (gen_block g (depth - 1))
+  | _ ->
+      if Ccsim.Rng.bool g.rng then
+        memcpy ~dst:"iscratch" ~src:"ints" ~elems:(i (1 + Ccsim.Rng.int g.rng buf_len))
+      else
+        memcpy ~dst:"floats" ~src:"fscratch" ~elems:(i (1 + Ccsim.Rng.int g.rng buf_len))
+
+and gen_block g depth =
+  List.init (1 + Ccsim.Rng.int g.rng 3) (fun _ -> gen_stmt g (max 0 depth))
+
+let gen_kernel seed =
+  let g =
+    { rng = Ccsim.Rng.create seed; int_locals = []; float_locals = []; fresh = 0 }
+  in
+  let body = List.init (2 + Ccsim.Rng.int g.rng 4) (fun _ -> gen_stmt g 2) in
+  (* A local's defining Let may sit in a branch that never executes; a
+     prelude binds every generated local so all references are defined. *)
+  let prelude =
+    List.map (fun name -> let_ name (i 0)) g.int_locals
+    @ List.map (fun name -> let_ name (f 0.0)) g.float_locals
+  in
+  let body = prelude @ body in
+  {
+    name = Printf.sprintf "random_%d" seed;
+    bufs =
+      [ buf "ints" I64 buf_len; buf "floats" F64 buf_len;
+        buf ~writable:false "ro" I32 buf_len ];
+    scratch = [ buf "iscratch" I64 buf_len; buf "fscratch" F64 buf_len ];
+    body;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The four engines                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let init_value name idx : Kernel.Value.t =
+  match name with
+  | "ints" -> VI ((idx * 37) - 11)
+  | "ro" -> VI (idx - 5)
+  | "floats" -> VF ((float_of_int idx *. 0.75) -. 3.0)
+  | _ -> VI 0
+
+let interp_reference kernel =
+  let arrays =
+    List.map
+      (fun (d : buf_decl) ->
+        (d.buf_name, Array.init d.len (fun idx -> init_value d.buf_name idx)))
+      kernel.bufs
+  in
+  let m = Kernel.Interp.pure_machine ~bufs:arrays () in
+  Kernel.Interp.run kernel m;
+  arrays
+
+let with_memory_engine kernel run_engine =
+  let mem = Tagmem.Mem.create ~size:(1 lsl 16) in
+  let heap = Tagmem.Alloc.create ~base:1024 ~size:((1 lsl 16) - 1024) in
+  let layout =
+    Memops.Layout.make
+      (List.map
+         (fun (decl : buf_decl) ->
+           let bytes = buf_decl_bytes decl in
+           let align, padded = Cheri.Bounds_enc.malloc_shape ~length:bytes in
+           { Memops.Layout.decl; base = Tagmem.Alloc.malloc heap ~align padded })
+         kernel.bufs)
+  in
+  List.iter
+    (fun (binding : Memops.Layout.binding) ->
+      Memops.Layout.init_buffer mem binding (fun idx ->
+          init_value binding.decl.buf_name idx))
+    (Memops.Layout.bindings layout);
+  run_engine mem heap layout;
+  List.map
+    (fun (decl : buf_decl) ->
+      (decl.buf_name, Memops.Layout.read_buffer mem (Memops.Layout.find layout decl.buf_name)))
+    kernel.bufs
+
+let engine_abstract_cpu kernel =
+  with_memory_engine kernel (fun mem _heap layout ->
+      let r = Cpu.Model.run (Cpu.Model.config Cpu.Model.Rv64) mem kernel layout () in
+      match r.Cpu.Model.trap with
+      | None -> ()
+      | Some reason -> Alcotest.failf "%s: abstract CPU trapped: %s" kernel.name reason)
+
+let engine_core target kernel =
+  with_memory_engine kernel (fun mem heap layout ->
+      let r = Riscv.Exec.run_kernel ~target ~mem ~heap ~layout kernel in
+      match r.Riscv.Exec.machine.Riscv.Machine.trap with
+      | None -> ()
+      | Some t ->
+          Alcotest.failf "%s: core trapped at %d: %s" kernel.name t.Riscv.Machine.pc
+            t.Riscv.Machine.reason)
+
+let value_to_string = Kernel.Value.to_string
+
+let compare_results kernel name (reference : (string * Kernel.Value.t array) list)
+    actual =
+  List.iter2
+    (fun (bname, expected) (bname', got) ->
+      assert (bname = bname');
+      Array.iteri
+        (fun idx e ->
+          if not (Kernel.Value.equal e got.(idx)) then
+            Alcotest.failf "%s: %s disagrees on %s[%d]: %s vs %s\n%s"
+              kernel.name name bname idx (value_to_string e)
+              (value_to_string got.(idx))
+              (Kernel.Ir.to_string kernel))
+        expected)
+    reference actual
+
+let differential seed =
+  let kernel = gen_kernel seed in
+  match Kernel.Ir.validate kernel with
+  | Error msg -> Alcotest.failf "generated invalid kernel: %s" msg
+  | Ok () ->
+      let reference = interp_reference kernel in
+      compare_results kernel "abstract-cpu" reference (engine_abstract_cpu kernel);
+      compare_results kernel "rv64-core" reference
+        (engine_core Riscv.Codegen.Rv64_target kernel);
+      compare_results kernel "purecap-core" reference
+        (engine_core Riscv.Codegen.Purecap_target kernel)
+
+let test_differential_battery () =
+  for seed = 1 to 150 do
+    differential seed
+  done
+
+let test_differential_battery_deep () =
+  for seed = 1000 to 1060 do
+    differential seed
+  done
+
+let test_generator_is_deterministic () =
+  let k1 = gen_kernel 42 and k2 = gen_kernel 42 in
+  Alcotest.(check bool) "same kernel" true (k1 = k2)
+
+let suite =
+  [
+    ("generator deterministic", `Quick, test_generator_is_deterministic);
+    ("4-engine differential x150", `Slow, test_differential_battery);
+    ("4-engine differential (more seeds)", `Slow, test_differential_battery_deep);
+  ]

@@ -1,0 +1,311 @@
+(* The kernel IR and its interpreter: validation, expression semantics,
+   control flow, scratch memories, memcpy lowering, cost accounting and the
+   dependent-load classifier. *)
+
+open Kernel
+open Kernel.Ir
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let run_pure ?params kernel bufs =
+  let arrays =
+    List.map
+      (fun (d : buf_decl) ->
+        ( d.buf_name,
+          match List.assoc_opt d.buf_name bufs with
+          | Some a -> a
+          | None ->
+              Array.make d.len
+                (if elem_is_float d.elem then Value.VF 0.0 else Value.VI 0) ))
+      kernel.bufs
+  in
+  let m = Interp.pure_machine ~bufs:arrays ?params () in
+  Interp.run kernel m;
+  arrays
+
+let simple name ?(bufs = [ buf "out" I64 8 ]) ?(scratch = []) body =
+  { name; bufs; scratch; body }
+
+(* ---------------- validation ---------------- *)
+
+let test_validate_ok () =
+  let k = simple "ok" [ store "out" (i 0) (i 1) ] in
+  checkb "valid" true (Ir.validate k = Ok ())
+
+let test_validate_unknown_buffer () =
+  let k = simple "bad" [ store "nope" (i 0) (i 1) ] in
+  checkb "invalid" true (Result.is_error (Ir.validate k))
+
+let test_validate_readonly_store () =
+  let k =
+    simple "ro" ~bufs:[ buf ~writable:false "out" I64 8 ] [ store "out" (i 0) (i 1) ]
+  in
+  checkb "invalid" true (Result.is_error (Ir.validate k))
+
+let test_validate_duplicate_names () =
+  let k = simple "dup" ~bufs:[ buf "x" I64 1; buf "x" I32 1 ] [] in
+  checkb "invalid" true (Result.is_error (Ir.validate k))
+
+let test_validate_scratch_buf_collision () =
+  let k = simple "col" ~bufs:[ buf "x" I64 1 ] ~scratch:[ buf "x" I64 1 ] [] in
+  checkb "invalid" true (Result.is_error (Ir.validate k))
+
+let test_validate_memcpy_type_mismatch () =
+  let k =
+    simple "mc" ~bufs:[ buf "a" I64 4; buf "b" F32 4 ]
+      [ memcpy ~dst:"a" ~src:"b" ~elems:(i 4) ]
+  in
+  checkb "invalid" true (Result.is_error (Ir.validate k))
+
+let test_validate_scratch_store_ok () =
+  let k =
+    simple "ss" ~scratch:[ buf "tmp" I64 4 ] [ store "tmp" (i 0) (i 1) ]
+  in
+  checkb "scratch writable" true (Ir.validate k = Ok ())
+
+(* ---------------- semantics ---------------- *)
+
+let test_int_ops () =
+  let k =
+    simple "ints"
+      [
+        store "out" (i 0) ((i 7 *: i 6) +: i 2);
+        store "out" (i 1) (i 17 %: i 5);
+        store "out" (i 2) (shl (i 3) (i 4));
+        store "out" (i 3) (imin (i 9) (i 4));
+        store "out" (i 4) (bxor (i 0xF0) (i 0xFF));
+        store "out" (i 5) (i 10 -: i 25);
+        store "out" (i 6) (shr (i (-16)) (i 2));
+        store "out" (i 7) ((i 3 <: i 4) &&: (i 1 =: i 1));
+      ]
+  in
+  let out = List.assoc "out" (run_pure k []) in
+  let expect = [| 44; 2; 48; 4; 0x0F; -15; -4; 1 |] in
+  Array.iteri (fun idx e -> checki "slot" e (Value.as_int out.(idx))) expect
+
+let test_float_ops () =
+  let k =
+    simple "floats" ~bufs:[ buf "out" F64 6 ]
+      [
+        store "out" (i 0) (f 1.5 +.: f 2.25);
+        store "out" (i 1) (f 3.0 *.: f 0.5);
+        store "out" (i 2) (fsqrt (f 16.0));
+        store "out" (i 3) (fmax (f 2.0) (f (-3.0)));
+        store "out" (i 4) (i2f (i 42));
+        store "out" (i 5) (fabs_ (f (-7.5)));
+      ]
+  in
+  let out = List.assoc "out" (run_pure k []) in
+  List.iteri
+    (fun idx e -> checkf "slot" e (Value.as_float out.(idx)))
+    [ 3.75; 1.5; 4.0; 2.0; 42.0; 7.5 ]
+
+let test_for_loop () =
+  let k =
+    simple "sum"
+      [
+        let_ "acc" (i 0);
+        for_ "j" (i 0) (i 10) [ let_ "acc" (v "acc" +: v "j") ];
+        store "out" (i 0) (v "acc");
+      ]
+  in
+  let out = List.assoc "out" (run_pure k []) in
+  checki "sum 0..9" 45 (Value.as_int out.(0))
+
+let test_for_empty_range () =
+  let k =
+    simple "empty"
+      [
+        let_ "acc" (i 99);
+        for_ "j" (i 5) (i 5) [ let_ "acc" (i 0) ];
+        store "out" (i 0) (v "acc");
+      ]
+  in
+  checki "body never ran" 99 (Value.as_int (List.assoc "out" (run_pure k [])).(0))
+
+let test_while_loop () =
+  let k =
+    simple "collatz"
+      [
+        let_ "n" (i 27);
+        let_ "steps" (i 0);
+        while_ (v "n" >: i 1)
+          [
+            if_ ((v "n" %: i 2) =: i 0)
+              [ let_ "n" (v "n" /: i 2) ]
+              [ let_ "n" ((v "n" *: i 3) +: i 1) ];
+            let_ "steps" (v "steps" +: i 1);
+          ];
+        store "out" (i 0) (v "steps");
+      ]
+  in
+  checki "collatz(27)" 111 (Value.as_int (List.assoc "out" (run_pure k [])).(0))
+
+let test_fuel_exhaustion () =
+  let k = simple "spin" [ while_ (i 1) [ let_ "x" (i 0) ] ] in
+  try
+    ignore (run_pure k []);
+    Alcotest.fail "expected fuel exhaustion"
+  with Interp.Fuel_exhausted -> ()
+
+let test_params () =
+  let k = simple "param" [ store "out" (i 0) (p "n" *: i 2) ] in
+  let out = Array.make 8 (Value.VI 0) in
+  let m = Interp.pure_machine ~bufs:[ ("out", out) ] ~params:[ ("n", Value.VI 21) ] () in
+  Interp.run k m;
+  checki "param used" 42 (Value.as_int out.(0))
+
+let test_scratch_isolated_and_zeroed () =
+  let k =
+    simple "scratch" ~scratch:[ buf "tmp" I64 4 ]
+      [
+        store "out" (i 0) (ld "tmp" (i 2));  (* scratch starts zeroed *)
+        store "tmp" (i 1) (i 5);
+        store "out" (i 1) (ld "tmp" (i 1));
+      ]
+  in
+  let out = List.assoc "out" (run_pure k []) in
+  checki "zero init" 0 (Value.as_int out.(0));
+  checki "scratch rw" 5 (Value.as_int out.(1))
+
+let test_scratch_oob_aborts () =
+  let k =
+    simple "oob" ~scratch:[ buf "tmp" I64 4 ] [ store "out" (i 0) (ld "tmp" (i 9)) ]
+  in
+  try
+    ignore (run_pure k []);
+    Alcotest.fail "scratch OOB not caught"
+  with Interp.Aborted _ -> ()
+
+let test_memcpy_buffer_to_buffer () =
+  let k =
+    simple "copy" ~bufs:[ buf "src" I64 4; buf "out" I64 4 ]
+      [ memcpy ~dst:"out" ~src:"src" ~elems:(i 4) ]
+  in
+  let src = Array.init 4 (fun j -> Value.VI (j * 11)) in
+  let out = List.assoc "out" (run_pure k [ ("src", src) ]) in
+  Array.iteri (fun j e -> checki "copied" (Value.as_int src.(j)) (Value.as_int e))
+    out
+
+let test_memcpy_through_scratch () =
+  let k =
+    simple "stage" ~bufs:[ buf "src" I64 4; buf "out" I64 4 ]
+      ~scratch:[ buf "tmp" I64 4 ]
+      [
+        memcpy ~dst:"tmp" ~src:"src" ~elems:(i 4);
+        store "tmp" (i 0) (ld "tmp" (i 0) +: i 1);
+        memcpy ~dst:"out" ~src:"tmp" ~elems:(i 4);
+      ]
+  in
+  let src = Array.init 4 (fun j -> Value.VI j) in
+  let out = List.assoc "out" (run_pure k [ ("src", src) ]) in
+  checki "staged and modified" 1 (Value.as_int out.(0));
+  checki "rest copied" 3 (Value.as_int out.(3))
+
+let test_division_by_zero_aborts () =
+  let k = simple "div0" [ store "out" (i 0) (i 1 /: i 0) ] in
+  try
+    ignore (run_pure k []);
+    Alcotest.fail "division by zero not caught"
+  with Interp.Aborted _ -> ()
+
+let test_contains_load () =
+  checkb "plain index" false (contains_load (v "j" +: i 4));
+  checkb "loaded index" true (contains_load (ld "a" (i 0) +: i 4));
+  checkb "nested" true (contains_load (Un (Neg, Bin (Add, i 1, ld "a" (i 0)))))
+
+let test_dependent_flag_passed () =
+  let seen = ref [] in
+  let k =
+    simple "dep" ~bufs:[ buf "a" I64 8; buf "out" I64 8 ]
+      [ store "out" (i 0) (ld "a" (ld "a" (i 0))); store "out" (i 1) (ld "a" (i 1)) ]
+  in
+  let arrays = [ ("a", Array.make 8 (Value.VI 0)); ("out", Array.make 8 (Value.VI 0)) ] in
+  let pure = Interp.pure_machine ~bufs:arrays () in
+  let m =
+    { pure with
+      Interp.load =
+        (fun name ~idx ~dependent ->
+          seen := dependent :: !seen;
+          pure.Interp.load name ~idx ~dependent) }
+  in
+  Interp.run k m;
+  (* Loads observed (reverse order): a[1] streaming, a[a[0]] dependent,
+     a[0] streaming. *)
+  Alcotest.(check (list bool)) "dependence" [ false; true; false ] !seen
+
+let test_cost_classes () =
+  checkb "mul is imul" true (Interp.cost_of_binop Mul = Interp.Imul);
+  checkb "mod is idiv" true (Interp.cost_of_binop Mod = Interp.Idiv);
+  checkb "fmul" true (Interp.cost_of_binop Fmul = Interp.Fmul);
+  checkb "compare is alu" true (Interp.cost_of_binop Lt = Interp.Alu);
+  checkb "fsqrt is special" true (Interp.cost_of_unop Fsqrt = Interp.Fspec)
+
+let test_tick_counts () =
+  let ticks = Hashtbl.create 8 in
+  let k =
+    simple "ticks"
+      [ let_ "x" ((i 1 +: i 2) *: i 3); for_ "j" (i 0) (i 4) [ let_ "y" (v "j") ] ]
+  in
+  let pure = Interp.pure_machine ~bufs:[ ("out", Array.make 8 (Value.VI 0)) ] () in
+  let m =
+    { pure with
+      Interp.tick =
+        (fun c n ->
+          let cur = Option.value ~default:0 (Hashtbl.find_opt ticks c) in
+          Hashtbl.replace ticks c (cur + n)) }
+  in
+  Interp.run k m;
+  checki "one add" 1 (Option.value ~default:0 (Hashtbl.find_opt ticks Interp.Alu));
+  checki "one mul" 1 (Option.value ~default:0 (Hashtbl.find_opt ticks Interp.Imul));
+  checki "four back-edges" 4
+    (Option.value ~default:0 (Hashtbl.find_opt ticks Interp.Branch))
+
+let prop_interp_deterministic =
+  QCheck.Test.make ~count:100 ~name:"interpretation is deterministic"
+    QCheck.(small_list (int_bound 1000))
+    (fun xs ->
+      let n = max 1 (List.length xs) in
+      let k =
+        simple "det" ~bufs:[ buf "a" I64 n; buf "out" I64 n ]
+          [
+            for_ "j" (i 0) (i n)
+              [ store "out" (v "j") ((ld "a" (v "j") *: i 3) +: v "j") ];
+          ]
+      in
+      let a () = Array.of_list (List.map (fun x -> Value.VI x) (if xs = [] then [0] else xs)) in
+      let r1 = List.assoc "out" (run_pure k [ ("a", a ()) ]) in
+      let r2 = List.assoc "out" (run_pure k [ ("a", a ()) ]) in
+      r1 = r2)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_interp_deterministic ]
+
+let suite =
+  [
+    ("validate ok", `Quick, test_validate_ok);
+    ("validate unknown buffer", `Quick, test_validate_unknown_buffer);
+    ("validate read-only store", `Quick, test_validate_readonly_store);
+    ("validate duplicate names", `Quick, test_validate_duplicate_names);
+    ("validate scratch collision", `Quick, test_validate_scratch_buf_collision);
+    ("validate memcpy types", `Quick, test_validate_memcpy_type_mismatch);
+    ("validate scratch store", `Quick, test_validate_scratch_store_ok);
+    ("integer ops", `Quick, test_int_ops);
+    ("float ops", `Quick, test_float_ops);
+    ("for loop", `Quick, test_for_loop);
+    ("for empty range", `Quick, test_for_empty_range);
+    ("while loop", `Quick, test_while_loop);
+    ("fuel exhaustion", `Quick, test_fuel_exhaustion);
+    ("params", `Quick, test_params);
+    ("scratch zeroed and isolated", `Quick, test_scratch_isolated_and_zeroed);
+    ("scratch OOB aborts", `Quick, test_scratch_oob_aborts);
+    ("memcpy buffer/buffer", `Quick, test_memcpy_buffer_to_buffer);
+    ("memcpy through scratch", `Quick, test_memcpy_through_scratch);
+    ("division by zero", `Quick, test_division_by_zero_aborts);
+    ("contains_load", `Quick, test_contains_load);
+    ("dependent flag", `Quick, test_dependent_flag_passed);
+    ("cost classes", `Quick, test_cost_classes);
+    ("tick counts", `Quick, test_tick_counts);
+  ]
+  @ qsuite

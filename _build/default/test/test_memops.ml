@@ -1,0 +1,111 @@
+(* Buffer layout and typed element access over tagged memory. *)
+
+open Kernel.Ir
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let mem () = Tagmem.Mem.create ~size:65536
+
+let layout () =
+  Memops.Layout.make
+    [
+      { Memops.Layout.decl = buf "a" I64 8; base = 1024 };
+      { Memops.Layout.decl = buf "b" F32 16; base = 2048 };
+      { Memops.Layout.decl = buf "c" U8 32; base = 4096 };
+      { Memops.Layout.decl = buf "d" I32 8; base = 8192 };
+    ]
+
+let test_find_and_bindings () =
+  let l = layout () in
+  checki "found base" 2048 (Memops.Layout.find l "b").Memops.Layout.base;
+  checkb "missing raises" true
+    (try
+       ignore (Memops.Layout.find l "nope");
+       false
+     with Not_found -> true);
+  let bs = Memops.Layout.bindings l in
+  checki "all bindings" 4 (List.length bs);
+  checkb "sorted by base" true
+    (List.for_all2
+       (fun (x : Memops.Layout.binding) (y : Memops.Layout.binding) ->
+         x.Memops.Layout.base <= y.Memops.Layout.base)
+       (List.filteri (fun idx _ -> idx < 3) bs)
+       (List.tl bs))
+
+let test_duplicate_rejected () =
+  checkb "duplicate names rejected" true
+    (try
+       ignore
+         (Memops.Layout.make
+            [ { Memops.Layout.decl = buf "a" I64 8; base = 0 };
+              { Memops.Layout.decl = buf "a" I64 8; base = 64 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_elem_addr () =
+  let l = layout () in
+  let a = Memops.Layout.find l "a" in
+  checki "i64 stride" (1024 + 24) (Memops.Layout.elem_addr a 3);
+  let c = Memops.Layout.find l "c" in
+  checki "byte stride" (4096 + 5) (Memops.Layout.elem_addr c 5);
+  (* No clamping: out-of-range and negative indices produce raw addresses. *)
+  checki "oob address" (1024 + 800) (Memops.Layout.elem_addr a 100);
+  checki "negative address" (1024 - 8) (Memops.Layout.elem_addr a (-1))
+
+let test_typed_roundtrips () =
+  let m = mem () in
+  Memops.Layout.write_elem m I64 ~addr:0 (Kernel.Value.VI (-123456789));
+  checki "i64" (-123456789) (Kernel.Value.as_int (Memops.Layout.read_elem m I64 ~addr:0));
+  Memops.Layout.write_elem m I32 ~addr:8 (Kernel.Value.VI (-7));
+  checki "i32 sign extension" (-7)
+    (Kernel.Value.as_int (Memops.Layout.read_elem m I32 ~addr:8));
+  Memops.Layout.write_elem m U8 ~addr:12 (Kernel.Value.VI 0x1FF);
+  checki "u8 truncation" 0xFF (Kernel.Value.as_int (Memops.Layout.read_elem m U8 ~addr:12));
+  Memops.Layout.write_elem m F64 ~addr:16 (Kernel.Value.VF 2.5);
+  Alcotest.(check (float 0.0)) "f64" 2.5
+    (Kernel.Value.as_float (Memops.Layout.read_elem m F64 ~addr:16))
+
+let test_f32_narrowing () =
+  let m = mem () in
+  let v = 0.1 in
+  Memops.Layout.write_elem m F32 ~addr:0 (Kernel.Value.VF v);
+  let back = Kernel.Value.as_float (Memops.Layout.read_elem m F32 ~addr:0) in
+  checkb "narrowed" true (back <> v);
+  Alcotest.(check (float 1e-7)) "close" v back;
+  (* Re-storing the narrowed value is lossless. *)
+  Memops.Layout.write_elem m F32 ~addr:8 (Kernel.Value.VF back);
+  Alcotest.(check (float 0.0)) "fixpoint" back
+    (Kernel.Value.as_float (Memops.Layout.read_elem m F32 ~addr:8))
+
+let test_init_and_read_buffer () =
+  let m = mem () in
+  let b = { Memops.Layout.decl = buf "x" I32 10; base = 256 } in
+  Memops.Layout.init_buffer m b (fun idx -> Kernel.Value.VI (idx * idx));
+  let back = Memops.Layout.read_buffer m b in
+  checki "len" 10 (Array.length back);
+  Array.iteri (fun idx v -> checki "elem" (idx * idx) (Kernel.Value.as_int v)) back
+
+let test_preserving_write_keeps_tags () =
+  let m = mem () in
+  let cap =
+    match Cheri.Cap.set_bounds Cheri.Cap.root ~base:0 ~length:64 with
+    | Ok c -> c
+    | Error _ -> assert false
+  in
+  Tagmem.Mem.store_cap m ~addr:512 cap;
+  Memops.Layout.write_elem_preserving_tags m I64 ~addr:512 (Kernel.Value.VI 1);
+  checkb "tag kept" true (Tagmem.Mem.tag_at m ~addr:512);
+  Memops.Layout.write_elem m I64 ~addr:512 (Kernel.Value.VI 1);
+  checkb "normal write clears" false (Tagmem.Mem.tag_at m ~addr:512)
+
+let suite =
+  [
+    ("find and bindings", `Quick, test_find_and_bindings);
+    ("duplicates rejected", `Quick, test_duplicate_rejected);
+    ("element addressing", `Quick, test_elem_addr);
+    ("typed roundtrips", `Quick, test_typed_roundtrips);
+    ("f32 narrowing", `Quick, test_f32_narrowing);
+    ("init/read buffer", `Quick, test_init_and_read_buffer);
+    ("tag-preserving write", `Quick, test_preserving_write_keeps_tags);
+  ]

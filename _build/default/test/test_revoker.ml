@@ -1,0 +1,103 @@
+(* Quarantine-and-sweep revocation: after a sweep, no capability to a freed
+   region survives anywhere in the system. *)
+
+open Driver
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let cap base len =
+  match Cheri.Cap.set_bounds Cheri.Cap.root ~base ~length:len with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "cap: %s" (Cheri.Cap.error_to_string e)
+
+let make () =
+  let mem = Tagmem.Mem.create ~size:(1 lsl 18) in
+  (mem, Revoker.create mem)
+
+let test_quarantine_accounting () =
+  let _, r = make () in
+  checki "empty" 0 (Revoker.quarantined_bytes r);
+  Revoker.quarantine r ~base:0x1000 ~size:256;
+  Revoker.quarantine r ~base:0x4000 ~size:64;
+  checki "tracked" 320 (Revoker.quarantined_bytes r);
+  checkb "overlap detected" true (Revoker.overlaps r ~base:0x10f0 ~top:0x1200);
+  checkb "disjoint clean" false (Revoker.overlaps r ~base:0x2000 ~top:0x3000)
+
+let test_sweep_revokes_overlapping_caps () =
+  let mem, r = make () in
+  (* Three capabilities in memory: inside, straddling, and disjoint. *)
+  Tagmem.Mem.store_cap mem ~addr:0x100 (cap 0x1000 64);      (* inside *)
+  Tagmem.Mem.store_cap mem ~addr:0x200 (cap 0x0ff0 64);      (* straddles *)
+  Tagmem.Mem.store_cap mem ~addr:0x300 (cap 0x8000 64);      (* disjoint *)
+  Revoker.quarantine r ~base:0x1000 ~size:256;
+  let report = Revoker.sweep r in
+  checki "two revoked" 2 report.Revoker.caps_revoked;
+  checkb "inside detagged" false (Tagmem.Mem.tag_at mem ~addr:0x100);
+  checkb "straddler detagged" false (Tagmem.Mem.tag_at mem ~addr:0x200);
+  checkb "disjoint survives" true (Tagmem.Mem.tag_at mem ~addr:0x300);
+  checki "quarantine emptied" 0 (Revoker.quarantined_bytes r);
+  Alcotest.(check (list (pair int int))) "region released"
+    [ (0x1000, 0x1100) ] report.Revoker.released
+
+let test_swept_cap_is_dead () =
+  let mem, r = make () in
+  Tagmem.Mem.store_cap mem ~addr:0x100 (cap 0x1000 64);
+  Revoker.quarantine r ~base:0x1000 ~size:64;
+  ignore (Revoker.sweep r);
+  let stale = Tagmem.Mem.load_cap mem ~addr:0x100 in
+  checkb "dereference fails" true
+    (Cheri.Cap.access_ok stale ~addr:0x1000 ~size:8 Cheri.Cap.Read <> Ok ())
+
+let test_sweep_evicts_capchecker_entries () =
+  let mem, r = make () in
+  ignore mem;
+  let checker = Capchecker.Checker.create ~entries:8 Capchecker.Checker.Fine in
+  (match Capchecker.Checker.install checker ~task:1 ~obj:0 (cap 0x1000 64) with
+  | Capchecker.Table.Installed _ -> ()
+  | Capchecker.Table.Table_full | Capchecker.Table.Rejected_untagged -> assert false);
+  (match Capchecker.Checker.install checker ~task:1 ~obj:1 (cap 0x8000 64) with
+  | Capchecker.Table.Installed _ -> ()
+  | Capchecker.Table.Table_full | Capchecker.Table.Rejected_untagged -> assert false);
+  Revoker.quarantine r ~base:0x1000 ~size:64;
+  let report = Revoker.sweep ~checker r in
+  checki "one entry evicted" 1 report.Revoker.entries_evicted;
+  checki "one left" 1 (Capchecker.Table.live_count (Capchecker.Checker.table checker));
+  (* The accelerator's stale DMA is now denied. *)
+  let outcome =
+    Capchecker.Checker.check checker
+      { Guard.Iface.source = 1; port = Some 0; addr = 0x1000; size = 8;
+        kind = Guard.Iface.Read }
+  in
+  checkb "stale DMA denied" true
+    (match outcome with Guard.Iface.Denied _ -> true | Guard.Iface.Granted _ -> false)
+
+let test_sweep_cost_scales_with_tags () =
+  let mem, r = make () in
+  let empty = Revoker.sweep r in
+  for k = 0 to 63 do
+    Tagmem.Mem.store_cap mem ~addr:(0x1000 + (k * 16)) (cap 0x8000 64)
+  done;
+  let busy = Revoker.sweep r in
+  checkb "tagged granules cost cycles" true
+    (busy.Revoker.cycles > empty.Revoker.cycles);
+  checki "same scan footprint" empty.Revoker.granules_scanned
+    busy.Revoker.granules_scanned
+
+let test_idempotent () =
+  let mem, r = make () in
+  Tagmem.Mem.store_cap mem ~addr:0x100 (cap 0x1000 64);
+  Revoker.quarantine r ~base:0x1000 ~size:64;
+  ignore (Revoker.sweep r);
+  let again = Revoker.sweep r in
+  checki "nothing left to revoke" 0 again.Revoker.caps_revoked
+
+let suite =
+  [
+    ("quarantine accounting", `Quick, test_quarantine_accounting);
+    ("sweep revokes overlapping", `Quick, test_sweep_revokes_overlapping_caps);
+    ("swept capability is dead", `Quick, test_swept_cap_is_dead);
+    ("sweep evicts checker entries", `Quick, test_sweep_evicts_capchecker_entries);
+    ("cost scales with tags", `Quick, test_sweep_cost_scales_with_tags);
+    ("idempotent", `Quick, test_idempotent);
+  ]

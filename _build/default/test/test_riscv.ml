@@ -1,0 +1,346 @@
+(* The instruction-level CPU core and the kernel compiler.
+
+   The headline test compiles every MachSuite benchmark for both targets,
+   runs it on the core, and compares every output buffer bit-for-bit against
+   the reference interpreter — the ISA simulator, the code generator and the
+   abstract interpreter must be three views of one semantics. *)
+
+open Kernel.Ir
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let fresh_env () =
+  let mem = Tagmem.Mem.create ~size:(4 lsl 20) in
+  let heap = Tagmem.Alloc.create ~base:4096 ~size:((4 lsl 20) - 4096) in
+  (mem, heap)
+
+let layout_for heap (kernel : Kernel.Ir.t) =
+  Memops.Layout.make
+    (List.map
+       (fun (decl : buf_decl) ->
+         let bytes = buf_decl_bytes decl in
+         let align, padded = Cheri.Bounds_enc.malloc_shape ~length:bytes in
+         { Memops.Layout.decl; base = Tagmem.Alloc.malloc heap ~align padded })
+       kernel.bufs)
+
+(* ---------------- machine primitives ---------------- *)
+
+let run_insns ?(mode = Riscv.Machine.Rv64) ?setup insns =
+  let mem, _ = fresh_env () in
+  let m = Riscv.Machine.create mode mem in
+  (match setup with Some f -> f m mem | None -> ());
+  (m, Riscv.Machine.run m (Array.of_list (insns @ [ Riscv.Insn.Halt ])))
+
+let test_machine_alu () =
+  let m, r =
+    run_insns
+      [ Riscv.Insn.Li (5, 21); Riscv.Insn.Li (6, 2); Riscv.Insn.Mul (7, 5, 6);
+        Riscv.Insn.Addi (8, 7, -2) ]
+  in
+  checkb "clean" true (r.Riscv.Machine.trap = None);
+  checki "mul" 42 (Riscv.Machine.xreg m 7);
+  checki "addi" 40 (Riscv.Machine.xreg m 8);
+  checki "instructions counted" 5 r.Riscv.Machine.instructions
+
+let test_machine_x0_hardwired () =
+  let m, _ = run_insns [ Riscv.Insn.Li (0, 99) ] in
+  checki "x0 still zero" 0 (Riscv.Machine.xreg m 0)
+
+let test_machine_branches () =
+  (* A count-to-ten loop. *)
+  let m, r =
+    run_insns
+      [
+        Riscv.Insn.Li (5, 0);                (* 0: i = 0 *)
+        Riscv.Insn.Li (6, 10);               (* 1: n = 10 *)
+        Riscv.Insn.Bge (5, 6, 5);            (* 2: while i < n *)
+        Riscv.Insn.Addi (5, 5, 1);           (* 3: i++ *)
+        Riscv.Insn.Jal 2;                    (* 4: loop *)
+      ]
+  in
+  checkb "clean" true (r.Riscv.Machine.trap = None);
+  checki "loop ran" 10 (Riscv.Machine.xreg m 5)
+
+let test_machine_memory () =
+  let mem, _ = fresh_env () in
+  let m = Riscv.Machine.create Riscv.Machine.Rv64 mem in
+  let r =
+    Riscv.Machine.run m
+      [| Riscv.Insn.Li (5, 8192); Riscv.Insn.Li (6, -7);
+         Riscv.Insn.Sx (Riscv.Insn.W, 6, 5, 0);
+         Riscv.Insn.Lx (Riscv.Insn.W, 7, 5, 0); Riscv.Insn.Halt |]
+  in
+  checkb "clean" true (r.Riscv.Machine.trap = None);
+  checki "w store/load sign-extends" (-7) (Riscv.Machine.xreg m 7);
+  checkb "cache was exercised" true (r.Riscv.Machine.cache_misses > 0)
+
+let test_machine_div_by_zero_traps () =
+  let _, r = run_insns [ Riscv.Insn.Li (5, 1); Riscv.Insn.Div (6, 5, 0) ] in
+  checkb "trapped" true (r.Riscv.Machine.trap <> None)
+
+let test_machine_bus_error () =
+  let _, r =
+    run_insns [ Riscv.Insn.Li (5, 1 lsl 40); Riscv.Insn.Lx (Riscv.Insn.D, 6, 5, 0) ]
+  in
+  match r.Riscv.Machine.trap with
+  | Some t -> checkb "bus error" true (String.length t.Riscv.Machine.reason > 0)
+  | None -> Alcotest.fail "expected a trap"
+
+let test_machine_purecap_checks () =
+  let mem, _ = fresh_env () in
+  let m = Riscv.Machine.create Riscv.Machine.Purecap mem in
+  let cap =
+    match Cheri.Cap.set_bounds Cheri.Cap.root ~base:8192 ~length:64 with
+    | Ok c -> c
+    | Error _ -> assert false
+  in
+  Riscv.Machine.set_creg m 10 cap;
+  let r =
+    Riscv.Machine.run m
+      [| Riscv.Insn.Li (5, 123);
+         Riscv.Insn.Csx (Riscv.Insn.D, 5, 10, 0);
+         Riscv.Insn.Clx (Riscv.Insn.D, 6, 10, 0);
+         Riscv.Insn.Csx (Riscv.Insn.D, 5, 10, 64);  (* one past the bounds *)
+         Riscv.Insn.Halt |]
+  in
+  checki "in-bounds store/load" 123 (Riscv.Machine.xreg m 6);
+  (match r.Riscv.Machine.trap with
+  | Some t ->
+      checkb "CHERI trap" true
+        (String.length t.Riscv.Machine.reason >= 5
+        && String.sub t.Riscv.Machine.reason 0 5 = "CHERI")
+  | None -> Alcotest.fail "out-of-bounds store did not trap");
+  checki "trap pc points at the faulting store" 3
+    (match r.Riscv.Machine.trap with Some t -> t.Riscv.Machine.pc | None -> -1)
+
+let test_machine_cap_insn_in_rv64_traps () =
+  let _, r = run_insns [ Riscv.Insn.Cmove (1, 2) ] in
+  checkb "trapped" true (r.Riscv.Machine.trap <> None)
+
+let test_machine_fuel () =
+  let _, r = run_insns ~setup:(fun _ _ -> ()) [ Riscv.Insn.Jal 0 ] in
+  ignore r;
+  let mem, _ = fresh_env () in
+  let m = Riscv.Machine.create Riscv.Machine.Rv64 mem in
+  let r = Riscv.Machine.run ~fuel:100 m [| Riscv.Insn.Jal 0 |] in
+  match r.Riscv.Machine.trap with
+  | Some t -> Alcotest.(check string) "fuel trap" "out of fuel" t.Riscv.Machine.reason
+  | None -> Alcotest.fail "expected fuel exhaustion"
+
+(* ---------------- codegen + end-to-end vs the reference ---------------- *)
+
+let run_and_compare ~target (bench : Machsuite.Bench_def.t) =
+  let mem, heap = fresh_env () in
+  let layout = layout_for heap bench.kernel in
+  List.iter
+    (fun (binding : Memops.Layout.binding) ->
+      Memops.Layout.init_buffer mem binding (fun idx ->
+          bench.init binding.decl.buf_name idx))
+    (Memops.Layout.bindings layout);
+  let { Riscv.Exec.machine; program } =
+    Riscv.Exec.run_kernel ~target ~mem ~heap ~layout ~params:bench.params
+      bench.kernel
+  in
+  (match machine.Riscv.Machine.trap with
+  | None -> ()
+  | Some t ->
+      Alcotest.failf "%s trapped at %d: %s (insn %s)" bench.name t.Riscv.Machine.pc
+        t.Riscv.Machine.reason
+        (Riscv.Insn.to_string program.Riscv.Codegen.insns.(min t.Riscv.Machine.pc
+                                                       (Array.length program.Riscv.Codegen.insns - 1))));
+  let golden = Machsuite.Bench_def.golden bench in
+  List.iter
+    (fun name ->
+      let binding = Memops.Layout.find layout name in
+      let actual = Memops.Layout.read_buffer mem binding in
+      let expected = List.assoc name golden in
+      if not (Array.for_all2 Kernel.Value.equal actual expected) then
+        Alcotest.failf "%s: buffer %s differs from the reference" bench.name name)
+    bench.output_bufs;
+  machine
+
+let fast_benchmarks =
+  [ "aes"; "bfs_bulk"; "bfs_queue"; "fft_strided"; "fft_transpose"; "md_knn";
+    "sort_radix"; "sort_merge"; "spmv_crs"; "spmv_ellpack"; "nw"; "md_grid" ]
+
+let heavy_benchmarks = [ "gemm_ncubed"; "gemm_blocked"; "kmp"; "stencil2d";
+                         "stencil3d"; "backprop"; "viterbi" ]
+
+let test_rv64_matches_reference_fast () =
+  List.iter
+    (fun name ->
+      ignore
+        (run_and_compare ~target:Riscv.Codegen.Rv64_target (Machsuite.Registry.find name)))
+    fast_benchmarks
+
+let test_purecap_matches_reference_fast () =
+  List.iter
+    (fun name ->
+      ignore
+        (run_and_compare ~target:Riscv.Codegen.Purecap_target (Machsuite.Registry.find name)))
+    fast_benchmarks
+
+let test_rv64_matches_reference_heavy () =
+  List.iter
+    (fun name ->
+      ignore
+        (run_and_compare ~target:Riscv.Codegen.Rv64_target (Machsuite.Registry.find name)))
+    heavy_benchmarks
+
+let test_purecap_matches_reference_heavy () =
+  List.iter
+    (fun name ->
+      ignore
+        (run_and_compare ~target:Riscv.Codegen.Purecap_target (Machsuite.Registry.find name)))
+    heavy_benchmarks
+
+let test_all_benchmarks_compile () =
+  List.iter
+    (fun (b : Machsuite.Bench_def.t) ->
+      let mem, heap = fresh_env () in
+      ignore mem;
+      let layout = layout_for heap b.kernel in
+      List.iter
+        (fun target ->
+          let p =
+            Riscv.Codegen.compile ~target ~layout ~scratch_base:(1 lsl 19)
+              ~params:b.params b.kernel
+          in
+          checkb (b.name ^ " nonempty") true (Array.length p.Riscv.Codegen.insns > 1))
+        [ Riscv.Codegen.Rv64_target; Riscv.Codegen.Purecap_target ])
+    Machsuite.Registry.all
+
+let test_purecap_oob_kernel_traps () =
+  (* The whole point: the same buggy kernel that the RV64 build silently
+     executes traps under purecap. *)
+  let buggy =
+    { name = "buggy"; bufs = [ buf "a" I64 8 ]; scratch = [];
+      body = [ store "a" (i 600) (i 1) ] }
+  in
+  let run target =
+    let mem, heap = fresh_env () in
+    let layout = layout_for heap buggy in
+    (Riscv.Exec.run_kernel ~target ~mem ~heap ~layout buggy).Riscv.Exec.machine
+  in
+  let rv64 = run Riscv.Codegen.Rv64_target in
+  checkb "rv64 executes silently" true (rv64.Riscv.Machine.trap = None);
+  let purecap = run Riscv.Codegen.Purecap_target in
+  checkb "purecap traps" true (purecap.Riscv.Machine.trap <> None)
+
+let test_purecap_readonly_cap_traps () =
+  (* A store through a capability lacking the store permission traps in the
+     core, whatever the program believes about its buffers. *)
+  let mem, _ = fresh_env () in
+  let m = Riscv.Machine.create Riscv.Machine.Purecap mem in
+  let ro =
+    match Cheri.Cap.set_bounds Cheri.Cap.root ~base:8192 ~length:64 with
+    | Ok c -> (
+        match Cheri.Cap.with_perms c Cheri.Perms.data_ro with
+        | Ok c -> c
+        | Error _ -> assert false)
+    | Error _ -> assert false
+  in
+  Riscv.Machine.set_creg m 10 ro;
+  let r =
+    Riscv.Machine.run m
+      [| Riscv.Insn.Li (5, 1); Riscv.Insn.Csx (Riscv.Insn.D, 5, 10, 0);
+         Riscv.Insn.Halt |]
+  in
+  checkb "write through RO capability traps" true (r.Riscv.Machine.trap <> None);
+  (* Reads through the same capability are fine. *)
+  let r2 =
+    Riscv.Machine.run m [| Riscv.Insn.Clx (Riscv.Insn.D, 6, 10, 0); Riscv.Insn.Halt |]
+  in
+  checkb "read still allowed" true (r2.Riscv.Machine.trap = None)
+
+let test_codegen_rejects_type_confusion () =
+  let k =
+    { name = "confused"; bufs = [ buf "a" I64 8 ]; scratch = [];
+      body = [ let_ "x" (i 1); let_ "x" (f 2.0) ] }
+  in
+  let mem, heap = fresh_env () in
+  ignore mem;
+  let layout = layout_for heap k in
+  checkb "rejected" true
+    (try
+       ignore
+         (Riscv.Codegen.compile ~target:Riscv.Codegen.Rv64_target ~layout
+            ~scratch_base:0 ~params:[] k);
+       false
+     with Riscv.Codegen.Codegen_error _ -> true)
+
+let test_disassembly_readable () =
+  let k =
+    { name = "tiny"; bufs = [ buf "a" I64 4 ]; scratch = [];
+      body = [ store "a" (i 0) (i 42) ] }
+  in
+  let mem, heap = fresh_env () in
+  ignore mem;
+  let layout = layout_for heap k in
+  let p =
+    Riscv.Codegen.compile ~target:Riscv.Codegen.Rv64_target ~layout ~scratch_base:0
+      ~params:[] k
+  in
+  let text = Riscv.Codegen.disassemble p in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "mentions li" true (contains text "li");
+  checkb "mentions the store" true (contains text "sd");
+  checkb "ends with halt" true (contains text "halt")
+
+let test_instruction_counts_track_work () =
+  let small = Machsuite.Registry.find "aes" in
+  let m = run_and_compare ~target:Riscv.Codegen.Rv64_target small in
+  (* aes does 64 iterations x 10 rounds x 16 words of ~10 instructions. *)
+  checkb "plausible dynamic count" true
+    (m.Riscv.Machine.instructions > 100_000 && m.Riscv.Machine.instructions < 3_000_000)
+
+let test_purecap_uses_capability_instructions () =
+  let bench = Machsuite.Registry.find "fft_transpose" in
+  let mem, heap = fresh_env () in
+  ignore mem;
+  let layout = layout_for heap bench.kernel in
+  let count target =
+    let p =
+      Riscv.Codegen.compile ~target ~layout ~scratch_base:(1 lsl 19)
+        ~params:bench.params bench.kernel
+    in
+    Array.fold_left
+      (fun acc insn ->
+        match insn with
+        | Riscv.Insn.Cincoffset _ | Riscv.Insn.Clx _ | Riscv.Insn.Csx _
+        | Riscv.Insn.Cflx _ | Riscv.Insn.Cfsx _ -> acc + 1
+        | _ -> acc)
+      0 p.Riscv.Codegen.insns
+  in
+  checkb "purecap emits capability memory ops" true
+    (count Riscv.Codegen.Purecap_target > 0);
+  checki "rv64 emits none" 0 (count Riscv.Codegen.Rv64_target)
+
+let suite =
+  [
+    ("machine alu", `Quick, test_machine_alu);
+    ("machine x0", `Quick, test_machine_x0_hardwired);
+    ("machine branches", `Quick, test_machine_branches);
+    ("machine memory", `Quick, test_machine_memory);
+    ("machine div by zero", `Quick, test_machine_div_by_zero_traps);
+    ("machine bus error", `Quick, test_machine_bus_error);
+    ("machine purecap checks", `Quick, test_machine_purecap_checks);
+    ("machine cap insn in rv64", `Quick, test_machine_cap_insn_in_rv64_traps);
+    ("machine fuel", `Quick, test_machine_fuel);
+    ("all benchmarks compile", `Quick, test_all_benchmarks_compile);
+    ("rv64 == reference (fast set)", `Slow, test_rv64_matches_reference_fast);
+    ("purecap == reference (fast set)", `Slow, test_purecap_matches_reference_fast);
+    ("rv64 == reference (heavy set)", `Slow, test_rv64_matches_reference_heavy);
+    ("purecap == reference (heavy set)", `Slow, test_purecap_matches_reference_heavy);
+    ("purecap traps on OOB kernel", `Quick, test_purecap_oob_kernel_traps);
+    ("purecap traps on RO cap", `Quick, test_purecap_readonly_cap_traps);
+    ("codegen rejects type confusion", `Quick, test_codegen_rejects_type_confusion);
+    ("disassembly", `Quick, test_disassembly_readable);
+    ("instruction counts", `Quick, test_instruction_counts_track_work);
+    ("purecap capability instructions", `Quick, test_purecap_uses_capability_instructions);
+  ]

@@ -1,0 +1,201 @@
+(* The threat model, executed: every attack against every scheme, with the
+   expectations of Table 3 asserted, plus the capability-forging scenarios of
+   the motivating example (Figure 2). *)
+
+open Security
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let capchecker_modes =
+  [ Soc.Config.Prot_cc_fine; Soc.Config.Prot_cc_coarse; Soc.Config.Prot_cc_cached ]
+
+let all_guarded =
+  [ Soc.Config.Prot_iopmp; Soc.Config.Prot_iommu; Soc.Config.Prot_snpu ]
+  @ capchecker_modes
+
+let name_of = function
+  | Soc.Config.Prot_none -> "none"
+  | Soc.Config.Prot_naive -> "naive"
+  | Soc.Config.Prot_iopmp -> "iopmp"
+  | Soc.Config.Prot_iommu -> "iommu"
+  | Soc.Config.Prot_snpu -> "snpu"
+  | Soc.Config.Prot_cc_fine -> "fine"
+  | Soc.Config.Prot_cc_coarse -> "coarse"
+  | Soc.Config.Prot_cc_cached -> "cached"
+
+let expect_protected attack name schemes =
+  List.iter
+    (fun p ->
+      let o = attack p in
+      checkb
+        (Printf.sprintf "%s blocked by %s (got %s)" name (name_of p)
+           (Attacks.outcome_to_string o))
+        true (Attacks.is_protected o))
+    schemes
+
+let expect_unprotected attack name schemes =
+  List.iter
+    (fun p ->
+      let o = attack p in
+      checkb
+        (Printf.sprintf "%s succeeds against %s (got %s)" name (name_of p)
+           (Attacks.outcome_to_string o))
+        false (Attacks.is_protected o))
+    schemes
+
+(* --------- cross-task attacks: the headline protection --------- *)
+
+let test_cross_task_overread () =
+  expect_protected Attacks.overread_cross_task "overread" all_guarded;
+  (* Without protection the secret actually leaks. *)
+  checks "leak demonstrated" "LEAKED"
+    (Attacks.outcome_to_string (Attacks.overread_cross_task Soc.Config.Prot_naive))
+
+let test_cross_task_overwrite () =
+  expect_protected Attacks.overwrite_cross_task "overwrite" all_guarded;
+  checks "corruption demonstrated" "CORRUPTED"
+    (Attacks.outcome_to_string (Attacks.overwrite_cross_task Soc.Config.Prot_naive))
+
+let test_untrusted_pointer () =
+  expect_protected Attacks.untrusted_pointer_deref "untrusted deref" all_guarded;
+  expect_unprotected Attacks.untrusted_pointer_deref "untrusted deref"
+    [ Soc.Config.Prot_naive ]
+
+(* --------- granularity distinctions --------- *)
+
+let test_same_task_object_granularity () =
+  (* Only Fine separates objects of one task. *)
+  let fine = Attacks.overread_same_task_object Soc.Config.Prot_cc_fine in
+  checkb "fine blocks intra-task" true (Attacks.is_protected fine);
+  List.iter
+    (fun p ->
+      let o = Attacks.overread_same_task_object p in
+      checkb
+        (Printf.sprintf "%s grants intra-task (%s)" (name_of p)
+           (Attacks.outcome_to_string o))
+        false (Attacks.is_protected o))
+    [ Soc.Config.Prot_iopmp; Soc.Config.Prot_iommu; Soc.Config.Prot_snpu ]
+
+let test_iommu_page_slop () =
+  let o = Attacks.overread_page_slop Soc.Config.Prot_iommu in
+  checks "iommu blind inside the page" "granted page slop"
+    (Attacks.outcome_to_string o);
+  let fine = Attacks.overread_page_slop Soc.Config.Prot_cc_fine in
+  checkb "capchecker sees through the page" true (Attacks.is_protected fine)
+
+let test_coarse_id_forge () =
+  let own, cross = Attacks.coarse_object_id_forge () in
+  checkb "coarse degrades to task granularity" false (Attacks.is_protected own);
+  checkb "source id is not forgeable" true (Attacks.is_protected cross)
+
+let test_matrix_labels () =
+  checks "none" "X" (Matrix.granularity_label Soc.Config.Prot_naive);
+  checks "iopmp" "TA" (Matrix.granularity_label Soc.Config.Prot_iopmp);
+  checks "iommu" "PG" (Matrix.granularity_label Soc.Config.Prot_iommu);
+  checks "snpu" "TA" (Matrix.granularity_label Soc.Config.Prot_snpu);
+  checks "coarse" "TA" (Matrix.granularity_label Soc.Config.Prot_cc_coarse);
+  checks "fine" "OB" (Matrix.granularity_label Soc.Config.Prot_cc_fine);
+  checks "cached keeps object granularity" "OB"
+    (Matrix.granularity_label Soc.Config.Prot_cc_cached)
+
+(* --------- group (b): pointer lifecycle --------- *)
+
+let test_use_after_free () =
+  expect_protected Attacks.use_after_free "UAF" all_guarded;
+  expect_unprotected Attacks.use_after_free "UAF" [ Soc.Config.Prot_naive ]
+
+let test_fixed_address () =
+  expect_protected Attacks.fixed_address_os "fixed address" all_guarded;
+  checks "OS memory reachable without protection" "LEAKED"
+    (Attacks.outcome_to_string (Attacks.fixed_address_os Soc.Config.Prot_naive))
+
+let test_uninitialized_pointer () =
+  expect_protected Attacks.uninitialized_pointer "uninit pointer" all_guarded;
+  expect_unprotected Attacks.uninitialized_pointer "uninit pointer"
+    [ Soc.Config.Prot_naive ]
+
+(* --------- capability forging (Figure 2) --------- *)
+
+let test_forging_naive_integration () =
+  checks "naive integration forges" "FORGED"
+    (Attacks.outcome_to_string (Attacks.forge_capability Soc.Config.Prot_naive))
+
+let test_forging_blocked_or_neutralized_everywhere_else () =
+  List.iter
+    (fun p ->
+      let o = Attacks.forge_capability p in
+      checkb
+        (Printf.sprintf "no forgery under %s (%s)" (name_of p)
+           (Attacks.outcome_to_string o))
+        true (Attacks.is_protected o))
+    (Soc.Config.Prot_none :: all_guarded)
+
+let test_forged_capability_would_be_dangerous () =
+  (* Establish that the forged capability from the naive system is not just
+     different bits but a live, dereferenceable grant — i.e. the attack
+     matters. *)
+  let env = Scenario.setup ~attacker_body:[] Soc.Config.Prot_naive in
+  let mem = env.Scenario.sys.Soc.System.mem in
+  let addr = 2 * Tagmem.Mem.granule * 1024 in
+  let cap =
+    match Cheri.Cap.set_bounds Cheri.Cap.root ~base:addr ~length:64 with
+    | Ok c -> c
+    | Error _ -> assert false
+  in
+  Tagmem.Mem.store_cap mem ~addr cap;
+  (* Simulate the DMA overwrite widening the bounds field. *)
+  let widened =
+    match Cheri.Cap.set_bounds Cheri.Cap.root ~base:0 ~length:Cheri.Cap.max_address with
+    | Ok c -> c
+    | Error _ -> assert false
+  in
+  let words = Cheri.Compress.encode widened in
+  let bytes = Bytes.create 16 in
+  Bytes.set_int64_le bytes 0 words.Cheri.Compress.lo;
+  Bytes.set_int64_le bytes 8 words.Cheri.Compress.hi;
+  Tagmem.Mem.unsafe_write_preserving_tags mem ~addr bytes;
+  let forged = Tagmem.Mem.load_cap mem ~addr in
+  checkb "forged capability is tagged" true forged.Cheri.Cap.tag;
+  checkb "and grants the whole address space" true
+    (Cheri.Cap.access_ok forged ~addr:0x100 ~size:8 Cheri.Cap.Read = Ok ())
+
+(* --------- the matrix as a whole --------- *)
+
+let test_matrix_renders_all_rows () =
+  let rows = Matrix.rows () in
+  Alcotest.(check int) "ten rows" 10 (List.length rows);
+  List.iter
+    (fun (r : Matrix.row) ->
+      Alcotest.(check int)
+        ("cells for " ^ r.Matrix.title)
+        (List.length Matrix.schemes)
+        (List.length r.Matrix.cells))
+    rows
+
+let test_victim_secret_helper () =
+  let env = Scenario.setup Soc.Config.Prot_cc_fine in
+  checkb "secret intact initially" true (Scenario.victim_secret_intact env);
+  let sb = Memops.Layout.find env.Scenario.victim.Driver.layout "secret" in
+  Tagmem.Mem.write_u64 env.Scenario.sys.Soc.System.mem
+    ~addr:sb.Memops.Layout.base 0L;
+  checkb "tamper detected" false (Scenario.victim_secret_intact env)
+
+let suite =
+  [
+    ("cross-task overread", `Slow, test_cross_task_overread);
+    ("cross-task overwrite", `Slow, test_cross_task_overwrite);
+    ("untrusted pointer", `Slow, test_untrusted_pointer);
+    ("intra-task granularity", `Slow, test_same_task_object_granularity);
+    ("iommu page slop", `Quick, test_iommu_page_slop);
+    ("coarse id forge", `Quick, test_coarse_id_forge);
+    ("matrix labels", `Slow, test_matrix_labels);
+    ("use after free", `Slow, test_use_after_free);
+    ("fixed address", `Slow, test_fixed_address);
+    ("uninitialized pointer", `Slow, test_uninitialized_pointer);
+    ("forging: naive integration", `Quick, test_forging_naive_integration);
+    ("forging: everyone else", `Slow, test_forging_blocked_or_neutralized_everywhere_else);
+    ("forged capability is live", `Quick, test_forged_capability_would_be_dangerous);
+    ("matrix shape", `Slow, test_matrix_renders_all_rows);
+    ("victim helper", `Quick, test_victim_secret_helper);
+  ]

@@ -1,0 +1,142 @@
+(* End-to-end system runs: functional correctness on every configuration,
+   phase accounting, overhead direction, area/power composition and the
+   mixed-system path. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* A small, fast benchmark for exhaustive config coverage. *)
+let small = Machsuite.Registry.find "aes"
+let pointer_chasing = Machsuite.Registry.find "spmv_crs"
+
+let test_labels () =
+  Alcotest.(check (list string)) "paper's five configs"
+    [ "cpu"; "ccpu"; "cpu+accel"; "ccpu+accel"; "ccpu+caccel" ]
+    (List.map Soc.Config.label Soc.Config.evaluated)
+
+let test_all_configs_correct_small () =
+  List.iter
+    (fun config ->
+      let r = Soc.Run.run ~tasks:2 config small in
+      checkb (r.Soc.Run.config_label ^ " correct") true r.Soc.Run.correct;
+      checkb "no denials" true (r.Soc.Run.denials = []);
+      checkb "wall positive" true (r.Soc.Run.wall > 0);
+      checki "wall = sum of phases" r.Soc.Run.wall
+        (Soc.Run.wall_of r.Soc.Run.phases))
+    (Soc.Config.evaluated
+    @ [ Soc.Config.ccpu_caccel_coarse;
+        Soc.Config.ccpu_caccel_cached;
+        Soc.Config.Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Soc.Config.Prot_iommu };
+        Soc.Config.Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Soc.Config.Prot_iopmp };
+        Soc.Config.Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Soc.Config.Prot_snpu } ])
+
+let test_pointer_chasing_benchmark_all_guards () =
+  (* A kernel with dependent loads and staged vectors exercises more of the
+     check paths. *)
+  List.iter
+    (fun config ->
+      let r = Soc.Run.run ~tasks:2 config pointer_chasing in
+      checkb (r.Soc.Run.config_label ^ " correct") true r.Soc.Run.correct)
+    [ Soc.Config.ccpu_caccel; Soc.Config.ccpu_caccel_coarse;
+      Soc.Config.ccpu_caccel_cached ]
+
+let test_capchecker_costs_more_cycles () =
+  let base = Soc.Run.run ~tasks:4 Soc.Config.ccpu_accel small in
+  let cc = Soc.Run.run ~tasks:4 Soc.Config.ccpu_caccel small in
+  checkb "overhead is nonnegative" true (cc.Soc.Run.wall >= base.Soc.Run.wall);
+  checkb "alloc pays for installs" true
+    (cc.Soc.Run.phases.Soc.Run.alloc > base.Soc.Run.phases.Soc.Run.alloc);
+  checkb "entries live during run" true (cc.Soc.Run.entries_peak > 0);
+  checki "one entry per buffer per task" 4 cc.Soc.Run.entries_peak
+
+let test_accel_beats_cpu_on_compute_bound () =
+  let cpu = Soc.Run.run ~tasks:1 Soc.Config.cpu small in
+  let accel = Soc.Run.run ~tasks:1 Soc.Config.ccpu_accel small in
+  checkb "offload wins" true
+    (accel.Soc.Run.phases.Soc.Run.compute < cpu.Soc.Run.phases.Soc.Run.compute)
+
+let test_md_knn_slower_on_accel () =
+  let bench = Machsuite.Registry.find "md_knn" in
+  let cpu = Soc.Run.run ~tasks:1 Soc.Config.cpu bench in
+  let accel = Soc.Run.run ~tasks:1 Soc.Config.ccpu_accel bench in
+  checkb "memory-bound kernel loses on the accelerator" true
+    (accel.Soc.Run.phases.Soc.Run.compute > cpu.Soc.Run.phases.Soc.Run.compute)
+
+let test_more_tasks_more_throughput () =
+  let one = Soc.Run.run ~tasks:1 Soc.Config.ccpu_accel small in
+  let four = Soc.Run.run ~tasks:4 Soc.Config.ccpu_accel small in
+  (* Four concurrent tasks finish in less than 4x one task's makespan. *)
+  checkb "parallel speedup" true
+    (four.Soc.Run.phases.Soc.Run.compute < 4 * one.Soc.Run.phases.Soc.Run.compute);
+  checkb "but not free" true
+    (four.Soc.Run.phases.Soc.Run.compute >= one.Soc.Run.phases.Soc.Run.compute)
+
+let test_area_composition () =
+  let cpu = Soc.Run.run ~tasks:1 Soc.Config.cpu small in
+  let base = Soc.Run.run ~tasks:1 Soc.Config.ccpu_accel small in
+  let cc = Soc.Run.run ~tasks:1 Soc.Config.ccpu_caccel small in
+  checkb "accel system bigger than cpu" true
+    (base.Soc.Run.area_luts > cpu.Soc.Run.area_luts);
+  checki "capchecker area delta" (Capchecker.Area.luts ~entries:256)
+    (cc.Soc.Run.area_luts - base.Soc.Run.area_luts);
+  checkb "power follows" true (cc.Soc.Run.power_mw > base.Soc.Run.power_mw)
+
+let test_run_mixed () =
+  let benches =
+    [ small; Machsuite.Registry.find "fft_transpose"; Machsuite.Registry.find "sort_radix" ]
+  in
+  let base = Soc.Run.run_mixed Soc.Config.ccpu_accel benches in
+  let cc = Soc.Run.run_mixed Soc.Config.ccpu_caccel benches in
+  checkb "mixed base correct" true base.Soc.Run.correct;
+  checkb "mixed cc correct" true cc.Soc.Run.correct;
+  checki "task per bench" 3 base.Soc.Run.tasks;
+  checkb "overhead sane" true (cc.Soc.Run.wall >= base.Soc.Run.wall);
+  checkb "cpu-only rejected" true
+    (try
+       ignore (Soc.Run.run_mixed Soc.Config.cpu benches);
+       false
+     with Invalid_argument _ -> true)
+
+let test_power_model_monotonic () =
+  checkb "more luts more power" true
+    (Soc.Power.power_mw ~luts:100_000 ~utilization:0.0
+    > Soc.Power.power_mw ~luts:50_000 ~utilization:0.0);
+  checkb "more traffic more power" true
+    (Soc.Power.power_mw ~luts:50_000 ~utilization:0.9
+    > Soc.Power.power_mw ~luts:50_000 ~utilization:0.1);
+  checkb "utilization clamped" true
+    (Soc.Power.power_mw ~luts:0 ~utilization:5.0
+    = Soc.Power.power_mw ~luts:0 ~utilization:1.0)
+
+let test_system_create_shapes () =
+  let sys = Soc.System.create Soc.Config.ccpu_caccel in
+  checkb "has driver" true (sys.Soc.System.driver <> None);
+  checkb "has checker" true (sys.Soc.System.checker <> None);
+  let cpu_sys = Soc.System.create Soc.Config.cpu in
+  checkb "cpu-only has no driver" true (cpu_sys.Soc.System.driver = None);
+  checkb "guard defaults to pass-through" true
+    (Soc.System.guard cpu_sys == Guard.Iface.pass_through)
+
+let test_naive_flag_only_on_naive () =
+  checkb "ccpu+accel is the naive integration" true
+    (Soc.System.naive_tag_writes (Soc.System.create Soc.Config.ccpu_accel));
+  checkb "cpu+accel has no tags to preserve" false
+    (Soc.System.naive_tag_writes (Soc.System.create Soc.Config.cpu_accel));
+  checkb "guarded never naive" false
+    (Soc.System.naive_tag_writes (Soc.System.create Soc.Config.ccpu_caccel))
+
+let suite =
+  [
+    ("config labels", `Quick, test_labels);
+    ("all configs correct (aes)", `Slow, test_all_configs_correct_small);
+    ("guards on pointer chasing", `Slow, test_pointer_chasing_benchmark_all_guards);
+    ("capchecker cost direction", `Quick, test_capchecker_costs_more_cycles);
+    ("offload wins (aes)", `Quick, test_accel_beats_cpu_on_compute_bound);
+    ("md_knn loses on accel", `Quick, test_md_knn_slower_on_accel);
+    ("parallel throughput", `Quick, test_more_tasks_more_throughput);
+    ("area composition", `Quick, test_area_composition);
+    ("mixed system", `Slow, test_run_mixed);
+    ("power model", `Quick, test_power_model_monotonic);
+    ("system shapes", `Quick, test_system_create_shapes);
+    ("naive flag", `Quick, test_naive_flag_only_on_naive);
+  ]
