@@ -434,6 +434,26 @@ let ablation_outstanding () =
     \ shallow memory interfaces; a deeper interface flips the verdict)"
 
 (* ------------------------------------------------------------------ *)
+(* Observability: per-config event-derived metrics (lib/obs)            *)
+(* ------------------------------------------------------------------ *)
+
+let obs_section () =
+  print_string
+    (section "Observability: event-trace metrics per configuration (aes, 8 tasks)");
+  let bench = Machsuite.Registry.find "aes" in
+  List.iter
+    (fun config ->
+      let obs = Obs.Trace.create ~capacity:(1 lsl 18) () in
+      let r = Soc.Run.run ~tasks:8 ~obs config bench in
+      assert r.Soc.Run.correct;
+      Printf.printf "\n-- %s (wall %d cycles, %d events, %d dropped) --\n"
+        r.Soc.Run.config_label r.Soc.Run.wall (Obs.Trace.length obs)
+        (Obs.Trace.dropped obs);
+      print_string (Obs.Metrics.to_table (Obs.Metrics.of_trace obs)))
+    [ Soc.Config.ccpu_accel; Soc.Config.ccpu_caccel;
+      Soc.Config.ccpu_caccel_coarse; Soc.Config.ccpu_caccel_cached ]
+
+(* ------------------------------------------------------------------ *)
 (* Cross-model validation: abstract CPU model vs the ISA-level core      *)
 (* ------------------------------------------------------------------ *)
 
@@ -578,6 +598,7 @@ let sections =
     ("ablation_cached", ablation_cached);
     ("ablation_burst", ablation_burst);
     ("ablation_outstanding", ablation_outstanding);
+    ("obs", obs_section);
     ("validation", validation);
     ("micro", micro);
   ]

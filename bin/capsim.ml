@@ -3,6 +3,7 @@
    Subcommands:
      list                      benchmarks and their accelerator shapes
      run -b BENCH [-c CONFIG]  one end-to-end measurement
+     trace -b BENCH -o FILE    record an event trace (Perfetto-loadable JSON)
      sweep -b BENCH            parallelism sweep (Figure 11 style)
      attack [-s SCHEME]        run the attack suite against one scheme
      matrix                    the full CWE matrix (Table 3) *)
@@ -79,6 +80,39 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark end to end")
     Term.(const run $ bench_arg $ config_arg $ tasks_arg)
 
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(value & opt string "trace.json"
+           & info [ "o"; "output" ] ~docv:"FILE"
+               ~doc:"Where to write the Chrome trace-event JSON (open it at \
+                     ui.perfetto.dev or chrome://tracing).")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 262_144
+           & info [ "n"; "events" ]
+               ~doc:"Event-ring capacity; once full, the oldest events are \
+                     dropped (and counted).")
+  in
+  let run bench config tasks out capacity =
+    let obs = Obs.Trace.create ~capacity () in
+    let r = Soc.Run.run ~tasks ~obs config bench in
+    Obs.Export.write_chrome ~path:out obs;
+    Printf.printf "%s on %s, %d task(s): wall %d cycles, correct %b\n"
+      r.Soc.Run.benchmark r.Soc.Run.config_label r.Soc.Run.tasks r.Soc.Run.wall
+      r.Soc.Run.correct;
+    print_newline ();
+    print_string (Obs.Export.summary obs);
+    print_newline ();
+    print_string (Obs.Metrics.to_table (Obs.Metrics.of_trace obs));
+    Printf.printf "\nwrote %s (%d events, %d dropped)\n" out (Obs.Trace.length obs)
+      (Obs.Trace.dropped obs)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Record a cycle-resolved event trace of one run")
+    Term.(const run $ bench_arg $ config_arg $ tasks_arg $ out_arg $ capacity_arg)
+
 (* ---- sweep ---- *)
 
 let sweep_cmd =
@@ -142,4 +176,7 @@ let () =
     Cmd.info "capsim" ~version:"1.0.0"
       ~doc:"Simulated CHERI heterogeneous system with the CapChecker"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; sweep_cmd; attack_cmd; matrix_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; trace_cmd; sweep_cmd; attack_cmd; matrix_cmd ]))

@@ -21,7 +21,8 @@ type outcome = {
    itself is reported in the outcome. *)
 exception Denied_access of Guard.Iface.denial
 
-let run ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task =
+let run ?(obs = Obs.Trace.null) ~mem ~guard ~bus ~directives ~addressing
+    ~naive_tag_writes task =
   let open Hls.Directives in
   let trace = Trace.create () in
   let pending_ops = ref 0 in
@@ -72,22 +73,31 @@ let run ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task =
           let b = Memops.Layout.find task.layout name in
           let width = Kernel.Ir.elem_bytes b.decl.Kernel.Ir.elem in
           let addr = bus_addr b name ~byte_offset:(idx * width) in
+          (* The gap is hoisted so the trace clock sits at the issue point of
+             this access when the guard stamps its check events; adjudicate
+             never touches the gap state, so the recorded trace is unchanged. *)
+          let gap = take_gap () in
+          Obs.Trace.advance obs gap;
           let phys, latency = adjudicate ~name ~addr ~size:width ~kind:Guard.Iface.Read in
           incr reads;
           Trace.add_access trace ~bus ~max_burst:bus.Bus.Params.max_burst
-            ~gap:(take_gap ()) ~kind:Guard.Iface.Read ~addr ~size:width ~dependent
+            ~gap ~kind:Guard.Iface.Read ~addr ~size:width ~dependent
             ~latency;
+          Obs.Trace.advance obs (Bus.Params.beats_for bus width);
           Memops.Layout.read_elem mem b.decl.Kernel.Ir.elem ~addr:phys);
       store =
         (fun name ~idx value ->
           let b = Memops.Layout.find task.layout name in
           let width = Kernel.Ir.elem_bytes b.decl.Kernel.Ir.elem in
           let addr = bus_addr b name ~byte_offset:(idx * width) in
+          let gap = take_gap () in
+          Obs.Trace.advance obs gap;
           let phys, latency = adjudicate ~name ~addr ~size:width ~kind:Guard.Iface.Write in
           incr writes;
           Trace.add_access trace ~bus ~max_burst:bus.Bus.Params.max_burst
-            ~gap:(take_gap ()) ~kind:Guard.Iface.Write ~addr ~size:width
+            ~gap ~kind:Guard.Iface.Write ~addr ~size:width
             ~dependent:false ~latency;
+          Obs.Trace.advance obs (Bus.Params.beats_for bus width);
           if naive_tag_writes then
             Memops.Layout.write_elem_preserving_tags mem b.decl.Kernel.Ir.elem
               ~addr:phys value
@@ -101,6 +111,8 @@ let run ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task =
           if bytes > 0 then begin
             let src_addr = bus_addr sb src ~byte_offset:0 in
             let dst_addr = bus_addr db dst ~byte_offset:0 in
+            let copy_gap = ref (take_gap ()) in
+            Obs.Trace.advance obs !copy_gap;
             let src_phys, rd_latency =
               adjudicate ~name:src ~addr:src_addr ~size:bytes ~kind:Guard.Iface.Read
             in
@@ -111,18 +123,18 @@ let run ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task =
             incr writes;
             (* DMA block move: max_burst-sized bursts back to back. *)
             let beats_left = ref (Bus.Params.beats_for bus bytes) in
-            let first = ref true in
+            Obs.Trace.advance obs (2 * !beats_left);
             while !beats_left > 0 do
               let beats = min !beats_left bus.Bus.Params.max_burst in
               beats_left := !beats_left - beats;
               Trace.add trace
-                { Trace.gap = (if !first then take_gap () else 0);
+                { Trace.gap = !copy_gap;
                   kind = Guard.Iface.Read; beats; dependent = false;
                   latency = rd_latency };
               Trace.add trace
                 { Trace.gap = 0; kind = Guard.Iface.Write; beats; dependent = false;
                   latency = wr_latency };
-              first := false
+              copy_gap := 0
             done;
             let data = Tagmem.Mem.read_bytes mem ~addr:src_phys ~size:bytes in
             if naive_tag_writes then

@@ -37,6 +37,7 @@ type outcome = {
 }
 
 val run :
+  ?obs:Obs.Trace.t ->
   mem:Tagmem.Mem.t ->
   guard:Guard.Iface.t ->
   bus:Bus.Params.t ->
@@ -48,4 +49,10 @@ val run :
 (** [naive_tag_writes] selects the tag-oblivious DMA write path of the
     unguarded CHERI system (see {!Tagmem.Mem.unsafe_write_preserving_tags});
     every guarded configuration must pass [false] — granted writes clear
-    tags, which is the CapChecker's anti-forgery rule. *)
+    tags, which is the CapChecker's anti-forgery rule.
+
+    [obs] (default {!Obs.Trace.null}) is advanced alongside the engine's
+    compute-local issue clock (datapath gaps plus burst beats) so that guard
+    events emitted during adjudication carry meaningful timestamps; exact bus
+    occupancy is only known at replay.  Tracing never alters the recorded DMA
+    trace or the outcome. *)

@@ -59,8 +59,8 @@ let run fabric ~start streams =
          then ignore (Queue.pop st.outstanding));
         let is_read = ev.Trace.kind = Guard.Iface.Read in
         let grant =
-          Bus.Fabric.request fabric ~at:cand ~beats:ev.Trace.beats ~is_read
-            ~extra_latency:ev.Trace.latency
+          Bus.Fabric.request ~src:st.id fabric ~at:cand ~beats:ev.Trace.beats
+            ~is_read ~extra_latency:ev.Trace.latency
         in
         (match (ev.Trace.kind, ev.Trace.dependent) with
         | Guard.Iface.Write, _ ->

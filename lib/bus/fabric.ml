@@ -1,22 +1,30 @@
 type t = {
   p : Params.t;
+  obs : Obs.Trace.t;
   mutable free_at : int;
   mutable beats : int;
 }
 
 type grant = { granted_at : int; data_done : int; completed : int }
 
-let create p = { p; free_at = 0; beats = 0 }
+let create ?(obs = Obs.Trace.null) p = { p; obs; free_at = 0; beats = 0 }
 let params t = t.p
 
-let request t ~at ~beats ~is_read ~extra_latency =
+let request ?(src = -1) t ~at ~beats ~is_read ~extra_latency =
   assert (beats > 0 && at >= 0);
   let granted_at = max at t.free_at in
   let data_done = granted_at + t.p.Params.addr_phase + beats in
   t.free_at <- data_done;
   t.beats <- t.beats + beats;
   let mem_latency = if is_read then t.p.Params.read_latency else t.p.Params.write_latency in
-  { granted_at; data_done; completed = data_done + mem_latency + extra_latency }
+  let completed = data_done + mem_latency + extra_latency in
+  if Obs.Trace.enabled t.obs then begin
+    Obs.Trace.emit_at t.obs ~cycle:granted_at
+      (Obs.Event.Bus_grant
+         { source = src; beats; read = is_read; at; granted_at; data_done; completed });
+    Obs.Trace.emit_at t.obs ~cycle:data_done (Obs.Event.Bus_beat { source = src; beats })
+  end;
+  { granted_at; data_done; completed }
 
 let busy_until t = t.free_at
 let total_beats t = t.beats

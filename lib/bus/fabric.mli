@@ -15,17 +15,21 @@ type grant = {
                           (incl. memory latency for reads) *)
 }
 
-val create : Params.t -> t
+val create : ?obs:Obs.Trace.t -> Params.t -> t
+(** [obs] (default {!Obs.Trace.null}) receives a [Bus_grant] event per
+    transaction, stamped at its arbitration cycle, and a [Bus_beat] event at
+    its last data beat.  Tracing never alters grant timing. *)
 
 val params : t -> Params.t
 
 val request :
-  t -> at:int -> beats:int -> is_read:bool -> extra_latency:int -> grant
+  ?src:int -> t -> at:int -> beats:int -> is_read:bool -> extra_latency:int -> grant
 (** [request t ~at ~beats ~is_read ~extra_latency] submits a transaction that
     becomes ready at cycle [at].  [extra_latency] is added by interposed
     hardware on the path (the CapChecker's pipeline stages).  Writes are
     posted: their [completed] is the write-latency point but requesters
-    normally continue at [granted_at]. *)
+    normally continue at [granted_at].  [src] (default -1) attributes the
+    transaction to an interconnect source id for the event trace only. *)
 
 val busy_until : t -> int
 (** The cycle after which the bus is idle given all requests so far. *)

@@ -8,6 +8,7 @@ type t = {
   max_tasks : int;
   max_objs : int;
   lines : line array;
+  obs : Obs.Trace.t;
   mutable hit_count : int;
   mutable miss_count : int;
   mutable flag : bool;
@@ -18,13 +19,14 @@ let miss_latency = 1 + 20  (* tag + check after a DRAM fetch of the entry *)
 
 let backing_bytes ~max_tasks ~max_objs = max_tasks * max_objs * Tagmem.Mem.granule
 
-let create ?(cache_entries = 16) ~mode ~mem ~table_base ~max_tasks ~max_objs () =
+let create ?(cache_entries = 16) ?(obs = Obs.Trace.null) ~mode ~mem ~table_base
+    ~max_tasks ~max_objs () =
   assert (cache_entries > 0);
   assert (table_base mod Tagmem.Mem.granule = 0);
   {
     mode; mem; table_base; max_tasks; max_objs;
     lines = Array.init cache_entries (fun _ -> { key = -1; cap = Cheri.Cap.null });
-    hit_count = 0; miss_count = 0; flag = false;
+    obs; hit_count = 0; miss_count = 0; flag = false;
   }
 
 let key_of t ~task ~obj = (task * t.max_objs) + obj
@@ -43,6 +45,7 @@ let install t ~task ~obj cap =
     Tagmem.Mem.store_cap t.mem ~addr:(entry_addr t key) cap;
     let line = t.lines.(set_of t key) in
     if line.key = key then line.key <- -1;
+    Obs.Trace.emit t.obs (Obs.Event.Table_insert { task; obj; slot = set_of t key });
     Ok ()
   end
 
@@ -58,6 +61,8 @@ let evict_task t ~task =
       let line = t.lines.(set_of t key) in
       if line.key = key then line.key <- -1
     done;
+    if !cleared > 0 then
+      Obs.Trace.emit t.obs (Obs.Event.Table_evict { task; obj = -1; count = !cleared });
     !cleared
   end
 
@@ -73,6 +78,7 @@ let fetch t ~task ~obj =
   end
   else begin
     t.miss_count <- t.miss_count + 1;
+    Obs.Trace.emit t.obs (Obs.Event.Check_table_miss { task; obj });
     let cap = Tagmem.Mem.load_cap t.mem ~addr:(entry_addr t key) in
     line.key <- key;
     line.cap <- cap;
@@ -89,6 +95,7 @@ let check t (req : Guard.Iface.req) =
   in
   let deny detail =
     t.flag <- true;
+    Obs.Trace.emit t.obs (Obs.Event.Check_denial { task; obj; detail });
     Guard.Iface.Denied { code = "capchecker-cached"; detail }
   in
   if not (in_range t ~task ~obj) then deny "no capability slot for this access"
@@ -100,7 +107,9 @@ let check t (req : Guard.Iface.req) =
       | Guard.Iface.Write -> Cheri.Cap.Write
     in
     match Cheri.Cap.access_ok cap ~addr:phys ~size:req.size kind with
-    | Ok () -> Guard.Iface.Granted { phys; latency }
+    | Ok () ->
+        Obs.Trace.emit t.obs (Obs.Event.Check_ok { task; obj; latency });
+        Guard.Iface.Granted { phys; latency }
     | Error e -> deny (Cheri.Cap.error_to_string e)
 
 let area_luts t =

@@ -17,6 +17,7 @@ type t
 
 val create :
   ?cache_entries:int ->
+  ?obs:Obs.Trace.t ->
   mode:Checker.mode ->
   mem:Tagmem.Mem.t ->
   table_base:int ->
@@ -26,7 +27,9 @@ val create :
   t
 (** [cache_entries] defaults to 16.  The backing table occupies
     [max_tasks * max_objs] capability granules starting at [table_base]
-    (driver-reserved memory). *)
+    (driver-reserved memory).  [obs] (default {!Obs.Trace.null}) receives
+    [Check_ok]/[Check_denial] per adjudication, [Check_table_miss] per cache
+    refill, and [Table_insert]/[Table_evict] for backing-table maintenance. *)
 
 val backing_bytes : max_tasks:int -> max_objs:int -> int
 

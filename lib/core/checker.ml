@@ -3,14 +3,29 @@ type mode = Fine | Coarse
 type t = {
   mode : mode;
   table : Table.t;
+  obs : Obs.Trace.t;
   mutable flag : bool;
-  mutable log : (int * Guard.Iface.denial) list;  (* (task, denial), newest first *)
+  log : (int * Guard.Iface.denial) Obs.Ring.t;
+      (* bounded denial log, oldest first via Ring.to_list; hardware keeps
+         only the flag and per-entry bits — and a denial storm must not grow
+         simulator memory either (the full stream lives in the trace) *)
 }
 
-let create ?(entries = 256) mode = { mode; table = Table.create ~entries; flag = false; log = [] }
+let default_log_capacity = 256
+
+let create ?(entries = 256) ?(obs = Obs.Trace.null) ?(log_capacity = default_log_capacity)
+    mode =
+  {
+    mode;
+    table = Table.create ~entries;
+    obs;
+    flag = false;
+    log = Obs.Ring.create ~capacity:log_capacity;
+  }
 
 let mode t = t.mode
 let table t = t.table
+let obs t = t.obs
 
 let check_latency = 1
 
@@ -29,7 +44,8 @@ let deny t ~task ~obj detail =
   let denial = { Guard.Iface.code = "capchecker"; detail } in
   t.flag <- true;
   Table.mark_exception t.table ~task ~obj;
-  t.log <- (task, denial) :: t.log;
+  Obs.Ring.push t.log (task, denial);
+  Obs.Trace.emit t.obs (Obs.Event.Check_denial { task; obj; detail });
   Guard.Iface.Denied denial
 
 let check t (req : Guard.Iface.req) =
@@ -56,24 +72,47 @@ let check t (req : Guard.Iface.req) =
           | Guard.Iface.Write -> Cheri.Cap.Write
         in
         match Cheri.Cap.access_ok entry.Table.cap ~addr:phys ~size:req.size kind with
-        | Ok () -> Guard.Iface.Granted { phys; latency = check_latency }
+        | Ok () ->
+            Obs.Trace.emit t.obs
+              (Obs.Event.Check_ok { task; obj; latency = check_latency });
+            Guard.Iface.Granted { phys; latency = check_latency }
         | Error e ->
             deny t ~task ~obj
               (Printf.sprintf "task %d object %d: %s (%s)" task obj
                  (Cheri.Cap.error_to_string e)
                  (Guard.Iface.req_to_string req)))
 
-let install t ~task ~obj cap = Table.install t.table ~task ~obj cap
-let evict t ~task ~obj = Table.evict t.table ~task ~obj
-let evict_task t ~task = Table.evict_task t.table ~task
+let install t ~task ~obj cap =
+  let result = Table.install t.table ~task ~obj cap in
+  (match result with
+  | Table.Installed slot ->
+      Obs.Trace.emit t.obs (Obs.Event.Table_insert { task; obj; slot })
+  | Table.Table_full | Table.Rejected_untagged -> ());
+  result
+
+let evict t ~task ~obj =
+  let evicted = Table.evict t.table ~task ~obj in
+  if evicted then Obs.Trace.emit t.obs (Obs.Event.Table_evict { task; obj; count = 1 });
+  evicted
+
+let evict_task t ~task =
+  let count = Table.evict_task t.table ~task in
+  if count > 0 then
+    Obs.Trace.emit t.obs (Obs.Event.Table_evict { task; obj = -1; count });
+  count
 
 let exception_flag t = t.flag
 let clear_exception_flag t = t.flag <- false
-let exception_log t = List.rev_map snd t.log
+
+let exception_log t = List.map snd (Obs.Ring.to_list t.log)
 
 let exception_log_for t ~task =
-  List.rev t.log
-  |> List.filter_map (fun (owner, d) -> if owner = task then Some d else None)
+  List.filter_map
+    (fun (owner, d) -> if owner = task then Some d else None)
+    (Obs.Ring.to_list t.log)
+
+let dropped_denials t = Obs.Ring.dropped t.log
+let log_capacity t = Obs.Ring.capacity t.log
 
 let install_cycles (p : Bus.Params.t) = 3 * p.mmio_write
 let evict_cycles (p : Bus.Params.t) = p.mmio_write

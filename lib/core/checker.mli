@@ -21,11 +21,19 @@ type mode = Fine | Coarse
 
 type t
 
-val create : ?entries:int -> mode -> t
-(** [entries] defaults to 256 (the prototype's table size). *)
+val create :
+  ?entries:int -> ?obs:Obs.Trace.t -> ?log_capacity:int -> mode -> t
+(** [entries] defaults to 256 (the prototype's table size).  [obs] (default
+    {!Obs.Trace.null}) receives [Check_ok]/[Check_denial] per adjudication and
+    [Table_insert]/[Table_evict] for table maintenance.  [log_capacity]
+    (default 256) bounds the software-visible denial log: a denial storm
+    retains only the newest entries and counts the rest
+    ({!dropped_denials}). *)
 
 val mode : t -> mode
 val table : t -> Table.t
+val obs : t -> Obs.Trace.t
+(** The event sink (shared with the MMIO register window). *)
 
 val check_latency : int
 (** Pipeline stages added on the DMA path: table fetch + capability decode +
@@ -61,12 +69,19 @@ val exception_flag : t -> bool
 val clear_exception_flag : t -> unit
 
 val exception_log : t -> Guard.Iface.denial list
-(** Every denial recorded, oldest first (simulator observability; hardware
-    keeps only the flag and per-entry bits). *)
+(** Retained denials, oldest first (simulator observability; hardware keeps
+    only the flag and per-entry bits).  Bounded: at most [log_capacity]
+    entries are kept, newest win — the full denial stream is available
+    through the event trace. *)
 
 val exception_log_for : t -> task:int -> Guard.Iface.denial list
-(** Denials attributable to one task (what the driver reports to the
-    application that owned the task). *)
+(** Retained denials attributable to one task (what the driver reports to
+    the application that owned the task). *)
+
+val dropped_denials : t -> int
+(** Denials discarded from the bounded log because it was full. *)
+
+val log_capacity : t -> int
 
 val install_cycles : Bus.Params.t -> int
 (** Driver cost of installing one capability: two 64-bit data words plus a

@@ -64,6 +64,7 @@ let check_offset offset =
 
 let write t ~offset value =
   check_offset offset;
+  Obs.Trace.emit (Checker.obs t.checker) (Obs.Event.Mmio_write { offset });
   if offset = reg_cap_lo then begin
     (* Raw word writes can never set the tag (see stage_raw). *)
     t.staged_lo <- value;
@@ -83,6 +84,7 @@ let write t ~offset value =
 
 let read t ~offset =
   check_offset offset;
+  Obs.Trace.emit (Checker.obs t.checker) (Obs.Event.Mmio_read { offset });
   if offset = reg_status then begin
     let flag = if Checker.exception_flag t.checker then 1L else 0L in
     let rej = if t.rejected then 2L else 0L in

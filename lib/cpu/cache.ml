@@ -11,25 +11,31 @@ let default_config =
 type t = {
   cfg : config;
   tags : int array;  (* -1 = invalid *)
+  obs : Obs.Trace.t;
+  core : int;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create cfg =
+let create ?(obs = Obs.Trace.null) ?(core = 0) cfg =
   let lines = cfg.size_bytes / cfg.line_bytes in
   assert (lines > 0);
-  { cfg; tags = Array.make lines (-1); hits = 0; misses = 0 }
+  { cfg; tags = Array.make lines (-1); obs; core; hits = 0; misses = 0 }
 
 let access t ~addr =
   let line = addr / t.cfg.line_bytes in
   let set = line mod Array.length t.tags in
   if t.tags.(set) = line then begin
     t.hits <- t.hits + 1;
+    if Obs.Trace.enabled t.obs then
+      Obs.Trace.emit t.obs (Obs.Event.Cache_hit { core = t.core; addr });
     t.cfg.hit_cycles
   end
   else begin
     t.misses <- t.misses + 1;
     t.tags.(set) <- line;
+    if Obs.Trace.enabled t.obs then
+      Obs.Trace.emit t.obs (Obs.Event.Cache_miss { core = t.core; addr });
     t.cfg.miss_cycles
   end
 

@@ -16,7 +16,10 @@ val default_config : config
 
 type t
 
-val create : config -> t
+val create : ?obs:Obs.Trace.t -> ?core:int -> config -> t
+(** [obs] (default {!Obs.Trace.null}) receives a [Cache_hit]/[Cache_miss]
+    event per access, attributed to track [core] (default 0).  Tracing never
+    alters the cycle accounting. *)
 
 val access : t -> addr:int -> int
 (** Cycles for one access; updates the tag array. *)

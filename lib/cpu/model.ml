@@ -72,9 +72,13 @@ let derive_caps layout =
     (Memops.Layout.bindings layout);
   caps
 
-let run cfg mem kernel layout ?(params = []) () =
-  let cache = Cache.create cfg.cache in
+let run ?(obs = Obs.Trace.null) cfg mem kernel layout ?(params = []) () =
+  let cache = Cache.create ~obs cfg.cache in
   let cycles = ref 0 in
+  (* Keep the trace clock in lock-step with the accounted cycles so cache
+     events are stamped where they happen; the sink never feeds back. *)
+  let t0 = Obs.Trace.now obs in
+  let sync () = Obs.Trace.set_now obs (t0 + !cycles) in
   let loads = ref 0 and stores = ref 0 in
   let mem_accesses = ref 0 in
   let caps = match cfg.isa with Cheri_rv64 -> Some (derive_caps layout) | Rv64 -> None in
@@ -108,6 +112,7 @@ let run cfg mem kernel layout ?(params = []) () =
           cheri_check name ~addr ~size Cheri.Cap.Read;
           incr loads;
           charge_cheri_traffic ();
+          sync ();
           cycles := !cycles + Cache.access cache ~addr;
           Memops.Layout.read_elem mem b.decl.Kernel.Ir.elem ~addr);
       store =
@@ -118,6 +123,7 @@ let run cfg mem kernel layout ?(params = []) () =
           cheri_check name ~addr ~size Cheri.Cap.Write;
           incr stores;
           charge_cheri_traffic ();
+          sync ();
           cycles := !cycles + Cache.access cache ~addr;
           Memops.Layout.write_elem mem b.decl.Kernel.Ir.elem ~addr value);
       copy =
@@ -132,6 +138,7 @@ let run cfg mem kernel layout ?(params = []) () =
           Tagmem.Mem.write_bytes mem ~addr:db.base data;
           let w = copy_bytes_per_cycle cfg in
           cycles := !cycles + ((bytes + w - 1) / w);
+          sync ();
           cycles := !cycles + Cache.touch_range cache ~addr:sb.base ~size:bytes;
           cycles := !cycles + Cache.touch_range cache ~addr:db.base ~size:bytes);
       tick = (fun c n -> cycles := !cycles + (n * cost_of cfg c));
@@ -147,6 +154,7 @@ let run cfg mem kernel layout ?(params = []) () =
     | () -> None
     | exception Kernel.Interp.Aborted reason -> Some reason
   in
+  sync ();
   {
     cycles = !cycles;
     loads = !loads;

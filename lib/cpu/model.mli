@@ -52,6 +52,7 @@ type result = {
 }
 
 val run :
+  ?obs:Obs.Trace.t ->
   config ->
   Tagmem.Mem.t ->
   Kernel.Ir.t ->
@@ -59,7 +60,10 @@ val run :
   ?params:(string * Kernel.Value.t) list ->
   unit ->
   result
-(** Execute the kernel to completion (or trap) and account cycles. *)
+(** Execute the kernel to completion (or trap) and account cycles.  [obs]
+    (default {!Obs.Trace.null}) receives per-access cache events; the trace
+    clock is advanced alongside the accounted cycles from whatever value it
+    held at entry.  Tracing never alters the result. *)
 
 val cap_setup_cycles : config -> n_bufs:int -> int
 (** Call-boundary cost of deriving one bounded capability per buffer

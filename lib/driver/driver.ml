@@ -8,12 +8,13 @@ type t = {
   bus : Bus.Params.t;
   n_instances : int;
   busy : bool array;
+  obs : Obs.Trace.t;
   mmio : Capchecker.Mmio.t option;
       (* register window of the CapChecker, when one is present: the driver
          programs the hardware through it, never through internal calls *)
 }
 
-let create ~mem ~heap ~backend ~bus ~n_instances =
+let create ?(obs = Obs.Trace.null) ~mem ~heap ~backend ~bus ~n_instances () =
   assert (n_instances > 0);
   let mmio =
     match backend with
@@ -21,7 +22,7 @@ let create ~mem ~heap ~backend ~bus ~n_instances =
     | Backend.No_protection _ | Backend.Iopmp _ | Backend.Iommu _
     | Backend.Snpu _ | Backend.Capchecker_cached _ -> None
   in
-  { mem; heap; backend; bus; n_instances; busy = Array.make n_instances false; mmio }
+  { mem; heap; backend; bus; n_instances; busy = Array.make n_instances false; obs; mmio }
 
 let backend t = t.backend
 let mem t = t.mem
@@ -171,7 +172,9 @@ let program_backend t ~task_id ~bindings =
                sequence of Mmio.install (stage + key + command). *)
             cycles := !cycles + 3 + Capchecker.Checker.install_cycles t.bus;
             match Capchecker.Mmio.install mmio ~task:task_id ~obj cap with
-            | Ok () -> install_all ((b.decl.Kernel.Ir.buf_name, cap) :: acc) rest
+            | Ok () ->
+                Obs.Trace.emit t.obs (Obs.Event.Cap_import { task = task_id; obj });
+                install_all ((b.decl.Kernel.Ir.buf_name, cap) :: acc) rest
             | Error _ when Capchecker.Mmio.last_rejected mmio ->
                 Error "CapChecker capability table full (driver would stall)"
             | Error msg -> Error msg)
@@ -193,7 +196,9 @@ let program_backend t ~task_id ~bindings =
             in
             cycles := !cycles + 3 + 4 + p.Bus.Params.mmio_write;
             match Capchecker.Cached.install checker ~task:task_id ~obj cap with
-            | Ok () -> install_all ((b.decl.Kernel.Ir.buf_name, cap) :: acc) rest
+            | Ok () ->
+                Obs.Trace.emit t.obs (Obs.Event.Cap_import { task = task_id; obj });
+                install_all ((b.decl.Kernel.Ir.buf_name, cap) :: acc) rest
             | Error msg -> Error msg)
       in
       let numbered = List.mapi (fun obj b -> (b, obj)) bindings in
@@ -216,11 +221,15 @@ let allocate t (kernel : Kernel.Ir.t) =
              one register per buffer plus task configuration and start. *)
           let ctrl_cycles = (List.length bindings + 2) * t.bus.Bus.Params.mmio_write in
           t.busy.(task_id) <- true;
+          let cycles = (n_mallocs * malloc_cycles) + backend_cycles + ctrl_cycles in
+          Obs.Trace.emit t.obs
+            (Obs.Event.Task_phase
+               { task = task_id; phase = "driver-alloc"; dur = cycles });
           Ok
             {
               handle =
                 { task_id; layout = Memops.Layout.make bindings; obj_ids; caps };
-              cycles = (n_mallocs * malloc_cycles) + backend_cycles + ctrl_cycles;
+              cycles;
             })
 
 let scrub t handle =
@@ -308,6 +317,9 @@ let deallocate t handle ~denied =
       cycles := !cycles + free_cycles
   | _ -> ());
   t.busy.(handle.task_id) <- false;
+  Obs.Trace.emit t.obs
+    (Obs.Event.Task_phase
+       { task = handle.task_id; phase = "driver-teardown"; dur = !cycles });
   {
     cycles = !cycles;
     exception_seen = !exception_seen;

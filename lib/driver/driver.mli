@@ -27,12 +27,16 @@ module Revoker = Revoker
 type t
 
 val create :
+  ?obs:Obs.Trace.t ->
   mem:Tagmem.Mem.t ->
   heap:Tagmem.Alloc.t ->
   backend:Backend.t ->
   bus:Bus.Params.t ->
   n_instances:int ->
+  unit ->
   t
+(** [obs] (default {!Obs.Trace.null}) receives [Cap_import] per capability
+    delegated to a task and a [Task_phase] event per allocate/teardown. *)
 
 val backend : t -> Backend.t
 val mem : t -> Tagmem.Mem.t

@@ -27,7 +27,7 @@ type sweep_report = {
 let cap_condemned t (cap : Cheri.Cap.t) =
   cap.Cheri.Cap.tag && overlaps t ~base:cap.Cheri.Cap.base ~top:cap.Cheri.Cap.top
 
-let sweep ?checker t =
+let sweep ?checker ?(obs = Obs.Trace.null) t =
   let granule = Tagmem.Mem.granule in
   let total_granules = Tagmem.Mem.size t.mem / granule in
   let caps_revoked = ref 0 in
@@ -57,6 +57,8 @@ let sweep ?checker t =
         !doomed);
   let released = t.quarantine in
   t.quarantine <- [];
+  Obs.Trace.emit obs
+    (Obs.Event.Cap_revoke { caps = !caps_revoked; entries = !entries_evicted });
   {
     granules_scanned = total_granules;
     caps_revoked = !caps_revoked;

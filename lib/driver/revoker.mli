@@ -32,8 +32,9 @@ type sweep_report = {
   released : (int * int) list;  (** regions now safe to reuse *)
 }
 
-val sweep : ?checker:Capchecker.Checker.t -> t -> sweep_report
-(** Scan, revoke, empty the quarantine. *)
+val sweep : ?checker:Capchecker.Checker.t -> ?obs:Obs.Trace.t -> t -> sweep_report
+(** Scan, revoke, empty the quarantine.  [obs] (default {!Obs.Trace.null})
+    receives one [Cap_revoke] event summarising the sweep. *)
 
 val overlaps : t -> base:int -> top:int -> bool
 (** Whether a region intersects the current quarantine (exposed for tests

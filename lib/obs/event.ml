@@ -1,0 +1,95 @@
+type data =
+  | Bus_grant of {
+      source : int;
+      beats : int;
+      read : bool;
+      at : int;
+      granted_at : int;
+      data_done : int;
+      completed : int;
+    }
+  | Bus_beat of { source : int; beats : int }
+  | Cache_hit of { core : int; addr : int }
+  | Cache_miss of { core : int; addr : int }
+  | Check_ok of { task : int; obj : int; latency : int }
+  | Check_table_miss of { task : int; obj : int }
+  | Check_denial of { task : int; obj : int; detail : string }
+  | Table_insert of { task : int; obj : int; slot : int }
+  | Table_evict of { task : int; obj : int; count : int }
+  | Cap_import of { task : int; obj : int }
+  | Cap_revoke of { caps : int; entries : int }
+  | Task_phase of { task : int; phase : string; dur : int }
+  | Mmio_read of { offset : int }
+  | Mmio_write of { offset : int }
+
+type t = { cycle : int; data : data }
+
+let category = function
+  | Bus_grant _ | Bus_beat _ -> "bus"
+  | Cache_hit _ | Cache_miss _ -> "cache"
+  | Check_ok _ | Check_table_miss _ | Check_denial _ -> "checker"
+  | Table_insert _ | Table_evict _ -> "table"
+  | Cap_import _ | Cap_revoke _ -> "driver"
+  | Task_phase _ -> "task"
+  | Mmio_read _ | Mmio_write _ -> "mmio"
+
+let name = function
+  | Bus_grant _ -> "bus_grant"
+  | Bus_beat _ -> "bus_beat"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+  | Check_ok _ -> "check_ok"
+  | Check_table_miss _ -> "check_table_miss"
+  | Check_denial _ -> "check_denial"
+  | Table_insert _ -> "table_insert"
+  | Table_evict _ -> "table_evict"
+  | Cap_import _ -> "cap_import"
+  | Cap_revoke _ -> "cap_revoke"
+  | Task_phase _ -> "task_phase"
+  | Mmio_read _ -> "mmio_read"
+  | Mmio_write _ -> "mmio_write"
+
+let track = function
+  | Bus_grant { source; _ } | Bus_beat { source; _ } -> source
+  | Cache_hit { core; _ } | Cache_miss { core; _ } -> core
+  | Check_ok { task; _ }
+  | Check_table_miss { task; _ }
+  | Check_denial { task; _ }
+  | Table_insert { task; _ }
+  | Table_evict { task; _ }
+  | Cap_import { task; _ }
+  | Task_phase { task; _ } ->
+      task
+  | Cap_revoke _ | Mmio_read _ | Mmio_write _ -> 0
+
+let duration = function
+  | Bus_grant { granted_at; data_done; _ } -> max 0 (data_done - granted_at)
+  | Task_phase { dur; _ } -> max 0 dur
+  | _ -> 0
+
+let args = function
+  | Bus_grant { source; beats; read; at; granted_at; data_done; completed } ->
+      [ ("source", `Int source); ("beats", `Int beats);
+        ("kind", `Str (if read then "read" else "write")); ("at", `Int at);
+        ("granted_at", `Int granted_at); ("data_done", `Int data_done);
+        ("completed", `Int completed) ]
+  | Bus_beat { source; beats } -> [ ("source", `Int source); ("beats", `Int beats) ]
+  | Cache_hit { core; addr } | Cache_miss { core; addr } ->
+      [ ("core", `Int core); ("addr", `Int addr) ]
+  | Check_ok { task; obj; latency } ->
+      [ ("task", `Int task); ("obj", `Int obj); ("latency", `Int latency) ]
+  | Check_table_miss { task; obj } -> [ ("task", `Int task); ("obj", `Int obj) ]
+  | Check_denial { task; obj; detail } ->
+      [ ("task", `Int task); ("obj", `Int obj); ("detail", `Str detail) ]
+  | Table_insert { task; obj; slot } ->
+      [ ("task", `Int task); ("obj", `Int obj); ("slot", `Int slot) ]
+  | Table_evict { task; obj; count } ->
+      [ ("task", `Int task); ("obj", `Int obj); ("count", `Int count) ]
+  | Cap_import { task; obj } -> [ ("task", `Int task); ("obj", `Int obj) ]
+  | Cap_revoke { caps; entries } ->
+      [ ("caps", `Int caps); ("entries", `Int entries) ]
+  | Task_phase { task; phase; dur } ->
+      [ ("task", `Int task); ("phase", `Str phase); ("dur", `Int dur) ]
+  | Mmio_read { offset } | Mmio_write { offset } -> [ ("offset", `Int offset) ]
+
+let is_denial = function Check_denial _ -> true | _ -> false

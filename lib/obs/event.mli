@@ -1,0 +1,61 @@
+(** The typed event vocabulary of the observability layer.
+
+    Each variant corresponds to an observable hardware signal of the paper's
+    system: AXI arbitration and data beats on the shared interconnect,
+    CapChecker adjudications (table hit / miss / exception flag), capability
+    table maintenance over the capability interconnect, driver-side capability
+    life-cycle, cache behaviour, MMIO register traffic, and task phase
+    boundaries.  Events are pure data — recording one never feeds back into
+    simulation state, which is what makes tracing behaviour-neutral. *)
+
+type data =
+  | Bus_grant of {
+      source : int;      (** interconnect source id (-1 if unattributed) *)
+      beats : int;
+      read : bool;
+      at : int;          (** cycle the request became ready *)
+      granted_at : int;  (** cycle the address phase won arbitration *)
+      data_done : int;
+      completed : int;
+    }  (** one transaction winning arbitration on the shared bus *)
+  | Bus_beat of { source : int; beats : int }
+      (** data beats leaving the bus (bandwidth accounting) *)
+  | Cache_hit of { core : int; addr : int }
+  | Cache_miss of { core : int; addr : int }
+  | Check_ok of { task : int; obj : int; latency : int }
+      (** a guard adjudication that granted the access *)
+  | Check_table_miss of { task : int; obj : int }
+      (** cached CapChecker: entry fetched from the in-memory backing table *)
+  | Check_denial of { task : int; obj : int; detail : string }
+      (** the exception flag being raised; the access never reaches memory *)
+  | Table_insert of { task : int; obj : int; slot : int }
+  | Table_evict of { task : int; obj : int; count : int }
+      (** [obj = -1] for whole-task evictions of [count] entries *)
+  | Cap_import of { task : int; obj : int }
+      (** driver shipped a capability into protection hardware *)
+  | Cap_revoke of { caps : int; entries : int }
+      (** revocation sweep: tags cleared in memory, table entries evicted *)
+  | Task_phase of { task : int; phase : string; dur : int }
+      (** a phase of a task or run ([task = -1] for whole-run phases) *)
+  | Mmio_read of { offset : int }
+  | Mmio_write of { offset : int }
+
+type t = { cycle : int; data : data }
+
+val category : data -> string
+(** Component track group: ["bus"], ["cache"], ["checker"], ["table"],
+    ["driver"], ["task"] or ["mmio"]. *)
+
+val name : data -> string
+(** Short event name, e.g. ["bus_grant"], ["check_denial"]. *)
+
+val track : data -> int
+(** Sub-track within the category (instance / task / core id). *)
+
+val duration : data -> int
+(** Duration in cycles for span-like events; [0] means an instant event. *)
+
+val args : data -> (string * [ `Int of int | `Str of string ]) list
+(** Payload fields for the exporter. *)
+
+val is_denial : data -> bool

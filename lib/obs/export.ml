@@ -1,0 +1,125 @@
+(* pid = component category (in order of first appearance), tid = sub-track.
+   Metadata events name both so Perfetto shows "bus", "checker", ... as
+   process groups with one row per instance. *)
+
+let assign_tracks trace =
+  let pids = Hashtbl.create 8 in
+  let pid_order = ref [] in
+  let tids = Hashtbl.create 16 in
+  Trace.iter
+    (fun (ev : Event.t) ->
+      let cat = Event.category ev.data in
+      let pid =
+        match Hashtbl.find_opt pids cat with
+        | Some p -> p
+        | None ->
+            let p = Hashtbl.length pids + 1 in
+            Hashtbl.add pids cat p;
+            pid_order := (cat, p) :: !pid_order;
+            p
+      in
+      let track = Event.track ev.data in
+      if not (Hashtbl.mem tids (pid, track)) then Hashtbl.add tids (pid, track) ())
+    trace;
+  (List.rev !pid_order, pids, tids)
+
+(* Chrome tids must be non-negative; tracks use -1 for "whole run". *)
+let tid_of track = track + 1
+
+let metadata_events pid_order tids =
+  let procs =
+    List.map
+      (fun (cat, pid) ->
+        Json.Obj
+          [ ("ph", Json.String "M"); ("name", Json.String "process_name");
+            ("pid", Json.Int pid); ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("name", Json.String cat) ]) ])
+      pid_order
+  in
+  let threads =
+    Hashtbl.fold (fun (pid, track) () acc -> (pid, track) :: acc) tids []
+    |> List.sort compare
+    |> List.map (fun (pid, track) ->
+           let label =
+             if track < 0 then "run" else Printf.sprintf "track %d" track
+           in
+           Json.Obj
+             [ ("ph", Json.String "M"); ("name", Json.String "thread_name");
+               ("pid", Json.Int pid); ("tid", Json.Int (tid_of track));
+               ("args", Json.Obj [ ("name", Json.String label) ]) ])
+  in
+  procs @ threads
+
+let args_json data =
+  Json.Obj
+    (List.map
+       (fun (k, v) ->
+         (k, match v with `Int n -> Json.Int n | `Str s -> Json.String s))
+       (Event.args data))
+
+let event_json pids (ev : Event.t) =
+  let data = ev.data in
+  let cat = Event.category data in
+  let pid = Hashtbl.find pids cat in
+  let base =
+    [ ("name", Json.String (Event.name data)); ("cat", Json.String cat);
+      ("ts", Json.Int ev.cycle); ("pid", Json.Int pid);
+      ("tid", Json.Int (tid_of (Event.track data))) ]
+  in
+  let shape =
+    match Event.duration data with
+    | 0 ->
+        let scope = if Event.is_denial data then [ ("s", Json.String "g") ] else [] in
+        (("ph", Json.String "i") :: scope)
+    | dur -> [ ("ph", Json.String "X"); ("dur", Json.Int dur) ]
+  in
+  Json.Obj (base @ shape @ [ ("args", args_json data) ])
+
+let chrome_json trace =
+  let pid_order, pids, tids = assign_tracks trace in
+  let events = ref [] in
+  Trace.iter (fun ev -> events := event_json pids ev :: !events) trace;
+  Json.Obj
+    [ ("traceEvents", Json.List (metadata_events pid_order tids @ List.rev !events));
+      ("displayTimeUnit", Json.String "ns");
+      ("otherData",
+       Json.Obj
+         [ ("tool", Json.String "capsim");
+           ("clock", Json.String "cycles");
+           ("droppedEvents", Json.Int (Trace.dropped trace)) ]) ]
+
+let to_chrome_string trace = Json.to_string (chrome_json trace)
+
+let write_chrome ~path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Json.to_buffer buf (chrome_json trace);
+      Buffer.output_buffer oc buf;
+      output_char oc '\n')
+
+let counts_by f trace =
+  let tbl = Hashtbl.create 16 in
+  Trace.iter
+    (fun (ev : Event.t) ->
+      let key = f ev.data in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    trace;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let categories trace = counts_by Event.category trace
+
+let summary trace =
+  let rows =
+    counts_by (fun d -> (Event.category d, Event.name d)) trace
+    |> List.map (fun ((cat, name), count) -> [ cat; name; string_of_int count ])
+  in
+  let rows =
+    rows
+    @ [ [ "total"; "(recorded)"; string_of_int (Trace.length trace) ];
+        [ "total"; "(dropped)"; string_of_int (Trace.dropped trace) ] ]
+  in
+  Ccsim.Report.table ~header:[ "Category"; "Event"; "Count" ] rows

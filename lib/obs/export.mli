@@ -1,0 +1,23 @@
+(** Trace exporters.
+
+    The primary target is the Chrome trace-event JSON format, loadable in
+    Perfetto (ui.perfetto.dev) or chrome://tracing: one process per component
+    category, one thread per sub-track (interconnect source / task / core),
+    span events ("ph":"X") for bus transactions and task phases, instant
+    events ("ph":"i") for everything else — denials get global scope so they
+    draw a full-height marker line.  Timestamps are simulated cycles (the
+    viewer displays them as microseconds; the scale is what matters). *)
+
+val chrome_json : Trace.t -> Json.t
+(** The whole trace as a JSON-object-format Chrome trace. *)
+
+val to_chrome_string : Trace.t -> string
+
+val write_chrome : path:string -> Trace.t -> unit
+
+val categories : Trace.t -> (string * int) list
+(** Event counts per component category, sorted by name. *)
+
+val summary : Trace.t -> string
+(** Plain-text table (via {!Ccsim.Report.table}): per-(category, event)
+    counts, total, drop counter. *)

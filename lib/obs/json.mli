@@ -1,0 +1,34 @@
+(** A minimal JSON abstract syntax, printer and parser.
+
+    The container ships no JSON library, so the exporter builds this tree and
+    prints it, and the tests parse exported files back with {!parse} to check
+    validity and structure.  Covers all of RFC 8259 except that numbers are
+    split into OCaml [int]/[float] on parse ([Int] when the literal has no
+    fraction or exponent and fits). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace), valid UTF-8 pass-through
+    with control characters and quotes escaped. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** [Error msg] carries the byte offset of the first syntax error. *)
+
+(** {1 Accessors (for tests and tools)} *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_list_opt : t -> t list option
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option

@@ -1,0 +1,57 @@
+(** Named counters and log2-bucket latency histograms.
+
+    Counters are layered directly on {!Ccsim.Stats} (the simulator's existing
+    counter store); histograms bucket non-negative integer samples by bit
+    width — bucket [k] holds values in [[2^(k-1), 2^k - 1]] (bucket 0 holds
+    exactly 0) — so a percentile read back from a histogram is the upper
+    bound of the exact percentile's bucket: within a factor of 2, which the
+    tests check against {!Ccsim.Stats.percentile}. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+(** {1 Histograms} *)
+
+val observe : t -> string -> int -> unit
+(** Record one sample.  Negative samples clamp to 0. *)
+
+type hist_summary = {
+  count : int;
+  sum : int;
+  mean : float;
+  max_sample : int;
+}
+
+val hist_summary : t -> string -> hist_summary option
+
+val percentile : t -> string -> float -> int option
+(** [percentile t name p] (with [0 < p <= 1]) is the upper bound of the
+    bucket containing the rank-[ceil (p * count)] sample — the same rank
+    convention as {!Ccsim.Stats.percentile}.  [None] if the histogram is
+    missing or empty. *)
+
+val histograms : t -> string list
+(** Histogram names, sorted. *)
+
+val merge_into : dst:t -> t -> unit
+(** Adds counters and histogram buckets of the source into [dst]. *)
+
+(** {1 Deriving metrics from a trace} *)
+
+val of_trace : Trace.t -> t
+(** Event counts per ["category.name"], plus histograms
+    ["bus.grant_wait"] (arbitration wait per transaction),
+    ["bus.grant_beats"], ["checker.check_latency"] and
+    ["task.phase_cycles"], and the ["trace.dropped"] counter. *)
+
+val to_table : t -> string
+(** Counters and histogram percentiles rendered with {!Ccsim.Report.table}. *)

@@ -1,0 +1,45 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable next : int;     (* slot the next push writes *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Obs.Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; next = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let dropped t = t.dropped
+let pushed t = t.len + t.dropped
+
+let push t x =
+  let cap = Array.length t.slots in
+  t.slots.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+
+let oldest t =
+  let cap = Array.length t.slots in
+  ((t.next - t.len) mod cap + cap) mod cap
+
+let iter f t =
+  let cap = Array.length t.slots in
+  let start = oldest t in
+  for i = 0 to t.len - 1 do
+    match t.slots.((start + i) mod cap) with
+    | Some x -> f x
+    | None -> assert false
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0;
+  t.len <- 0;
+  t.dropped <- 0

@@ -1,0 +1,33 @@
+type t = { mutable clock : int; ring : Event.t Ring.t option }
+
+let null = { clock = 0; ring = None }
+
+let create ?(capacity = 65536) () =
+  { clock = 0; ring = Some (Ring.create ~capacity) }
+
+let enabled t = t.ring <> None
+
+let now t = t.clock
+
+let set_now t c = match t.ring with None -> () | Some _ -> if c > t.clock then t.clock <- c
+
+let advance t n = match t.ring with None -> () | Some _ -> if n > 0 then t.clock <- t.clock + n
+
+let emit_at t ~cycle data =
+  match t.ring with
+  | None -> ()
+  | Some r -> Ring.push r { Event.cycle; data }
+
+let emit t data = emit_at t ~cycle:t.clock data
+
+let events t = match t.ring with None -> [] | Some r -> Ring.to_list r
+
+let iter f t = match t.ring with None -> () | Some r -> Ring.iter f r
+
+let length t = match t.ring with None -> 0 | Some r -> Ring.length r
+let dropped t = match t.ring with None -> 0 | Some r -> Ring.dropped r
+let capacity t = match t.ring with None -> 0 | Some r -> Ring.capacity r
+
+let clear t =
+  (match t.ring with None -> () | Some r -> Ring.clear r);
+  t.clock <- 0

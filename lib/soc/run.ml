@@ -51,11 +51,23 @@ let finish (sys : System.t) ~config_label ~benchmark ~tasks ~phases ~correct
     power_mw = Power.power_mw ~luts:area_luts ~utilization;
   }
 
+(* Observation-only phase markers: stamped on the shared sink at the phase's
+   start cycle.  The sink is never consulted by the simulation, so emitting
+   (or not emitting) these cannot change any cycle count. *)
+let emit_phase obs ~at ~task phase dur =
+  if Obs.Trace.enabled obs then
+    Obs.Trace.emit_at obs ~cycle:at (Obs.Event.Task_phase { task; phase; dur })
+
 (* CPU-only execution: tasks run back-to-back on the one core. *)
 let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
   let kernel = bench.Machsuite.Bench_def.kernel in
   let cfg = Cpu.Model.config isa in
   let n_bufs = List.length kernel.bufs in
+  let obs = sys.System.obs in
+  let t0 = Obs.Trace.now obs in
+  let bytes = buffer_bytes kernel in
+  let alloc_cycles = tasks * n_bufs * Driver.malloc_cycles in
+  let init_cycles = tasks * Cpu.Model.init_store_cycles cfg ~bytes in
   let bindings =
     List.map
       (fun (decl : Kernel.Ir.buf_decl) ->
@@ -67,26 +79,32 @@ let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
   in
   let layout = Memops.Layout.make bindings in
   init_layout sys.System.mem bench layout;
+  emit_phase obs ~at:t0 ~task:0 "alloc" alloc_cycles;
+  emit_phase obs ~at:(t0 + alloc_cycles) ~task:0 "init" init_cycles;
+  Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles);
   let res =
-    Cpu.Model.run cfg sys.System.mem kernel layout ~params:bench.params ()
+    Cpu.Model.run ~obs cfg sys.System.mem kernel layout ~params:bench.params ()
   in
   (match res.Cpu.Model.trap with
   | None -> ()
   | Some reason -> failwith ("benign CPU run trapped: " ^ reason));
   let correct = verify sys.System.mem bench layout in
   List.iter (fun b -> Tagmem.Alloc.free sys.System.heap b.Memops.Layout.base) bindings;
-  let bytes = buffer_bytes kernel in
   let per_task_compute =
     res.Cpu.Model.cycles + Cpu.Model.cap_setup_cycles cfg ~n_bufs
   in
   let phases =
     {
-      alloc = tasks * n_bufs * Driver.malloc_cycles;
-      init = tasks * Cpu.Model.init_store_cycles cfg ~bytes;
+      alloc = alloc_cycles;
+      init = init_cycles;
       compute = tasks * per_task_compute;
       teardown = tasks * n_bufs * Driver.free_cycles;
     }
   in
+  emit_phase obs ~at:(t0 + alloc_cycles + init_cycles) ~task:0 "compute"
+    phases.compute;
+  Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles + phases.compute);
+  emit_phase obs ~at:(Obs.Trace.now obs) ~task:0 "teardown" phases.teardown;
   finish sys ~config_label:(Config.label sys.System.config) ~benchmark:kernel.name
     ~tasks ~phases ~correct ~denials:[] ~checks:0 ~entries_peak:0 ~bus_beats:0
     ~accel_luts:0
@@ -107,6 +125,8 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
       | Ok a -> allocate (a :: acc) (n - 1)
       | Error msg -> failwith ("driver allocation failed: " ^ msg)
   in
+  let obs = sys.System.obs in
+  let t0 = Obs.Trace.now obs in
   let allocated = allocate [] tasks in
   let alloc_cycles =
     List.fold_left (fun acc (a : Driver.allocated) -> acc + a.cycles) 0 allocated
@@ -118,8 +138,12 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
   let bytes = buffer_bytes kernel in
   let init_cycles = tasks * Cpu.Model.init_store_cycles cfg ~bytes in
   let first = (List.hd allocated).handle in
+  emit_phase obs ~at:t0 ~task:first.Driver.task_id "alloc" alloc_cycles;
+  emit_phase obs ~at:(t0 + alloc_cycles) ~task:first.Driver.task_id "init"
+    init_cycles;
+  Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles);
   let outcome =
-    Accel.Engine.run ~mem:sys.System.mem ~guard:(System.guard sys)
+    Accel.Engine.run ~obs ~mem:sys.System.mem ~guard:(System.guard sys)
       ~bus:sys.System.bus ~directives
       ~addressing:(Driver.Backend.addressing backend)
       ~naive_tag_writes:(System.naive_tag_writes sys)
@@ -141,11 +165,16 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
       allocated
   in
   let replayed = Accel.Replay.run sys.System.fabric ~start:0 streams in
+  emit_phase obs ~at:(t0 + alloc_cycles + init_cycles) ~task:first.Driver.task_id
+    "compute" replayed.Accel.Replay.makespan;
+  Obs.Trace.set_now obs
+    (t0 + alloc_cycles + init_cycles + replayed.Accel.Replay.makespan);
   let correct =
     outcome.Accel.Engine.denied = None
     && verify sys.System.mem bench first.Driver.layout
   in
   let denied_first = outcome.Accel.Engine.denied in
+  let teardown_start = Obs.Trace.now obs in
   let teardown_cycles, denials =
     List.fold_left
       (fun (cycles, denials) (a : Driver.allocated) ->
@@ -158,6 +187,8 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
         (cycles + report.Driver.cycles, denials @ report.Driver.denials))
       (0, []) allocated
   in
+  emit_phase obs ~at:teardown_start ~task:first.Driver.task_id "teardown"
+    teardown_cycles;
   let phases =
     { alloc = alloc_cycles; init = init_cycles;
       compute = replayed.Accel.Replay.makespan; teardown = teardown_cycles }
@@ -169,22 +200,22 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
     ~accel_luts:directives.Hls.Directives.area_luts
 
 let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
-    config bench =
+    ?obs config bench =
   assert (tasks > 0);
   let instances = match instances with Some n -> max n tasks | None -> max 8 tasks in
-  let sys = System.create ~instances ~cc_entries ~bus config in
+  let sys = System.create ~instances ~cc_entries ~bus ?obs config in
   match config with
   | Config.Cpu_only isa -> run_cpu_only sys isa bench ~tasks
   | Config.Hetero _ -> run_hetero sys bench ~tasks
 
-let run_mixed ?instances config benches =
+let run_mixed ?instances ?obs config benches =
   let tasks = List.length benches in
   assert (tasks > 0);
   let instances = match instances with Some n -> max n tasks | None -> tasks in
   (match config with
   | Config.Hetero _ -> ()
   | Config.Cpu_only _ -> invalid_arg "Run.run_mixed: needs a heterogeneous config");
-  let sys = System.create ~instances config in
+  let sys = System.create ~instances ?obs config in
   let driver = Option.get sys.System.driver in
   let backend = Option.get sys.System.backend in
   let cfg = sys.System.cpu_cfg in
@@ -197,6 +228,8 @@ let run_mixed ?instances config benches =
             failwith ("driver allocation failed for " ^ bench.name ^ ": " ^ msg))
       benches
   in
+  let obs = sys.System.obs in
+  let t0 = 0 in
   let alloc_cycles =
     List.fold_left (fun acc (_, (a : Driver.allocated)) -> acc + a.cycles) 0 allocated
   in
@@ -210,11 +243,15 @@ let run_mixed ?instances config benches =
         acc + Cpu.Model.init_store_cycles cfg ~bytes:(buffer_bytes bench.kernel))
       0 allocated
   in
+  let lead_task = (snd (List.hd allocated)).Driver.handle.Driver.task_id in
+  emit_phase obs ~at:t0 ~task:lead_task "alloc" alloc_cycles;
+  emit_phase obs ~at:(t0 + alloc_cycles) ~task:lead_task "init" init_cycles;
+  Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles);
   let outcomes =
     List.map
       (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated)) ->
         let outcome =
-          Accel.Engine.run ~mem:sys.System.mem ~guard:(System.guard sys)
+          Accel.Engine.run ~obs ~mem:sys.System.mem ~guard:(System.guard sys)
             ~bus:sys.System.bus ~directives:bench.directives
             ~addressing:(Driver.Backend.addressing backend)
             ~naive_tag_writes:(System.naive_tag_writes sys)
@@ -239,6 +276,10 @@ let run_mixed ?instances config benches =
       outcomes
   in
   let replayed = Accel.Replay.run sys.System.fabric ~start:0 streams in
+  emit_phase obs ~at:(t0 + alloc_cycles + init_cycles) ~task:lead_task "compute"
+    replayed.Accel.Replay.makespan;
+  Obs.Trace.set_now obs
+    (t0 + alloc_cycles + init_cycles + replayed.Accel.Replay.makespan);
   let correct =
     List.for_all
       (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), outcome) ->
@@ -246,6 +287,7 @@ let run_mixed ?instances config benches =
         && verify sys.System.mem bench a.handle.Driver.layout)
       outcomes
   in
+  let teardown_start = Obs.Trace.now obs in
   let teardown_cycles, denials =
     List.fold_left
       (fun (cycles, denials) (_, (a : Driver.allocated), outcome) ->
@@ -256,6 +298,7 @@ let run_mixed ?instances config benches =
         (cycles + report.Driver.cycles, denials @ report.Driver.denials))
       (0, []) outcomes
   in
+  emit_phase obs ~at:teardown_start ~task:lead_task "teardown" teardown_cycles;
   let checks =
     List.fold_left (fun acc (_, _, o) -> acc + o.Accel.Engine.checks) 0 outcomes
   in

@@ -36,15 +36,23 @@ val run :
   ?instances:int ->
   ?cc_entries:int ->
   ?bus:Bus.Params.t ->
+  ?obs:Obs.Trace.t ->
   Config.t ->
   Machsuite.Bench_def.t ->
   result
 (** Run [tasks] identical independent tasks (default 8, the paper's eight
     instances).  [cc_entries] sizes the CapChecker table (default 256).  Homogeneous accelerator tasks are interpreted once and their
     DMA stream replicated per instance — concurrent timing is still modeled
-    exactly, per-instance, through the shared interconnect. *)
+    exactly, per-instance, through the shared interconnect.
+
+    [obs] (default {!Obs.Trace.null}) records an event trace of the run:
+    bus grants, guard adjudications, table/MMIO traffic and [Task_phase]
+    markers at the alloc/init/compute/teardown boundaries.  Recording is
+    observation-only: the returned [result] is identical with and without a
+    sink (covered by a differential test). *)
 
 val run_mixed :
-  ?instances:int -> Config.t -> Machsuite.Bench_def.t list -> result
+  ?instances:int -> ?obs:Obs.Trace.t -> Config.t -> Machsuite.Bench_def.t list ->
+  result
 (** One task per (distinct) benchmark on one shared system — the
     mixed-accelerator SoCs of Figure 9.  Requires a heterogeneous config. *)

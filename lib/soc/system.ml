@@ -9,6 +9,7 @@ type t = {
   driver : Driver.t option;
   checker : Capchecker.Checker.t option;
   instances : int;
+  obs : Obs.Trace.t;
 }
 
 let cpu_isa = function
@@ -20,7 +21,7 @@ let cpu_isa = function
 let cached_table_base = 512 * 1024
 let cached_max_objs = 64
 
-let make_backend ~cc_entries ~mem ~instances (protection : Config.protection) =
+let make_backend ~cc_entries ~mem ~instances ~obs (protection : Config.protection) =
   match protection with
   | Config.Prot_none -> (Driver.Backend.No_protection { naive_tags = false }, None)
   | Config.Prot_naive -> (Driver.Backend.No_protection { naive_tags = true }, None)
@@ -28,41 +29,42 @@ let make_backend ~cc_entries ~mem ~instances (protection : Config.protection) =
   | Config.Prot_iommu -> (Driver.Backend.Iommu (Guard.Iommu.create ()), None)
   | Config.Prot_snpu -> (Driver.Backend.Snpu (Guard.Snpu.create ()), None)
   | Config.Prot_cc_fine ->
-      let c = Capchecker.Checker.create ~entries:cc_entries Capchecker.Checker.Fine in
+      let c = Capchecker.Checker.create ~entries:cc_entries ~obs Capchecker.Checker.Fine in
       (Driver.Backend.Capchecker c, Some c)
   | Config.Prot_cc_coarse ->
-      let c = Capchecker.Checker.create ~entries:cc_entries Capchecker.Checker.Coarse in
+      let c = Capchecker.Checker.create ~entries:cc_entries ~obs Capchecker.Checker.Coarse in
       (Driver.Backend.Capchecker c, Some c)
   | Config.Prot_cc_cached ->
       let c =
-        Capchecker.Cached.create ~cache_entries:16 ~mode:Capchecker.Checker.Fine
+        Capchecker.Cached.create ~cache_entries:16 ~obs ~mode:Capchecker.Checker.Fine
           ~mem ~table_base:cached_table_base ~max_tasks:instances
           ~max_objs:cached_max_objs ()
       in
       (Driver.Backend.Capchecker_cached c, None)
 
-let create ?(instances = 8) ?(cc_entries = 256) ?(bus = Bus.Params.default) config =
+let create ?(instances = 8) ?(cc_entries = 256) ?(bus = Bus.Params.default)
+    ?(obs = Obs.Trace.null) config =
   let mem = Tagmem.Mem.create ~size:Bus.Addr_map.dram_size in
   let heap =
     Tagmem.Alloc.create ~base:Bus.Addr_map.heap_base
       ~size:(Bus.Addr_map.dram_size - Bus.Addr_map.heap_base)
   in
-  let fabric = Bus.Fabric.create bus in
+  let fabric = Bus.Fabric.create ~obs bus in
   let cpu_cfg = Cpu.Model.config (cpu_isa config) in
   let backend, checker =
     match config with
     | Config.Cpu_only _ -> (None, None)
     | Config.Hetero { protection; _ } ->
-        let b, c = make_backend ~cc_entries ~mem ~instances protection in
+        let b, c = make_backend ~cc_entries ~mem ~instances ~obs protection in
         (Some b, c)
   in
   let driver =
     Option.map
       (fun backend ->
-        Driver.create ~mem ~heap ~backend ~bus ~n_instances:instances)
+        Driver.create ~obs ~mem ~heap ~backend ~bus ~n_instances:instances ())
       backend
   in
-  { config; mem; heap; bus; fabric; cpu_cfg; backend; driver; checker; instances }
+  { config; mem; heap; bus; fabric; cpu_cfg; backend; driver; checker; instances; obs }
 
 let guard t =
   match t.backend with

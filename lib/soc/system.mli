@@ -16,11 +16,19 @@ type t = {
   checker : Capchecker.Checker.t option;
       (** the CapChecker instance when the protection is Fine/Coarse *)
   instances : int;
+  obs : Obs.Trace.t;
+      (** the event sink every component of this system reports into
+          ({!Obs.Trace.null} unless one was passed to {!create}) *)
 }
 
-val create : ?instances:int -> ?cc_entries:int -> ?bus:Bus.Params.t -> Config.t -> t
+val create :
+  ?instances:int -> ?cc_entries:int -> ?bus:Bus.Params.t -> ?obs:Obs.Trace.t ->
+  Config.t -> t
 (** [instances] defaults to 8 (the paper's setting), [cc_entries] to 256,
-    [bus] to {!Bus.Params.default} (override for interconnect ablations). *)
+    [bus] to {!Bus.Params.default} (override for interconnect ablations).
+    [obs] (default {!Obs.Trace.null}) is threaded into the bus fabric, the
+    protection backend and the driver; recording is observation-only and
+    never changes simulated behaviour. *)
 
 val guard : t -> Guard.Iface.t
 (** The active guard ({!Guard.Iface.pass_through} for unguarded systems). *)

@@ -1,0 +1,49 @@
+The trace subcommand records one run and writes a Chrome trace-event JSON
+file loadable in Perfetto.  The summary table and the written file are
+deterministic, so this doubles as a smoke test of the whole pipeline.
+
+  $ ../../bin/capsim.exe trace -b aes -c ccpu+caccel -t 2 -o trace.json
+  aes on ccpu+caccel, 2 task(s): wall 10639 cycles, correct true
+  
+  Category  Event         Count
+  --------  ------------  -----
+  bus       bus_beat      4
+  bus       bus_grant     4
+  checker   check_ok      32
+  driver    cap_import    2
+  mmio      mmio_read     2
+  mmio      mmio_write    8
+  table     table_evict   2
+  table     table_insert  2
+  task      task_phase    8
+  total     (recorded)    64
+  total     (dropped)     0
+  Counter             Count
+  ------------------  -----
+  bus.bus_beat        4
+  bus.bus_grant       4
+  checker.check_ok    32
+  driver.cap_import   2
+  mmio.mmio_read      2
+  mmio.mmio_write     8
+  table.table_evict   2
+  table.table_insert  2
+  task.task_phase     8
+  trace.dropped       0
+  
+  Histogram              N   Mean    p50<=  p90<=  p99<=  Max
+  ---------------------  --  ------  -----  -----  -----  -----
+  bus.grant_beats        4   16.0    16     16     16     16
+  bus.grant_wait         4   4.2     0      17     17     17
+  checker.check_latency  32  1.0     1      1      1      1
+  task.phase_cycles      8   1363.6  127    10321  10321  10321
+  wrote trace.json (64 events, 0 dropped)
+
+
+
+
+
+The file is valid JSON with the Chrome object-format keys:
+
+  $ head -c 15 trace.json
+  {"traceEvents":

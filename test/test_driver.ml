@@ -18,7 +18,7 @@ let kernel2 =
 let make_driver ?(instances = 2) backend =
   let mem = Tagmem.Mem.create ~size:(1 lsl 21) in
   let heap = Tagmem.Alloc.create ~base:4096 ~size:((1 lsl 21) - 4096) in
-  ( Driver.create ~mem ~heap ~backend ~bus:Bus.Params.default ~n_instances:instances,
+  ( Driver.create ~mem ~heap ~backend ~bus:Bus.Params.default ~n_instances:instances (),
     mem, heap )
 
 let alloc_exn driver kernel =

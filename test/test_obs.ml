@@ -1,0 +1,289 @@
+(* lib/obs: the observability layer must observe without perturbing.
+
+   The load-bearing property is behaviour neutrality: a run with a recording
+   sink returns the exact same [Soc.Run.result] as a run with the null sink
+   (differential test below).  Everything else — ring accounting, histogram
+   percentiles, exporter validity — is checked against the simpler reference
+   implementation it mirrors. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Ring ---- *)
+
+let test_ring_wrap () =
+  let r = Obs.Ring.create ~capacity:4 in
+  for i = 0 to 9 do
+    Obs.Ring.push r i
+  done;
+  check_int "length" 4 (Obs.Ring.length r);
+  check_int "dropped" 6 (Obs.Ring.dropped r);
+  check_int "pushed" 10 (Obs.Ring.pushed r);
+  Alcotest.(check (list int)) "newest retained, oldest first" [ 6; 7; 8; 9 ]
+    (Obs.Ring.to_list r);
+  Obs.Ring.clear r;
+  check_int "cleared length" 0 (Obs.Ring.length r);
+  check_int "cleared dropped" 0 (Obs.Ring.dropped r);
+  Obs.Ring.push r 42;
+  Alcotest.(check (list int)) "usable after clear" [ 42 ] (Obs.Ring.to_list r)
+
+let test_ring_partial () =
+  let r = Obs.Ring.create ~capacity:8 in
+  List.iter (Obs.Ring.push r) [ 1; 2; 3 ];
+  check_int "no drops below capacity" 0 (Obs.Ring.dropped r);
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Obs.Ring.to_list r)
+
+(* ---- Trace sink ---- *)
+
+let test_null_sink () =
+  let t = Obs.Trace.null in
+  check_bool "null disabled" false (Obs.Trace.enabled t);
+  Obs.Trace.emit t (Obs.Event.Mmio_read { offset = 0 });
+  Obs.Trace.advance t 100;
+  Obs.Trace.set_now t 1000;
+  check_int "null records nothing" 0 (Obs.Trace.length t);
+  check_int "null clock never moves" 0 (Obs.Trace.now t)
+
+let test_trace_clock_and_drops () =
+  let t = Obs.Trace.create ~capacity:2 () in
+  Obs.Trace.advance t 5;
+  Obs.Trace.set_now t 3;  (* never backwards *)
+  check_int "set_now is monotone" 5 (Obs.Trace.now t);
+  for i = 0 to 4 do
+    Obs.Trace.emit_at t ~cycle:i (Obs.Event.Mmio_write { offset = 8 * i })
+  done;
+  check_int "bounded" 2 (Obs.Trace.length t);
+  check_int "drop counter" 3 (Obs.Trace.dropped t);
+  match Obs.Trace.events t with
+  | [ a; b ] ->
+      check_int "newest kept" 3 a.Obs.Event.cycle;
+      check_int "newest kept 2" 4 b.Obs.Event.cycle
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+(* ---- Metrics: histogram percentile vs the exact nearest-rank one ---- *)
+
+let test_histogram_percentile () =
+  (* Deterministic pseudo-random samples spanning several octaves. *)
+  let samples =
+    List.init 500 (fun i -> (i * 7919 + 13) mod 10_000)
+  in
+  let m = Obs.Metrics.create () in
+  List.iter (fun s -> Obs.Metrics.observe m "lat" s) samples;
+  let floats = List.map float_of_int samples in
+  List.iter
+    (fun p ->
+      let exact = int_of_float (Ccsim.Stats.percentile p floats) in
+      match Obs.Metrics.percentile m "lat" p with
+      | None -> Alcotest.fail "histogram percentile missing"
+      | Some hist_p ->
+          if not (hist_p >= exact && hist_p <= max (2 * exact - 1) 0) then
+            Alcotest.failf "p%.2f: exact %d, histogram %d out of bounds" p
+              exact hist_p)
+    [ 0.5; 0.9; 0.99; 1.0 ];
+  (match Obs.Metrics.hist_summary m "lat" with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+      check_int "count" 500 s.Obs.Metrics.count;
+      check_int "max is exact" (List.fold_left max 0 samples)
+        s.Obs.Metrics.max_sample);
+  check_int "missing histogram" 0
+    (match Obs.Metrics.percentile m "nope" 0.5 with Some _ -> 1 | None -> 0)
+
+let test_metrics_merge () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.add a "n" 3;
+  Obs.Metrics.add b "n" 4;
+  Obs.Metrics.observe a "h" 10;
+  Obs.Metrics.observe b "h" 1000;
+  Obs.Metrics.merge_into ~dst:a b;
+  check_int "counters add" 7 (Obs.Metrics.get a "n");
+  match Obs.Metrics.hist_summary a "h" with
+  | Some s ->
+      check_int "samples merge" 2 s.Obs.Metrics.count;
+      check_int "max merges" 1000 s.Obs.Metrics.max_sample
+  | None -> Alcotest.fail "merged histogram missing"
+
+(* ---- Differential: recording must not change any simulated number ---- *)
+
+let configs = [ Soc.Config.ccpu_accel; Soc.Config.ccpu_caccel ]
+let benches () =
+  [ Machsuite.Registry.find "aes"; Machsuite.Registry.find "gemm_blocked" ]
+
+let test_differential () =
+  List.iter
+    (fun config ->
+      List.iter
+        (fun (bench : Machsuite.Bench_def.t) ->
+          let plain = Soc.Run.run ~tasks:4 config bench in
+          let obs = Obs.Trace.create () in
+          let traced = Soc.Run.run ~tasks:4 ~obs config bench in
+          if plain <> traced then
+            Alcotest.failf "%s on %s: result changed under tracing" bench.name
+              plain.Soc.Run.config_label;
+          check_bool
+            (Printf.sprintf "%s/%s trace non-empty" bench.name
+               plain.Soc.Run.config_label)
+            true
+            (Obs.Trace.length obs > 0))
+        (benches ()))
+    configs
+
+let test_determinism () =
+  (* Same seed (the simulator is deterministic), fresh sink each time: the
+     exported byte stream must be identical. *)
+  let capture () =
+    let obs = Obs.Trace.create () in
+    ignore (Soc.Run.run ~tasks:4 ~obs Soc.Config.ccpu_caccel
+              (Machsuite.Registry.find "aes"));
+    Obs.Export.to_chrome_string obs
+  in
+  Alcotest.(check string) "byte-identical export" (capture ()) (capture ())
+
+(* ---- Exporter: valid JSON, monotone per track, enough categories ---- *)
+
+let recorded_run () =
+  let obs = Obs.Trace.create () in
+  ignore
+    (Soc.Run.run ~tasks:4 ~obs Soc.Config.ccpu_caccel
+       (Machsuite.Registry.find "gemm_blocked"));
+  obs
+
+let test_event_monotonicity () =
+  let obs = recorded_run () in
+  let last = Hashtbl.create 32 in
+  Obs.Trace.iter
+    (fun e ->
+      let key =
+        (Obs.Event.category e.Obs.Event.data, Obs.Event.track e.Obs.Event.data)
+      in
+      (match Hashtbl.find_opt last key with
+      | Some prev when e.Obs.Event.cycle < prev ->
+          Alcotest.failf "track %s/%d went backwards: %d after %d" (fst key)
+            (snd key) e.Obs.Event.cycle prev
+      | _ -> ());
+      Hashtbl.replace last key e.Obs.Event.cycle)
+    obs
+
+let test_chrome_export_parses () =
+  let obs = recorded_run () in
+  let raw = Obs.Export.to_chrome_string obs in
+  match Obs.Json.parse raw with
+  | Error msg -> Alcotest.failf "exporter emitted invalid JSON: %s" msg
+  | Ok json -> (
+      match Option.bind (Obs.Json.member "traceEvents" json) Obs.Json.to_list_opt with
+      | None -> Alcotest.fail "no traceEvents array"
+      | Some events ->
+          check_bool "events present" true (List.length events > 0);
+          (* Monotone timestamps per (pid, tid) among non-metadata events —
+             the property Perfetto needs for sane track rendering. *)
+          let last = Hashtbl.create 32 in
+          List.iter
+            (fun ev ->
+              let str k = Option.bind (Obs.Json.member k ev) Obs.Json.to_string_opt in
+              let num k = Option.bind (Obs.Json.member k ev) Obs.Json.to_int_opt in
+              match (str "ph", num "pid", num "tid", num "ts") with
+              | Some "M", _, _, _ -> ()
+              | Some _, Some pid, Some tid, Some ts ->
+                  (match Hashtbl.find_opt last (pid, tid) with
+                  | Some prev when ts < prev ->
+                      Alcotest.failf "pid %d tid %d: ts %d after %d" pid tid ts
+                        prev
+                  | _ -> ());
+                  Hashtbl.replace last (pid, tid) ts
+              | _ -> Alcotest.fail "event missing ph/pid/tid/ts")
+            events;
+          let categories = Obs.Export.categories obs in
+          if List.length categories < 4 then
+            Alcotest.failf "only %d component categories traced"
+              (List.length categories))
+
+let test_write_chrome_roundtrip () =
+  let obs = recorded_run () in
+  let path = Filename.temp_file "capsim_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Obs.Export.write_chrome ~path obs;
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let raw = really_input_string ic n in
+      close_in ic;
+      match Obs.Json.parse raw with
+      | Ok json ->
+          check_bool "file has traceEvents" true
+            (Obs.Json.member "traceEvents" json <> None)
+      | Error msg -> Alcotest.failf "written file invalid: %s" msg)
+
+let test_metrics_of_trace () =
+  let obs = recorded_run () in
+  let m = Obs.Metrics.of_trace obs in
+  check_bool "bus grants counted" true (Obs.Metrics.get m "bus.bus_grant" > 0);
+  check_bool "checks counted" true (Obs.Metrics.get m "checker.check_ok" > 0);
+  check_bool "grant-wait histogram" true
+    (Obs.Metrics.percentile m "bus.grant_wait" 0.5 <> None);
+  check_bool "renders" true (String.length (Obs.Metrics.to_table m) > 0);
+  check_bool "summary renders" true (String.length (Obs.Export.summary obs) > 0)
+
+(* ---- Bounded denial log (the denial-storm regression) ---- *)
+
+let denial_req i =
+  (* Fine mode with no installed capability: every check denies. *)
+  { Guard.Iface.source = 1; port = Some (i mod 4); addr = 0x1000 + i; size = 8;
+    kind = Guard.Iface.Read }
+
+let test_denial_storm_bounded () =
+  let checker =
+    Capchecker.Checker.create ~log_capacity:4 Capchecker.Checker.Fine
+  in
+  for i = 0 to 99 do
+    match Capchecker.Checker.check checker (denial_req i) with
+    | Guard.Iface.Denied _ -> ()
+    | Guard.Iface.Granted _ -> Alcotest.fail "uninstalled capability granted"
+  done;
+  let log = Capchecker.Checker.exception_log checker in
+  check_int "log bounded" 4 (List.length log);
+  check_int "drops counted" 96 (Capchecker.Checker.dropped_denials checker);
+  check_int "capacity visible" 4 (Capchecker.Checker.log_capacity checker);
+  check_bool "flag raised" true (Capchecker.Checker.exception_flag checker);
+  (* The retained entries are the newest: their details mention the last
+     addresses probed. *)
+  check_int "per-task view bounded" 4
+    (List.length (Capchecker.Checker.exception_log_for checker ~task:1));
+  check_int "other tasks unaffected" 0
+    (List.length (Capchecker.Checker.exception_log_for checker ~task:2))
+
+let test_denial_log_default_capacity () =
+  let checker = Capchecker.Checker.create Capchecker.Checker.Fine in
+  check_int "default capacity" 256 (Capchecker.Checker.log_capacity checker);
+  (* Below capacity nothing is dropped — the pre-bugfix behaviour of keeping
+     every denial is preserved for real (engine-aborted) workloads. *)
+  for i = 0 to 9 do
+    ignore (Capchecker.Checker.check checker (denial_req i))
+  done;
+  check_int "nothing dropped" 0 (Capchecker.Checker.dropped_denials checker);
+  check_int "all retained" 10
+    (List.length (Capchecker.Checker.exception_log checker))
+
+let suite =
+  [
+    Alcotest.test_case "ring wrap and drop accounting" `Quick test_ring_wrap;
+    Alcotest.test_case "ring below capacity" `Quick test_ring_partial;
+    Alcotest.test_case "null sink is inert" `Quick test_null_sink;
+    Alcotest.test_case "trace clock and drops" `Quick test_trace_clock_and_drops;
+    Alcotest.test_case "histogram percentile brackets exact" `Quick
+      test_histogram_percentile;
+    Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+    Alcotest.test_case "tracing changes nothing (differential)" `Slow
+      test_differential;
+    Alcotest.test_case "export is deterministic" `Slow test_determinism;
+    Alcotest.test_case "event stream monotone per track" `Slow
+      test_event_monotonicity;
+    Alcotest.test_case "chrome export parses and is well-formed" `Slow
+      test_chrome_export_parses;
+    Alcotest.test_case "write_chrome roundtrip" `Slow test_write_chrome_roundtrip;
+    Alcotest.test_case "metrics derived from trace" `Slow test_metrics_of_trace;
+    Alcotest.test_case "denial storm stays bounded" `Quick
+      test_denial_storm_bounded;
+    Alcotest.test_case "denial log default keeps small logs whole" `Quick
+      test_denial_log_default_capacity;
+  ]
