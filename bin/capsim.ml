@@ -6,7 +6,8 @@
      trace -b BENCH -o FILE    record an event trace (Perfetto-loadable JSON)
      sweep -b BENCH            parallelism sweep (Figure 11 style)
      attack [-s SCHEME]        run the attack suite against one scheme
-     matrix                    the full CWE matrix (Table 3) *)
+     matrix                    the full CWE matrix (Table 3)
+     faults -b BENCH --seed N  deterministic fault injection with recovery report *)
 
 open Cmdliner
 
@@ -18,6 +19,7 @@ let configs =
     ("ccpu+accel", Soc.Config.ccpu_accel);
     ("ccpu+caccel", Soc.Config.ccpu_caccel);
     ("coarse", Soc.Config.ccpu_caccel_coarse);
+    ("cached", Soc.Config.ccpu_caccel_cached);
     ("iommu", Soc.Config.Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Soc.Config.Prot_iommu });
     ("iopmp", Soc.Config.Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Soc.Config.Prot_iopmp });
     ("snpu", Soc.Config.Hetero { cpu_isa = Cpu.Model.Cheri_rv64; protection = Soc.Config.Prot_snpu });
@@ -166,6 +168,50 @@ let attack_cmd =
   Cmd.v (Cmd.info "attack" ~doc:"Run the attack suite against a scheme")
     Term.(const run $ scheme_arg)
 
+(* ---- faults ---- *)
+
+let faults_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1
+           & info [ "s"; "seed" ]
+               ~doc:"Fault-plan seed: same seed, benchmark and config always \
+                     reproduce the same faults, retries and result.")
+  in
+  let run bench config tasks seed =
+    let plan = Fault.Plan.default ~seed in
+    let r = Soc.Run.run ~tasks ~faults:plan config bench in
+    let c = r.Soc.Run.faults in
+    Printf.printf "%s on %s, %d task(s), fault plan %s\n" r.Soc.Run.benchmark
+      r.Soc.Run.config_label r.Soc.Run.tasks (Fault.Plan.to_string plan);
+    Printf.printf "  wall      %9d cycles (alloc %d, init %d, compute %d, teardown %d)\n"
+      r.Soc.Run.wall r.Soc.Run.phases.Soc.Run.alloc r.Soc.Run.phases.Soc.Run.init
+      r.Soc.Run.phases.Soc.Run.compute r.Soc.Run.phases.Soc.Run.teardown;
+    Printf.printf "  injected  %d bus stalls (+%d cycles), %d bus errors, %d guard denials,\n"
+      c.Fault.Injector.bus_stalls c.Fault.Injector.bus_stall_cycles
+      c.Fault.Injector.bus_errors c.Fault.Injector.guard_denials;
+    Printf.printf "            %d table-fulls, %d cache drops, %d alloc failures\n"
+      c.Fault.Injector.table_fulls c.Fault.Injector.cache_drops
+      c.Fault.Injector.alloc_fails;
+    Printf.printf "  recovery  %d retries (%d backoff cycles), %d task(s) recovered, %d degraded to CPU\n"
+      c.Fault.Injector.retries c.Fault.Injector.backoff_cycles r.Soc.Run.recovered
+      (List.length r.Soc.Run.fallbacks);
+    List.iter
+      (fun (f : Soc.Run.fallback) ->
+        Printf.printf "  fallback  task %d: %s\n" f.Soc.Run.task f.Soc.Run.reason)
+      r.Soc.Run.fallbacks;
+    Printf.printf "  correct   %b\n" r.Soc.Run.correct;
+    if r.Soc.Run.correct then
+      print_endline "  invariant ok: completed correctly (degraded tasks recomputed on CPU)"
+    else begin
+      print_endline "  invariant VIOLATED: incorrect result without a covering fallback";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run one benchmark under a seeded deterministic fault plan")
+    Term.(const run $ bench_arg $ config_arg $ tasks_arg $ seed_arg)
+
 let matrix_cmd =
   let run () = print_endline (Security.Matrix.render ()) in
   Cmd.v (Cmd.info "matrix" ~doc:"Print the CWE matrix (Table 3)")
@@ -179,4 +225,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; trace_cmd; sweep_cmd; attack_cmd; matrix_cmd ]))
+          [ list_cmd; run_cmd; trace_cmd; sweep_cmd; attack_cmd; matrix_cmd;
+            faults_cmd ]))

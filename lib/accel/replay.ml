@@ -2,6 +2,8 @@ type result = {
   makespan : int;
   per_instance : (int * int) list;
   bus_beats : int;
+  bus_errors : int;
+  failed : int list;
 }
 
 type stream = { instance : int; trace : Trace.t; max_outstanding : int }
@@ -14,7 +16,12 @@ type instance_state = {
   mutable ready : int;
   outstanding : int Queue.t;  (* completion times of in-flight streaming reads *)
   mutable finish : int;
+  mutable event_retries : int;  (* consecutive error responses on the current event *)
+  mutable failed : bool;
 }
+
+let error_turnaround = 8
+(* cycles between observing an error response and re-issuing the transaction *)
 
 let candidate_time st =
   let ev = st.events.(st.next) in
@@ -27,13 +34,15 @@ let candidate_time st =
   then max cand (Queue.peek st.outstanding)
   else cand
 
-let run fabric ~start streams =
+let run ?(error_retry_limit = 4) fabric ~start streams =
+  let errors = ref 0 in
   let states =
     List.map
       (fun s ->
         { id = s.instance; events = Trace.events s.trace;
           limit = max 1 s.max_outstanding; next = 0; ready = start;
-          outstanding = Queue.create (); finish = start })
+          outstanding = Queue.create (); finish = start;
+          event_retries = 0; failed = false })
       streams
   in
   let rec step () =
@@ -53,7 +62,6 @@ let run fabric ~start streams =
     | None -> ()
     | Some (st, cand) ->
         let ev = st.events.(st.next) in
-        st.next <- st.next + 1;
         (if ev.Trace.kind = Guard.Iface.Read && (not ev.Trace.dependent)
             && Queue.length st.outstanding >= st.limit
          then ignore (Queue.pop st.outstanding));
@@ -62,18 +70,36 @@ let run fabric ~start streams =
           Bus.Fabric.request ~src:st.id fabric ~at:cand ~beats:ev.Trace.beats
             ~is_read ~extra_latency:ev.Trace.latency
         in
-        (match (ev.Trace.kind, ev.Trace.dependent) with
-        | Guard.Iface.Write, _ ->
-            (* Posted write: the instance moves on after the address phase. *)
-            st.ready <- grant.Bus.Fabric.granted_at + 1;
-            st.finish <- max st.finish grant.Bus.Fabric.data_done
-        | Guard.Iface.Read, true ->
-            st.ready <- grant.Bus.Fabric.completed;
-            st.finish <- max st.finish grant.Bus.Fabric.completed
-        | Guard.Iface.Read, false ->
-            Queue.push grant.Bus.Fabric.completed st.outstanding;
-            st.ready <- grant.Bus.Fabric.granted_at + 1;
-            st.finish <- max st.finish grant.Bus.Fabric.completed);
+        if grant.Bus.Fabric.errored then begin
+          incr errors;
+          st.finish <- max st.finish grant.Bus.Fabric.completed;
+          if st.event_retries >= error_retry_limit then begin
+            (* Retry budget exhausted: this instance's run is lost; the
+               driver decides what to do with the task. *)
+            st.failed <- true;
+            st.next <- Array.length st.events
+          end
+          else begin
+            st.event_retries <- st.event_retries + 1;
+            st.ready <- grant.Bus.Fabric.completed + error_turnaround
+          end
+        end
+        else begin
+          st.event_retries <- 0;
+          st.next <- st.next + 1;
+          match (ev.Trace.kind, ev.Trace.dependent) with
+          | Guard.Iface.Write, _ ->
+              (* Posted write: the instance moves on after the address phase. *)
+              st.ready <- grant.Bus.Fabric.granted_at + 1;
+              st.finish <- max st.finish grant.Bus.Fabric.data_done
+          | Guard.Iface.Read, true ->
+              st.ready <- grant.Bus.Fabric.completed;
+              st.finish <- max st.finish grant.Bus.Fabric.completed
+          | Guard.Iface.Read, false ->
+              Queue.push grant.Bus.Fabric.completed st.outstanding;
+              st.ready <- grant.Bus.Fabric.granted_at + 1;
+              st.finish <- max st.finish grant.Bus.Fabric.completed
+        end;
         step ()
   in
   step ();
@@ -82,4 +108,6 @@ let run fabric ~start streams =
     makespan;
     per_instance = List.map (fun st -> (st.id, st.finish)) states;
     bus_beats = Bus.Fabric.total_beats fabric;
+    bus_errors = !errors;
+    failed = List.filter_map (fun st -> if st.failed then Some st.id else None) states;
   }

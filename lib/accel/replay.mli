@@ -14,6 +14,11 @@ type result = {
   per_instance : (int * int) list;
       (** (instance id, completion cycle) *)
   bus_beats : int;  (** total data beats moved *)
+  bus_errors : int;
+      (** injected error responses observed (each re-issues the transaction) *)
+  failed : int list;
+      (** instances that exhausted the per-event error-retry budget; their
+          remaining events were abandoned *)
 }
 
 type stream = {
@@ -24,6 +29,12 @@ type stream = {
           accelerators with different interface quality *)
 }
 
-val run : Bus.Fabric.t -> start:int -> stream list -> result
+val run : ?error_retry_limit:int -> Bus.Fabric.t -> start:int -> stream list -> result
 (** Replay every stream beginning at cycle [start].  Instances arbitrate in
-    earliest-ready order (FIFO).  An empty trace completes at [start]. *)
+    earliest-ready order (FIFO).  An empty trace completes at [start].
+
+    An errored grant (injected bus fault) is re-issued after a fixed
+    turnaround; after [error_retry_limit] (default 4) consecutive errors on
+    the same event the instance is marked failed and abandons its remaining
+    events.  Without fault injection no grant errors and behaviour is
+    identical to the error-free scheduler. *)

@@ -1,13 +1,21 @@
 type t = {
   p : Params.t;
   obs : Obs.Trace.t;
+  faults : Fault.Injector.t;
   mutable free_at : int;
   mutable beats : int;
 }
 
-type grant = { granted_at : int; data_done : int; completed : int }
+type grant = {
+  granted_at : int;
+  data_done : int;
+  completed : int;
+  errored : bool;
+}
 
-let create ?(obs = Obs.Trace.null) p = { p; obs; free_at = 0; beats = 0 }
+let create ?(obs = Obs.Trace.null) ?(faults = Fault.Injector.none) p =
+  { p; obs; faults; free_at = 0; beats = 0 }
+
 let params t = t.p
 
 let request ?(src = -1) t ~at ~beats ~is_read ~extra_latency =
@@ -17,14 +25,19 @@ let request ?(src = -1) t ~at ~beats ~is_read ~extra_latency =
   t.free_at <- data_done;
   t.beats <- t.beats + beats;
   let mem_latency = if is_read then t.p.Params.read_latency else t.p.Params.write_latency in
-  let completed = data_done + mem_latency + extra_latency in
+  (* Injected faults: a stall delays the response by extra cycles; an error
+     response completes on time but carries no valid data, so the requester
+     must re-issue. *)
+  let stall = Fault.Injector.bus_stall t.faults in
+  let errored = Fault.Injector.bus_error t.faults in
+  let completed = data_done + mem_latency + extra_latency + stall in
   if Obs.Trace.enabled t.obs then begin
     Obs.Trace.emit_at t.obs ~cycle:granted_at
       (Obs.Event.Bus_grant
          { source = src; beats; read = is_read; at; granted_at; data_done; completed });
     Obs.Trace.emit_at t.obs ~cycle:data_done (Obs.Event.Bus_beat { source = src; beats })
   end;
-  { granted_at; data_done; completed }
+  { granted_at; data_done; completed; errored }
 
 let busy_until t = t.free_at
 let total_beats t = t.beats

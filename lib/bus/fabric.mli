@@ -12,13 +12,20 @@ type grant = {
   data_done : int;    (** cycle the last beat left the bus (address phase
                           included) *)
   completed : int;    (** cycle the requester observes completion
-                          (incl. memory latency for reads) *)
+                          (incl. memory latency for reads and any injected
+                          stall) *)
+  errored : bool;     (** the response was an injected bus error: it arrives
+                          at [completed] but carries no valid data, so the
+                          requester must re-issue *)
 }
 
-val create : ?obs:Obs.Trace.t -> Params.t -> t
+val create : ?obs:Obs.Trace.t -> ?faults:Fault.Injector.t -> Params.t -> t
 (** [obs] (default {!Obs.Trace.null}) receives a [Bus_grant] event per
     transaction, stamped at its arbitration cycle, and a [Bus_beat] event at
-    its last data beat.  Tracing never alters grant timing. *)
+    its last data beat.  Tracing never alters grant timing.  [faults]
+    (default {!Fault.Injector.none}) may stall or error individual
+    transactions; with the inert injector every grant has [errored = false]
+    and zero stall, bit-identical to a fabric without fault plumbing. *)
 
 val params : t -> Params.t
 

@@ -9,9 +9,14 @@ type t = {
   max_objs : int;
   lines : line array;
   obs : Obs.Trace.t;
+  faults : Fault.Injector.t;
   mutable hit_count : int;
   mutable miss_count : int;
   mutable flag : bool;
+  mutable live : int;
+      (* tagged backing-table entries; kept in sync by install/evict_task so
+         [entries_in_use] is O(1) instead of scanning max_tasks * max_objs
+         granules per call *)
 }
 
 let hit_latency = 1
@@ -19,14 +24,15 @@ let miss_latency = 1 + 20  (* tag + check after a DRAM fetch of the entry *)
 
 let backing_bytes ~max_tasks ~max_objs = max_tasks * max_objs * Tagmem.Mem.granule
 
-let create ?(cache_entries = 16) ?(obs = Obs.Trace.null) ~mode ~mem ~table_base
-    ~max_tasks ~max_objs () =
+let create ?(cache_entries = 16) ?(obs = Obs.Trace.null)
+    ?(faults = Fault.Injector.none) ~mode ~mem ~table_base ~max_tasks ~max_objs
+    () =
   assert (cache_entries > 0);
   assert (table_base mod Tagmem.Mem.granule = 0);
   {
     mode; mem; table_base; max_tasks; max_objs;
     lines = Array.init cache_entries (fun _ -> { key = -1; cap = Cheri.Cap.null });
-    obs; hit_count = 0; miss_count = 0; flag = false;
+    obs; faults; hit_count = 0; miss_count = 0; flag = false; live = 0;
   }
 
 let key_of t ~task ~obj = (task * t.max_objs) + obj
@@ -40,9 +46,17 @@ let set_of t key = key mod Array.length t.lines
 
 let install t ~task ~obj cap =
   if not (in_range t ~task ~obj) then Error "cached capchecker: key out of range"
+  else if Fault.Injector.table_full t.faults then
+    (* Transient backing-table write drop: the entry never lands, reported to
+       the driver the same way a full table would be. *)
+    Error "cached capchecker: table write dropped (injected fault)"
   else begin
     let key = key_of t ~task ~obj in
-    Tagmem.Mem.store_cap t.mem ~addr:(entry_addr t key) cap;
+    let addr = entry_addr t key in
+    let was_tagged = Tagmem.Mem.tag_at t.mem ~addr in
+    Tagmem.Mem.store_cap t.mem ~addr cap;
+    let now_tagged = Tagmem.Mem.tag_at t.mem ~addr in
+    t.live <- t.live + Bool.to_int now_tagged - Bool.to_int was_tagged;
     let line = t.lines.(set_of t key) in
     if line.key = key then line.key <- -1;
     Obs.Trace.emit t.obs (Obs.Event.Table_insert { task; obj; slot = set_of t key });
@@ -61,6 +75,7 @@ let evict_task t ~task =
       let line = t.lines.(set_of t key) in
       if line.key = key then line.key <- -1
     done;
+    t.live <- t.live - !cleared;
     if !cleared > 0 then
       Obs.Trace.emit t.obs (Obs.Event.Table_evict { task; obj = -1; count = !cleared });
     !cleared
@@ -72,6 +87,10 @@ let misses t = t.miss_count
 let fetch t ~task ~obj =
   let key = key_of t ~task ~obj in
   let line = t.lines.(set_of t key) in
+  (* An injected drop loses the cache line before the lookup: the capability
+     is re-fetched from the tagged backing table, so protection is unchanged
+     and only the miss latency is paid. *)
+  if line.key = key && Fault.Injector.cache_drop t.faults then line.key <- -1;
   if line.key = key then begin
     t.hit_count <- t.hit_count + 1;
     (line.cap, hit_latency)
@@ -116,17 +135,20 @@ let area_luts t =
   (* Cache lines cost like table entries, plus the refill state machine. *)
   600 + (130 * Array.length t.lines)
 
+let live_entries t = t.live
+
+let live_entries_scan t =
+  let live = ref 0 in
+  for key = 0 to (t.max_tasks * t.max_objs) - 1 do
+    if Tagmem.Mem.tag_at t.mem ~addr:(entry_addr t key) then incr live
+  done;
+  !live
+
 let as_guard t =
   {
     Guard.Iface.info =
       { name = "capchecker-cached"; granularity = Guard.Iface.G_object;
         area_luts = area_luts t };
     check = (fun req -> check t req);
-    entries_in_use =
-      (fun () ->
-        let live = ref 0 in
-        for key = 0 to (t.max_tasks * t.max_objs) - 1 do
-          if Tagmem.Mem.tag_at t.mem ~addr:(entry_addr t key) then incr live
-        done;
-        !live);
+    entries_in_use = (fun () -> t.live);
   }

@@ -18,6 +18,7 @@ type t
 val create :
   ?cache_entries:int ->
   ?obs:Obs.Trace.t ->
+  ?faults:Fault.Injector.t ->
   mode:Checker.mode ->
   mem:Tagmem.Mem.t ->
   table_base:int ->
@@ -29,7 +30,11 @@ val create :
     [max_tasks * max_objs] capability granules starting at [table_base]
     (driver-reserved memory).  [obs] (default {!Obs.Trace.null}) receives
     [Check_ok]/[Check_denial] per adjudication, [Check_table_miss] per cache
-    refill, and [Table_insert]/[Table_evict] for backing-table maintenance. *)
+    refill, and [Table_insert]/[Table_evict] for backing-table maintenance.
+    [faults] (default {!Fault.Injector.none}) can drop backing-table writes
+    (reported like table-full) and lose cache lines before a fetch (costing
+    only the miss latency — the tagged backing table re-supplies the
+    capability, so protection is unaffected). *)
 
 val backing_bytes : max_tasks:int -> max_objs:int -> int
 
@@ -49,6 +54,14 @@ val misses : t -> int
 
 val check : t -> Guard.Iface.req -> Guard.Iface.outcome
 val as_guard : t -> Guard.Iface.t
+
+val live_entries : t -> int
+(** Tagged backing-table entries, maintained incrementally on install/evict
+    (what [as_guard.entries_in_use] reports, in O(1)). *)
+
+val live_entries_scan : t -> int
+(** Same count recomputed by scanning every backing granule — the reference
+    implementation the counter is validated against in tests. *)
 
 val area_luts : t -> int
 (** Cache storage + comparators + the refill state machine — far below the

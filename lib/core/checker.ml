@@ -4,6 +4,7 @@ type t = {
   mode : mode;
   table : Table.t;
   obs : Obs.Trace.t;
+  faults : Fault.Injector.t;
   mutable flag : bool;
   log : (int * Guard.Iface.denial) Obs.Ring.t;
       (* bounded denial log, oldest first via Ring.to_list; hardware keeps
@@ -14,11 +15,12 @@ type t = {
 let default_log_capacity = 256
 
 let create ?(entries = 256) ?(obs = Obs.Trace.null) ?(log_capacity = default_log_capacity)
-    mode =
+    ?(faults = Fault.Injector.none) mode =
   {
     mode;
     table = Table.create ~entries;
     obs;
+    faults;
     flag = false;
     log = Obs.Ring.create ~capacity:log_capacity;
   }
@@ -83,6 +85,11 @@ let check t (req : Guard.Iface.req) =
                  (Guard.Iface.req_to_string req)))
 
 let install t ~task ~obj cap =
+  (* An injected table-full models transient table pressure: the install is
+     refused exactly as if the table had no free slot, and the driver's
+     normal stall/retry handling takes over. *)
+  if Fault.Injector.table_full t.faults then Table.Table_full
+  else
   let result = Table.install t.table ~task ~obj cap in
   (match result with
   | Table.Installed slot ->

@@ -22,13 +22,16 @@ type mode = Fine | Coarse
 type t
 
 val create :
-  ?entries:int -> ?obs:Obs.Trace.t -> ?log_capacity:int -> mode -> t
+  ?entries:int -> ?obs:Obs.Trace.t -> ?log_capacity:int ->
+  ?faults:Fault.Injector.t -> mode -> t
 (** [entries] defaults to 256 (the prototype's table size).  [obs] (default
     {!Obs.Trace.null}) receives [Check_ok]/[Check_denial] per adjudication and
     [Table_insert]/[Table_evict] for table maintenance.  [log_capacity]
     (default 256) bounds the software-visible denial log: a denial storm
     retains only the newest entries and counts the rest
-    ({!dropped_denials}). *)
+    ({!dropped_denials}).  [faults] (default {!Fault.Injector.none}) can force
+    individual installs to report [Table_full], modelling transient table
+    pressure. *)
 
 val mode : t -> mode
 val table : t -> Table.t

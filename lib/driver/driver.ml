@@ -9,12 +9,14 @@ type t = {
   n_instances : int;
   busy : bool array;
   obs : Obs.Trace.t;
+  faults : Fault.Injector.t;
   mmio : Capchecker.Mmio.t option;
       (* register window of the CapChecker, when one is present: the driver
          programs the hardware through it, never through internal calls *)
 }
 
-let create ?(obs = Obs.Trace.null) ~mem ~heap ~backend ~bus ~n_instances () =
+let create ?(obs = Obs.Trace.null) ?(faults = Fault.Injector.none) ~mem ~heap
+    ~backend ~bus ~n_instances () =
   assert (n_instances > 0);
   let mmio =
     match backend with
@@ -22,7 +24,8 @@ let create ?(obs = Obs.Trace.null) ~mem ~heap ~backend ~bus ~n_instances () =
     | Backend.No_protection _ | Backend.Iopmp _ | Backend.Iommu _
     | Backend.Snpu _ | Backend.Capchecker_cached _ -> None
   in
-  { mem; heap; backend; bus; n_instances; busy = Array.make n_instances false; obs; mmio }
+  { mem; heap; backend; bus; n_instances; busy = Array.make n_instances false;
+    obs; faults; mmio }
 
 let backend t = t.backend
 let mem t = t.mem
@@ -205,32 +208,83 @@ let program_backend t ~task_id ~bindings =
       let* caps = install_all [] numbered in
       Ok (!cycles, caps)
 
+(* Undo partially installed protection state after a failed allocation, so a
+   retry starts from a clean slate. *)
+let rollback_backend t ~task_id =
+  match t.backend with
+  | Backend.No_protection _ -> ()
+  | Backend.Iopmp g -> Guard.Iopmp.remove_rules_for g ~source:task_id
+  | Backend.Iommu g -> Guard.Iommu.unmap_source g ~source:task_id
+  | Backend.Snpu g -> Guard.Snpu.revoke_task g ~source:task_id
+  | Backend.Capchecker checker ->
+      ignore (Capchecker.Checker.evict_task checker ~task:task_id)
+  | Backend.Capchecker_cached checker ->
+      ignore (Capchecker.Cached.evict_task checker ~task:task_id)
+
 let allocate t (kernel : Kernel.Ir.t) =
+  if Fault.Injector.alloc_fail t.faults then
+    Error "transient allocation fault (injected)"
+  else
   match find_free_instance t with
   | None -> Error "all functional units busy"
   | Some task_id -> (
       match place_buffers t kernel with
       | exception Tagmem.Alloc.Out_of_memory n ->
           Error (Printf.sprintf "driver heap exhausted (%d bytes requested)" n)
-      | bindings, _allocs, n_mallocs ->
+      | bindings, allocs, n_mallocs -> (
           let obj_ids =
             List.mapi (fun obj (b : Memops.Layout.binding) -> (b.decl.Kernel.Ir.buf_name, obj)) bindings
           in
-          let* backend_cycles, caps = program_backend t ~task_id ~bindings in
-          (* Pointer and control registers of the accelerator instance:
-             one register per buffer plus task configuration and start. *)
-          let ctrl_cycles = (List.length bindings + 2) * t.bus.Bus.Params.mmio_write in
-          t.busy.(task_id) <- true;
-          let cycles = (n_mallocs * malloc_cycles) + backend_cycles + ctrl_cycles in
-          Obs.Trace.emit t.obs
-            (Obs.Event.Task_phase
-               { task = task_id; phase = "driver-alloc"; dur = cycles });
-          Ok
-            {
-              handle =
-                { task_id; layout = Memops.Layout.make bindings; obj_ids; caps };
-              cycles;
-            })
+          match program_backend t ~task_id ~bindings with
+          | Error _ as e ->
+              (* A failed allocation must release everything it placed:
+                 leaked buffers and half-installed capabilities would make
+                 each retry start from a worse state than the last. *)
+              rollback_backend t ~task_id;
+              List.iter (Tagmem.Alloc.free t.heap) allocs;
+              e
+          | Ok (backend_cycles, caps) ->
+              (* Pointer and control registers of the accelerator instance:
+                 one register per buffer plus task configuration and start. *)
+              let ctrl_cycles = (List.length bindings + 2) * t.bus.Bus.Params.mmio_write in
+              t.busy.(task_id) <- true;
+              let cycles = (n_mallocs * malloc_cycles) + backend_cycles + ctrl_cycles in
+              Obs.Trace.emit t.obs
+                (Obs.Event.Task_phase
+                   { task = task_id; phase = "driver-alloc"; dur = cycles });
+              Ok
+                {
+                  handle =
+                    { task_id; layout = Memops.Layout.make bindings; obj_ids; caps };
+                  cycles;
+                }))
+
+type retry_policy = {
+  max_attempts : int;
+  backoff_base : int;
+  backoff_factor : int;
+}
+
+let default_retry_policy = { max_attempts = 4; backoff_base = 64; backoff_factor = 2 }
+
+let retry_probe_cycles = 16
+
+let backoff_cycles policy ~attempt =
+  let rec pow acc n = if n <= 0 then acc else pow (acc * policy.backoff_factor) (n - 1) in
+  policy.backoff_base * pow 1 (max 0 (attempt - 1))
+
+let allocate_with_retry ?(policy = default_retry_policy) t kernel =
+  let rec go attempt ~penalty =
+    match allocate t kernel with
+    | Ok a -> Ok ({ a with cycles = a.cycles + penalty }, attempt - 1)
+    | Error msg when attempt >= policy.max_attempts -> Error msg
+    | Error _ ->
+        let backoff = backoff_cycles policy ~attempt in
+        Fault.Injector.note_retry t.faults ~backoff;
+        Obs.Trace.emit t.obs (Obs.Event.Task_retry { task = -1; attempt; backoff });
+        go (attempt + 1) ~penalty:(penalty + retry_probe_cycles + backoff)
+  in
+  go 1 ~penalty:0
 
 let scrub t handle =
   List.fold_left

@@ -28,6 +28,7 @@ type t
 
 val create :
   ?obs:Obs.Trace.t ->
+  ?faults:Fault.Injector.t ->
   mem:Tagmem.Mem.t ->
   heap:Tagmem.Alloc.t ->
   backend:Backend.t ->
@@ -36,7 +37,9 @@ val create :
   unit ->
   t
 (** [obs] (default {!Obs.Trace.null}) receives [Cap_import] per capability
-    delegated to a task and a [Task_phase] event per allocate/teardown. *)
+    delegated to a task and a [Task_phase] event per allocate/teardown.
+    [faults] (default {!Fault.Injector.none}) can fail individual [allocate]
+    calls transiently; pair with {!allocate_with_retry}. *)
 
 val backend : t -> Backend.t
 val mem : t -> Tagmem.Mem.t
@@ -57,7 +60,41 @@ val allocate : t -> Kernel.Ir.t -> (allocated, string) result
 (** Find a free functional unit, allocate and (for the CapChecker) pad
     buffers, program the backend and the pointer/control registers.  Fails
     when every instance is busy (the caller decides whether to stall) or the
-    backend runs out of entries. *)
+    backend runs out of entries.  A failed allocation releases everything it
+    placed (buffers and partially installed protection state), so retrying is
+    always safe. *)
+
+(** {1 Retry with exponential backoff}
+
+    Transient allocation failures (injected faults, momentary table
+    pressure) are survivable: the driver waits and retries a bounded number
+    of times, doubling the wait each round.  All waiting is costed in CPU
+    cycles and charged to the task's alloc phase. *)
+
+type retry_policy = {
+  max_attempts : int;  (** total attempts including the first (>= 1) *)
+  backoff_base : int;  (** cycles of backoff after the first failure *)
+  backoff_factor : int;  (** multiplier applied per subsequent failure *)
+}
+
+val default_retry_policy : retry_policy
+(** 4 attempts, 64-cycle base, doubling: worst case 64+128+256 = 448 backoff
+    cycles plus probe overhead before giving up. *)
+
+val retry_probe_cycles : int
+(** Fixed cost of re-entering [allocate] on each retry (register polls). *)
+
+val backoff_cycles : retry_policy -> attempt:int -> int
+(** Backoff charged after failed attempt number [attempt] (1-based):
+    [backoff_base * backoff_factor ^ (attempt - 1)]. *)
+
+val allocate_with_retry :
+  ?policy:retry_policy -> t -> Kernel.Ir.t -> (allocated * int, string) result
+(** Like {!allocate}, but retries transient failures per [policy] (default
+    {!default_retry_policy}).  On success the returned [cycles] include all
+    backoff and probe cycles spent, and the [int] is the number of retries
+    that were needed (0 = first attempt succeeded).  Emits a [Task_retry]
+    event per retry.  Returns the last error once attempts are exhausted. *)
 
 type dealloc_report = {
   cycles : int;

@@ -1,0 +1,135 @@
+type counts = {
+  bus_stalls : int;
+  bus_stall_cycles : int;
+  bus_errors : int;
+  guard_denials : int;
+  table_fulls : int;
+  cache_drops : int;
+  alloc_fails : int;
+  retries : int;
+  backoff_cycles : int;
+  fallbacks : int;
+}
+
+let zero_counts =
+  {
+    bus_stalls = 0;
+    bus_stall_cycles = 0;
+    bus_errors = 0;
+    guard_denials = 0;
+    table_fulls = 0;
+    cache_drops = 0;
+    alloc_fails = 0;
+    retries = 0;
+    backoff_cycles = 0;
+    fallbacks = 0;
+  }
+
+type t = {
+  plan : Plan.t;
+  active : bool;
+  obs : Obs.Trace.t;
+  bus_rng : Ccsim.Rng.t;
+  guard_rng : Ccsim.Rng.t;
+  table_rng : Ccsim.Rng.t;
+  cache_rng : Ccsim.Rng.t;
+  alloc_rng : Ccsim.Rng.t;
+  mutable c : counts;
+}
+
+let create ?(obs = Obs.Trace.null) (plan : Plan.t) =
+  let root = Ccsim.Rng.create plan.Plan.seed in
+  let split () = Ccsim.Rng.split root in
+  {
+    plan;
+    active = not (Plan.is_none plan);
+    obs;
+    bus_rng = split ();
+    guard_rng = split ();
+    table_rng = split ();
+    cache_rng = split ();
+    alloc_rng = split ();
+    c = zero_counts;
+  }
+
+let none = create Plan.none
+let active t = t.active
+let plan t = t.plan
+let counts t = t.c
+let transient_denial_code = "fault-transient"
+
+let emit t ~layer ~kind ~task =
+  Obs.Trace.emit t.obs (Obs.Event.Fault_injected { layer; kind; task })
+
+(* Each probe draws from its layer's private stream only when that fault
+   class is enabled, so plans that enable a single class stay deterministic
+   regardless of the others. *)
+
+let hit rng prob = prob > 0.0 && Ccsim.Rng.float rng 1.0 < prob
+
+let bus_stall t =
+  if not t.active then 0
+  else if hit t.bus_rng t.plan.Plan.bus_stall_prob then begin
+    let cycles = Ccsim.Rng.int_in t.bus_rng 1 (max 1 t.plan.Plan.bus_stall_max) in
+    t.c <-
+      {
+        t.c with
+        bus_stalls = t.c.bus_stalls + 1;
+        bus_stall_cycles = t.c.bus_stall_cycles + cycles;
+      };
+    emit t ~layer:"bus" ~kind:"stall" ~task:(-1);
+    cycles
+  end
+  else 0
+
+let bus_error t =
+  t.active
+  && hit t.bus_rng t.plan.Plan.bus_error_prob
+  &&
+  (t.c <- { t.c with bus_errors = t.c.bus_errors + 1 };
+   emit t ~layer:"bus" ~kind:"error" ~task:(-1);
+   true)
+
+let guard_denial t =
+  t.active
+  && hit t.guard_rng t.plan.Plan.guard_denial_prob
+  &&
+  (t.c <- { t.c with guard_denials = t.c.guard_denials + 1 };
+   emit t ~layer:"guard" ~kind:"transient_denial" ~task:(-1);
+   true)
+
+let table_full t =
+  t.active
+  && hit t.table_rng t.plan.Plan.table_full_prob
+  &&
+  (t.c <- { t.c with table_fulls = t.c.table_fulls + 1 };
+   emit t ~layer:"guard" ~kind:"table_full" ~task:(-1);
+   true)
+
+let cache_drop t =
+  t.active
+  && hit t.cache_rng t.plan.Plan.cache_drop_prob
+  &&
+  (t.c <- { t.c with cache_drops = t.c.cache_drops + 1 };
+   emit t ~layer:"guard" ~kind:"cache_drop" ~task:(-1);
+   true)
+
+let alloc_fail t =
+  t.active
+  && hit t.alloc_rng t.plan.Plan.alloc_fail_prob
+  &&
+  (t.c <- { t.c with alloc_fails = t.c.alloc_fails + 1 };
+   emit t ~layer:"driver" ~kind:"alloc_fail" ~task:(-1);
+   true)
+
+let note_retry t ~backoff =
+  if t.active then
+    t.c <-
+      {
+        t.c with
+        retries = t.c.retries + 1;
+        backoff_cycles = t.c.backoff_cycles + backoff;
+      }
+
+let note_fallback t =
+  if t.active then t.c <- { t.c with fallbacks = t.c.fallbacks + 1 }

@@ -1,0 +1,75 @@
+(** Runtime state for executing a {!Plan}.
+
+    One injector is created per simulated system.  Each injection layer draws
+    from its own split of the plan's root RNG, so enabling or disabling one
+    fault class never perturbs the sequence another class sees.  All probes on
+    an injector built from {!Plan.none} are inert: no RNG draws, no events, no
+    counter updates — the zero-cost path existing code relies on for
+    bit-identical no-fault behaviour. *)
+
+type t
+
+(** Cumulative injection / recovery counters for one run. *)
+type counts = {
+  bus_stalls : int;  (** bus requests given an extra-latency stall *)
+  bus_stall_cycles : int;  (** total stall cycles injected *)
+  bus_errors : int;  (** bus requests answered with an error response *)
+  guard_denials : int;  (** transient spurious guard denials *)
+  table_fulls : int;  (** capability installs forced to report table-full *)
+  cache_drops : int;  (** cached-checker lines dropped before a fetch *)
+  alloc_fails : int;  (** driver allocations transiently failed *)
+  retries : int;  (** retry attempts recorded via {!note_retry} *)
+  backoff_cycles : int;  (** total backoff cycles charged across retries *)
+  fallbacks : int;  (** tasks degraded to CPU via {!note_fallback} *)
+}
+
+val zero_counts : counts
+
+val create : ?obs:Obs.Trace.t -> Plan.t -> t
+(** [create ?obs plan] builds an injector.  Injection probes emit
+    [Obs.Event.Fault_injected] events to [obs] (default: the null sink). *)
+
+val none : t
+(** Shared inert injector (from {!Plan.none}); safe as a default argument —
+    probes never mutate it. *)
+
+val active : t -> bool
+val plan : t -> Plan.t
+val counts : t -> counts
+
+val transient_denial_code : string
+(** Denial code used for injected spurious guard denials, so drivers can tell
+    them apart from genuine protection violations in reports. *)
+
+(** {2 Injection probes}
+
+    Each probe makes at most one decision per call, using the layer's private
+    RNG stream.  On an inert injector they return the "no fault" value without
+    drawing. *)
+
+val bus_stall : t -> int
+(** Extra stall cycles (0 = no fault) to add to a bus request's completion. *)
+
+val bus_error : t -> bool
+(** [true]: the bus request completes with an error response. *)
+
+val guard_denial : t -> bool
+(** [true]: the guard check should report a transient spurious denial. *)
+
+val table_full : t -> bool
+(** [true]: the capability install should report table-full / be dropped. *)
+
+val cache_drop : t -> bool
+(** [true]: the cached checker should lose the cache line before this fetch. *)
+
+val alloc_fail : t -> bool
+(** [true]: the driver [allocate] call should fail transiently. *)
+
+(** {2 Recovery bookkeeping}
+
+    These only update counters (no events; callers emit their own
+    [Task_retry]/[Task_fallback] events on the system sink).  No-ops on an
+    inert injector, so the shared {!none} singleton is never mutated. *)
+
+val note_retry : t -> backoff:int -> unit
+val note_fallback : t -> unit

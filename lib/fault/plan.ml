@@ -1,0 +1,53 @@
+type t = {
+  seed : int;
+  bus_stall_prob : float;
+  bus_stall_max : int;
+  bus_error_prob : float;
+  guard_denial_prob : float;
+  table_full_prob : float;
+  cache_drop_prob : float;
+  alloc_fail_prob : float;
+}
+
+let none =
+  {
+    seed = 0;
+    bus_stall_prob = 0.0;
+    bus_stall_max = 0;
+    bus_error_prob = 0.0;
+    guard_denial_prob = 0.0;
+    table_full_prob = 0.0;
+    cache_drop_prob = 0.0;
+    alloc_fail_prob = 0.0;
+  }
+
+let is_none t =
+  t.bus_stall_prob <= 0.0
+  && t.bus_error_prob <= 0.0
+  && t.guard_denial_prob <= 0.0
+  && t.table_full_prob <= 0.0
+  && t.cache_drop_prob <= 0.0
+  && t.alloc_fail_prob <= 0.0
+
+let default ~seed =
+  {
+    seed;
+    bus_stall_prob = 0.02;
+    bus_stall_max = 16;
+    bus_error_prob = 0.005;
+    guard_denial_prob = 0.002;
+    table_full_prob = 0.02;
+    cache_drop_prob = 0.05;
+    alloc_fail_prob = 0.08;
+  }
+
+let with_seed t ~seed = { t with seed }
+
+let to_string t =
+  if is_none t then "none"
+  else
+    Printf.sprintf
+      "seed=%d bus_stall=%.3f(max %d) bus_error=%.3f guard_denial=%.3f \
+       table_full=%.3f cache_drop=%.3f alloc_fail=%.3f"
+      t.seed t.bus_stall_prob t.bus_stall_max t.bus_error_prob
+      t.guard_denial_prob t.table_full_prob t.cache_drop_prob t.alloc_fail_prob

@@ -1,0 +1,38 @@
+(** A deterministic fault plan.
+
+    A plan is pure data: per-layer fault probabilities plus the seed that
+    drives every pseudo-random draw.  The same plan always produces the same
+    fault sequence for the same workload — faults are reproducible, which is
+    what makes them debuggable and CI-testable.
+
+    [none] is the distinguished no-fault plan; every injection site treats it
+    as a compile-time-like no-op, so a run under [none] is bit-identical to a
+    run without any fault plumbing at all. *)
+
+type t = {
+  seed : int;  (** root seed; each injection layer gets an independent split *)
+  bus_stall_prob : float;  (** per bus request: extra-latency stall *)
+  bus_stall_max : int;  (** max stall cycles per stalled request (>= 1) *)
+  bus_error_prob : float;  (** per bus request: error response *)
+  guard_denial_prob : float;  (** per guard check: transient spurious denial *)
+  table_full_prob : float;  (** per capability install: forced table-full *)
+  cache_drop_prob : float;  (** per cached-checker fetch: dropped cache line *)
+  alloc_fail_prob : float;  (** per driver [allocate]: transient failure *)
+}
+
+val none : t
+(** The no-fault plan. Runs under [none] behave bit-identically to runs with
+    no fault plan at all. *)
+
+val is_none : t -> bool
+(** [true] iff every fault probability is zero (the seed is ignored). *)
+
+val default : seed:int -> t
+(** A plan with moderate rates at every layer: faults fire often enough to
+    exercise retry and fallback paths on small benchmarks, but rarely enough
+    that most tasks recover within the driver's retry budget. *)
+
+val with_seed : t -> seed:int -> t
+
+val to_string : t -> string
+(** One-line human-readable summary, e.g. for CLI banners. *)

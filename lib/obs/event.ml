@@ -21,6 +21,9 @@ type data =
   | Task_phase of { task : int; phase : string; dur : int }
   | Mmio_read of { offset : int }
   | Mmio_write of { offset : int }
+  | Fault_injected of { layer : string; kind : string; task : int }
+  | Task_retry of { task : int; attempt : int; backoff : int }
+  | Task_fallback of { task : int; reason : string }
 
 type t = { cycle : int; data : data }
 
@@ -32,6 +35,7 @@ let category = function
   | Cap_import _ | Cap_revoke _ -> "driver"
   | Task_phase _ -> "task"
   | Mmio_read _ | Mmio_write _ -> "mmio"
+  | Fault_injected _ | Task_retry _ | Task_fallback _ -> "fault"
 
 let name = function
   | Bus_grant _ -> "bus_grant"
@@ -48,6 +52,9 @@ let name = function
   | Task_phase _ -> "task_phase"
   | Mmio_read _ -> "mmio_read"
   | Mmio_write _ -> "mmio_write"
+  | Fault_injected _ -> "fault_injected"
+  | Task_retry _ -> "task_retry"
+  | Task_fallback _ -> "task_fallback"
 
 let track = function
   | Bus_grant { source; _ } | Bus_beat { source; _ } -> source
@@ -58,7 +65,10 @@ let track = function
   | Table_insert { task; _ }
   | Table_evict { task; _ }
   | Cap_import { task; _ }
-  | Task_phase { task; _ } ->
+  | Task_phase { task; _ }
+  | Fault_injected { task; _ }
+  | Task_retry { task; _ }
+  | Task_fallback { task; _ } ->
       task
   | Cap_revoke _ | Mmio_read _ | Mmio_write _ -> 0
 
@@ -91,5 +101,11 @@ let args = function
   | Task_phase { task; phase; dur } ->
       [ ("task", `Int task); ("phase", `Str phase); ("dur", `Int dur) ]
   | Mmio_read { offset } | Mmio_write { offset } -> [ ("offset", `Int offset) ]
+  | Fault_injected { layer; kind; task } ->
+      [ ("layer", `Str layer); ("kind", `Str kind); ("task", `Int task) ]
+  | Task_retry { task; attempt; backoff } ->
+      [ ("task", `Int task); ("attempt", `Int attempt); ("backoff", `Int backoff) ]
+  | Task_fallback { task; reason } ->
+      [ ("task", `Int task); ("reason", `Str reason) ]
 
 let is_denial = function Check_denial _ -> true | _ -> false

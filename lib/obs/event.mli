@@ -39,12 +39,21 @@ type data =
       (** a phase of a task or run ([task = -1] for whole-run phases) *)
   | Mmio_read of { offset : int }
   | Mmio_write of { offset : int }
+  | Fault_injected of { layer : string; kind : string; task : int }
+      (** a seeded fault fired at [layer] (["bus"] / ["guard"] / ["driver"]);
+          [task = -1] when the fault is not attributable to one task *)
+  | Task_retry of { task : int; attempt : int; backoff : int }
+      (** the driver retried a faulted allocation or run after [backoff]
+          cycles of exponential backoff *)
+  | Task_fallback of { task : int; reason : string }
+      (** the task exhausted its retry budget and degraded to CPU-only
+          execution *)
 
 type t = { cycle : int; data : data }
 
 val category : data -> string
 (** Component track group: ["bus"], ["cache"], ["checker"], ["table"],
-    ["driver"], ["task"] or ["mmio"]. *)
+    ["driver"], ["task"], ["mmio"] or ["fault"]. *)
 
 val name : data -> string
 (** Short event name, e.g. ["bus_grant"], ["check_denial"]. *)

@@ -36,7 +36,7 @@ let mean = function
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let percentile p xs =
-  assert (xs <> []);
+  if xs = [] then invalid_arg "Stats.percentile: empty sample list";
   let sorted = List.sort compare xs in
   let n = List.length sorted in
   let rank = int_of_float (ceil (p *. float_of_int n)) in

@@ -29,4 +29,5 @@ val mean : float list -> float
 
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on the sorted list.
-    Requires a non-empty list. *)
+    @raise Invalid_argument on the empty list (a phase that recorded no
+    samples must be handled by the caller, not reported as a bogus 0). *)

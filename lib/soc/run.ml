@@ -2,6 +2,8 @@ type phases = { alloc : int; init : int; compute : int; teardown : int }
 
 let wall_of p = p.alloc + p.init + p.compute + p.teardown
 
+type fallback = { task : int; reason : string }
+
 type result = {
   config_label : string;
   benchmark : string;
@@ -15,6 +17,9 @@ type result = {
   bus_beats : int;
   area_luts : int;
   power_mw : float;
+  recovered : int;
+  fallbacks : fallback list;
+  faults : Fault.Injector.counts;
 }
 
 let buffer_bytes (kernel : Kernel.Ir.t) =
@@ -39,8 +44,8 @@ let verify mem (bench : Machsuite.Bench_def.t) layout =
     bench.output_bufs
 
 let finish (sys : System.t) ~config_label ~benchmark ~tasks ~phases ~correct
-    ~denials ~checks ~entries_peak ~bus_beats ~accel_luts =
-  let area_luts = System.total_area_luts sys ~accel_luts_per_instance:accel_luts in
+    ~denials ~checks ~entries_peak ~bus_beats ~area_luts ?(recovered = 0)
+    ?(fallbacks = []) () =
   let utilization =
     if phases.compute <= 0 then 0.0
     else float_of_int bus_beats /. float_of_int phases.compute
@@ -49,6 +54,8 @@ let finish (sys : System.t) ~config_label ~benchmark ~tasks ~phases ~correct
     config_label; benchmark; tasks; phases; wall = wall_of phases; correct;
     denials; checks; entries_peak; bus_beats; area_luts;
     power_mw = Power.power_mw ~luts:area_luts ~utilization;
+    recovered; fallbacks;
+    faults = Fault.Injector.counts sys.System.faults;
   }
 
 (* Observation-only phase markers: stamped on the shared sink at the phase's
@@ -105,9 +112,10 @@ let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
     phases.compute;
   Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles + phases.compute);
   emit_phase obs ~at:(Obs.Trace.now obs) ~task:0 "teardown" phases.teardown;
+  Obs.Trace.set_now obs (t0 + wall_of phases);
   finish sys ~config_label:(Config.label sys.System.config) ~benchmark:kernel.name
     ~tasks ~phases ~correct ~denials:[] ~checks:0 ~entries_peak:0 ~bus_beats:0
-    ~accel_luts:0
+    ~area_luts:(System.total_area_luts sys ~accel_luts_per_instance:0) ()
 
 (* Heterogeneous execution: allocate every task, interpret the kernel once as
    the accelerator, replicate its DMA stream per instance, and replay the
@@ -164,58 +172,286 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
           max_outstanding = directives.Hls.Directives.max_outstanding })
       allocated
   in
-  let replayed = Accel.Replay.run sys.System.fabric ~start:0 streams in
-  emit_phase obs ~at:(t0 + alloc_cycles + init_cycles) ~task:first.Driver.task_id
-    "compute" replayed.Accel.Replay.makespan;
-  Obs.Trace.set_now obs
-    (t0 + alloc_cycles + init_cycles + replayed.Accel.Replay.makespan);
+  (* Replay on the shared timeline starting at the compute phase, so bus
+     events land at their true cycles even when the sink is shared across
+     runs; the phase length is the makespan relative to that start. *)
+  let replay_start = t0 + alloc_cycles + init_cycles in
+  let replayed = Accel.Replay.run sys.System.fabric ~start:replay_start streams in
+  let compute_cycles = replayed.Accel.Replay.makespan - replay_start in
+  emit_phase obs ~at:replay_start ~task:first.Driver.task_id "compute"
+    compute_cycles;
+  Obs.Trace.set_now obs (replay_start + compute_cycles);
   let correct =
     outcome.Accel.Engine.denied = None
     && verify sys.System.mem bench first.Driver.layout
   in
   let denied_first = outcome.Accel.Engine.denied in
   let teardown_start = Obs.Trace.now obs in
-  let teardown_cycles, denials =
+  let teardown_cycles, denial_lists =
     List.fold_left
-      (fun (cycles, denials) (a : Driver.allocated) ->
+      (fun (cycles, acc) (a : Driver.allocated) ->
         let denied =
           if a.handle.Driver.task_id = first.Driver.task_id then
             denied_first
           else None
         in
         let report = Driver.deallocate driver a.handle ~denied in
-        (cycles + report.Driver.cycles, denials @ report.Driver.denials))
+        (cycles + report.Driver.cycles, report.Driver.denials :: acc))
       (0, []) allocated
   in
+  let denials = List.concat (List.rev denial_lists) in
   emit_phase obs ~at:teardown_start ~task:first.Driver.task_id "teardown"
     teardown_cycles;
+  Obs.Trace.set_now obs (teardown_start + teardown_cycles);
   let phases =
     { alloc = alloc_cycles; init = init_cycles;
-      compute = replayed.Accel.Replay.makespan; teardown = teardown_cycles }
+      compute = compute_cycles; teardown = teardown_cycles }
   in
   finish sys ~config_label:(Config.label sys.System.config) ~benchmark:kernel.name
     ~tasks ~phases ~correct ~denials
     ~checks:(outcome.Accel.Engine.checks * tasks)
     ~entries_peak ~bus_beats:replayed.Accel.Replay.bus_beats
-    ~accel_luts:directives.Hls.Directives.area_luts
+    ~area_luts:
+      (System.total_area_luts sys
+         ~accel_luts_per_instance:directives.Hls.Directives.area_luts)
+    ()
+
+(* Fault-aware execution. *)
+
+type accel_task = {
+  at_bench : Machsuite.Bench_def.t;
+  at_alloc : Driver.allocated;
+  at_outcome : Accel.Engine.outcome;
+  at_retried : bool;
+}
+
+type placed_task =
+  | P_accel of accel_task
+  | P_degraded of Machsuite.Bench_def.t * string
+
+(* CPU fallback for one task of a degraded heterogeneous run: fresh buffers,
+   full recompute, verify, free.  Returns (cycles, correct). *)
+let cpu_fallback sys (bench : Machsuite.Bench_def.t) =
+  let kernel = bench.Machsuite.Bench_def.kernel in
+  let cfg = sys.System.cpu_cfg in
+  let n_bufs = List.length kernel.bufs in
+  let bindings =
+    List.map
+      (fun (decl : Kernel.Ir.buf_decl) ->
+        let bytes = Kernel.Ir.buf_decl_bytes decl in
+        let align, padded = Cheri.Bounds_enc.malloc_shape ~length:bytes in
+        { Memops.Layout.decl;
+          base = Tagmem.Alloc.malloc sys.System.heap ~align:(max align 16) padded })
+      kernel.bufs
+  in
+  let layout = Memops.Layout.make bindings in
+  init_layout sys.System.mem bench layout;
+  let res =
+    Cpu.Model.run ~obs:sys.System.obs cfg sys.System.mem kernel layout
+      ~params:bench.params ()
+  in
+  (match res.Cpu.Model.trap with
+  | None -> ()
+  | Some reason -> failwith ("CPU fallback trapped: " ^ reason));
+  let correct = verify sys.System.mem bench layout in
+  List.iter (fun b -> Tagmem.Alloc.free sys.System.heap b.Memops.Layout.base) bindings;
+  let cycles =
+    (n_bufs * Driver.malloc_cycles)
+    + Cpu.Model.init_store_cycles cfg ~bytes:(buffer_bytes kernel)
+    + res.Cpu.Model.cycles
+    + Cpu.Model.cap_setup_cycles cfg ~n_bufs
+    + (n_bufs * Driver.free_cycles)
+  in
+  (cycles, correct)
+
+(* Heterogeneous execution under an active fault plan.  Tasks are placed and
+   interpreted one at a time so each can independently retry (transient
+   denials tear down and re-allocate with exponential backoff) or degrade to
+   CPU execution; surviving accelerator streams still share the interconnect
+   in one replay.  The invariant this path maintains: every task either
+   verifies correct on the accelerator or is recomputed (and verified) on the
+   CPU with an explicit fallback record — never a silently wrong result. *)
+let run_hetero_faulted sys ~benchmark ~area_luts ~policy
+    (benches : Machsuite.Bench_def.t list) =
+  let driver = Option.get sys.System.driver in
+  let backend = Option.get sys.System.backend in
+  let inj = sys.System.faults in
+  let obs = sys.System.obs in
+  let guard = System.guard sys in
+  let t0 = Obs.Trace.now obs in
+  let alloc_cycles = ref 0 in
+  let init_cycles = ref 0 in
+  let teardown_cycles = ref 0 in
+  let checks = ref 0 in
+  let entries_peak = ref 0 in
+  let denial_lists = ref [] in
+  let attempt_task (bench : Machsuite.Bench_def.t) =
+    let kernel = bench.Machsuite.Bench_def.kernel in
+    let rec go attempt ~retried =
+      match Driver.allocate_with_retry ~policy driver kernel with
+      | Error msg -> P_degraded (bench, "allocation failed: " ^ msg)
+      | Ok (a, alloc_retries) ->
+          let retried = retried || alloc_retries > 0 in
+          alloc_cycles := !alloc_cycles + a.Driver.cycles;
+          init_layout sys.System.mem bench a.Driver.handle.Driver.layout;
+          init_cycles :=
+            !init_cycles
+            + Cpu.Model.init_store_cycles sys.System.cpu_cfg
+                ~bytes:(buffer_bytes kernel);
+          let outcome =
+            Accel.Engine.run ~obs ~mem:sys.System.mem ~guard ~bus:sys.System.bus
+              ~directives:bench.directives
+              ~addressing:(Driver.Backend.addressing backend)
+              ~naive_tag_writes:(System.naive_tag_writes sys)
+              {
+                Accel.Engine.instance = a.Driver.handle.Driver.task_id;
+                kernel;
+                layout = a.Driver.handle.Driver.layout;
+                params = bench.params;
+                obj_ids = a.Driver.handle.Driver.obj_ids;
+              }
+          in
+          checks := !checks + outcome.Accel.Engine.checks;
+          entries_peak := max !entries_peak (guard.Guard.Iface.entries_in_use ());
+          (match outcome.Accel.Engine.denied with
+          | None -> P_accel { at_bench = bench; at_alloc = a; at_outcome = outcome; at_retried = retried }
+          | Some d ->
+              (* Denied mid-run: tear the task down (scrubbing its buffers),
+                 then either retry from scratch after backoff or give up. *)
+              let report = Driver.deallocate driver a.Driver.handle ~denied:(Some d) in
+              teardown_cycles := !teardown_cycles + report.Driver.cycles;
+              denial_lists := report.Driver.denials :: !denial_lists;
+              if attempt < policy.Driver.max_attempts then begin
+                let backoff = Driver.backoff_cycles policy ~attempt in
+                Fault.Injector.note_retry inj ~backoff;
+                Obs.Trace.emit obs
+                  (Obs.Event.Task_retry
+                     { task = a.Driver.handle.Driver.task_id; attempt; backoff });
+                alloc_cycles := !alloc_cycles + backoff + Driver.retry_probe_cycles;
+                go (attempt + 1) ~retried:true
+              end
+              else
+                P_degraded
+                  ( bench,
+                    Printf.sprintf "denied after %d attempts: %s" attempt
+                      d.Guard.Iface.detail ))
+    in
+    go 1 ~retried:false
+  in
+  let placed = List.map attempt_task benches in
+  let accel =
+    List.filter_map (function P_accel at -> Some at | P_degraded _ -> None) placed
+  in
+  let streams =
+    List.map
+      (fun at ->
+        { Accel.Replay.instance = at.at_alloc.Driver.handle.Driver.task_id;
+          trace = at.at_outcome.Accel.Engine.trace;
+          max_outstanding = at.at_bench.directives.Hls.Directives.max_outstanding })
+      accel
+  in
+  let replay_start = Obs.Trace.now obs in
+  let replayed =
+    Accel.Replay.run ~error_retry_limit:policy.Driver.max_attempts
+      sys.System.fabric ~start:replay_start streams
+  in
+  let accel_compute = replayed.Accel.Replay.makespan - replay_start in
+  let fallback_cycles = ref 0 in
+  let recovered = ref 0 in
+  let fallbacks = ref [] in
+  let all_correct = ref true in
+  let do_fallback ~task bench reason =
+    Fault.Injector.note_fallback inj;
+    Obs.Trace.emit obs (Obs.Event.Task_fallback { task; reason });
+    let cycles, ok = cpu_fallback sys bench in
+    fallback_cycles := !fallback_cycles + cycles;
+    if not ok then all_correct := false;
+    fallbacks := { task; reason } :: !fallbacks
+  in
+  List.iteri
+    (fun idx p ->
+      match p with
+      | P_degraded (bench, reason) -> do_fallback ~task:idx bench reason
+      | P_accel at ->
+          let id = at.at_alloc.Driver.handle.Driver.task_id in
+          if List.mem id replayed.Accel.Replay.failed then
+            do_fallback ~task:idx at.at_bench
+              "bus error responses exhausted the retry budget"
+          else begin
+            if at.at_retried then incr recovered;
+            if
+              not (verify sys.System.mem at.at_bench at.at_alloc.Driver.handle.Driver.layout)
+            then all_correct := false
+          end)
+    placed;
+  List.iter
+    (fun at ->
+      let report = Driver.deallocate driver at.at_alloc.Driver.handle ~denied:None in
+      teardown_cycles := !teardown_cycles + report.Driver.cycles;
+      denial_lists := report.Driver.denials :: !denial_lists)
+    accel;
+  let phases =
+    { alloc = !alloc_cycles; init = !init_cycles;
+      compute = accel_compute + !fallback_cycles; teardown = !teardown_cycles }
+  in
+  emit_phase obs ~at:t0 ~task:(-1) "alloc" phases.alloc;
+  emit_phase obs ~at:(t0 + phases.alloc) ~task:(-1) "init" phases.init;
+  emit_phase obs ~at:(t0 + phases.alloc + phases.init) ~task:(-1) "compute"
+    phases.compute;
+  emit_phase obs
+    ~at:(t0 + phases.alloc + phases.init + phases.compute)
+    ~task:(-1) "teardown" phases.teardown;
+  Obs.Trace.set_now obs (t0 + wall_of phases);
+  finish sys ~config_label:(Config.label sys.System.config) ~benchmark
+    ~tasks:(List.length benches) ~phases ~correct:!all_correct
+    ~denials:(List.concat (List.rev !denial_lists))
+    ~checks:!checks ~entries_peak:!entries_peak
+    ~bus_beats:replayed.Accel.Replay.bus_beats ~area_luts ~recovered:!recovered
+    ~fallbacks:(List.rev !fallbacks) ()
 
 let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
-    ?obs config bench =
+    ?obs ?(faults = Fault.Plan.none) ?(retry = Driver.default_retry_policy)
+    config bench =
   assert (tasks > 0);
   let instances = match instances with Some n -> max n tasks | None -> max 8 tasks in
-  let sys = System.create ~instances ~cc_entries ~bus ?obs config in
+  let sys = System.create ~instances ~cc_entries ~bus ?obs ~faults config in
   match config with
   | Config.Cpu_only isa -> run_cpu_only sys isa bench ~tasks
-  | Config.Hetero _ -> run_hetero sys bench ~tasks
+  | Config.Hetero _ ->
+      if Fault.Plan.is_none faults then run_hetero sys bench ~tasks
+      else
+        let directives = bench.Machsuite.Bench_def.directives in
+        run_hetero_faulted sys
+          ~benchmark:bench.Machsuite.Bench_def.kernel.Kernel.Ir.name
+          ~area_luts:
+            (System.total_area_luts sys
+               ~accel_luts_per_instance:directives.Hls.Directives.area_luts)
+          ~policy:retry
+          (List.init tasks (fun _ -> bench))
 
-let run_mixed ?instances ?obs config benches =
+let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
+    ?(retry = Driver.default_retry_policy) config benches =
   let tasks = List.length benches in
   assert (tasks > 0);
   let instances = match instances with Some n -> max n tasks | None -> tasks in
   (match config with
   | Config.Hetero _ -> ()
   | Config.Cpu_only _ -> invalid_arg "Run.run_mixed: needs a heterogeneous config");
-  let sys = System.create ~instances ?obs config in
+  let sys = System.create ~instances ?obs ~faults config in
+  (* Exact datapath area: per-instance LUTs summed, never a truncating
+     per-task mean — mixed benches with unequal area would under-report the
+     silicon the power model is charged for. *)
+  let area_luts =
+    System.total_area_luts_exact sys
+      ~accel_luts_total:
+        (List.fold_left
+           (fun acc (b : Machsuite.Bench_def.t) ->
+             acc + b.directives.Hls.Directives.area_luts)
+           0 benches)
+  in
+  if not (Fault.Plan.is_none faults) then
+    run_hetero_faulted sys ~benchmark:"mixed" ~area_luts ~policy:retry benches
+  else begin
   let driver = Option.get sys.System.driver in
   let backend = Option.get sys.System.backend in
   let cfg = sys.System.cpu_cfg in
@@ -229,7 +465,7 @@ let run_mixed ?instances ?obs config benches =
       benches
   in
   let obs = sys.System.obs in
-  let t0 = 0 in
+  let t0 = Obs.Trace.now obs in
   let alloc_cycles =
     List.fold_left (fun acc (_, (a : Driver.allocated)) -> acc + a.cycles) 0 allocated
   in
@@ -275,11 +511,11 @@ let run_mixed ?instances ?obs config benches =
           max_outstanding = bench.directives.Hls.Directives.max_outstanding })
       outcomes
   in
-  let replayed = Accel.Replay.run sys.System.fabric ~start:0 streams in
-  emit_phase obs ~at:(t0 + alloc_cycles + init_cycles) ~task:lead_task "compute"
-    replayed.Accel.Replay.makespan;
-  Obs.Trace.set_now obs
-    (t0 + alloc_cycles + init_cycles + replayed.Accel.Replay.makespan);
+  let replay_start = t0 + alloc_cycles + init_cycles in
+  let replayed = Accel.Replay.run sys.System.fabric ~start:replay_start streams in
+  let compute_cycles = replayed.Accel.Replay.makespan - replay_start in
+  emit_phase obs ~at:replay_start ~task:lead_task "compute" compute_cycles;
+  Obs.Trace.set_now obs (replay_start + compute_cycles);
   let correct =
     List.for_all
       (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), outcome) ->
@@ -288,31 +524,27 @@ let run_mixed ?instances ?obs config benches =
       outcomes
   in
   let teardown_start = Obs.Trace.now obs in
-  let teardown_cycles, denials =
+  let teardown_cycles, denial_lists =
     List.fold_left
-      (fun (cycles, denials) (_, (a : Driver.allocated), outcome) ->
+      (fun (cycles, acc) (_, (a : Driver.allocated), outcome) ->
         let report =
           Driver.deallocate driver a.handle
             ~denied:outcome.Accel.Engine.denied
         in
-        (cycles + report.Driver.cycles, denials @ report.Driver.denials))
+        (cycles + report.Driver.cycles, report.Driver.denials :: acc))
       (0, []) outcomes
   in
+  let denials = List.concat (List.rev denial_lists) in
   emit_phase obs ~at:teardown_start ~task:lead_task "teardown" teardown_cycles;
+  Obs.Trace.set_now obs (teardown_start + teardown_cycles);
   let checks =
     List.fold_left (fun acc (_, _, o) -> acc + o.Accel.Engine.checks) 0 outcomes
   in
-  let mean_accel_luts =
-    List.fold_left
-      (fun acc (b : Machsuite.Bench_def.t) ->
-        acc + b.directives.Hls.Directives.area_luts)
-      0 benches
-    / tasks
-  in
   let phases =
     { alloc = alloc_cycles; init = init_cycles;
-      compute = replayed.Accel.Replay.makespan; teardown = teardown_cycles }
+      compute = compute_cycles; teardown = teardown_cycles }
   in
   finish sys ~config_label:(Config.label config) ~benchmark:"mixed" ~tasks ~phases
     ~correct ~denials ~checks ~entries_peak
-    ~bus_beats:replayed.Accel.Replay.bus_beats ~accel_luts:mean_accel_luts
+    ~bus_beats:replayed.Accel.Replay.bus_beats ~area_luts ()
+  end

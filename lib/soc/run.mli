@@ -16,6 +16,13 @@ type phases = {
 
 val wall_of : phases -> int
 
+type fallback = {
+  task : int;    (** index of the task in submission order *)
+  reason : string;
+}
+(** One task that could not complete on the accelerator and was re-executed
+    (and re-verified) on the CPU. *)
+
 type result = {
   config_label : string;
   benchmark : string;
@@ -29,6 +36,15 @@ type result = {
   bus_beats : int;
   area_luts : int;
   power_mw : float;
+  recovered : int;
+      (** tasks that completed on the accelerator but needed at least one
+          driver retry (always 0 without fault injection) *)
+  fallbacks : fallback list;
+      (** tasks degraded to CPU execution, submission order (always empty
+          without fault injection) *)
+  faults : Fault.Injector.counts;
+      (** injection/recovery counters of this run's injector (all zero
+          without fault injection) *)
 }
 
 val run :
@@ -37,6 +53,8 @@ val run :
   ?cc_entries:int ->
   ?bus:Bus.Params.t ->
   ?obs:Obs.Trace.t ->
+  ?faults:Fault.Plan.t ->
+  ?retry:Driver.retry_policy ->
   Config.t ->
   Machsuite.Bench_def.t ->
   result
@@ -49,10 +67,22 @@ val run :
     bus grants, guard adjudications, table/MMIO traffic and [Task_phase]
     markers at the alloc/init/compute/teardown boundaries.  Recording is
     observation-only: the returned [result] is identical with and without a
-    sink (covered by a differential test). *)
+    sink (covered by a differential test).
+
+    [faults] (default {!Fault.Plan.none}) injects seeded faults at the bus,
+    guard and driver layers.  With the [none] plan the run is bit-identical
+    to one without fault plumbing.  Under an active plan each task is placed
+    and interpreted individually so it can retry per [retry] (default
+    {!Driver.default_retry_policy}, backoff cycles charged to the alloc
+    phase) or degrade to CPU execution with an explicit [fallbacks] record —
+    every run either verifies [correct = true] or reports its fallbacks,
+    never a silently wrong result. *)
 
 val run_mixed :
-  ?instances:int -> ?obs:Obs.Trace.t -> Config.t -> Machsuite.Bench_def.t list ->
+  ?instances:int -> ?obs:Obs.Trace.t -> ?faults:Fault.Plan.t ->
+  ?retry:Driver.retry_policy -> Config.t -> Machsuite.Bench_def.t list ->
   result
 (** One task per (distinct) benchmark on one shared system — the
-    mixed-accelerator SoCs of Figure 9.  Requires a heterogeneous config. *)
+    mixed-accelerator SoCs of Figure 9.  Requires a heterogeneous config.
+    [faults]/[retry] behave as in {!run}.  [area_luts] sums each instance's
+    datapath exactly (no per-task mean). *)

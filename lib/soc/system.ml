@@ -10,6 +10,7 @@ type t = {
   checker : Capchecker.Checker.t option;
   instances : int;
   obs : Obs.Trace.t;
+  faults : Fault.Injector.t;
 }
 
 let cpu_isa = function
@@ -21,7 +22,7 @@ let cpu_isa = function
 let cached_table_base = 512 * 1024
 let cached_max_objs = 64
 
-let make_backend ~cc_entries ~mem ~instances ~obs (protection : Config.protection) =
+let make_backend ~cc_entries ~mem ~instances ~obs ~faults (protection : Config.protection) =
   match protection with
   | Config.Prot_none -> (Driver.Backend.No_protection { naive_tags = false }, None)
   | Config.Prot_naive -> (Driver.Backend.No_protection { naive_tags = true }, None)
@@ -29,47 +30,74 @@ let make_backend ~cc_entries ~mem ~instances ~obs (protection : Config.protectio
   | Config.Prot_iommu -> (Driver.Backend.Iommu (Guard.Iommu.create ()), None)
   | Config.Prot_snpu -> (Driver.Backend.Snpu (Guard.Snpu.create ()), None)
   | Config.Prot_cc_fine ->
-      let c = Capchecker.Checker.create ~entries:cc_entries ~obs Capchecker.Checker.Fine in
+      let c =
+        Capchecker.Checker.create ~entries:cc_entries ~obs ~faults
+          Capchecker.Checker.Fine
+      in
       (Driver.Backend.Capchecker c, Some c)
   | Config.Prot_cc_coarse ->
-      let c = Capchecker.Checker.create ~entries:cc_entries ~obs Capchecker.Checker.Coarse in
+      let c =
+        Capchecker.Checker.create ~entries:cc_entries ~obs ~faults
+          Capchecker.Checker.Coarse
+      in
       (Driver.Backend.Capchecker c, Some c)
   | Config.Prot_cc_cached ->
       let c =
-        Capchecker.Cached.create ~cache_entries:16 ~obs ~mode:Capchecker.Checker.Fine
-          ~mem ~table_base:cached_table_base ~max_tasks:instances
-          ~max_objs:cached_max_objs ()
+        Capchecker.Cached.create ~cache_entries:16 ~obs ~faults
+          ~mode:Capchecker.Checker.Fine ~mem ~table_base:cached_table_base
+          ~max_tasks:instances ~max_objs:cached_max_objs ()
       in
       (Driver.Backend.Capchecker_cached c, None)
 
 let create ?(instances = 8) ?(cc_entries = 256) ?(bus = Bus.Params.default)
-    ?(obs = Obs.Trace.null) config =
+    ?(obs = Obs.Trace.null) ?(faults = Fault.Plan.none) config =
   let mem = Tagmem.Mem.create ~size:Bus.Addr_map.dram_size in
   let heap =
     Tagmem.Alloc.create ~base:Bus.Addr_map.heap_base
       ~size:(Bus.Addr_map.dram_size - Bus.Addr_map.heap_base)
   in
-  let fabric = Bus.Fabric.create ~obs bus in
+  let faults = Fault.Injector.create ~obs faults in
+  let fabric = Bus.Fabric.create ~obs ~faults bus in
   let cpu_cfg = Cpu.Model.config (cpu_isa config) in
   let backend, checker =
     match config with
     | Config.Cpu_only _ -> (None, None)
     | Config.Hetero { protection; _ } ->
-        let b, c = make_backend ~cc_entries ~mem ~instances ~obs protection in
+        let b, c = make_backend ~cc_entries ~mem ~instances ~obs ~faults protection in
         (Some b, c)
   in
   let driver =
     Option.map
       (fun backend ->
-        Driver.create ~obs ~mem ~heap ~backend ~bus ~n_instances:instances ())
+        Driver.create ~obs ~faults ~mem ~heap ~backend ~bus ~n_instances:instances ())
       backend
   in
-  { config; mem; heap; bus; fabric; cpu_cfg; backend; driver; checker; instances; obs }
+  { config; mem; heap; bus; fabric; cpu_cfg; backend; driver; checker; instances;
+    obs; faults }
 
 let guard t =
-  match t.backend with
-  | Some b -> Driver.Backend.guard_of b
-  | None -> Guard.Iface.pass_through
+  let g =
+    match t.backend with
+    | Some b -> Driver.Backend.guard_of b
+    | None -> Guard.Iface.pass_through
+  in
+  if not (Fault.Injector.active t.faults) then g
+  else
+    (* Interpose transient spurious denials in front of the real guard: the
+       underlying protection state is untouched, so a retry after teardown
+       and re-allocation can succeed. *)
+    {
+      g with
+      Guard.Iface.check =
+        (fun req ->
+          if Fault.Injector.guard_denial t.faults then
+            Guard.Iface.Denied
+              {
+                code = Fault.Injector.transient_denial_code;
+                detail = "injected transient guard denial";
+              }
+          else g.Guard.Iface.check req);
+    }
 
 let naive_tag_writes t =
   match t.backend with Some b -> Driver.Backend.naive_tag_writes b | None -> false
@@ -87,11 +115,14 @@ let memory_controller_luts = 20_000
    datapath. *)
 let dma_adapter_luts = 5_000
 
-let total_area_luts t ~accel_luts_per_instance =
+let total_area_luts_exact t ~accel_luts_total =
   let cpu = Cpu.Model.area_luts t.cpu_cfg.Cpu.Model.isa in
   match t.config with
   | Config.Cpu_only _ -> cpu
   | Config.Hetero _ ->
-      cpu + interconnect_luts + memory_controller_luts
-      + (t.instances * (accel_luts_per_instance + dma_adapter_luts))
+      cpu + interconnect_luts + memory_controller_luts + accel_luts_total
+      + (t.instances * dma_adapter_luts)
       + guard_area_luts t
+
+let total_area_luts t ~accel_luts_per_instance =
+  total_area_luts_exact t ~accel_luts_total:(t.instances * accel_luts_per_instance)

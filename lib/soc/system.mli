@@ -19,19 +19,29 @@ type t = {
   obs : Obs.Trace.t;
       (** the event sink every component of this system reports into
           ({!Obs.Trace.null} unless one was passed to {!create}) *)
+  faults : Fault.Injector.t;
+      (** the fault injector shared by bus, guard and driver (inert unless a
+          plan was passed to {!create}) *)
 }
 
 val create :
   ?instances:int -> ?cc_entries:int -> ?bus:Bus.Params.t -> ?obs:Obs.Trace.t ->
-  Config.t -> t
+  ?faults:Fault.Plan.t -> Config.t -> t
 (** [instances] defaults to 8 (the paper's setting), [cc_entries] to 256,
     [bus] to {!Bus.Params.default} (override for interconnect ablations).
     [obs] (default {!Obs.Trace.null}) is threaded into the bus fabric, the
     protection backend and the driver; recording is observation-only and
-    never changes simulated behaviour. *)
+    never changes simulated behaviour.  [faults] (default {!Fault.Plan.none})
+    seeds one {!Fault.Injector} shared by the bus fabric, the protection
+    backend and the driver; with the [none] plan every injection site is
+    inert and behaviour is bit-identical to a system without fault
+    plumbing. *)
 
 val guard : t -> Guard.Iface.t
-(** The active guard ({!Guard.Iface.pass_through} for unguarded systems). *)
+(** The active guard ({!Guard.Iface.pass_through} for unguarded systems).
+    Under an active fault plan the guard is wrapped to inject transient
+    spurious denials (code {!Fault.Injector.transient_denial_code}); the
+    underlying protection state is untouched. *)
 
 val cpu_isa : Config.t -> Cpu.Model.isa
 
@@ -40,4 +50,10 @@ val naive_tag_writes : t -> bool
 val guard_area_luts : t -> int
 
 val total_area_luts : t -> accel_luts_per_instance:int -> int
-(** CPU + accelerator instances + interconnect + protection hardware. *)
+(** CPU + accelerator instances + interconnect + protection hardware, for
+    homogeneous systems where every instance synthesizes the same datapath. *)
+
+val total_area_luts_exact : t -> accel_luts_total:int -> int
+(** Same composition with the accelerator datapath area given as an exact
+    total, for mixed systems whose instances have unequal [area_luts] — no
+    lossy per-instance mean. *)

@@ -1,0 +1,28 @@
+The faults subcommand runs one benchmark under a seeded deterministic fault
+plan and reports what was injected and how the driver recovered.  The whole
+report is deterministic (same seed, same bytes), so this doubles as a pinned
+regression test for the retry/backoff accounting.
+
+A seed where every task recovers within the retry budget:
+
+  $ ../../bin/capsim.exe faults -b aes -c ccpu+caccel -t 4 --seed 4
+  aes on ccpu+caccel, 4 task(s), fault plan seed=4 bus_stall=0.020(max 16) bus_error=0.005 guard_denial=0.002 table_full=0.020 cache_drop=0.050 alloc_fail=0.080
+    wall          11071 cycles (alloc 396, init 96, compute 10355, teardown 224)
+    injected  0 bus stalls (+0 cycles), 0 bus errors, 0 guard denials,
+              1 table-fulls, 0 cache drops, 0 alloc failures
+    recovery  1 retries (64 backoff cycles), 1 task(s) recovered, 0 degraded to CPU
+    correct   true
+    invariant ok: completed correctly (degraded tasks recomputed on CPU)
+
+A seed where one task exhausts its retries and degrades to CPU execution —
+the run still completes correctly because the fallback recomputes it:
+
+  $ ../../bin/capsim.exe faults -b fft_transpose -c ccpu+caccel -t 4 --seed 7
+  fft_transpose on ccpu+caccel, 4 task(s), fault plan seed=7 bus_stall=0.020(max 16) bus_error=0.005 guard_denial=0.002 table_full=0.020 cache_drop=0.050 alloc_fail=0.080
+    wall          70413 cycles (alloc 2532, init 7680, compute 55737, teardown 4464)
+    injected  3 bus stalls (+19 cycles), 0 bus errors, 7 guard denials,
+              0 table-fulls, 0 cache drops, 1 alloc failures
+    recovery  7 retries (960 backoff cycles), 1 task(s) recovered, 1 degraded to CPU
+    fallback  task 2: denied after 4 attempts: injected transient guard denial
+    correct   true
+    invariant ok: completed correctly (degraded tasks recomputed on CPU)

@@ -108,6 +108,27 @@ let test_entries_in_use () =
   (match Cached.install c ~task:2 ~obj:3 (cap 0 16) with Ok () -> () | Error e -> Alcotest.fail e);
   checki "one live" 1 (g.Guard.Iface.entries_in_use ())
 
+let test_live_counter_matches_scan () =
+  (* [entries_in_use] is now an O(1) counter; it must agree with a full table
+     scan after any interleaving of installs (fresh and overwriting),
+     evictions (occupied and empty tasks) — driven here by a deterministic
+     random walk. *)
+  let _, c = make () in
+  let rng = Ccsim.Rng.create 0xC0FFEE in
+  for step = 1 to 300 do
+    (if Ccsim.Rng.int rng 4 < 3 then
+       let task = Ccsim.Rng.int rng max_tasks in
+       let obj = Ccsim.Rng.int rng max_objs in
+       match Cached.install c ~task ~obj (cap 0x1000 64) with
+       | Ok () | Error _ -> ()
+     else ignore (Cached.evict_task c ~task:(Ccsim.Rng.int rng max_tasks)));
+    let scan = Cached.live_entries_scan c in
+    checki (Printf.sprintf "step %d: counter == scan" step) scan
+      (Cached.live_entries c);
+    checki (Printf.sprintf "step %d: guard view == scan" step) scan
+      ((Cached.as_guard c).Guard.Iface.entries_in_use ())
+  done
+
 let test_out_of_range_install () =
   let _, c = make () in
   checkb "task beyond range rejected" true
@@ -123,5 +144,6 @@ let suite =
     ("install invalidates line", `Quick, test_install_invalidates_stale_line);
     ("area saving", `Quick, test_area_saving);
     ("entries in use", `Quick, test_entries_in_use);
+    ("live counter matches scan", `Quick, test_live_counter_matches_scan);
     ("out-of-range install", `Quick, test_out_of_range_install);
   ]

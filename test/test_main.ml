@@ -19,6 +19,7 @@ let () =
       ("revoker", Test_revoker.suite);
       ("machsuite", Test_machsuite.suite);
       ("soc", Test_soc.suite);
+      ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("security", Test_security.suite);
       ("claims", Test_claims.suite);

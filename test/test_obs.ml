@@ -148,8 +148,7 @@ let recorded_run () =
        (Machsuite.Registry.find "gemm_blocked"));
   obs
 
-let test_event_monotonicity () =
-  let obs = recorded_run () in
+let assert_tracks_monotone obs =
   let last = Hashtbl.create 32 in
   Obs.Trace.iter
     (fun e ->
@@ -163,6 +162,26 @@ let test_event_monotonicity () =
       | _ -> ());
       Hashtbl.replace last key e.Obs.Event.cycle)
     obs
+
+let test_event_monotonicity () = assert_tracks_monotone (recorded_run ())
+
+let test_shared_sink_stays_monotone () =
+  (* Regression: [run_mixed] used to restart its clock at cycle 0 instead of
+     [Obs.Trace.now], so appending a mixed run to a sink that already held an
+     earlier run rewound every track.  Record two runs back-to-back into one
+     sink and re-check per-track monotonicity across the whole stream. *)
+  let obs = Obs.Trace.create () in
+  ignore
+    (Soc.Run.run ~tasks:2 ~obs Soc.Config.ccpu_caccel
+       (Machsuite.Registry.find "aes"));
+  let mid = Obs.Trace.now obs in
+  check_bool "first run advanced the shared clock" true (mid > 0);
+  ignore
+    (Soc.Run.run_mixed ~obs Soc.Config.ccpu_caccel
+       [ Machsuite.Registry.find "aes";
+         Machsuite.Registry.find "fft_transpose" ]);
+  check_bool "mixed run continued past the first" true (Obs.Trace.now obs > mid);
+  assert_tracks_monotone obs
 
 let test_chrome_export_parses () =
   let obs = recorded_run () in
@@ -278,6 +297,8 @@ let suite =
     Alcotest.test_case "export is deterministic" `Slow test_determinism;
     Alcotest.test_case "event stream monotone per track" `Slow
       test_event_monotonicity;
+    Alcotest.test_case "shared sink monotone across run + run_mixed" `Slow
+      test_shared_sink_stays_monotone;
     Alcotest.test_case "chrome export parses and is well-formed" `Slow
       test_chrome_export_parses;
     Alcotest.test_case "write_chrome roundtrip" `Slow test_write_chrome_roundtrip;

@@ -85,6 +85,13 @@ let test_mean_percentile () =
   checkf "median" 2.0 (Stats.percentile 0.5 [ 3.0; 1.0; 2.0 ]);
   checkf "p100" 3.0 (Stats.percentile 1.0 [ 3.0; 1.0; 2.0 ])
 
+let test_percentile_empty_raises () =
+  (* Regression: an empty sample list used to trip a bare [assert false];
+     callers now get a diagnosable exception instead. *)
+  Alcotest.check_raises "empty sample list"
+    (Invalid_argument "Stats.percentile: empty sample list") (fun () ->
+      ignore (Stats.percentile 0.5 []))
+
 (* ---------------- Clock ---------------- *)
 
 let test_clock () =
@@ -151,6 +158,7 @@ let suite =
     ("stats merge", `Quick, test_stats_merge);
     ("geomean", `Quick, test_geomean);
     ("mean/percentile", `Quick, test_mean_percentile);
+    ("percentile rejects empty input", `Quick, test_percentile_empty_raises);
     ("clock", `Quick, test_clock);
     ("report table", `Quick, test_table_alignment);
     ("report bar", `Quick, test_bar);

@@ -97,6 +97,32 @@ let test_run_mixed () =
        false
      with Invalid_argument _ -> true)
 
+let test_mixed_area_exact_sum () =
+  (* Regression: [run_mixed] used to report the truncated per-instance mean
+     of the accelerator datapaths, under-counting area (and thus power) for
+     mixed systems with unequal accelerators.  The result must now carry the
+     exact per-instance sum. *)
+  let b1 = Machsuite.Registry.find "aes" in
+  let b2 = Machsuite.Registry.find "fft_transpose" in
+  let luts (b : Machsuite.Bench_def.t) =
+    b.Machsuite.Bench_def.directives.Hls.Directives.area_luts
+  in
+  checkb "benches chosen with unequal datapaths" true (luts b1 <> luts b2);
+  let r = Soc.Run.run_mixed Soc.Config.ccpu_caccel [ b1; b2 ] in
+  let sys = Soc.System.create ~instances:2 Soc.Config.ccpu_caccel in
+  checki "area is the exact sum"
+    (Soc.System.total_area_luts_exact sys
+       ~accel_luts_total:(luts b1 + luts b2))
+    r.Soc.Run.area_luts;
+  (* The old mean-based accounting would disagree whenever the sum does not
+     divide evenly. *)
+  let mean_based =
+    Soc.System.total_area_luts sys
+      ~accel_luts_per_instance:((luts b1 + luts b2) / 2)
+  in
+  if (luts b1 + luts b2) mod 2 <> 0 then
+    checkb "truncating mean under-reports" true (mean_based < r.Soc.Run.area_luts)
+
 let test_power_model_monotonic () =
   checkb "more luts more power" true
     (Soc.Power.power_mw ~luts:100_000 ~utilization:0.0
@@ -136,6 +162,7 @@ let suite =
     ("parallel throughput", `Quick, test_more_tasks_more_throughput);
     ("area composition", `Quick, test_area_composition);
     ("mixed system", `Slow, test_run_mixed);
+    ("mixed area exact sum", `Slow, test_mixed_area_exact_sum);
     ("power model", `Quick, test_power_model_monotonic);
     ("system shapes", `Quick, test_system_create_shapes);
     ("naive flag", `Quick, test_naive_flag_only_on_naive);
