@@ -642,6 +642,53 @@ let micro () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Static check elision: cycles the CapChecker never has to spend        *)
+(* ------------------------------------------------------------------ *)
+
+(* For every benchmark the interval analysis proves in bounds, re-run the
+   CapChecker configuration with per-beat adjudication elided and report the
+   checks (and wall cycles) that buys back.  Unproven kernels stay fully
+   guarded — the adaptive part — and appear with zero savings. *)
+let elision () =
+  print_string
+    (section "Elision: statically proven tasks skip per-beat adjudication");
+  let rows =
+    List.map
+      (fun (bench : Machsuite.Bench_def.t) ->
+        let proven =
+          Analysis.proven
+            (Analysis.analyze
+               ~params:(Analysis.param_intervals bench.params)
+               bench.kernel)
+        in
+        let guarded =
+          Soc.Run.run ~tasks:8 ~elide:Soc.Run.Elide_differential
+            Soc.Config.ccpu_caccel bench
+        in
+        let elided =
+          Soc.Run.run ~tasks:8 ~elide:Soc.Run.Elide_on Soc.Config.ccpu_caccel
+            bench
+        in
+        if not (guarded.Soc.Run.correct && elided.Soc.Run.correct) then
+          failwith (bench.name ^ " mis-executed under elision");
+        let saved = guarded.Soc.Run.wall - elided.Soc.Run.wall in
+        [ bench.name;
+          (if proven then "proven" else "unknown");
+          string_of_int guarded.Soc.Run.checks;
+          string_of_int elided.Soc.Run.elided_checks;
+          string_of_int guarded.Soc.Run.wall;
+          string_of_int elided.Soc.Run.wall;
+          string_of_int saved ])
+      Machsuite.Registry.all
+  in
+  print_endline
+    (Ccsim.Report.table
+       ~header:
+         [ "Benchmark"; "Verdict"; "Checks (8x)"; "Elided (8x)";
+           "Wall guarded"; "Wall elided"; "Cycles saved" ]
+       rows)
+
 let sections =
   [
     ("table1", table1); ("table2", table2); ("table3", table3);
@@ -652,6 +699,7 @@ let sections =
     ("ablation_cached", ablation_cached);
     ("ablation_burst", ablation_burst);
     ("ablation_outstanding", ablation_outstanding);
+    ("elision", elision);
     ("obs", obs_section);
     ("faults", faults_section);
     ("validation", validation);

@@ -7,7 +7,8 @@
      sweep -b BENCH            parallelism sweep (Figure 11 style)
      attack [-s SCHEME]        run the attack suite against one scheme
      matrix                    the full CWE matrix (Table 3)
-     faults -b BENCH --seed N  deterministic fault injection with recovery report *)
+     faults -b BENCH --seed N  deterministic fault injection with recovery report
+     lint [--all] [--json]     static capability-footprint verdict per kernel *)
 
 open Cmdliner
 
@@ -212,6 +213,109 @@ let faults_cmd =
        ~doc:"Run one benchmark under a seeded deterministic fault plan")
     Term.(const run $ bench_arg $ config_arg $ tasks_arg $ seed_arg)
 
+(* ---- lint ---- *)
+
+let json_of_report (r : Analysis.report) =
+  let open Obs.Json in
+  let interval = function
+    | None -> Null
+    | Some iv -> String (Analysis.Interval.to_string iv)
+  in
+  let verdict = function
+    | Analysis.Proven_in_bounds -> Obj [ ("status", String "proven") ]
+    | Analysis.Unknown reason ->
+        Obj [ ("status", String "unknown"); ("reason", String reason) ]
+    | Analysis.Possible_violation w ->
+        Obj
+          [
+            ("status", String "possible_violation");
+            ("buffer", String w.Analysis.w_buf);
+            ("kind", String (Analysis.kind_to_string w.Analysis.w_kind));
+            ("index", Int w.Analysis.w_index);
+            ("len", Int w.Analysis.w_len);
+            ("site", String w.Analysis.w_site);
+          ]
+  in
+  Obj
+    [
+      ("kernel", String r.Analysis.kernel);
+      ("proven", Bool (Analysis.proven r));
+      ("lint", List (List.map (fun l -> String l) r.Analysis.lint));
+      ( "buffers",
+        List
+          (List.map
+             (fun (b : Analysis.buf_report) ->
+               Obj
+                 [
+                   ("name", String b.Analysis.buf);
+                   ("writable", Bool b.Analysis.writable);
+                   ("len", Int b.Analysis.len);
+                   ("reads", interval b.Analysis.reads);
+                   ("writes", interval b.Analysis.writes);
+                   ("verdict", verdict b.Analysis.verdict);
+                 ])
+             r.Analysis.bufs) );
+    ]
+
+let lint_cmd =
+  let bench_opt =
+    Arg.(value & opt (some bench_conv) None
+           & info [ "b"; "benchmark" ] ~doc:"Lint one benchmark (default: all).")
+  in
+  let all_arg =
+    Arg.(value & flag
+           & info [ "all" ]
+               ~doc:"Lint every built-in benchmark kernel (the default when \
+                     $(b,-b) is absent).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run bench _all json =
+    let benches =
+      match bench with Some b -> [ b ] | None -> Machsuite.Registry.all
+    in
+    let reports =
+      List.map
+        (fun (b : Machsuite.Bench_def.t) ->
+          Analysis.analyze ~params:(Analysis.param_ranges b.params) b.kernel)
+        benches
+    in
+    let failing (r : Analysis.report) =
+      r.Analysis.lint <> []
+      || List.exists
+           (fun (b : Analysis.buf_report) ->
+             match b.Analysis.verdict with
+             | Analysis.Possible_violation _ -> true
+             | Analysis.Proven_in_bounds | Analysis.Unknown _ -> false)
+           r.Analysis.bufs
+    in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("kernels", Obs.Json.List (List.map json_of_report reports));
+                ( "proven",
+                  Obs.Json.Int
+                    (List.length (List.filter Analysis.proven reports)) );
+                ("total", Obs.Json.Int (List.length reports));
+              ]))
+    else begin
+      List.iter (fun r -> print_string (Analysis.report_to_string r)) reports;
+      Printf.printf "%d/%d kernels proven in bounds\n"
+        (List.length (List.filter Analysis.proven reports))
+        (List.length reports)
+    end;
+    (* Violations and lint findings in shipped kernels fail the invocation so
+       CI can gate on it; Unknown is an honest "needs the dynamic checker". *)
+    if List.exists failing reports then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static capability-footprint analysis of the benchmark kernels")
+    Term.(const run $ bench_opt $ all_arg $ json_arg)
+
 let matrix_cmd =
   let run () = print_endline (Security.Matrix.render ()) in
   Cmd.v (Cmd.info "matrix" ~doc:"Print the CWE matrix (Table 3)")
@@ -226,4 +330,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; trace_cmd; sweep_cmd; attack_cmd; matrix_cmd;
-            faults_cmd ]))
+            faults_cmd; lint_cmd ]))

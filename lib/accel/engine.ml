@@ -12,6 +12,7 @@ type outcome = {
   trace : Trace.t;
   denied : Guard.Iface.denial option;
   checks : int;
+  elided : int;
   reads : int;
   writes : int;
   ops : int;
@@ -21,13 +22,14 @@ type outcome = {
    itself is reported in the outcome. *)
 exception Denied_access of Guard.Iface.denial
 
-let run ?(obs = Obs.Trace.null) ~mem ~guard ~bus ~directives ~addressing
-    ~naive_tag_writes task =
+let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
+    ~addressing ~naive_tag_writes task =
   let open Hls.Directives in
   let trace = Trace.create () in
   let pending_ops = ref 0 in
   let total_ops = ref 0 in
   let checks = ref 0 in
+  let elided = ref 0 in
   let reads = ref 0 and writes = ref 0 in
   let obj_of name =
     match List.assoc_opt name task.obj_ids with
@@ -57,14 +59,24 @@ let run ?(obs = Obs.Trace.null) ~mem ~guard ~bus ~directives ~addressing
     gap_debt := !gap_debt -. float_of_int gap;
     gap
   in
-  let adjudicate ~name ~addr ~size ~kind =
-    incr checks;
-    let req =
-      { Guard.Iface.source = task.instance; port = port_of name; addr; size; kind }
-    in
-    match guard.Guard.Iface.check req with
-    | Guard.Iface.Granted { phys; latency } -> (phys, latency)
-    | Guard.Iface.Denied denial -> raise (Denied_access denial)
+  (* [plain] is the true physical address (base + offset) the access resolves
+     to when the guard is provably redundant: with the task's footprint
+     statically proven in bounds (see {!Analysis}), the elide path skips the
+     adjudication entirely — no check counted, no checker latency. *)
+  let adjudicate ~name ~addr ~plain ~size ~kind =
+    if elide then begin
+      incr elided;
+      (plain, 0)
+    end
+    else begin
+      incr checks;
+      let req =
+        { Guard.Iface.source = task.instance; port = port_of name; addr; size; kind }
+      in
+      match guard.Guard.Iface.check req with
+      | Guard.Iface.Granted { phys; latency } -> (phys, latency)
+      | Guard.Iface.Denied denial -> raise (Denied_access denial)
+    end
   in
   let machine =
     {
@@ -72,13 +84,17 @@ let run ?(obs = Obs.Trace.null) ~mem ~guard ~bus ~directives ~addressing
         (fun name ~idx ~dependent ->
           let b = Memops.Layout.find task.layout name in
           let width = Kernel.Ir.elem_bytes b.decl.Kernel.Ir.elem in
-          let addr = bus_addr b name ~byte_offset:(idx * width) in
+          let byte_offset = idx * width in
+          let addr = bus_addr b name ~byte_offset in
           (* The gap is hoisted so the trace clock sits at the issue point of
              this access when the guard stamps its check events; adjudicate
              never touches the gap state, so the recorded trace is unchanged. *)
           let gap = take_gap () in
           Obs.Trace.advance obs gap;
-          let phys, latency = adjudicate ~name ~addr ~size:width ~kind:Guard.Iface.Read in
+          let phys, latency =
+            adjudicate ~name ~addr ~plain:(b.base + byte_offset) ~size:width
+              ~kind:Guard.Iface.Read
+          in
           incr reads;
           Trace.add_access trace ~bus ~max_burst:bus.Bus.Params.max_burst
             ~gap ~kind:Guard.Iface.Read ~addr ~size:width ~dependent
@@ -89,10 +105,14 @@ let run ?(obs = Obs.Trace.null) ~mem ~guard ~bus ~directives ~addressing
         (fun name ~idx value ->
           let b = Memops.Layout.find task.layout name in
           let width = Kernel.Ir.elem_bytes b.decl.Kernel.Ir.elem in
-          let addr = bus_addr b name ~byte_offset:(idx * width) in
+          let byte_offset = idx * width in
+          let addr = bus_addr b name ~byte_offset in
           let gap = take_gap () in
           Obs.Trace.advance obs gap;
-          let phys, latency = adjudicate ~name ~addr ~size:width ~kind:Guard.Iface.Write in
+          let phys, latency =
+            adjudicate ~name ~addr ~plain:(b.base + byte_offset) ~size:width
+              ~kind:Guard.Iface.Write
+          in
           incr writes;
           Trace.add_access trace ~bus ~max_burst:bus.Bus.Params.max_burst
             ~gap ~kind:Guard.Iface.Write ~addr ~size:width
@@ -114,10 +134,12 @@ let run ?(obs = Obs.Trace.null) ~mem ~guard ~bus ~directives ~addressing
             let copy_gap = ref (take_gap ()) in
             Obs.Trace.advance obs !copy_gap;
             let src_phys, rd_latency =
-              adjudicate ~name:src ~addr:src_addr ~size:bytes ~kind:Guard.Iface.Read
+              adjudicate ~name:src ~addr:src_addr ~plain:sb.base ~size:bytes
+                ~kind:Guard.Iface.Read
             in
             let dst_phys, wr_latency =
-              adjudicate ~name:dst ~addr:dst_addr ~size:bytes ~kind:Guard.Iface.Write
+              adjudicate ~name:dst ~addr:dst_addr ~plain:db.base ~size:bytes
+                ~kind:Guard.Iface.Write
             in
             incr reads;
             incr writes;
@@ -162,4 +184,8 @@ let run ?(obs = Obs.Trace.null) ~mem ~guard ~bus ~directives ~addressing
           { Guard.Iface.code = "bus";
             detail = Printf.sprintf "bus error at 0x%x+%d" addr size }
   in
-  { trace; denied; checks = !checks; reads = !reads; writes = !writes; ops = !total_ops }
+  if !elided > 0 && Obs.Trace.enabled obs then
+    Obs.Trace.emit obs
+      (Obs.Event.Check_elided { task = task.instance; count = !elided });
+  { trace; denied; checks = !checks; elided = !elided; reads = !reads;
+    writes = !writes; ops = !total_ops }

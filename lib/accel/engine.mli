@@ -31,6 +31,8 @@ type outcome = {
   denied : Guard.Iface.denial option;
       (** [Some _] if the guard blocked an access; the trace stops there *)
   checks : int;   (** guard adjudications performed *)
+  elided : int;   (** adjudications skipped because the task's footprint was
+                      statically proven in bounds (see {!Analysis}) *)
   reads : int;
   writes : int;
   ops : int;      (** datapath operations executed *)
@@ -38,6 +40,7 @@ type outcome = {
 
 val run :
   ?obs:Obs.Trace.t ->
+  ?elide:bool ->
   mem:Tagmem.Mem.t ->
   guard:Guard.Iface.t ->
   bus:Bus.Params.t ->
@@ -55,4 +58,11 @@ val run :
     compute-local issue clock (datapath gaps plus burst beats) so that guard
     events emitted during adjudication carry meaningful timestamps; exact bus
     occupancy is only known at replay.  Tracing never alters the recorded DMA
-    trace or the outcome. *)
+    trace or the outcome.
+
+    [elide] (default [false]) skips guard adjudication entirely: accesses
+    resolve to their plain physical address with zero checker latency and are
+    counted in [elided] instead of [checks], and a {!Obs.Event.Check_elided}
+    event is emitted once the task retires.  Only sound when a static
+    analysis has proven the task's whole access footprint inside its granted
+    capabilities — {!Soc.Run} gates this on {!Analysis.proven}. *)

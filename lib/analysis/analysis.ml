@@ -1,0 +1,693 @@
+module Interval = struct
+  type t = { lo : int; hi : int }
+
+  let top = { lo = min_int; hi = max_int }
+  let const n = { lo = n; hi = n }
+  let make a b = if a <= b then { lo = a; hi = b } else { lo = b; hi = a }
+  let is_top iv = iv.lo = min_int && iv.hi = max_int
+  let is_bounded iv = iv.lo > min_int && iv.hi < max_int
+  let mem n iv = iv.lo <= n && n <= iv.hi
+  let subset a b = a.lo >= b.lo && a.hi <= b.hi
+  let equal a b = a.lo = b.lo && a.hi = b.hi
+  let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+  let meet a b =
+    let lo = max a.lo b.lo and hi = min a.hi b.hi in
+    if lo <= hi then Some { lo; hi } else None
+
+  let widen old next =
+    {
+      lo = (if next.lo < old.lo then min_int else old.lo);
+      hi = (if next.hi > old.hi then max_int else old.hi);
+    }
+
+  (* Endpoint arithmetic: min_int / max_int act as infinities and overflow
+     saturates toward them, which only ever widens the interval. *)
+
+  let sat_add x y =
+    let s = x + y in
+    if x >= 0 && y >= 0 && s < 0 then max_int
+    else if x < 0 && y < 0 && s >= 0 then min_int
+    else s
+
+  let ext_neg x = if x = min_int then max_int else if x = max_int then min_int else -x
+
+  let pred_hi h = if h = max_int || h = min_int then h else h - 1
+  let succ_lo l = if l = min_int || l = max_int then l else l + 1
+
+  let add a b =
+    {
+      lo = (if a.lo = min_int || b.lo = min_int then min_int else sat_add a.lo b.lo);
+      hi = (if a.hi = max_int || b.hi = max_int then max_int else sat_add a.hi b.hi);
+    }
+
+  let neg iv = { lo = ext_neg iv.hi; hi = ext_neg iv.lo }
+  let sub a b = add a (neg b)
+
+  let ext_mul x y =
+    if x = 0 || y = 0 then 0
+    else if x = min_int || x = max_int || y = min_int || y = max_int then
+      if x > 0 = (y > 0) then max_int else min_int
+    else if x = -1 then ext_neg y
+    else if y = -1 then ext_neg x
+    else
+      let p = x * y in
+      if p / x <> y then (if x > 0 = (y > 0) then max_int else min_int) else p
+
+  let of_corners c0 c1 c2 c3 =
+    { lo = min (min c0 c1) (min c2 c3); hi = max (max c0 c1) (max c2 c3) }
+
+  let mul a b =
+    of_corners (ext_mul a.lo b.lo) (ext_mul a.lo b.hi) (ext_mul a.hi b.lo)
+      (ext_mul a.hi b.hi)
+
+  (* Truncating division is monotone in each argument over a sign-constant
+     divisor range, so corner evaluation is exact on the box. *)
+  let div a b =
+    let ext_div x y =
+      if x = min_int then min_int else if x = max_int then max_int else x / y
+    in
+    let pos a b =
+      of_corners (ext_div a.lo b.lo) (ext_div a.lo b.hi) (ext_div a.hi b.lo)
+        (ext_div a.hi b.hi)
+    in
+    if b.lo >= 1 then pos a b
+    else if b.hi <= -1 then neg (pos a (neg b))  (* x / -y = -(x / y) *)
+    else top
+
+  let rem a b =
+    (* OCaml [mod]: result sign follows the dividend, magnitude < |divisor|. *)
+    if b.lo >= 1 then
+      let m = pred_hi b.hi in
+      if a.lo >= 0 then { lo = 0; hi = min a.hi m }
+      else if a.hi <= 0 then { lo = max a.lo (ext_neg m); hi = 0 }
+      else { lo = max a.lo (ext_neg m); hi = min a.hi m }
+    else top
+
+  let logand a b =
+    if a.lo = a.hi && b.lo = b.hi then const (a.lo land b.lo)
+    else
+      let nonneg iv = iv.lo >= 0 in
+      let finite_mask iv = nonneg iv && iv.hi < max_int in
+      if finite_mask a && finite_mask b then { lo = 0; hi = min a.hi b.hi }
+      else if finite_mask a then { lo = 0; hi = a.hi }
+      else if finite_mask b then { lo = 0; hi = b.hi }
+      else if nonneg a || nonneg b then { lo = 0; hi = max_int }
+      else top
+
+  (* Smallest 2^k - 1 covering m (m >= 0): an upper bound for or/xor of
+     values no wider than m. *)
+  let bits_cover m =
+    let rec go b = if b >= m then b else go ((b lsl 1) lor 1) in
+    go 0
+
+  let logor a b =
+    if a.lo = a.hi && b.lo = b.hi then const (a.lo lor b.lo)
+    else if a.lo >= 0 && b.lo >= 0 then
+      if a.hi < max_int && b.hi < max_int then
+        { lo = max a.lo b.lo; hi = bits_cover (max a.hi b.hi) }
+      else { lo = 0; hi = max_int }
+    else top
+
+  let logxor a b =
+    if a.lo = a.hi && b.lo = b.hi then const (a.lo lxor b.lo)
+    else if a.lo >= 0 && b.lo >= 0 then
+      if a.hi < max_int && b.hi < max_int then
+        { lo = 0; hi = bits_cover (max a.hi b.hi) }
+      else { lo = 0; hi = max_int }
+    else top
+
+  let shift_left a b =
+    if b.lo >= 0 && b.hi <= 62 then
+      let ext_shl x k = ext_mul x (1 lsl k) in
+      of_corners (ext_shl a.lo b.lo) (ext_shl a.lo b.hi) (ext_shl a.hi b.lo)
+        (ext_shl a.hi b.hi)
+    else top
+
+  let shift_right a b =
+    if b.lo >= 0 then
+      let ext_asr x k =
+        if x = min_int || x = max_int then x else x asr min k 62
+      in
+      of_corners (ext_asr a.lo b.lo) (ext_asr a.lo b.hi) (ext_asr a.hi b.lo)
+        (ext_asr a.hi b.hi)
+    else top
+
+  let lognot iv =
+    (* lnot x = -x - 1 *)
+    let ext x = if x = min_int then max_int else if x = max_int then min_int else lnot x in
+    { lo = ext iv.hi; hi = ext iv.lo }
+
+  let imin a b = { lo = min a.lo b.lo; hi = min a.hi b.hi }
+  let imax a b = { lo = max a.lo b.lo; hi = max a.hi b.hi }
+
+  let bool_top = { lo = 0; hi = 1 }
+
+  let to_string iv =
+    let e = function
+      | n when n = min_int -> "-inf"
+      | n when n = max_int -> "+inf"
+      | n -> string_of_int n
+    in
+    if is_top iv then "top" else Printf.sprintf "[%s,%s]" (e iv.lo) (e iv.hi)
+end
+
+type kind = Read | Write
+
+type witness = {
+  w_buf : string;
+  w_kind : kind;
+  w_index : int;
+  w_len : int;
+  w_site : string;
+}
+
+type verdict =
+  | Proven_in_bounds
+  | Possible_violation of witness
+  | Unknown of string
+
+type buf_report = {
+  buf : string;
+  writable : bool;
+  len : int;
+  reads : Interval.t option;
+  writes : Interval.t option;
+  verdict : verdict;
+}
+
+type report = { kernel : string; bufs : buf_report list; lint : string list }
+
+(* ---- abstract state ---- *)
+
+module Env = Map.Make (String)
+
+type access = {
+  a_buf : Kernel.Ir.buf_decl;
+  a_scratch : bool;
+  a_kind : kind;
+  a_index : Interval.t;
+  a_dependent : bool;  (* index expression contains a load *)
+  a_site : string;
+}
+
+type ctx = {
+  heap : (string, Kernel.Ir.buf_decl) Hashtbl.t;
+  scratch : (string, Kernel.Ir.buf_decl) Hashtbl.t;
+  params : (string * Interval.t) list;
+  mutable accesses : access list;  (* reverse program order *)
+  mutable lints : string list;
+}
+
+let lint ctx fmt = Printf.ksprintf (fun s -> ctx.lints <- s :: ctx.lints) fmt
+
+let record ctx ~record buf_name a_kind a_index ~dependent ~site =
+  if record then
+    let decl, a_scratch =
+      match Hashtbl.find_opt ctx.heap buf_name with
+      | Some d -> (d, false)
+      | None -> (
+          match Hashtbl.find_opt ctx.scratch buf_name with
+          | Some d -> (d, true)
+          | None ->
+              (* unknown buffer: Ir.validate reports it; synthesize a decl so
+                 the walk continues *)
+              ( { Kernel.Ir.buf_name; elem = Kernel.Ir.I32; len = 0; writable = true },
+                true ))
+    in
+    ctx.accesses <-
+      { a_buf = decl; a_scratch; a_kind; a_index; a_dependent = dependent;
+        a_site = site }
+      :: ctx.accesses
+
+(* ---- expression evaluation ---- *)
+
+let rec eval ctx ~rec_ env (e : Kernel.Ir.exp) : Interval.t =
+  let open Kernel.Ir in
+  match e with
+  | Int n -> Interval.const n
+  | Flt _ -> Interval.top
+  | Var name -> (
+      match Env.find_opt name env with
+      | Some iv -> iv
+      | None ->
+          if rec_ then lint ctx "use of unbound local '%s'" name;
+          Interval.top)
+  | Param name -> (
+      match List.assoc_opt name ctx.params with
+      | Some iv -> iv
+      | None -> Interval.top)
+  | Load (b, idx) ->
+      let iv = eval ctx ~rec_ env idx in
+      record ctx ~record:rec_ b Read iv ~dependent:(contains_load idx)
+        ~site:(Printf.sprintf "%s[%s]" b (exp_to_string idx));
+      Interval.top
+  | Bin (op, x, y) ->
+      let a = eval ctx ~rec_ env x in
+      let b = eval ctx ~rec_ env y in
+      eval_binop op a b
+  | Un (op, x) -> (
+      let a = eval ctx ~rec_ env x in
+      match op with
+      | Neg -> Interval.neg a
+      | Bnot -> Interval.lognot a
+      | Fneg | Fabs | Fsqrt | Fexp | I2f | F2i -> Interval.top)
+
+and eval_binop (op : Kernel.Ir.binop) a b =
+  let open Interval in
+  let cmp definitely_true definitely_false =
+    if definitely_true then const 1
+    else if definitely_false then const 0
+    else bool_top
+  in
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> div a b
+  | Mod -> rem a b
+  | Band -> logand a b
+  | Bor -> logor a b
+  | Bxor -> logxor a b
+  | Shl -> shift_left a b
+  | Shr -> shift_right a b
+  | Lt -> cmp (a.hi < b.lo) (a.lo >= b.hi)
+  | Le -> cmp (a.hi <= b.lo) (a.lo > b.hi)
+  | Gt -> cmp (a.lo > b.hi) (a.hi <= b.lo)
+  | Ge -> cmp (a.lo >= b.hi) (a.hi < b.lo)
+  | Eq -> cmp (a.lo = a.hi && b.lo = b.hi && a.lo = b.lo) (a.hi < b.lo || a.lo > b.hi)
+  | Ne -> cmp (a.hi < b.lo || a.lo > b.hi) (a.lo = a.hi && b.lo = b.hi && a.lo = b.lo)
+  | Imin -> imin a b
+  | Imax -> imax a b
+  | Fadd | Fsub | Fmul | Fdiv -> top
+  | Flt | Fle | Fgt | Fge -> bool_top
+  | Fmin | Fmax -> top
+
+(* ---- branch-condition refinement ----
+
+   [refine ctx env cond sense] narrows variable intervals under the
+   assumption that [cond] evaluates to [sense]; [None] means the assumption
+   is contradictory (dead branch).  Only variable-vs-expression comparisons
+   refine; everything else passes the environment through unchanged, which is
+   always sound. *)
+
+let rec refine ctx env (cond : Kernel.Ir.exp) sense : Interval.t Env.t option =
+  let open Kernel.Ir in
+  let ( >>= ) o f = match o with Some x -> f x | None -> None in
+  match cond with
+  (* x land y <> 0 implies both nonzero; x lor y = 0 implies both zero —
+     this covers the desugaring of &&: and ||:. *)
+  | Bin (Band, x, y) when sense ->
+      refine ctx env x true >>= fun env -> refine ctx env y true
+  | Bin (Bor, x, y) when not sense ->
+      refine ctx env x false >>= fun env -> refine ctx env y false
+  | Bin (Ne, e, Int 0) -> refine ctx env e sense
+  | Bin (Eq, e, Int 0) -> refine ctx env e (not sense)
+  | Bin (((Lt | Le | Gt | Ge | Eq | Ne) as op), x, y) ->
+      let op = if sense then op else negate_cmp op in
+      refine_cmp ctx env op x y
+  | _ -> Some env
+
+and negate_cmp : Kernel.Ir.binop -> Kernel.Ir.binop = function
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+  | Eq -> Ne
+  | Ne -> Eq
+  | op -> op
+
+and swap_cmp : Kernel.Ir.binop -> Kernel.Ir.binop = function
+  (* l op r  <=>  r (swap op) l *)
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | op -> op
+
+and refine_cmp ctx env op x y =
+  let open Kernel.Ir in
+  let bound_of op (rhs : Interval.t) : Interval.t option =
+    (* the set of left values for which [l op r] can hold for some r in
+       [rhs] *)
+    match op with
+    | Lt -> Some { Interval.lo = min_int; hi = Interval.pred_hi rhs.Interval.hi }
+    | Le -> Some { Interval.lo = min_int; hi = rhs.Interval.hi }
+    | Gt -> Some { Interval.lo = Interval.succ_lo rhs.Interval.lo; hi = max_int }
+    | Ge -> Some { Interval.lo = rhs.Interval.lo; hi = max_int }
+    | Eq -> Some rhs
+    | Ne | _ -> None  (* Ne handled below: only trims singleton endpoints *)
+  in
+  let apply env var op rhs_iv =
+    match Env.find_opt var env with
+    | None -> Some env
+    | Some cur -> (
+        match op with
+        | Ne ->
+            if rhs_iv.Interval.lo = rhs_iv.Interval.hi then begin
+              let c = rhs_iv.Interval.lo in
+              let trimmed =
+                if cur.Interval.lo = c && cur.Interval.hi = c then None
+                else if cur.Interval.lo = c then
+                  Some { cur with Interval.lo = Interval.succ_lo c }
+                else if cur.Interval.hi = c then
+                  Some { cur with Interval.hi = Interval.pred_hi c }
+                else Some cur
+              in
+              Option.map (fun iv -> Env.add var iv env) trimmed
+            end
+            else Some env
+        | _ -> (
+            match bound_of op rhs_iv with
+            | None -> Some env
+            | Some b ->
+                Option.map (fun iv -> Env.add var iv env) (Interval.meet cur b)))
+  in
+  let ( >>= ) o f = match o with Some x -> f x | None -> None in
+  (match x with
+  | Var vx -> apply env vx op (eval ctx ~rec_:false env y)
+  | _ -> Some env)
+  >>= fun env ->
+  match y with
+  | Var vy -> apply env vy (swap_cmp op) (eval ctx ~rec_:false env x)
+  | _ -> Some env
+
+(* ---- statement analysis ---- *)
+
+let env_join a b =
+  Env.merge
+    (fun _ x y ->
+      match (x, y) with
+      | Some x, Some y -> Some (Interval.join x y)
+      | Some x, None | None, Some x ->
+          (* bound on one path only: join with "whatever it was", i.e. top
+             would be sound but needlessly coarse for the defined-path uses
+             that dominate; keep the known value (uses on the other path are
+             runtime errors that the unbound-local lint covers). *)
+          Some x
+      | None, None -> None)
+    a b
+
+let env_widen old next =
+  Env.merge
+    (fun _ x y ->
+      match (x, y) with
+      | Some x, Some y -> Some (Interval.widen x y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None)
+    old next
+
+let env_equal = Env.equal Interval.equal
+
+let widen_after = 3
+
+let definitely_false iv = iv.Interval.lo = 0 && iv.Interval.hi = 0
+let definitely_true iv = iv.Interval.lo > 0 || iv.Interval.hi < 0
+
+let rec exec ctx ~rec_ env (s : Kernel.Ir.stmt) =
+  let open Kernel.Ir in
+  match s with
+  | Let (name, e) -> Env.add name (eval ctx ~rec_ env e) env
+  | Store (b, idx, value) ->
+      let iv = eval ctx ~rec_ env idx in
+      let _ = eval ctx ~rec_ env value in
+      record ctx ~record:rec_ b Write iv ~dependent:(contains_load idx)
+        ~site:(stmt_to_string s);
+      env
+  | For (var, lo_e, hi_e, body) ->
+      let lo = eval ctx ~rec_ env lo_e in
+      let hi = eval ctx ~rec_ env hi_e in
+      if rec_ && hi.Interval.hi <= lo.Interval.lo then
+        lint ctx "degenerate loop: 'for %s = %s .. %s-1' never executes" var
+          (exp_to_string lo_e) (exp_to_string hi_e);
+      let env_loop =
+        if lo.Interval.lo >= hi.Interval.hi then env  (* definitely zero-trip *)
+        else begin
+          let var_iv =
+            { Interval.lo = lo.Interval.lo; hi = Interval.pred_hi hi.Interval.hi }
+          in
+          let fixed = fixpoint ctx env (fun e -> Env.add var var_iv e) body in
+          if rec_ then
+            ignore (exec_list ctx ~rec_:true (Env.add var var_iv fixed) body);
+          fixed
+        end
+      in
+      Env.add var (Interval.imax lo hi) env_loop
+  | While (cond, body) ->
+      let enter env' = refine ctx env' cond true in
+      let fixed =
+        fixpoint ctx
+          ~dead:(fun e -> Option.is_none (enter e))
+          env
+          (fun e -> match enter e with Some e' -> e' | None -> e)
+          body
+      in
+      if rec_ then begin
+        let centry = eval ctx ~rec_:true fixed cond in
+        if not (definitely_false centry) then
+          match enter fixed with
+          | Some env_t -> ignore (exec_list ctx ~rec_:true env_t body)
+          | None -> ()
+      end;
+      (match refine ctx fixed cond false with
+      | Some env_exit -> env_exit
+      | None -> fixed)
+  | If (cond, then_, else_) -> (
+      let civ = eval ctx ~rec_ env cond in
+      let branch sense stmts =
+        if sense && definitely_false civ then None
+        else if (not sense) && definitely_true civ then None
+        else
+          match refine ctx env cond sense with
+          | Some env' -> Some (exec_list ctx ~rec_ env' stmts)
+          | None -> None
+      in
+      match (branch true then_, branch false else_) with
+      | Some a, Some b -> env_join a b
+      | Some a, None | None, Some a -> a
+      | None, None -> env)
+  | Memcpy { dst; src; elems } ->
+      let n = eval ctx ~rec_ env elems in
+      if rec_ && n.Interval.hi < 0 then
+        lint ctx "memcpy %s <- %s: definitely negative length %s" dst src
+          (Interval.to_string n);
+      if n.Interval.hi > 0 then begin
+        let span =
+          { Interval.lo = 0; hi = Interval.pred_hi n.Interval.hi }
+        in
+        let dep = Kernel.Ir.contains_load elems in
+        let site = stmt_to_string s in
+        record ctx ~record:rec_ src Read span ~dependent:dep ~site;
+        record ctx ~record:rec_ dst Write span ~dependent:dep ~site
+      end;
+      env
+
+and exec_list ctx ~rec_ env stmts =
+  List.fold_left (fun env s -> exec ctx ~rec_ env s) env stmts
+
+(* Loop fixpoint: iterate the body transfer function (joining states at the
+   loop head) without recording, widening after [widen_after] rounds so every
+   loop-carried variable stabilizes; the caller then makes one recording pass
+   under the stable environment.  Recording during iteration would capture
+   under-approximate intermediate index ranges. *)
+and fixpoint ctx ?(dead = fun _ -> false) env0 at_head body =
+  let rec go n env_acc =
+    if dead env_acc then env_acc
+    else
+      let env_body = exec_list ctx ~rec_:false (at_head env_acc) body in
+      let next = env_join env_acc env_body in
+      if env_equal next env_acc then env_acc
+      else if n >= widen_after then begin
+        let w = env_widen env_acc next in
+        if env_equal w env_acc then env_acc else go (n + 1) w
+      end
+      else go (n + 1) next
+  in
+  go 0 env0
+
+(* ---- verdicts ---- *)
+
+let in_bounds (len : int) (iv : Interval.t) =
+  iv.Interval.lo >= 0 && iv.Interval.hi < len
+
+let classify (decl : Kernel.Ir.buf_decl) accesses =
+  let witness_of (a : access) index =
+    {
+      w_buf = decl.Kernel.Ir.buf_name;
+      w_kind = a.a_kind;
+      w_index = index;
+      w_len = decl.Kernel.Ir.len;
+      w_site = a.a_site;
+    }
+  in
+  let ro_write =
+    if decl.Kernel.Ir.writable then None
+    else
+      List.find_opt (fun a -> a.a_kind = Write) accesses
+      |> Option.map (fun a ->
+             let idx =
+               if a.a_index.Interval.lo > min_int then a.a_index.Interval.lo
+               else 0
+             in
+             Possible_violation (witness_of a idx))
+  in
+  match ro_write with
+  | Some v -> v
+  | None -> (
+      let offending =
+        List.filter
+          (fun a -> not (in_bounds decl.Kernel.Ir.len a.a_index))
+          accesses
+      in
+      match offending with
+      | [] -> Proven_in_bounds
+      | _ -> (
+          match
+            List.find_opt
+              (fun a -> Interval.is_bounded a.a_index && not a.a_dependent)
+              offending
+          with
+          | Some a ->
+              let index =
+                if a.a_index.Interval.hi >= decl.Kernel.Ir.len then
+                  a.a_index.Interval.hi
+                else a.a_index.Interval.lo
+              in
+              Possible_violation (witness_of a index)
+          | None ->
+              let a = List.hd offending in
+              if a.a_dependent then
+                Unknown
+                  (Printf.sprintf
+                     "index of %s depends on loaded data (pointer chasing)"
+                     a.a_site)
+              else
+                Unknown
+                  (Printf.sprintf "index of %s is unbounded: %s" a.a_site
+                     (Interval.to_string a.a_index))))
+
+let analyze ?(params = []) (kernel : Kernel.Ir.t) : report =
+  let ctx =
+    {
+      heap = Hashtbl.create 16;
+      scratch = Hashtbl.create 16;
+      params;
+      accesses = [];
+      lints = [];
+    }
+  in
+  List.iter (fun (b : Kernel.Ir.buf_decl) -> Hashtbl.replace ctx.heap b.buf_name b)
+    kernel.bufs;
+  List.iter
+    (fun (b : Kernel.Ir.buf_decl) -> Hashtbl.replace ctx.scratch b.buf_name b)
+    kernel.scratch;
+  (match Kernel.Ir.validate kernel with
+  | Ok () -> ()
+  | Error msg -> lint ctx "%s" msg);
+  (try ignore (exec_list ctx ~rec_:true Env.empty kernel.body)
+   with exn -> lint ctx "analysis aborted: %s" (Printexc.to_string exn));
+  let accesses = List.rev ctx.accesses in
+  (* Scratch memories are BRAM behind the accelerator's memory interface —
+     never adjudicated — so only a definite overflow (the whole index range
+     outside the array, a guaranteed runtime abort) is worth a lint. *)
+  List.iter
+    (fun a ->
+      if
+        a.a_scratch
+        && a.a_buf.Kernel.Ir.len > 0
+        && (a.a_index.Interval.lo >= a.a_buf.Kernel.Ir.len
+           || a.a_index.Interval.hi < 0)
+      then
+        lint ctx "scratch %s definitely out of bounds at %s: %s (len %d)"
+          a.a_buf.Kernel.Ir.buf_name a.a_site
+          (Interval.to_string a.a_index)
+          a.a_buf.Kernel.Ir.len)
+    accesses;
+  let bufs =
+    List.map
+      (fun (decl : Kernel.Ir.buf_decl) ->
+        let mine =
+          List.filter
+            (fun a -> (not a.a_scratch) && a.a_buf.Kernel.Ir.buf_name = decl.buf_name)
+            accesses
+        in
+        let agg kind =
+          List.filter_map
+            (fun a -> if a.a_kind = kind then Some a.a_index else None)
+            mine
+          |> function
+          | [] -> None
+          | ivs -> Some (List.fold_left Interval.join (List.hd ivs) (List.tl ivs))
+        in
+        {
+          buf = decl.buf_name;
+          writable = decl.writable;
+          len = decl.len;
+          reads = agg Read;
+          writes = agg Write;
+          verdict = classify decl mine;
+        })
+      kernel.bufs
+  in
+  {
+    kernel = kernel.name;
+    bufs;
+    lint = List.sort_uniq compare (List.rev ctx.lints);
+  }
+
+let proven r =
+  r.lint = []
+  && List.for_all (fun b -> b.verdict = Proven_in_bounds) r.bufs
+
+let param_intervals params =
+  List.filter_map
+    (fun (name, v) ->
+      match (v : Kernel.Value.t) with
+      | VI n -> Some (name, Interval.const n)
+      | VF _ -> None)
+    params
+
+let param_ranges params =
+  List.filter_map
+    (fun (name, v) ->
+      match (v : Kernel.Value.t) with
+      | VI n -> Some (name, Interval.make 1 (max 1 (2 * n)))
+      | VF _ -> None)
+    params
+
+(* ---- rendering ---- *)
+
+let kind_to_string = function Read -> "read" | Write -> "write"
+
+let verdict_to_string = function
+  | Proven_in_bounds -> "proven"
+  | Possible_violation w ->
+      Printf.sprintf "VIOLATION: %s of %s[%d] (len %d) at %s"
+        (kind_to_string w.w_kind) w.w_buf w.w_index w.w_len w.w_site
+  | Unknown reason -> "unknown: " ^ reason
+
+let report_to_string r =
+  let b = Buffer.create 256 in
+  let overall =
+    if proven r then "PROVEN"
+    else if
+      List.exists
+        (fun br -> match br.verdict with Possible_violation _ -> true | _ -> false)
+        r.bufs
+    then "VIOLATION"
+    else if r.lint <> [] then "LINT"
+    else "UNKNOWN"
+  in
+  Buffer.add_string b (Printf.sprintf "%s: %s\n" r.kernel overall);
+  List.iter
+    (fun br ->
+      let iv = function None -> "-" | Some i -> Interval.to_string i in
+      Buffer.add_string b
+        (Printf.sprintf "  %-12s %-2s len %-6d reads %-14s writes %-14s %s\n"
+           br.buf
+           (if br.writable then "rw" else "ro")
+           br.len (iv br.reads) (iv br.writes)
+           (verdict_to_string br.verdict)))
+    r.bufs;
+  List.iter (fun l -> Buffer.add_string b (Printf.sprintf "  lint: %s\n" l)) r.lint;
+  Buffer.contents b

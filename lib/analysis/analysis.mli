@@ -1,0 +1,115 @@
+(** Static capability-footprint analysis over the kernel IR.
+
+    An interval-domain abstract interpreter computes, for every heap buffer a
+    kernel touches, a sound over-approximation of the element indices it can
+    read and write.  If the footprint of a buffer fits inside [0, len), the
+    driver-granted capability can never deny an access of that kernel — the
+    per-beat CapChecker adjudication is provably redundant and {!Soc.Run} may
+    elide it.  The analysis runs before a single simulated cycle: it is the
+    static half of the paper's adaptive compartmentalization, in the spirit of
+    VeriCHERI's static guarantees layered over CHERI's dynamic enforcement.
+
+    Soundness model: the domain over-approximates {!Kernel.Interp}'s concrete
+    semantics (C-style [For] loops with bounds evaluated once, [While] with
+    entry-condition refinement, wrap-free 63-bit integer arithmetic treated as
+    unbounded, loads returning unknown values).  Widening on loop-carried
+    variables guarantees termination; anything data-dependent — an index
+    computed from a loaded value, the pointer-chasing kernels — degrades to
+    {e Unknown}, never to a false proof. *)
+
+module Interval : sig
+  type t = { lo : int; hi : int }
+  (** A closed integer interval.  [min_int] as [lo] means unbounded below,
+      [max_int] as [hi] unbounded above; both at once is {!top}. *)
+
+  val top : t
+  val const : int -> t
+  val make : int -> int -> t
+  (** [make lo hi] orders its endpoints. *)
+
+  val is_top : t -> bool
+  val is_bounded : t -> bool
+  (** Both endpoints finite (no widened/unknown extreme). *)
+
+  val mem : int -> t -> bool
+  val subset : t -> t -> bool
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val meet : t -> t -> t option
+  (** Intersection; [None] when empty. *)
+
+  val widen : t -> t -> t
+  (** [widen old next] jumps any endpoint that moved to the matching
+      infinity, guaranteeing loop-fixpoint termination. *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val to_string : t -> string
+end
+
+type kind = Read | Write
+
+type witness = {
+  w_buf : string;
+  w_kind : kind;
+  w_index : int;  (** a concrete out-of-bounds element index *)
+  w_len : int;    (** the buffer's declared length in elements *)
+  w_site : string;  (** pretty-printed access expression/statement *)
+}
+(** A concrete counterexample candidate: replaying the kernel with an
+    execution that reaches [w_site] at index [w_index] must produce a
+    dynamic [Check_denial]. *)
+
+type verdict =
+  | Proven_in_bounds
+      (** every possible access to this buffer lies inside the granted
+          capability: dynamic adjudication can never deny it *)
+  | Possible_violation of witness
+      (** a bounded, non-data-dependent index range escapes the buffer *)
+  | Unknown of string
+      (** the footprint could not be bounded (widened loop counter or
+          data-dependent / pointer-chasing index); the reason says which *)
+
+type buf_report = {
+  buf : string;
+  writable : bool;
+  len : int;
+  reads : Interval.t option;   (** [None] = never read *)
+  writes : Interval.t option;  (** [None] = never written *)
+  verdict : verdict;
+}
+
+type report = {
+  kernel : string;
+  bufs : buf_report list;  (** heap buffers, declaration order *)
+  lint : string list;
+      (** well-formedness problems: [validate] failures, unbound locals,
+          degenerate loop bounds, definite scratch overflows, negative
+          memcpy lengths *)
+}
+
+val analyze : ?params:(string * Interval.t) list -> Kernel.Ir.t -> report
+(** Abstractly interpret the kernel.  [params] constrains [Param] values;
+    unconstrained params evaluate to {!Interval.top}. *)
+
+val proven : report -> bool
+(** Every buffer [Proven_in_bounds] and no lint findings — the condition
+    under which check elision is sound. *)
+
+val param_intervals : (string * Kernel.Value.t) list -> (string * Interval.t) list
+(** Exact constraints from a concrete launch-parameter assignment (integer
+    params become singletons; float params are unconstrained). *)
+
+val param_ranges : (string * Kernel.Value.t) list -> (string * Interval.t) list
+(** The declared range family of a benchmark's default parameters: an integer
+    default [n] is declared to range over [[1, max 1 (2n)]].  A verdict
+    computed under these constraints holds for every assignment drawn from
+    them (used by [capsim lint] and the differential property test). *)
+
+val kind_to_string : kind -> string
+val verdict_to_string : verdict -> string
+val report_to_string : report -> string
+(** Human-readable per-buffer table, one kernel per call (used by
+    [capsim lint] and pinned by the cram test). *)

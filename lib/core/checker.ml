@@ -33,14 +33,36 @@ let check_latency = 1
 
 let obj_id_bits = 8
 
+(* The paper's Coarse encoding packs the object id into the top [obj_id_bits]
+   of the 64-bit bus address, above the 56-bit physical space.  The
+   simulator's bus word is a 63-bit OCaml int — one bit short of that layout:
+   packing at bit 56 silently dropped the id's top bit, aliasing object
+   [128+k] onto object [k].  The model therefore reserves the top
+   [obj_id_bits] of the host word's non-negative range instead, leaving a
+   54-bit coarse physical window (bits 0-53) that still covers every address
+   the simulated SoC can allocate, and keeps every composed bus word
+   non-negative. *)
+let coarse_shift = Sys.int_size - 1 - obj_id_bits
+let coarse_window = 1 lsl coarse_shift
+
 let compose_coarse ~obj phys =
-  assert (obj >= 0 && obj < 1 lsl obj_id_bits);
-  assert (phys >= 0 && phys < Cheri.Cap.max_address);
-  (obj lsl Cheri.Cap.max_address_bits) lor phys
+  (* Truncating silently would alias a foreign object id or address — a
+     capability-confusion bug in the trusted driver.  Reject loudly. *)
+  if not (obj >= 0 && obj < 1 lsl obj_id_bits) then
+    invalid_arg
+      (Printf.sprintf "Checker.compose_coarse: object id %d outside [0, %d)"
+         obj (1 lsl obj_id_bits));
+  if not (phys >= 0 && phys < coarse_window) then
+    invalid_arg
+      (Printf.sprintf
+         "Checker.compose_coarse: physical address 0x%x outside the %d-bit \
+          coarse window"
+         phys coarse_shift);
+  (obj lsl coarse_shift) lor phys
 
 let split_coarse addr =
-  ( (addr lsr Cheri.Cap.max_address_bits) land ((1 lsl obj_id_bits) - 1),
-    addr land (Cheri.Cap.max_address - 1) )
+  ( (addr lsr coarse_shift) land ((1 lsl obj_id_bits) - 1),
+    addr land (coarse_window - 1) )
 
 let deny t ~task ~obj detail =
   let denial = { Guard.Iface.code = "capchecker"; detail } in

@@ -47,12 +47,28 @@ val check_latency : int
 val obj_id_bits : int
 (** 8 — the reserved top address bits. *)
 
+val coarse_shift : int
+(** Bit position of the object id in a composed bus word: the top
+    [obj_id_bits] of the simulator's 63-bit int (54 on a 64-bit host).  The
+    hardware packs at bit {!Cheri.Cap.max_address_bits}; the model packs two
+    bits lower so that all 256 object ids survive the host's narrower word
+    without aliasing. *)
+
+val coarse_window : int
+(** [2^coarse_shift] — exclusive upper bound on a coarse-composable physical
+    address. *)
+
 val compose_coarse : obj:int -> int -> int
 (** [compose_coarse ~obj phys] is the bus address the trusted driver loads
-    into the accelerator's pointer register. *)
+    into the accelerator's pointer register.
+
+    @raise Invalid_argument when [obj] is outside [0, 2^{!obj_id_bits}) or
+    [phys] outside [0, {!coarse_window}) — silent truncation would alias
+    another object's window. *)
 
 val split_coarse : int -> int * int
-(** [(obj, phys)] from a bus address. *)
+(** [(obj, phys)] from a bus address; inverse of {!compose_coarse} on its
+    accepted domain. *)
 
 (** {1 The DMA-path check} *)
 

@@ -31,6 +31,10 @@ let buffer_alignment = function
   | No_protection _ | Iopmp _ | Snpu _ | Capchecker _ | Capchecker_cached _ ->
       Tagmem.Mem.granule
 
+let supports_elision = function
+  | Capchecker _ | Capchecker_cached _ -> true
+  | No_protection _ | Iopmp _ | Iommu _ | Snpu _ -> false
+
 let name = function
   | No_protection { naive_tags } -> if naive_tags then "none(naive-tags)" else "none"
   | Iopmp _ -> "iopmp"

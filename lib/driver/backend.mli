@@ -27,4 +27,11 @@ val buffer_alignment : t -> int
 (** Allocation alignment the driver uses: 4096 for the IOMMU (the one-buffer-
     per-page fairness rule of Fig. 12), {!Tagmem.Mem.granule} otherwise. *)
 
+val supports_elision : t -> bool
+(** Whether the driver may skip per-beat adjudication for tasks whose
+    footprint {!Analysis} proved in bounds.  Only the CapChecker schemes
+    qualify: they adjudicate against exactly the per-buffer capabilities the
+    analysis reasons about.  The table-based schemes (IOPMP/IOMMU/sNPU) have
+    coarser, aliasing-prone reach, so their checks are never elided. *)
+
 val name : t -> string

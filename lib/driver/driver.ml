@@ -222,6 +222,14 @@ let rollback_backend t ~task_id =
       ignore (Capchecker.Cached.evict_task checker ~task:task_id)
 
 let allocate t (kernel : Kernel.Ir.t) =
+  (* A malformed kernel is a driver-API misuse, not a run-time condition the
+     caller should retry: surface it before any buffer is placed. *)
+  (match Kernel.Ir.validate kernel with
+  | Ok () -> ()
+  | Error msg ->
+      invalid_arg
+        (Printf.sprintf "Driver.allocate: ill-formed kernel %s: %s"
+           kernel.Kernel.Ir.name msg));
   if Fault.Injector.alloc_fail t.faults then
     Error "transient allocation fault (injected)"
   else

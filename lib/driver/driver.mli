@@ -62,7 +62,10 @@ val allocate : t -> Kernel.Ir.t -> (allocated, string) result
     when every instance is busy (the caller decides whether to stall) or the
     backend runs out of entries.  A failed allocation releases everything it
     placed (buffers and partially installed protection state), so retrying is
-    always safe. *)
+    always safe.
+
+    @raise Invalid_argument if the kernel fails {!Kernel.Ir.validate} — an
+    ill-formed kernel is an API misuse, not a retryable condition. *)
 
 (** {1 Retry with exponential backoff}
 

@@ -49,6 +49,53 @@ let rec contains_load = function
   | Bin (_, a, b) -> contains_load a || contains_load b
   | Un (_, a) -> contains_load a
 
+(* Pretty printing *)
+
+let elem_name = function
+  | U8 -> "u8" | I32 -> "i32" | I64 -> "i64" | F32 -> "f32" | F64 -> "f64"
+
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | Imin -> "min" | Imax -> "max"
+  | Fadd -> "+." | Fsub -> "-." | Fmul -> "*." | Fdiv -> "/."
+  | Flt -> "<." | Fle -> "<=." | Fgt -> ">." | Fge -> ">=."
+  | Fmin -> "fmin" | Fmax -> "fmax"
+
+let unop_name = function
+  | Neg -> "-" | Bnot -> "~" | Fneg -> "-." | Fabs -> "fabs" | Fsqrt -> "fsqrt"
+  | Fexp -> "fexp" | I2f -> "i2f" | F2i -> "f2i"
+
+let rec exp_to_string = function
+  | Int n -> string_of_int n
+  | Flt x -> Printf.sprintf "%h" x
+  | Var name -> name
+  | Param name -> "$" ^ name
+  | Load (b, idx) -> Printf.sprintf "%s[%s]" b (exp_to_string idx)
+  | Bin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (exp_to_string a) (binop_name op) (exp_to_string b)
+  | Un (op, a) -> Printf.sprintf "%s(%s)" (unop_name op) (exp_to_string a)
+
+let rec stmt_to_string ?(indent = 0) s =
+  let pad = String.make indent ' ' in
+  let block b = String.concat "\n" (List.map (stmt_to_string ~indent:(indent + 2)) b) in
+  match s with
+  | Let (name, e) -> Printf.sprintf "%s%s := %s" pad name (exp_to_string e)
+  | Store (b, idx, v2) ->
+      Printf.sprintf "%s%s[%s] <- %s" pad b (exp_to_string idx) (exp_to_string v2)
+  | For (var, lo, hi, body) ->
+      Printf.sprintf "%sfor %s = %s .. %s-1 {\n%s\n%s}" pad var (exp_to_string lo)
+        (exp_to_string hi) (block body) pad
+  | While (c, body) ->
+      Printf.sprintf "%swhile %s {\n%s\n%s}" pad (exp_to_string c) (block body) pad
+  | If (c, t, e) ->
+      Printf.sprintf "%sif %s {\n%s\n%s} else {\n%s\n%s}" pad (exp_to_string c)
+        (block t) pad (block e) pad
+  | Memcpy { dst; src; elems } ->
+      Printf.sprintf "%smemcpy %s <- %s (%s elems)" pad dst src (exp_to_string elems)
+
 let validate t =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   let fail fmt = Printf.ksprintf (fun s -> Error (t.name ^ ": " ^ s)) fmt in
@@ -74,13 +121,16 @@ let validate t =
         check_exp b
     | Un (_, a) -> check_exp a
   in
-  let rec check_stmt = function
+  let rec check_stmt stmt =
+    match stmt with
     | Let (_, e) -> check_exp e
     | Store (b, idx, value) ->
         let* decl = resolve b in
         let* () =
           if decl.writable || is_scratch b then Ok ()
-          else fail "store to read-only %s" b
+          else
+            fail "store to read-only buffer %s in statement `%s`" b
+              (stmt_to_string stmt)
         in
         let* () = check_exp idx in
         check_exp value
@@ -99,11 +149,19 @@ let validate t =
         let* d = resolve dst in
         let* s = resolve src in
         let* () =
-          if d.elem = s.elem then Ok () else fail "memcpy %s <- %s: element types differ" dst src
+          if d.elem = s.elem then Ok ()
+          else
+            fail
+              "element type mismatch in statement `%s`: buffer %s is %s but \
+               buffer %s is %s"
+              (stmt_to_string stmt) dst (elem_name d.elem) src
+              (elem_name s.elem)
         in
         let* () =
           if d.writable || is_scratch dst then Ok ()
-          else fail "memcpy to read-only %s" dst
+          else
+            fail "memcpy to read-only buffer %s in statement `%s`" dst
+              (stmt_to_string stmt)
         in
         check_exp elems
   and check_stmts stmts =
@@ -166,49 +224,6 @@ let when_ c a = If (c, a, [])
 let memcpy ~dst ~src ~elems = Memcpy { dst; src; elems }
 
 let buf ?(writable = true) buf_name elem len = { buf_name; elem; len; writable }
-
-(* Pretty printing *)
-
-let binop_name = function
-  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
-  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
-  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
-  | Imin -> "min" | Imax -> "max"
-  | Fadd -> "+." | Fsub -> "-." | Fmul -> "*." | Fdiv -> "/."
-  | Flt -> "<." | Fle -> "<=." | Fgt -> ">." | Fge -> ">=."
-  | Fmin -> "fmin" | Fmax -> "fmax"
-
-let unop_name = function
-  | Neg -> "-" | Bnot -> "~" | Fneg -> "-." | Fabs -> "fabs" | Fsqrt -> "fsqrt"
-  | Fexp -> "fexp" | I2f -> "i2f" | F2i -> "f2i"
-
-let rec exp_to_string = function
-  | Int n -> string_of_int n
-  | Flt x -> Printf.sprintf "%h" x
-  | Var name -> name
-  | Param name -> "$" ^ name
-  | Load (b, idx) -> Printf.sprintf "%s[%s]" b (exp_to_string idx)
-  | Bin (op, a, b) ->
-      Printf.sprintf "(%s %s %s)" (exp_to_string a) (binop_name op) (exp_to_string b)
-  | Un (op, a) -> Printf.sprintf "%s(%s)" (unop_name op) (exp_to_string a)
-
-let rec stmt_to_string ?(indent = 0) s =
-  let pad = String.make indent ' ' in
-  let block b = String.concat "\n" (List.map (stmt_to_string ~indent:(indent + 2)) b) in
-  match s with
-  | Let (name, e) -> Printf.sprintf "%s%s := %s" pad name (exp_to_string e)
-  | Store (b, idx, v2) ->
-      Printf.sprintf "%s%s[%s] <- %s" pad b (exp_to_string idx) (exp_to_string v2)
-  | For (var, lo, hi, body) ->
-      Printf.sprintf "%sfor %s = %s .. %s-1 {\n%s\n%s}" pad var (exp_to_string lo)
-        (exp_to_string hi) (block body) pad
-  | While (c, body) ->
-      Printf.sprintf "%swhile %s {\n%s\n%s}" pad (exp_to_string c) (block body) pad
-  | If (c, t, e) ->
-      Printf.sprintf "%sif %s {\n%s\n%s} else {\n%s\n%s}" pad (exp_to_string c)
-        (block t) pad (block e) pad
-  | Memcpy { dst; src; elems } ->
-      Printf.sprintf "%smemcpy %s <- %s (%s elems)" pad dst src (exp_to_string elems)
 
 let to_string t =
   Printf.sprintf "kernel %s\n%s" t.name

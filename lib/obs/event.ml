@@ -24,13 +24,14 @@ type data =
   | Fault_injected of { layer : string; kind : string; task : int }
   | Task_retry of { task : int; attempt : int; backoff : int }
   | Task_fallback of { task : int; reason : string }
+  | Check_elided of { task : int; count : int }
 
 type t = { cycle : int; data : data }
 
 let category = function
   | Bus_grant _ | Bus_beat _ -> "bus"
   | Cache_hit _ | Cache_miss _ -> "cache"
-  | Check_ok _ | Check_table_miss _ | Check_denial _ -> "checker"
+  | Check_ok _ | Check_table_miss _ | Check_denial _ | Check_elided _ -> "checker"
   | Table_insert _ | Table_evict _ -> "table"
   | Cap_import _ | Cap_revoke _ -> "driver"
   | Task_phase _ -> "task"
@@ -55,6 +56,7 @@ let name = function
   | Fault_injected _ -> "fault_injected"
   | Task_retry _ -> "task_retry"
   | Task_fallback _ -> "task_fallback"
+  | Check_elided _ -> "check_elided"
 
 let track = function
   | Bus_grant { source; _ } | Bus_beat { source; _ } -> source
@@ -68,7 +70,8 @@ let track = function
   | Task_phase { task; _ }
   | Fault_injected { task; _ }
   | Task_retry { task; _ }
-  | Task_fallback { task; _ } ->
+  | Task_fallback { task; _ }
+  | Check_elided { task; _ } ->
       task
   | Cap_revoke _ | Mmio_read _ | Mmio_write _ -> 0
 
@@ -107,5 +110,7 @@ let args = function
       [ ("task", `Int task); ("attempt", `Int attempt); ("backoff", `Int backoff) ]
   | Task_fallback { task; reason } ->
       [ ("task", `Int task); ("reason", `Str reason) ]
+  | Check_elided { task; count } ->
+      [ ("task", `Int task); ("count", `Int count) ]
 
 let is_denial = function Check_denial _ -> true | _ -> false

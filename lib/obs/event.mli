@@ -48,6 +48,9 @@ type data =
   | Task_fallback of { task : int; reason : string }
       (** the task exhausted its retry budget and degraded to CPU-only
           execution *)
+  | Check_elided of { task : int; count : int }
+      (** [count] per-beat adjudications skipped for a task whose footprint
+          the static analysis proved within its capability bounds *)
 
 type t = { cycle : int; data : data }
 

@@ -4,6 +4,8 @@ let wall_of p = p.alloc + p.init + p.compute + p.teardown
 
 type fallback = { task : int; reason : string }
 
+type elide_mode = Elide_off | Elide_on | Elide_differential
+
 type result = {
   config_label : string;
   benchmark : string;
@@ -13,6 +15,7 @@ type result = {
   correct : bool;
   denials : Guard.Iface.denial list;
   checks : int;
+  elided_checks : int;
   entries_peak : int;
   bus_beats : int;
   area_luts : int;
@@ -44,19 +47,49 @@ let verify mem (bench : Machsuite.Bench_def.t) layout =
     bench.output_bufs
 
 let finish (sys : System.t) ~config_label ~benchmark ~tasks ~phases ~correct
-    ~denials ~checks ~entries_peak ~bus_beats ~area_luts ?(recovered = 0)
-    ?(fallbacks = []) () =
+    ~denials ~checks ~entries_peak ~bus_beats ~area_luts ?(elided_checks = 0)
+    ?(recovered = 0) ?(fallbacks = []) () =
   let utilization =
     if phases.compute <= 0 then 0.0
     else float_of_int bus_beats /. float_of_int phases.compute
   in
   {
     config_label; benchmark; tasks; phases; wall = wall_of phases; correct;
-    denials; checks; entries_peak; bus_beats; area_luts;
+    denials; checks; elided_checks; entries_peak; bus_beats; area_luts;
     power_mw = Power.power_mw ~luts:area_luts ~utilization;
     recovered; fallbacks;
     faults = Fault.Injector.counts sys.System.faults;
   }
+
+(* Elision eligibility: the backend must adjudicate against exactly the
+   per-buffer capabilities the static analysis models, and the analysis —
+   run under the task's concrete parameter assignment — must prove every
+   access in bounds.  [Elide_differential] keeps the guard in the loop and
+   instead asserts the soundness contract: a proven task must never be
+   dynamically denied. *)
+let statically_proven (bench : Machsuite.Bench_def.t) =
+  Analysis.proven
+    (Analysis.analyze
+       ~params:(Analysis.param_intervals bench.params)
+       bench.Machsuite.Bench_def.kernel)
+
+let elide_eligible backend mode bench =
+  match mode with
+  | Elide_off -> false
+  | Elide_on | Elide_differential ->
+      Driver.Backend.supports_elision backend && statically_proven bench
+
+let differential_check mode ~eligible ~(bench : Machsuite.Bench_def.t)
+    (denied : Guard.Iface.denial option) =
+  match (mode, denied) with
+  | Elide_differential, Some d when eligible ->
+      failwith
+        (Printf.sprintf
+           "Run: analysis unsoundness: %s proven in bounds but dynamically \
+            denied (%s: %s)"
+           bench.Machsuite.Bench_def.name d.Guard.Iface.code
+           d.Guard.Iface.detail)
+  | _ -> ()
 
 (* Observation-only phase markers: stamped on the shared sink at the phase's
    start cycle.  The sink is never consulted by the simulation, so emitting
@@ -120,10 +153,12 @@ let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
 (* Heterogeneous execution: allocate every task, interpret the kernel once as
    the accelerator, replicate its DMA stream per instance, and replay the
    contention. *)
-let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
+let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide =
   let kernel = bench.Machsuite.Bench_def.kernel in
   let driver = Option.get sys.System.driver in
   let backend = Option.get sys.System.backend in
+  let eligible = elide_eligible backend elide bench in
+  let elide_exec = (match elide with Elide_on -> eligible | _ -> false) in
   let directives = bench.directives in
   let cfg = sys.System.cpu_cfg in
   let rec allocate acc n =
@@ -151,8 +186,8 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
     init_cycles;
   Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles);
   let outcome =
-    Accel.Engine.run ~obs ~mem:sys.System.mem ~guard:(System.guard sys)
-      ~bus:sys.System.bus ~directives
+    Accel.Engine.run ~obs ~elide:elide_exec ~mem:sys.System.mem
+      ~guard:(System.guard sys) ~bus:sys.System.bus ~directives
       ~addressing:(Driver.Backend.addressing backend)
       ~naive_tag_writes:(System.naive_tag_writes sys)
       {
@@ -163,6 +198,7 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
         obj_ids = first.Driver.obj_ids;
       }
   in
+  differential_check elide ~eligible ~bench outcome.Accel.Engine.denied;
   let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
   let streams =
     List.map
@@ -210,6 +246,7 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks =
   finish sys ~config_label:(Config.label sys.System.config) ~benchmark:kernel.name
     ~tasks ~phases ~correct ~denials
     ~checks:(outcome.Accel.Engine.checks * tasks)
+    ~elided_checks:(outcome.Accel.Engine.elided * tasks)
     ~entries_peak ~bus_beats:replayed.Accel.Replay.bus_beats
     ~area_luts:
       (System.total_area_luts sys
@@ -411,14 +448,14 @@ let run_hetero_faulted sys ~benchmark ~area_luts ~policy
 
 let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
     ?obs ?(faults = Fault.Plan.none) ?(retry = Driver.default_retry_policy)
-    config bench =
+    ?(elide = Elide_off) config bench =
   assert (tasks > 0);
   let instances = match instances with Some n -> max n tasks | None -> max 8 tasks in
   let sys = System.create ~instances ~cc_entries ~bus ?obs ~faults config in
   match config with
   | Config.Cpu_only isa -> run_cpu_only sys isa bench ~tasks
   | Config.Hetero _ ->
-      if Fault.Plan.is_none faults then run_hetero sys bench ~tasks
+      if Fault.Plan.is_none faults then run_hetero sys bench ~tasks ~elide
       else
         let directives = bench.Machsuite.Bench_def.directives in
         run_hetero_faulted sys
@@ -430,7 +467,7 @@ let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
           (List.init tasks (fun _ -> bench))
 
 let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
-    ?(retry = Driver.default_retry_policy) config benches =
+    ?(retry = Driver.default_retry_policy) ?(elide = Elide_off) config benches =
   let tasks = List.length benches in
   assert (tasks > 0);
   let instances = match instances with Some n -> max n tasks | None -> tasks in
@@ -486,9 +523,12 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   let outcomes =
     List.map
       (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated)) ->
+        let eligible = elide_eligible backend elide bench in
+        let elide_exec = (match elide with Elide_on -> eligible | _ -> false) in
         let outcome =
-          Accel.Engine.run ~obs ~mem:sys.System.mem ~guard:(System.guard sys)
-            ~bus:sys.System.bus ~directives:bench.directives
+          Accel.Engine.run ~obs ~elide:elide_exec ~mem:sys.System.mem
+            ~guard:(System.guard sys) ~bus:sys.System.bus
+            ~directives:bench.directives
             ~addressing:(Driver.Backend.addressing backend)
             ~naive_tag_writes:(System.naive_tag_writes sys)
             {
@@ -499,6 +539,7 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
               obj_ids = a.handle.Driver.obj_ids;
             }
         in
+        differential_check elide ~eligible ~bench outcome.Accel.Engine.denied;
         (bench, a, outcome))
       allocated
   in
@@ -540,11 +581,14 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   let checks =
     List.fold_left (fun acc (_, _, o) -> acc + o.Accel.Engine.checks) 0 outcomes
   in
+  let elided_checks =
+    List.fold_left (fun acc (_, _, o) -> acc + o.Accel.Engine.elided) 0 outcomes
+  in
   let phases =
     { alloc = alloc_cycles; init = init_cycles;
       compute = compute_cycles; teardown = teardown_cycles }
   in
   finish sys ~config_label:(Config.label config) ~benchmark:"mixed" ~tasks ~phases
-    ~correct ~denials ~checks ~entries_peak
+    ~correct ~denials ~checks ~elided_checks ~entries_peak
     ~bus_beats:replayed.Accel.Replay.bus_beats ~area_luts ()
   end

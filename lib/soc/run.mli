@@ -23,6 +23,19 @@ type fallback = {
 (** One task that could not complete on the accelerator and was re-executed
     (and re-verified) on the CPU. *)
 
+type elide_mode =
+  | Elide_off  (** adjudicate every DMA beat (the default) *)
+  | Elide_on
+      (** skip per-beat adjudication for tasks whose footprint {!Analysis}
+          proved within the granted capabilities under the concrete launch
+          parameters; requires a backend with
+          {!Driver.Backend.supports_elision}.  Unproven tasks run fully
+          guarded. *)
+  | Elide_differential
+      (** keep the guard in the loop but assert the analysis soundness
+          contract — a statically proven task that is dynamically denied
+          raises [Failure] instead of being reported as a denial *)
+
 type result = {
   config_label : string;
   benchmark : string;
@@ -32,6 +45,9 @@ type result = {
   correct : bool;
   denials : Guard.Iface.denial list;
   checks : int;         (** protection adjudications (all instances) *)
+  elided_checks : int;
+      (** adjudications skipped under {!Elide_on} for statically proven
+          tasks (all instances; 0 otherwise) *)
   entries_peak : int;   (** live guard entries while tasks were resident *)
   bus_beats : int;
   area_luts : int;
@@ -55,6 +71,7 @@ val run :
   ?obs:Obs.Trace.t ->
   ?faults:Fault.Plan.t ->
   ?retry:Driver.retry_policy ->
+  ?elide:elide_mode ->
   Config.t ->
   Machsuite.Bench_def.t ->
   result
@@ -76,11 +93,17 @@ val run :
     {!Driver.default_retry_policy}, backoff cycles charged to the alloc
     phase) or degrade to CPU execution with an explicit [fallbacks] record —
     every run either verifies [correct = true] or reports its fallbacks,
-    never a silently wrong result. *)
+    never a silently wrong result.
+
+    [elide] (default [Elide_off]) selects the adaptive check-elision policy
+    for statically proven tasks; it only applies to the fault-free
+    heterogeneous path (an active fault plan keeps every check, since faults
+    invalidate the static model's assumptions). *)
 
 val run_mixed :
   ?instances:int -> ?obs:Obs.Trace.t -> ?faults:Fault.Plan.t ->
-  ?retry:Driver.retry_policy -> Config.t -> Machsuite.Bench_def.t list ->
+  ?retry:Driver.retry_policy -> ?elide:elide_mode -> Config.t ->
+  Machsuite.Bench_def.t list ->
   result
 (** One task per (distinct) benchmark on one shared system — the
     mixed-accelerator SoCs of Figure 9.  Requires a heterogeneous config.

@@ -111,6 +111,45 @@ let test_coarse_compose_split () =
   checki "obj" 3 obj;
   checki "phys" 0x1234 phys
 
+let test_coarse_roundtrip_boundaries () =
+  (* Every object id — including 128..255, whose top bit the old bit-56
+     packing silently dropped — round-trips at both extremes of the coarse
+     physical window, and every composed bus word stays non-negative. *)
+  let max_phys = Checker.coarse_window - 1 in
+  for obj = 0 to 255 do
+    List.iter
+      (fun phys ->
+        let addr = Checker.compose_coarse ~obj phys in
+        checkb (Printf.sprintf "obj %d at 0x%x: non-negative" obj phys) true
+          (addr >= 0);
+        let obj', phys' = Checker.split_coarse addr in
+        checki (Printf.sprintf "obj %d at 0x%x: obj" obj phys) obj obj';
+        checki (Printf.sprintf "obj %d at 0x%x: phys" obj phys) phys phys')
+      [ 0; max_phys ]
+  done
+
+let test_coarse_compose_rejects_out_of_range () =
+  let rejects f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | (_ : int) -> false
+  in
+  (* The full 56-bit CHERI physical space does not fit a 63-bit host word
+     alongside the 8-bit id: addresses beyond the coarse window must be
+     rejected loudly, never truncated into a neighbouring object's window. *)
+  checkb "phys = coarse_window rejected" true
+    (rejects (fun () -> Checker.compose_coarse ~obj:0 Checker.coarse_window));
+  checkb "phys = max_address rejected" true
+    (rejects (fun () -> Checker.compose_coarse ~obj:0 Cheri.Cap.max_address));
+  checkb "negative phys rejected" true
+    (rejects (fun () -> Checker.compose_coarse ~obj:0 (-1)));
+  checkb "obj = 256 rejected" true
+    (rejects (fun () -> Checker.compose_coarse ~obj:256 0));
+  checkb "negative obj rejected" true
+    (rejects (fun () -> Checker.compose_coarse ~obj:(-1) 0));
+  checkb "in-range still composes" true
+    (Checker.compose_coarse ~obj:255 (Checker.coarse_window - 1) > 0)
+
 let test_coarse_grants_and_strips () =
   let c = Checker.create ~entries:8 Checker.Coarse in
   ignore (install_exn c ~task:1 ~obj:2 (cap 0x8000 128));
@@ -207,6 +246,9 @@ let suite =
     ("fine grants/denies", `Quick, test_fine_grants_and_denies);
     ("fine read-only cap", `Quick, test_fine_readonly_cap);
     ("coarse compose/split", `Quick, test_coarse_compose_split);
+    ("coarse roundtrip boundaries", `Quick, test_coarse_roundtrip_boundaries);
+    ("coarse compose rejects out-of-range", `Quick,
+     test_coarse_compose_rejects_out_of_range);
     ("coarse grant strips id", `Quick, test_coarse_grants_and_strips);
     ("coarse unknown object", `Quick, test_coarse_unknown_object);
     ("exception flag and log", `Quick, test_exception_flag_and_log);

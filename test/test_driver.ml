@@ -177,9 +177,39 @@ let test_heap_returned_iopmp_arena () =
   let _ = Driver.deallocate driver a.Driver.handle ~denied:None in
   checki "arena restored" before (Tagmem.Alloc.bytes_free heap)
 
+(* Ill-formed kernels must fail loudly at allocation (construction) time,
+   naming the offending buffer and statement — not surface mid-interpretation
+   as a guard denial. *)
+let test_allocate_rejects_ill_formed_kernel () =
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go j = j + n <= m && (String.sub s j n = sub || go (j + 1)) in
+    n = 0 || go 0
+  in
+  let driver, _, _ = make_driver (Driver.Backend.No_protection { naive_tags = false }) in
+  let bad =
+    {
+      name = "bad_ro";
+      bufs = [ buf ~writable:false "out" I64 8 ];
+      scratch = [];
+      body = [ store "out" (i 0) (i 1) ];
+    }
+  in
+  (match Driver.allocate driver bad with
+  | exception Invalid_argument msg ->
+      checkb "names the buffer" true (contains ~sub:"read-only buffer out" msg);
+      checkb "names the statement" true (contains ~sub:"out[0] <- 1" msg)
+  | Ok _ | Error _ -> Alcotest.fail "ill-formed kernel was accepted");
+  (* Nothing was placed: the instance and the heap are untouched. *)
+  checki "no instance consumed" 2 (Driver.free_instances driver);
+  checkb "well-formed kernel still allocates" true
+    (Result.is_ok (Driver.allocate driver kernel2))
+
 let suite =
   [
     ("allocate basics", `Quick, test_allocate_basics);
+    ("allocate rejects ill-formed kernel", `Quick,
+     test_allocate_rejects_ill_formed_kernel);
     ("instance exhaustion/release", `Quick, test_instance_exhaustion_and_release);
     ("capchecker installs", `Quick, test_capchecker_backend_installs);
     ("capchecker caps cover buffers", `Quick, test_capchecker_caps_cover_buffers);

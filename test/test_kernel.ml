@@ -65,6 +65,42 @@ let test_validate_scratch_store_ok () =
   in
   checkb "scratch writable" true (Ir.validate k = Ok ())
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go j = j + n <= m && (String.sub s j n = sub || go (j + 1)) in
+  n = 0 || go 0
+
+let error_of k =
+  match Ir.validate k with
+  | Error msg -> msg
+  | Ok () -> Alcotest.fail "expected a validation error"
+
+let test_validate_messages_name_buffer_and_statement () =
+  let ro =
+    simple "ro" ~bufs:[ buf ~writable:false "out" I64 8 ]
+      [ store "out" (i 3) (i 1) ]
+  in
+  let msg = error_of ro in
+  checkb "names the buffer" true (contains ~sub:"read-only buffer out" msg);
+  checkb "names the statement" true (contains ~sub:"out[3] <- 1" msg);
+  let mc_ro =
+    simple "mc_ro" ~bufs:[ buf ~writable:false "dst" I64 4; buf "src" I64 4 ]
+      [ memcpy ~dst:"dst" ~src:"src" ~elems:(i 4) ]
+  in
+  let msg = error_of mc_ro in
+  checkb "memcpy names buffer" true (contains ~sub:"read-only buffer dst" msg);
+  checkb "memcpy names statement" true (contains ~sub:"memcpy dst <- src" msg)
+
+let test_validate_memcpy_mismatch_names_types () =
+  let k =
+    simple "mc" ~bufs:[ buf "a" I64 4; buf "b" F32 4 ]
+      [ memcpy ~dst:"a" ~src:"b" ~elems:(i 4) ]
+  in
+  let msg = error_of k in
+  checkb "names both buffers and types" true
+    (contains ~sub:"a is i64" msg && contains ~sub:"b is f32" msg);
+  checkb "names the statement" true (contains ~sub:"memcpy a <- b" msg)
+
 (* ---------------- semantics ---------------- *)
 
 let test_int_ops () =
@@ -290,6 +326,10 @@ let suite =
     ("validate duplicate names", `Quick, test_validate_duplicate_names);
     ("validate scratch collision", `Quick, test_validate_scratch_buf_collision);
     ("validate memcpy types", `Quick, test_validate_memcpy_type_mismatch);
+    ("validate messages name buffer and statement", `Quick,
+     test_validate_messages_name_buffer_and_statement);
+    ("validate memcpy mismatch names types", `Quick,
+     test_validate_memcpy_mismatch_names_types);
     ("validate scratch store", `Quick, test_validate_scratch_store_ok);
     ("integer ops", `Quick, test_int_ops);
     ("float ops", `Quick, test_float_ops);

@@ -23,4 +23,5 @@ let () =
       ("obs", Test_obs.suite);
       ("security", Test_security.suite);
       ("claims", Test_claims.suite);
+      ("analysis", Test_analysis.suite);
     ]
