@@ -215,6 +215,47 @@ let fig9 () =
     (Ccsim.Report.pct (Ccsim.Stats.geomean homogeneous -. 1.0))
 
 (* ------------------------------------------------------------------ *)
+(* Contention: event-driven core vs trace-then-replay on mixed systems   *)
+(* ------------------------------------------------------------------ *)
+
+let contention () =
+  print_string
+    (section
+       "Contention: event-driven makespan vs legacy replay (mixed 8-accel \
+        systems)");
+  let rng = Ccsim.Rng.create 0x5EED in
+  let all = Array.of_list Machsuite.Registry.all in
+  let deltas =
+    List.init 8 (fun idx ->
+        let benches =
+          Array.to_list (Array.init 8 (fun _ -> Ccsim.Rng.choose rng all))
+        in
+        let replay =
+          Soc.Run.run_mixed ~engine:Soc.Run.Legacy_replay Soc.Config.ccpu_caccel
+            benches
+        in
+        let event =
+          Soc.Run.run_mixed ~engine:Soc.Run.Event_driven Soc.Config.ccpu_caccel
+            benches
+        in
+        assert replay.Soc.Run.correct;
+        assert event.Soc.Run.correct;
+        let rc = replay.Soc.Run.phases.Soc.Run.compute in
+        let ec = event.Soc.Run.phases.Soc.Run.compute in
+        let delta = ratio ec rc -. 1.0 in
+        Printf.printf
+          "  system %2d: replay makespan %9d  event %9d  delta %s  [%s]\n"
+          (idx + 1) rc ec (Ccsim.Report.pct delta)
+          (String.concat ","
+             (List.map (fun (b : Machsuite.Bench_def.t) -> b.name) benches));
+        1.0 +. delta)
+  in
+  Printf.printf
+    "event/replay makespan geomean: %s (round-robin arbitration vs global \
+     earliest-ready FIFO)\n"
+    (Ccsim.Report.pct (Ccsim.Stats.geomean deltas -. 1.0))
+
+(* ------------------------------------------------------------------ *)
 (* Figure 10: wall-clock breakdown over the five configurations          *)
 (* ------------------------------------------------------------------ *)
 
@@ -692,7 +733,8 @@ let elision () =
 let sections =
   [
     ("table1", table1); ("table2", table2); ("table3", table3);
-    ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("fig10", fig10);
+    ("fig7", fig7); ("fig8", fig8); ("fig9", fig9); ("contention", contention);
+    ("fig10", fig10);
     ("fig11", fig11); ("fig12", fig12);
     ("ablation_placement", ablation_placement);
     ("ablation_table_size", ablation_table_size);

@@ -47,6 +47,78 @@ let config_arg =
 let tasks_arg =
   Arg.(value & opt int 8 & info [ "t"; "tasks" ] ~doc:"Concurrent accelerator tasks.")
 
+let engines =
+  [ ("replay", Soc.Run.Legacy_replay); ("event", Soc.Run.Event_driven) ]
+
+let engine_arg =
+  Arg.(value & opt (enum engines) Soc.Run.Legacy_replay
+         & info [ "engine" ]
+             ~doc:"Timing core: $(b,replay) records each accelerator's DMA \
+                   stream and replays the contention (the default), \
+                   $(b,event) runs every instance live on a shared \
+                   discrete-event timeline with round-robin bus arbitration.")
+
+(* Machine-readable result, stable across runs with the same inputs — the CI
+   determinism gate diffs two of these byte-for-byte. *)
+let json_of_result (r : Soc.Run.result) =
+  let open Obs.Json in
+  let c = r.Soc.Run.faults in
+  Obj
+    [
+      ("benchmark", String r.Soc.Run.benchmark);
+      ("config", String r.Soc.Run.config_label);
+      ("tasks", Int r.Soc.Run.tasks);
+      ("wall", Int r.Soc.Run.wall);
+      ( "phases",
+        Obj
+          [
+            ("alloc", Int r.Soc.Run.phases.Soc.Run.alloc);
+            ("init", Int r.Soc.Run.phases.Soc.Run.init);
+            ("compute", Int r.Soc.Run.phases.Soc.Run.compute);
+            ("teardown", Int r.Soc.Run.phases.Soc.Run.teardown);
+          ] );
+      ("correct", Bool r.Soc.Run.correct);
+      ("checks", Int r.Soc.Run.checks);
+      ("elided_checks", Int r.Soc.Run.elided_checks);
+      ("entries_peak", Int r.Soc.Run.entries_peak);
+      ("bus_beats", Int r.Soc.Run.bus_beats);
+      ("area_luts", Int r.Soc.Run.area_luts);
+      ( "denials",
+        List
+          (List.map
+             (fun (d : Guard.Iface.denial) ->
+               Obj
+                 [
+                   ("code", String d.Guard.Iface.code);
+                   ("detail", String d.Guard.Iface.detail);
+                 ])
+             r.Soc.Run.denials) );
+      ("recovered", Int r.Soc.Run.recovered);
+      ( "fallbacks",
+        List
+          (List.map
+             (fun (f : Soc.Run.fallback) ->
+               Obj
+                 [
+                   ("task", Int f.Soc.Run.task);
+                   ("reason", String f.Soc.Run.reason);
+                 ])
+             r.Soc.Run.fallbacks) );
+      ( "faults",
+        Obj
+          [
+            ("bus_stalls", Int c.Fault.Injector.bus_stalls);
+            ("bus_stall_cycles", Int c.Fault.Injector.bus_stall_cycles);
+            ("bus_errors", Int c.Fault.Injector.bus_errors);
+            ("guard_denials", Int c.Fault.Injector.guard_denials);
+            ("table_fulls", Int c.Fault.Injector.table_fulls);
+            ("cache_drops", Int c.Fault.Injector.cache_drops);
+            ("alloc_fails", Int c.Fault.Injector.alloc_fails);
+            ("retries", Int c.Fault.Injector.retries);
+            ("backoff_cycles", Int c.Fault.Injector.backoff_cycles);
+          ] );
+    ]
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -64,24 +136,30 @@ let list_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run bench config tasks =
-    let r = Soc.Run.run ~tasks config bench in
-    Printf.printf "%s on %s, %d task(s)\n" r.Soc.Run.benchmark r.Soc.Run.config_label
-      r.Soc.Run.tasks;
-    Printf.printf "  wall      %9d cycles\n" r.Soc.Run.wall;
-    Printf.printf "  alloc     %9d\n" r.Soc.Run.phases.Soc.Run.alloc;
-    Printf.printf "  init      %9d\n" r.Soc.Run.phases.Soc.Run.init;
-    Printf.printf "  compute   %9d\n" r.Soc.Run.phases.Soc.Run.compute;
-    Printf.printf "  teardown  %9d\n" r.Soc.Run.phases.Soc.Run.teardown;
-    Printf.printf "  correct   %b\n" r.Soc.Run.correct;
-    Printf.printf "  checks    %d (entries peak %d)\n" r.Soc.Run.checks r.Soc.Run.entries_peak;
-    Printf.printf "  area      %d LUTs, power %.0f mW\n" r.Soc.Run.area_luts r.Soc.Run.power_mw;
-    List.iter
-      (fun (d : Guard.Iface.denial) -> Printf.printf "  denial: %s\n" d.Guard.Iface.detail)
-      r.Soc.Run.denials
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
+  in
+  let run bench config tasks engine json =
+    let r = Soc.Run.run ~tasks ~engine config bench in
+    if json then print_endline (Obs.Json.to_string (json_of_result r))
+    else begin
+      Printf.printf "%s on %s, %d task(s)\n" r.Soc.Run.benchmark r.Soc.Run.config_label
+        r.Soc.Run.tasks;
+      Printf.printf "  wall      %9d cycles\n" r.Soc.Run.wall;
+      Printf.printf "  alloc     %9d\n" r.Soc.Run.phases.Soc.Run.alloc;
+      Printf.printf "  init      %9d\n" r.Soc.Run.phases.Soc.Run.init;
+      Printf.printf "  compute   %9d\n" r.Soc.Run.phases.Soc.Run.compute;
+      Printf.printf "  teardown  %9d\n" r.Soc.Run.phases.Soc.Run.teardown;
+      Printf.printf "  correct   %b\n" r.Soc.Run.correct;
+      Printf.printf "  checks    %d (entries peak %d)\n" r.Soc.Run.checks r.Soc.Run.entries_peak;
+      Printf.printf "  area      %d LUTs, power %.0f mW\n" r.Soc.Run.area_luts r.Soc.Run.power_mw;
+      List.iter
+        (fun (d : Guard.Iface.denial) -> Printf.printf "  denial: %s\n" d.Guard.Iface.detail)
+        r.Soc.Run.denials
+    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark end to end")
-    Term.(const run $ bench_arg $ config_arg $ tasks_arg)
+    Term.(const run $ bench_arg $ config_arg $ tasks_arg $ engine_arg $ json_arg)
 
 (* ---- trace ---- *)
 
@@ -98,9 +176,9 @@ let trace_cmd =
                ~doc:"Event-ring capacity; once full, the oldest events are \
                      dropped (and counted).")
   in
-  let run bench config tasks out capacity =
+  let run bench config tasks engine out capacity =
     let obs = Obs.Trace.create ~capacity () in
-    let r = Soc.Run.run ~tasks ~obs config bench in
+    let r = Soc.Run.run ~tasks ~obs ~engine config bench in
     Obs.Export.write_chrome ~path:out obs;
     Printf.printf "%s on %s, %d task(s): wall %d cycles, correct %b\n"
       r.Soc.Run.benchmark r.Soc.Run.config_label r.Soc.Run.tasks r.Soc.Run.wall
@@ -114,18 +192,24 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Record a cycle-resolved event trace of one run")
-    Term.(const run $ bench_arg $ config_arg $ tasks_arg $ out_arg $ capacity_arg)
+    Term.(
+      const run $ bench_arg $ config_arg $ tasks_arg $ engine_arg $ out_arg
+      $ capacity_arg)
 
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run bench =
+  let run bench engine =
     Printf.printf "%-6s %12s %12s %10s %10s\n" "tasks" "base wall" "cc wall" "speedup" "overhead";
     List.iter
       (fun tasks ->
         let cpu = Soc.Run.run ~tasks Soc.Config.cpu bench in
-        let base = Soc.Run.run ~tasks ~instances:16 Soc.Config.ccpu_accel bench in
-        let cc = Soc.Run.run ~tasks ~instances:16 Soc.Config.ccpu_caccel bench in
+        let base =
+          Soc.Run.run ~tasks ~instances:16 ~engine Soc.Config.ccpu_accel bench
+        in
+        let cc =
+          Soc.Run.run ~tasks ~instances:16 ~engine Soc.Config.ccpu_caccel bench
+        in
         Printf.printf "%-6d %12d %12d %9.1fx %+9.2f%%\n" tasks base.Soc.Run.wall
           cc.Soc.Run.wall
           (float_of_int cpu.Soc.Run.wall /. float_of_int base.Soc.Run.wall)
@@ -133,7 +217,7 @@ let sweep_cmd =
       [ 1; 2; 4; 8; 16 ]
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Parallelism sweep (Figure 11 style)")
-    Term.(const run $ bench_arg)
+    Term.(const run $ bench_arg $ engine_arg)
 
 (* ---- attack ---- *)
 
@@ -178,9 +262,17 @@ let faults_cmd =
                ~doc:"Fault-plan seed: same seed, benchmark and config always \
                      reproduce the same faults, retries and result.")
   in
-  let run bench config tasks seed =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
+  in
+  let run bench config tasks seed engine json =
     let plan = Fault.Plan.default ~seed in
-    let r = Soc.Run.run ~tasks ~faults:plan config bench in
+    let r = Soc.Run.run ~tasks ~faults:plan ~engine config bench in
+    if json then begin
+      print_endline (Obs.Json.to_string (json_of_result r));
+      if not r.Soc.Run.correct then exit 1
+    end
+    else begin
     let c = r.Soc.Run.faults in
     Printf.printf "%s on %s, %d task(s), fault plan %s\n" r.Soc.Run.benchmark
       r.Soc.Run.config_label r.Soc.Run.tasks (Fault.Plan.to_string plan);
@@ -207,11 +299,14 @@ let faults_cmd =
       print_endline "  invariant VIOLATED: incorrect result without a covering fallback";
       exit 1
     end
+    end
   in
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Run one benchmark under a seeded deterministic fault plan")
-    Term.(const run $ bench_arg $ config_arg $ tasks_arg $ seed_arg)
+    Term.(
+      const run $ bench_arg $ config_arg $ tasks_arg $ seed_arg $ engine_arg
+      $ json_arg)
 
 (* ---- lint ---- *)
 

@@ -18,19 +18,61 @@ type outcome = {
   ops : int;
 }
 
+type ev_outcome = {
+  ev_denied : Guard.Iface.denial option;
+  ev_checks : int;
+  ev_elided : int;
+  ev_reads : int;
+  ev_writes : int;
+  ev_ops : int;
+  ev_finish : int;
+  ev_failed : bool;
+}
+
 (* Raised internally to unwind the interpreter on a guard denial; the denial
    itself is reported in the outcome. *)
 exception Denied_access of Guard.Iface.denial
 
-let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
-    ~addressing ~naive_tag_writes task =
+(* Functional execution and adjudication are shared between the trace-recording
+   and event-driven paths; only the treatment of simulated time differs.  A
+   backend receives each transaction after the datapath gap is computed and
+   decides when (and against what) adjudication and data movement are timed.
+   [access] and [copy] call [adjudicate] exactly once per guard decision and
+   return the physical address(es) the data movement must use. *)
+type backend = {
+  bk_access :
+    gap:int ->
+    kind:Guard.Iface.kind ->
+    addr:int ->
+    size:int ->
+    dependent:bool ->
+    adjudicate:(unit -> int * int) ->
+    int;
+  bk_copy :
+    gap:int ->
+    bytes:int ->
+    adjudicate_rd:(unit -> int * int) ->
+    adjudicate_wr:(unit -> int * int) ->
+    int * int;
+}
+
+type counters = {
+  mutable c_checks : int;
+  mutable c_elided : int;
+  mutable c_reads : int;
+  mutable c_writes : int;
+  mutable c_ops : int;
+  mutable c_pending_ops : int;
+  mutable c_gap_debt : float;
+}
+
+let fresh_counters () =
+  { c_checks = 0; c_elided = 0; c_reads = 0; c_writes = 0; c_ops = 0;
+    c_pending_ops = 0; c_gap_debt = 0.0 }
+
+let run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
+    ~counters:c ~backend task =
   let open Hls.Directives in
-  let trace = Trace.create () in
-  let pending_ops = ref 0 in
-  let total_ops = ref 0 in
-  let checks = ref 0 in
-  let elided = ref 0 in
-  let reads = ref 0 and writes = ref 0 in
   let obj_of name =
     match List.assoc_opt name task.obj_ids with
     | Some obj -> obj
@@ -51,25 +93,25 @@ let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
      the synthesized ops-per-cycle.  Fractional cycles carry over so that a
      wide datapath really does issue back-to-back (gap-0) accesses that merge
      into AXI bursts, instead of every access rounding up to a 1-cycle gap. *)
-  let gap_debt = ref 0.0 in
   let take_gap () =
-    gap_debt := !gap_debt +. (float_of_int !pending_ops /. directives.compute_ipc);
-    pending_ops := 0;
-    let gap = int_of_float !gap_debt in
-    gap_debt := !gap_debt -. float_of_int gap;
+    c.c_gap_debt <-
+      c.c_gap_debt +. (float_of_int c.c_pending_ops /. directives.compute_ipc);
+    c.c_pending_ops <- 0;
+    let gap = int_of_float c.c_gap_debt in
+    c.c_gap_debt <- c.c_gap_debt -. float_of_int gap;
     gap
   in
   (* [plain] is the true physical address (base + offset) the access resolves
      to when the guard is provably redundant: with the task's footprint
      statically proven in bounds (see {!Analysis}), the elide path skips the
      adjudication entirely — no check counted, no checker latency. *)
-  let adjudicate ~name ~addr ~plain ~size ~kind =
+  let adjudicate ~name ~addr ~plain ~size ~kind () =
     if elide then begin
-      incr elided;
+      c.c_elided <- c.c_elided + 1;
       (plain, 0)
     end
     else begin
-      incr checks;
+      c.c_checks <- c.c_checks + 1;
       let req =
         { Guard.Iface.source = task.instance; port = port_of name; addr; size; kind }
       in
@@ -86,20 +128,18 @@ let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
           let width = Kernel.Ir.elem_bytes b.decl.Kernel.Ir.elem in
           let byte_offset = idx * width in
           let addr = bus_addr b name ~byte_offset in
-          (* The gap is hoisted so the trace clock sits at the issue point of
-             this access when the guard stamps its check events; adjudicate
-             never touches the gap state, so the recorded trace is unchanged. *)
+          (* The gap is hoisted so the backend's clock sits at the issue point
+             of this access when the guard stamps its check events; adjudicate
+             never touches the gap state, so timing is backend-independent. *)
           let gap = take_gap () in
-          Obs.Trace.advance obs gap;
-          let phys, latency =
-            adjudicate ~name ~addr ~plain:(b.base + byte_offset) ~size:width
-              ~kind:Guard.Iface.Read
+          let phys =
+            backend.bk_access ~gap ~kind:Guard.Iface.Read ~addr ~size:width
+              ~dependent
+              ~adjudicate:
+                (adjudicate ~name ~addr ~plain:(b.base + byte_offset) ~size:width
+                   ~kind:Guard.Iface.Read)
           in
-          incr reads;
-          Trace.add_access trace ~bus ~max_burst:bus.Bus.Params.max_burst
-            ~gap ~kind:Guard.Iface.Read ~addr ~size:width ~dependent
-            ~latency;
-          Obs.Trace.advance obs (Bus.Params.beats_for bus width);
+          c.c_reads <- c.c_reads + 1;
           Memops.Layout.read_elem mem b.decl.Kernel.Ir.elem ~addr:phys);
       store =
         (fun name ~idx value ->
@@ -108,16 +148,14 @@ let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
           let byte_offset = idx * width in
           let addr = bus_addr b name ~byte_offset in
           let gap = take_gap () in
-          Obs.Trace.advance obs gap;
-          let phys, latency =
-            adjudicate ~name ~addr ~plain:(b.base + byte_offset) ~size:width
-              ~kind:Guard.Iface.Write
+          let phys =
+            backend.bk_access ~gap ~kind:Guard.Iface.Write ~addr ~size:width
+              ~dependent:false
+              ~adjudicate:
+                (adjudicate ~name ~addr ~plain:(b.base + byte_offset) ~size:width
+                   ~kind:Guard.Iface.Write)
           in
-          incr writes;
-          Trace.add_access trace ~bus ~max_burst:bus.Bus.Params.max_burst
-            ~gap ~kind:Guard.Iface.Write ~addr ~size:width
-            ~dependent:false ~latency;
-          Obs.Trace.advance obs (Bus.Params.beats_for bus width);
+          c.c_writes <- c.c_writes + 1;
           if naive_tag_writes then
             Memops.Layout.write_elem_preserving_tags mem b.decl.Kernel.Ir.elem
               ~addr:phys value
@@ -131,33 +169,18 @@ let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
           if bytes > 0 then begin
             let src_addr = bus_addr sb src ~byte_offset:0 in
             let dst_addr = bus_addr db dst ~byte_offset:0 in
-            let copy_gap = ref (take_gap ()) in
-            Obs.Trace.advance obs !copy_gap;
-            let src_phys, rd_latency =
-              adjudicate ~name:src ~addr:src_addr ~plain:sb.base ~size:bytes
-                ~kind:Guard.Iface.Read
+            let gap = take_gap () in
+            let src_phys, dst_phys =
+              backend.bk_copy ~gap ~bytes
+                ~adjudicate_rd:
+                  (adjudicate ~name:src ~addr:src_addr ~plain:sb.base ~size:bytes
+                     ~kind:Guard.Iface.Read)
+                ~adjudicate_wr:
+                  (adjudicate ~name:dst ~addr:dst_addr ~plain:db.base ~size:bytes
+                     ~kind:Guard.Iface.Write)
             in
-            let dst_phys, wr_latency =
-              adjudicate ~name:dst ~addr:dst_addr ~plain:db.base ~size:bytes
-                ~kind:Guard.Iface.Write
-            in
-            incr reads;
-            incr writes;
-            (* DMA block move: max_burst-sized bursts back to back. *)
-            let beats_left = ref (Bus.Params.beats_for bus bytes) in
-            Obs.Trace.advance obs (2 * !beats_left);
-            while !beats_left > 0 do
-              let beats = min !beats_left bus.Bus.Params.max_burst in
-              beats_left := !beats_left - beats;
-              Trace.add trace
-                { Trace.gap = !copy_gap;
-                  kind = Guard.Iface.Read; beats; dependent = false;
-                  latency = rd_latency };
-              Trace.add trace
-                { Trace.gap = 0; kind = Guard.Iface.Write; beats; dependent = false;
-                  latency = wr_latency };
-              copy_gap := 0
-            done;
+            c.c_reads <- c.c_reads + 1;
+            c.c_writes <- c.c_writes + 1;
             let data = Tagmem.Mem.read_bytes mem ~addr:src_phys ~size:bytes in
             if naive_tag_writes then
               Tagmem.Mem.unsafe_write_preserving_tags mem ~addr:dst_phys data
@@ -165,8 +188,8 @@ let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
           end);
       tick =
         (fun _cost n ->
-          pending_ops := !pending_ops + n;
-          total_ops := !total_ops + n);
+          c.c_pending_ops <- c.c_pending_ops + n;
+          c.c_ops <- c.c_ops + n);
       param =
         (fun name ->
           match List.assoc_opt name task.params with
@@ -174,18 +197,178 @@ let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
           | None -> invalid_arg ("Accel.Engine: unknown param " ^ name));
     }
   in
-  let denied =
-    match Kernel.Interp.run task.kernel machine with
-    | () -> None
-    | exception Denied_access denial -> Some denial
-    | exception Tagmem.Mem.Out_of_range { addr; size } ->
-        (* An unguarded access escaped physical memory: a bus error. *)
-        Some
-          { Guard.Iface.code = "bus";
-            detail = Printf.sprintf "bus error at 0x%x+%d" addr size }
+  match Kernel.Interp.run task.kernel machine with
+  | () -> None
+  | exception Denied_access denial -> Some denial
+  | exception Tagmem.Mem.Out_of_range { addr; size } ->
+      (* An unguarded access escaped physical memory: a bus error. *)
+      Some
+        { Guard.Iface.code = "bus";
+          detail = Printf.sprintf "bus error at 0x%x+%d" addr size }
+
+let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
+    ~addressing ~naive_tag_writes task =
+  let trace = Trace.create () in
+  let backend =
+    {
+      bk_access =
+        (fun ~gap ~kind ~addr ~size ~dependent ~adjudicate ->
+          Obs.Trace.advance obs gap;
+          let phys, latency = adjudicate () in
+          Trace.add_access trace ~bus ~max_burst:bus.Bus.Params.max_burst ~gap
+            ~kind ~addr ~size ~dependent ~latency;
+          Obs.Trace.advance obs (Bus.Params.beats_for bus size);
+          phys);
+      bk_copy =
+        (fun ~gap ~bytes ~adjudicate_rd ~adjudicate_wr ->
+          Obs.Trace.advance obs gap;
+          let src_phys, rd_latency = adjudicate_rd () in
+          let dst_phys, wr_latency = adjudicate_wr () in
+          (* DMA block move: max_burst-sized bursts back to back. *)
+          let beats_left = ref (Bus.Params.beats_for bus bytes) in
+          Obs.Trace.advance obs (2 * !beats_left);
+          let copy_gap = ref gap in
+          while !beats_left > 0 do
+            let beats = min !beats_left bus.Bus.Params.max_burst in
+            beats_left := !beats_left - beats;
+            Trace.add trace
+              { Trace.gap = !copy_gap;
+                kind = Guard.Iface.Read; beats; dependent = false;
+                latency = rd_latency };
+            Trace.add trace
+              { Trace.gap = 0; kind = Guard.Iface.Write; beats; dependent = false;
+                latency = wr_latency };
+            copy_gap := 0
+          done;
+          (src_phys, dst_phys));
+    }
   in
-  if !elided > 0 && Obs.Trace.enabled obs then
+  let c = fresh_counters () in
+  let denied =
+    run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
+      ~counters:c ~backend task
+  in
+  if c.c_elided > 0 && Obs.Trace.enabled obs then
     Obs.Trace.emit obs
-      (Obs.Event.Check_elided { task = task.instance; count = !elided });
-  { trace; denied; checks = !checks; elided = !elided; reads = !reads;
-    writes = !writes; ops = !total_ops }
+      (Obs.Event.Check_elided { task = task.instance; count = c.c_elided });
+  { trace; denied; checks = c.c_checks; elided = c.c_elided; reads = c.c_reads;
+    writes = c.c_writes; ops = c.c_ops }
+
+(* State of the burst being formed by the event backend, mirroring the merge
+   rule of {!Trace.add_access}: back-to-back (gap-0) same-kind independent
+   accesses to contiguous addresses coalesce into one AXI burst, and the
+   merged burst keeps the first access's checker latency. *)
+type pending_burst = {
+  pb_gap : int;
+  pb_kind : Guard.Iface.kind;
+  pb_dependent : bool;
+  pb_latency : int;
+  mutable pb_end : int;    (* one past the last byte merged so far *)
+  mutable pb_bytes : int;
+}
+
+let run_event ?(obs = Obs.Trace.null) ?(elide = false) ?error_retry_limit ~sched
+    ~arb ~start ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task
+    ~on_done =
+  Ccsim.Sched.spawn sched ~at:start (fun () ->
+      let flow =
+        Flow.create ?error_retry_limit ~sched ~arb ~src:task.instance ~start
+          ~max_outstanding:directives.Hls.Directives.max_outstanding ()
+      in
+      let max_burst = bus.Bus.Params.max_burst in
+      let pending = ref None in
+      let flush () =
+        match !pending with
+        | None -> ()
+        | Some p ->
+            pending := None;
+            Flow.issue flow
+              { Trace.gap = p.pb_gap; kind = p.pb_kind;
+                beats = Bus.Params.beats_for bus p.pb_bytes;
+                dependent = p.pb_dependent; latency = p.pb_latency }
+      in
+      let backend =
+        {
+          bk_access =
+            (fun ~gap ~kind ~addr ~size ~dependent ~adjudicate ->
+              let mergeable =
+                match !pending with
+                | Some p ->
+                    gap = 0 && (not dependent) && addr = p.pb_end
+                    && p.pb_kind = kind && (not p.pb_dependent)
+                    && Bus.Params.beats_for bus (p.pb_bytes + size) <= max_burst
+                | None -> false
+              in
+              if mergeable then begin
+                (* Adjudicated like every access (check counts and checker
+                   state must not depend on burst formation), but the merged
+                   burst keeps the first access's latency. *)
+                let phys, _latency = adjudicate () in
+                (match !pending with
+                | Some p ->
+                    p.pb_bytes <- p.pb_bytes + size;
+                    p.pb_end <- addr + size
+                | None -> assert false);
+                phys
+              end
+              else begin
+                flush ();
+                Ccsim.Sched.wait sched gap;
+                let phys, latency = adjudicate () in
+                pending :=
+                  Some
+                    { pb_gap = gap; pb_kind = kind; pb_dependent = dependent;
+                      pb_latency = latency; pb_end = addr + size;
+                      pb_bytes = size };
+                phys
+              end);
+          bk_copy =
+            (fun ~gap ~bytes ~adjudicate_rd ~adjudicate_wr ->
+              flush ();
+              Ccsim.Sched.wait sched gap;
+              let src_phys, rd_latency = adjudicate_rd () in
+              let dst_phys, wr_latency = adjudicate_wr () in
+              (* DMA block move: max_burst-sized bursts back to back. *)
+              let beats_left = ref (Bus.Params.beats_for bus bytes) in
+              let copy_gap = ref gap in
+              while !beats_left > 0 do
+                let beats = min !beats_left max_burst in
+                beats_left := !beats_left - beats;
+                Flow.issue flow
+                  { Trace.gap = !copy_gap;
+                    kind = Guard.Iface.Read; beats; dependent = false;
+                    latency = rd_latency };
+                Flow.issue flow
+                  { Trace.gap = 0; kind = Guard.Iface.Write; beats;
+                    dependent = false; latency = wr_latency };
+                copy_gap := 0
+              done;
+              (src_phys, dst_phys));
+        }
+      in
+      let c = fresh_counters () in
+      let failed = ref false in
+      let denied =
+        match
+          run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
+            ~counters:c ~backend task
+        with
+        | denied -> (
+            (* A denial truncates the stream, but the burst already formed
+               before the denied access was committed and still transfers. *)
+            match flush () with
+            | () -> denied
+            | exception Flow.Failed ->
+                failed := true;
+                denied)
+        | exception Flow.Failed ->
+            failed := true;
+            None
+      in
+      if c.c_elided > 0 && Obs.Trace.enabled obs then
+        Obs.Trace.emit obs
+          (Obs.Event.Check_elided { task = task.instance; count = c.c_elided });
+      on_done
+        { ev_denied = denied; ev_checks = c.c_checks; ev_elided = c.c_elided;
+          ev_reads = c.c_reads; ev_writes = c.c_writes; ev_ops = c.c_ops;
+          ev_finish = Flow.finish flow; ev_failed = !failed })

@@ -38,6 +38,25 @@ type outcome = {
   ops : int;      (** datapath operations executed *)
 }
 
+type ev_outcome = {
+  ev_denied : Guard.Iface.denial option;
+      (** [Some _] if the guard blocked an access; the stream stops there *)
+  ev_checks : int;
+  ev_elided : int;
+  ev_reads : int;
+  ev_writes : int;
+  ev_ops : int;
+  ev_finish : int;
+      (** settle cycle of the instance's last bus transaction (the task's
+          contribution to the makespan); [start] if it issued none *)
+  ev_failed : bool;
+      (** injected bus-error responses exhausted the retry budget; the run is
+          lost and the driver decides what to do with the task *)
+}
+(** Outcome of one event-driven execution (see {!run_event}).  Check, access
+    and op counts match what {!run} would report for the same task; there is
+    no recorded trace because transactions were issued live. *)
+
 val run :
   ?obs:Obs.Trace.t ->
   ?elide:bool ->
@@ -66,3 +85,35 @@ val run :
     event is emitted once the task retires.  Only sound when a static
     analysis has proven the task's whole access footprint inside its granted
     capabilities — {!Soc.Run} gates this on {!Analysis.proven}. *)
+
+val run_event :
+  ?obs:Obs.Trace.t ->
+  ?elide:bool ->
+  ?error_retry_limit:int ->
+  sched:Ccsim.Sched.t ->
+  arb:Bus.Arbiter.t ->
+  start:int ->
+  mem:Tagmem.Mem.t ->
+  guard:Guard.Iface.t ->
+  bus:Bus.Params.t ->
+  directives:Hls.Directives.t ->
+  addressing:addressing ->
+  naive_tag_writes:bool ->
+  task ->
+  on_done:(ev_outcome -> unit) ->
+  unit
+(** Event-driven execution: spawns a {!Ccsim.Sched} process at cycle [start]
+    that interprets the kernel stepwise, suspending at each memory access to
+    contend for the bus through [arb] (via {!Flow}) instead of accumulating a
+    trace for later replay.  Guard adjudication happens at the access's live
+    issue point, so a stateful checker (e.g. the cached CapChecker) sees
+    checks from concurrent instances interleaved in true bus order.  Burst
+    formation replicates {!Trace.add_access} exactly, and with a single
+    instance on the bus the resulting schedule is cycle-identical to
+    {!run} followed by {!Replay.run} — the differential tests enforce it.
+
+    [on_done] is called from inside the process when the task retires; the
+    caller collects outcomes after {!Ccsim.Sched.run} drains.  [obs] is only
+    used to emit the task's {!Obs.Event.Check_elided} marker — timestamps come
+    from the shared scheduler clock, which the SoC layer mirrors into the
+    sink.  [error_retry_limit] is passed to {!Flow.create}. *)

@@ -1,0 +1,91 @@
+type t = {
+  sched : Ccsim.Sched.t;
+  arb : Bus.Arbiter.t;
+  src : int;
+  limit : int;
+  error_retry_limit : int;
+  outstanding : int Queue.t;  (* completion times of in-flight streaming reads *)
+  mutable ready : int;
+  mutable finish : int;
+  mutable errors : int;
+  mutable event_retries : int;  (* consecutive error responses on the current event *)
+}
+
+exception Failed
+
+let error_turnaround = 8
+(* cycles between observing an error response and re-issuing the transaction *)
+
+let create ?(error_retry_limit = 4) ~sched ~arb ~src ~start ~max_outstanding () =
+  {
+    sched; arb; src;
+    limit = max 1 max_outstanding;
+    error_retry_limit;
+    outstanding = Queue.create ();
+    ready = start;
+    finish = start;
+    errors = 0;
+    event_retries = 0;
+  }
+
+let await_grant t ~at ~beats ~is_read ~extra_latency =
+  let result = ref None in
+  Ccsim.Sched.suspend t.sched (fun resume ->
+      Bus.Arbiter.request t.arb ~src:t.src ~at ~beats ~is_read ~extra_latency
+        ~on_grant:(fun g ->
+          result := Some g;
+          resume ()));
+  match !result with
+  | Some g -> g
+  | None -> assert false (* on_grant always fires before the resume runs *)
+
+let issue t (ev : Trace.event) =
+  let is_read = ev.Trace.kind = Guard.Iface.Read in
+  let streaming = is_read && not ev.Trace.dependent in
+  let rec attempt () =
+    let cand = t.ready + ev.Trace.gap in
+    (* A streaming read with a full outstanding queue must wait for the
+       oldest in-flight read to return. *)
+    let cand =
+      if streaming && Queue.length t.outstanding >= t.limit then begin
+        let oldest = Queue.pop t.outstanding in
+        max cand oldest
+      end
+      else cand
+    in
+    let grant =
+      await_grant t ~at:cand ~beats:ev.Trace.beats ~is_read
+        ~extra_latency:ev.Trace.latency
+    in
+    if grant.Bus.Fabric.errored then begin
+      t.errors <- t.errors + 1;
+      t.finish <- max t.finish grant.Bus.Fabric.completed;
+      if t.event_retries >= t.error_retry_limit then raise Failed
+      else begin
+        t.event_retries <- t.event_retries + 1;
+        t.ready <- grant.Bus.Fabric.completed + error_turnaround;
+        attempt ()
+      end
+    end
+    else begin
+      t.event_retries <- 0;
+      (match (ev.Trace.kind, ev.Trace.dependent) with
+      | Guard.Iface.Write, _ ->
+          (* Posted write: the instance moves on after the address phase. *)
+          t.ready <- grant.Bus.Fabric.granted_at + 1;
+          t.finish <- max t.finish grant.Bus.Fabric.data_done
+      | Guard.Iface.Read, true ->
+          t.ready <- grant.Bus.Fabric.completed;
+          t.finish <- max t.finish grant.Bus.Fabric.completed
+      | Guard.Iface.Read, false ->
+          Queue.push grant.Bus.Fabric.completed t.outstanding;
+          t.ready <- grant.Bus.Fabric.granted_at + 1;
+          t.finish <- max t.finish grant.Bus.Fabric.completed);
+      Ccsim.Sched.wait_until t.sched ~cycle:t.ready
+    end
+  in
+  attempt ()
+
+let ready t = t.ready
+let finish t = t.finish
+let errors t = t.errors

@@ -1,0 +1,55 @@
+(** Per-instance DMA flow control for the event-driven core.
+
+    One [Flow.t] tracks what the per-instance state machine of {!Replay}
+    tracks — the cycle the datapath may issue its next transaction, the
+    completion times of in-flight streaming reads (bounded by the
+    synthesized interface's [max_outstanding]), the settle time of the last
+    transaction, and the consecutive-error retry budget — but drives a live
+    {!Bus.Arbiter} from inside a {!Ccsim.Sched} process instead of walking a
+    recorded trace.  Both the live engine ({!Engine.run_event}) and the
+    trace-fed replay ({!Replay.run_event}) issue through it, so the two
+    timing paths cannot drift apart.
+
+    All functions must be called from inside the scheduler process that owns
+    the flow. *)
+
+type t
+
+exception Failed
+(** Raised by {!issue} when [error_retry_limit] consecutive injected bus
+    errors exhausted the retry budget: the instance's run is lost and the
+    driver decides what to do with the task. *)
+
+val error_turnaround : int
+(** Cycles between observing an error response and re-issuing. *)
+
+val create :
+  ?error_retry_limit:int ->
+  sched:Ccsim.Sched.t ->
+  arb:Bus.Arbiter.t ->
+  src:int ->
+  start:int ->
+  max_outstanding:int ->
+  unit ->
+  t
+(** [error_retry_limit] defaults to 4, matching {!Replay.run}. *)
+
+val issue : t -> Trace.event -> unit
+(** Submit one transaction, suspending the calling process per the event's
+    semantics: the request becomes ready [gap] cycles after the previous
+    transaction released the datapath (a streaming read additionally waits
+    for the oldest in-flight read when the outstanding window is full), and
+    after the grant the process resumes at [granted_at + 1] for posted
+    writes and streaming reads, or at [completed] for dependent reads.
+    Injected error responses re-issue after {!error_turnaround} cycles and
+    raise {!Failed} once the budget is spent. *)
+
+val ready : t -> int
+(** Cycle the datapath may issue its next transaction (= the calling
+    process's current cycle between issues). *)
+
+val finish : t -> int
+(** Settle cycle of the latest transaction so far ([start] before any). *)
+
+val errors : t -> int
+(** Error responses observed (including retried ones). *)

@@ -111,3 +111,34 @@ let run ?(error_retry_limit = 4) fabric ~start streams =
     bus_errors = !errors;
     failed = List.filter_map (fun st -> if st.failed then Some st.id else None) states;
   }
+
+let run_event ?error_retry_limit ~sched ~arb ~start streams =
+  let flows =
+    List.map
+      (fun s ->
+        let flow =
+          Flow.create ?error_retry_limit ~sched ~arb ~src:s.instance ~start
+            ~max_outstanding:s.max_outstanding ()
+        in
+        let failed = ref false in
+        Ccsim.Sched.spawn sched ~at:start (fun () ->
+            try Array.iter (Flow.issue flow) (Trace.events s.trace)
+            with Flow.Failed -> failed := true);
+        (s.instance, flow, failed))
+      streams
+  in
+  Ccsim.Sched.run sched;
+  let makespan =
+    List.fold_left (fun acc (_, flow, _) -> max acc (Flow.finish flow)) start flows
+  in
+  {
+    makespan;
+    per_instance = List.map (fun (id, flow, _) -> (id, Flow.finish flow)) flows;
+    bus_beats = Bus.Arbiter.total_beats arb;
+    bus_errors =
+      List.fold_left (fun acc (_, flow, _) -> acc + Flow.errors flow) 0 flows;
+    failed =
+      List.filter_map
+        (fun (id, _, failed) -> if !failed then Some id else None)
+        flows;
+  }

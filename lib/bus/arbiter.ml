@@ -1,0 +1,127 @@
+type req = {
+  at : int;
+  beats : int;
+  is_read : bool;
+  extra_latency : int;
+  on_grant : Fabric.grant -> unit;
+}
+
+type t = {
+  sched : Ccsim.Sched.t;
+  p : Params.t;
+  obs : Obs.Trace.t;
+  faults : Fault.Injector.t;
+  queues : (int, req Queue.t) Hashtbl.t;
+  mutable rotation : int list;  (* sources in first-request order *)
+  mutable last_granted : int;   (* -1 before any grant *)
+  mutable free_at : int;
+  mutable beats : int;
+  mutable queued : int;
+}
+
+let create ?(obs = Obs.Trace.null) ?(faults = Fault.Injector.none) ~sched p =
+  {
+    sched; p; obs; faults;
+    queues = Hashtbl.create 16;
+    rotation = [];
+    last_granted = -1;
+    free_at = 0;
+    beats = 0;
+    queued = 0;
+  }
+
+let params t = t.p
+let busy_until t = t.free_at
+let total_beats t = t.beats
+let queued t = t.queued
+
+let queue_of t src =
+  match Hashtbl.find_opt t.queues src with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.queues src q;
+      t.rotation <- t.rotation @ [ src ];
+      q
+
+(* Sources in grant-scan order: round-robin, starting just after the last
+   winner.  [rotation] is in first-request order, which also makes the very
+   first grant deterministic. *)
+let scan_order t =
+  match t.last_granted with
+  | -1 -> t.rotation
+  | last ->
+      let rec split acc = function
+        | [] -> t.rotation (* winner no longer registered: plain order *)
+        | s :: rest when s = last -> rest @ List.rev (s :: acc)
+        | s :: rest -> split (s :: acc) rest
+      in
+      split [] t.rotation
+
+let head_arrival t src =
+  match Hashtbl.find_opt t.queues src with
+  | None -> None
+  | Some q -> ( match Queue.peek_opt q with None -> None | Some r -> Some r.at)
+
+let min_head_arrival t =
+  List.fold_left
+    (fun acc src ->
+      match head_arrival t src with
+      | None -> acc
+      | Some a -> ( match acc with None -> Some a | Some b -> Some (min a b)))
+    None t.rotation
+
+let rec arbitrate t () =
+  let now = Ccsim.Sched.now t.sched in
+  if t.free_at <= now then
+    (* One grant per arbitration: the winning burst holds the bus until
+       [data_done], when the next arbitration fires. *)
+    let winner =
+      List.find_opt
+        (fun src ->
+          match head_arrival t src with Some a -> a <= now | None -> false)
+        (scan_order t)
+    in
+    match winner with
+    | Some src ->
+        let q = Hashtbl.find t.queues src in
+        let r = Queue.pop q in
+        t.queued <- t.queued - 1;
+        t.last_granted <- src;
+        let granted_at = now in
+        let data_done = granted_at + t.p.Params.addr_phase + r.beats in
+        t.free_at <- data_done;
+        t.beats <- t.beats + r.beats;
+        let mem_latency =
+          if r.is_read then t.p.Params.read_latency else t.p.Params.write_latency
+        in
+        let stall = Fault.Injector.bus_stall t.faults in
+        let errored = Fault.Injector.bus_error t.faults in
+        let completed = data_done + mem_latency + r.extra_latency + stall in
+        if Obs.Trace.enabled t.obs then begin
+          Obs.Trace.emit_at t.obs ~cycle:granted_at
+            (Obs.Event.Bus_grant
+               { source = src; beats = r.beats; read = r.is_read; at = r.at;
+                 granted_at; data_done; completed });
+          Obs.Trace.emit_at t.obs ~cycle:data_done
+            (Obs.Event.Bus_beat { source = src; beats = r.beats })
+        end;
+        if t.queued > 0 then schedule_arbitration t ~cycle:data_done;
+        r.on_grant { Fabric.granted_at; data_done; completed; errored }
+    | None -> (
+        (* Bus idle but every queued request arrives later: re-arm at the
+           earliest arrival.  (A grant while we slept re-arms on its own.) *)
+        match min_head_arrival t with
+        | Some a when a > now -> schedule_arbitration t ~cycle:a
+        | Some _ | None -> ())
+
+and schedule_arbitration t ~cycle =
+  Ccsim.Sched.at t.sched ~cycle ~rank:Ccsim.Sched.rank_arbitrate (arbitrate t)
+
+let request t ~src ~at ~beats ~is_read ~extra_latency ~on_grant =
+  if beats <= 0 then invalid_arg "Arbiter.request: beats must be positive";
+  let now = Ccsim.Sched.now t.sched in
+  let at = max at now in
+  Queue.push { at; beats; is_read; extra_latency; on_grant } (queue_of t src);
+  t.queued <- t.queued + 1;
+  schedule_arbitration t ~cycle:(max at t.free_at)

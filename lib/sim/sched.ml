@@ -1,0 +1,106 @@
+type event = { cycle : int; rank : int; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable heap : event array;  (* binary min-heap on (cycle, rank, seq) *)
+  mutable size : int;
+  mutable seq : int;
+  mutable clock : int;
+  on_advance : int -> unit;
+}
+
+let dummy = { cycle = 0; rank = 0; seq = 0; fn = ignore }
+
+let create ?(on_advance = ignore) () =
+  { heap = Array.make 64 dummy; size = 0; seq = 0; clock = 0; on_advance }
+
+let now t = t.clock
+
+let rank_arbitrate = 1
+
+let before a b =
+  a.cycle < b.cycle
+  || (a.cycle = b.cycle
+      && (a.rank < b.rank || (a.rank = b.rank && a.seq < b.seq)))
+
+let swap h i j =
+  let tmp = h.(i) in
+  h.(i) <- h.(j);
+  h.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.(i) h.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h size i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < size && before h.(l) h.(!smallest) then smallest := l;
+  if r < size && before h.(r) h.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h size !smallest
+  end
+
+let at t ~cycle ?(rank = 0) fn =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  let cycle = max cycle t.clock in
+  t.heap.(t.size) <- { cycle; rank; seq = t.seq; fn };
+  t.seq <- t.seq + 1;
+  t.size <- t.size + 1;
+  sift_up t.heap (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  sift_down t.heap t.size 0;
+  top
+
+let run t =
+  while t.size > 0 do
+    let ev = pop t in
+    if ev.cycle > t.clock then begin
+      t.clock <- ev.cycle;
+      t.on_advance t.clock
+    end;
+    ev.fn ()
+  done
+
+let pending t = t.size
+
+(* ---- processes ---- *)
+
+type _ Effect.t += Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+
+let spawn t ~at:cycle body =
+  at t ~cycle (fun () ->
+      Effect.Deep.match_with body ()
+        {
+          retc = Fun.id;
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Suspend (owner, register) when owner == t ->
+                  Some
+                    (fun (k : (a, unit) Effect.Deep.continuation) ->
+                      register (fun () -> Effect.Deep.continue k ()))
+              | _ -> None);
+        })
+
+let suspend t register = Effect.perform (Suspend (t, register))
+
+let wait_until t ~cycle =
+  if cycle > t.clock then suspend t (fun resume -> at t ~cycle resume)
+
+let wait t n = if n > 0 then wait_until t ~cycle:(t.clock + n)

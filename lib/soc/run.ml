@@ -2,6 +2,8 @@ type phases = { alloc : int; init : int; compute : int; teardown : int }
 
 let wall_of p = p.alloc + p.init + p.compute + p.teardown
 
+type engine = Legacy_replay | Event_driven
+
 type fallback = { task : int; reason : string }
 
 type elide_mode = Elide_off | Elide_on | Elide_differential
@@ -98,6 +100,68 @@ let emit_phase obs ~at ~task phase dur =
   if Obs.Trace.enabled obs then
     Obs.Trace.emit_at obs ~cycle:at (Obs.Event.Task_phase { task; phase; dur })
 
+(* Event-driven compute phase of a fault-free heterogeneous run: one live
+   engine process per task, all contending for the bus through a round-robin
+   arbiter on a shared discrete-event timeline.  The scheduler's clock is
+   mirrored into the observability sink so guard and bus events carry their
+   true cycles.  Unlike the legacy path — which interprets a kernel once and
+   replicates its recorded stream — every task executes functionally, so
+   every layout can be verified and a stateful checker sees the real
+   interleaving of checks across instances. *)
+type ev_task = {
+  et_bench : Machsuite.Bench_def.t;
+  et_alloc : Driver.allocated;
+  et_elide : bool;
+}
+
+let run_event_compute sys ~start tasks_l =
+  let obs = sys.System.obs in
+  let backend = Option.get sys.System.backend in
+  let sched =
+    Ccsim.Sched.create ~on_advance:(fun cycle -> Obs.Trace.set_now obs cycle) ()
+  in
+  let arb =
+    Bus.Arbiter.create ~obs ~faults:sys.System.faults ~sched sys.System.bus
+  in
+  let n = List.length tasks_l in
+  let results = Array.make (max n 1) None in
+  List.iteri
+    (fun idx et ->
+      let bench = et.et_bench in
+      let handle = et.et_alloc.Driver.handle in
+      Accel.Engine.run_event ~obs ~elide:et.et_elide ~sched ~arb ~start
+        ~mem:sys.System.mem ~guard:(System.guard sys) ~bus:sys.System.bus
+        ~directives:bench.Machsuite.Bench_def.directives
+        ~addressing:(Driver.Backend.addressing backend)
+        ~naive_tag_writes:(System.naive_tag_writes sys)
+        {
+          Accel.Engine.instance = handle.Driver.task_id;
+          kernel = bench.kernel;
+          layout = handle.Driver.layout;
+          params = bench.params;
+          obj_ids = handle.Driver.obj_ids;
+        }
+        ~on_done:(fun o -> results.(idx) <- Some o))
+    tasks_l;
+  Ccsim.Sched.run sched;
+  let outcomes =
+    List.mapi
+      (fun idx et ->
+        match results.(idx) with
+        | Some o -> (et, o)
+        | None ->
+            failwith
+              (Printf.sprintf "Run: event core deadlock: task %d never retired"
+                 et.et_alloc.Driver.handle.Driver.task_id))
+      tasks_l
+  in
+  let makespan =
+    List.fold_left
+      (fun acc (_, o) -> max acc o.Accel.Engine.ev_finish)
+      start outcomes
+  in
+  (outcomes, makespan, Bus.Arbiter.total_beats arb)
+
 (* CPU-only execution: tasks run back-to-back on the one core. *)
 let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
   let kernel = bench.Machsuite.Bench_def.kernel in
@@ -150,10 +214,11 @@ let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
     ~tasks ~phases ~correct ~denials:[] ~checks:0 ~entries_peak:0 ~bus_beats:0
     ~area_luts:(System.total_area_luts sys ~accel_luts_per_instance:0) ()
 
-(* Heterogeneous execution: allocate every task, interpret the kernel once as
-   the accelerator, replicate its DMA stream per instance, and replay the
-   contention. *)
-let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide =
+(* Heterogeneous execution.  [Legacy_replay] interprets the kernel once as
+   the accelerator, replicates its DMA stream per instance, and replays the
+   contention; [Event_driven] runs every instance live on the shared
+   event timeline (see {!run_event_compute}). *)
+let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
   let kernel = bench.Machsuite.Bench_def.kernel in
   let driver = Option.get sys.System.driver in
   let backend = Option.get sys.System.backend in
@@ -185,55 +250,103 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide =
   emit_phase obs ~at:(t0 + alloc_cycles) ~task:first.Driver.task_id "init"
     init_cycles;
   Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles);
-  let outcome =
-    Accel.Engine.run ~obs ~elide:elide_exec ~mem:sys.System.mem
-      ~guard:(System.guard sys) ~bus:sys.System.bus ~directives
-      ~addressing:(Driver.Backend.addressing backend)
-      ~naive_tag_writes:(System.naive_tag_writes sys)
-      {
-        Accel.Engine.instance = first.Driver.task_id;
-        kernel;
-        layout = first.Driver.layout;
-        params = bench.params;
-        obj_ids = first.Driver.obj_ids;
-      }
-  in
-  differential_check elide ~eligible ~bench outcome.Accel.Engine.denied;
-  let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
-  let streams =
-    List.map
-      (fun (a : Driver.allocated) ->
-        { Accel.Replay.instance = a.handle.Driver.task_id;
-          trace = outcome.Accel.Engine.trace;
-          max_outstanding = directives.Hls.Directives.max_outstanding })
-      allocated
-  in
-  (* Replay on the shared timeline starting at the compute phase, so bus
+  (* Compute on the shared timeline starting at the compute phase, so bus
      events land at their true cycles even when the sink is shared across
      runs; the phase length is the makespan relative to that start. *)
   let replay_start = t0 + alloc_cycles + init_cycles in
-  let replayed = Accel.Replay.run sys.System.fabric ~start:replay_start streams in
-  let compute_cycles = replayed.Accel.Replay.makespan - replay_start in
+  let per_task, compute_cycles, bus_beats, checks, elided_checks, entries_peak,
+      correct =
+    match engine with
+    | Legacy_replay ->
+        let outcome =
+          Accel.Engine.run ~obs ~elide:elide_exec ~mem:sys.System.mem
+            ~guard:(System.guard sys) ~bus:sys.System.bus ~directives
+            ~addressing:(Driver.Backend.addressing backend)
+            ~naive_tag_writes:(System.naive_tag_writes sys)
+            {
+              Accel.Engine.instance = first.Driver.task_id;
+              kernel;
+              layout = first.Driver.layout;
+              params = bench.params;
+              obj_ids = first.Driver.obj_ids;
+            }
+        in
+        differential_check elide ~eligible ~bench outcome.Accel.Engine.denied;
+        let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
+        let streams =
+          List.map
+            (fun (a : Driver.allocated) ->
+              { Accel.Replay.instance = a.handle.Driver.task_id;
+                trace = outcome.Accel.Engine.trace;
+                max_outstanding = directives.Hls.Directives.max_outstanding })
+            allocated
+        in
+        let replayed =
+          Accel.Replay.run sys.System.fabric ~start:replay_start streams
+        in
+        let correct =
+          outcome.Accel.Engine.denied = None
+          && verify sys.System.mem bench first.Driver.layout
+        in
+        let per_task =
+          List.map
+            (fun (a : Driver.allocated) ->
+              let denied =
+                if a.handle.Driver.task_id = first.Driver.task_id then
+                  outcome.Accel.Engine.denied
+                else None
+              in
+              (a, denied))
+            allocated
+        in
+        ( per_task,
+          replayed.Accel.Replay.makespan - replay_start,
+          replayed.Accel.Replay.bus_beats,
+          outcome.Accel.Engine.checks * tasks,
+          outcome.Accel.Engine.elided * tasks,
+          entries_peak, correct )
+    | Event_driven ->
+        let ev_tasks =
+          List.map
+            (fun a -> { et_bench = bench; et_alloc = a; et_elide = elide_exec })
+            allocated
+        in
+        let outcomes, makespan, bus_beats =
+          run_event_compute sys ~start:replay_start ev_tasks
+        in
+        List.iter
+          (fun (_, o) ->
+            differential_check elide ~eligible ~bench o.Accel.Engine.ev_denied)
+          outcomes;
+        let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
+        let correct =
+          List.for_all
+            (fun (et, o) ->
+              o.Accel.Engine.ev_denied = None
+              && verify sys.System.mem bench
+                   et.et_alloc.Driver.handle.Driver.layout)
+            outcomes
+        in
+        let per_task =
+          List.map (fun (et, o) -> (et.et_alloc, o.Accel.Engine.ev_denied)) outcomes
+        in
+        ( per_task,
+          makespan - replay_start,
+          bus_beats,
+          List.fold_left (fun acc (_, o) -> acc + o.Accel.Engine.ev_checks) 0 outcomes,
+          List.fold_left (fun acc (_, o) -> acc + o.Accel.Engine.ev_elided) 0 outcomes,
+          entries_peak, correct )
+  in
   emit_phase obs ~at:replay_start ~task:first.Driver.task_id "compute"
     compute_cycles;
   Obs.Trace.set_now obs (replay_start + compute_cycles);
-  let correct =
-    outcome.Accel.Engine.denied = None
-    && verify sys.System.mem bench first.Driver.layout
-  in
-  let denied_first = outcome.Accel.Engine.denied in
   let teardown_start = Obs.Trace.now obs in
   let teardown_cycles, denial_lists =
     List.fold_left
-      (fun (cycles, acc) (a : Driver.allocated) ->
-        let denied =
-          if a.handle.Driver.task_id = first.Driver.task_id then
-            denied_first
-          else None
-        in
+      (fun (cycles, acc) ((a : Driver.allocated), denied) ->
         let report = Driver.deallocate driver a.handle ~denied in
         (cycles + report.Driver.cycles, report.Driver.denials :: acc))
-      (0, []) allocated
+      (0, []) per_task
   in
   let denials = List.concat (List.rev denial_lists) in
   emit_phase obs ~at:teardown_start ~task:first.Driver.task_id "teardown"
@@ -244,10 +357,8 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide =
       compute = compute_cycles; teardown = teardown_cycles }
   in
   finish sys ~config_label:(Config.label sys.System.config) ~benchmark:kernel.name
-    ~tasks ~phases ~correct ~denials
-    ~checks:(outcome.Accel.Engine.checks * tasks)
-    ~elided_checks:(outcome.Accel.Engine.elided * tasks)
-    ~entries_peak ~bus_beats:replayed.Accel.Replay.bus_beats
+    ~tasks ~phases ~correct ~denials ~checks ~elided_checks
+    ~entries_peak ~bus_beats
     ~area_luts:
       (System.total_area_luts sys
          ~accel_luts_per_instance:directives.Hls.Directives.area_luts)
@@ -308,7 +419,7 @@ let cpu_fallback sys (bench : Machsuite.Bench_def.t) =
    in one replay.  The invariant this path maintains: every task either
    verifies correct on the accelerator or is recomputed (and verified) on the
    CPU with an explicit fallback record — never a silently wrong result. *)
-let run_hetero_faulted sys ~benchmark ~area_luts ~policy
+let run_hetero_faulted sys ~benchmark ~area_luts ~policy ~engine
     (benches : Machsuite.Bench_def.t list) =
   let driver = Option.get sys.System.driver in
   let backend = Option.get sys.System.backend in
@@ -388,9 +499,21 @@ let run_hetero_faulted sys ~benchmark ~area_luts ~policy
       accel
   in
   let replay_start = Obs.Trace.now obs in
+  (* Placement and retry above stay sequential in both modes — driver
+     semantics and the phase accounting don't depend on bus interleaving —
+     so only the contention replay switches cores.  Note the fault draw
+     order differs between cores (grants interleave differently), so runs
+     are deterministic per engine, not across engines. *)
   let replayed =
-    Accel.Replay.run ~error_retry_limit:policy.Driver.max_attempts
-      sys.System.fabric ~start:replay_start streams
+    match engine with
+    | Legacy_replay ->
+        Accel.Replay.run ~error_retry_limit:policy.Driver.max_attempts
+          sys.System.fabric ~start:replay_start streams
+    | Event_driven ->
+        let sched = Ccsim.Sched.create () in
+        let arb = Bus.Arbiter.create ~obs ~faults:inj ~sched sys.System.bus in
+        Accel.Replay.run_event ~error_retry_limit:policy.Driver.max_attempts
+          ~sched ~arb ~start:replay_start streams
   in
   let accel_compute = replayed.Accel.Replay.makespan - replay_start in
   let fallback_cycles = ref 0 in
@@ -448,14 +571,14 @@ let run_hetero_faulted sys ~benchmark ~area_luts ~policy
 
 let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
     ?obs ?(faults = Fault.Plan.none) ?(retry = Driver.default_retry_policy)
-    ?(elide = Elide_off) config bench =
-  assert (tasks > 0);
+    ?(elide = Elide_off) ?(engine = Legacy_replay) config bench =
+  if tasks <= 0 then invalid_arg "Run.run: needs at least one task";
   let instances = match instances with Some n -> max n tasks | None -> max 8 tasks in
   let sys = System.create ~instances ~cc_entries ~bus ?obs ~faults config in
   match config with
   | Config.Cpu_only isa -> run_cpu_only sys isa bench ~tasks
   | Config.Hetero _ ->
-      if Fault.Plan.is_none faults then run_hetero sys bench ~tasks ~elide
+      if Fault.Plan.is_none faults then run_hetero sys bench ~tasks ~elide ~engine
       else
         let directives = bench.Machsuite.Bench_def.directives in
         run_hetero_faulted sys
@@ -463,13 +586,14 @@ let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
           ~area_luts:
             (System.total_area_luts sys
                ~accel_luts_per_instance:directives.Hls.Directives.area_luts)
-          ~policy:retry
+          ~policy:retry ~engine
           (List.init tasks (fun _ -> bench))
 
 let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
-    ?(retry = Driver.default_retry_policy) ?(elide = Elide_off) config benches =
+    ?(retry = Driver.default_retry_policy) ?(elide = Elide_off)
+    ?(engine = Legacy_replay) config benches =
   let tasks = List.length benches in
-  assert (tasks > 0);
+  if tasks <= 0 then invalid_arg "Run.run_mixed: needs at least one task";
   let instances = match instances with Some n -> max n tasks | None -> tasks in
   (match config with
   | Config.Hetero _ -> ()
@@ -487,7 +611,8 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
            0 benches)
   in
   if not (Fault.Plan.is_none faults) then
-    run_hetero_faulted sys ~benchmark:"mixed" ~area_luts ~policy:retry benches
+    run_hetero_faulted sys ~benchmark:"mixed" ~area_luts ~policy:retry ~engine
+      benches
   else begin
   let driver = Option.get sys.System.driver in
   let backend = Option.get sys.System.backend in
@@ -520,69 +645,111 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   emit_phase obs ~at:t0 ~task:lead_task "alloc" alloc_cycles;
   emit_phase obs ~at:(t0 + alloc_cycles) ~task:lead_task "init" init_cycles;
   Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles);
-  let outcomes =
-    List.map
-      (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated)) ->
-        let eligible = elide_eligible backend elide bench in
-        let elide_exec = (match elide with Elide_on -> eligible | _ -> false) in
-        let outcome =
-          Accel.Engine.run ~obs ~elide:elide_exec ~mem:sys.System.mem
-            ~guard:(System.guard sys) ~bus:sys.System.bus
-            ~directives:bench.directives
-            ~addressing:(Driver.Backend.addressing backend)
-            ~naive_tag_writes:(System.naive_tag_writes sys)
-            {
-              Accel.Engine.instance = a.handle.Driver.task_id;
-              kernel = bench.kernel;
-              layout = a.handle.Driver.layout;
-              params = bench.params;
-              obj_ids = a.handle.Driver.obj_ids;
-            }
-        in
-        differential_check elide ~eligible ~bench outcome.Accel.Engine.denied;
-        (bench, a, outcome))
-      allocated
-  in
-  let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
-  let streams =
-    List.map
-      (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), outcome) ->
-        { Accel.Replay.instance = a.handle.Driver.task_id;
-          trace = outcome.Accel.Engine.trace;
-          max_outstanding = bench.directives.Hls.Directives.max_outstanding })
-      outcomes
-  in
   let replay_start = t0 + alloc_cycles + init_cycles in
-  let replayed = Accel.Replay.run sys.System.fabric ~start:replay_start streams in
-  let compute_cycles = replayed.Accel.Replay.makespan - replay_start in
+  (* Per task: (bench, allocation, denial, checks, elided). *)
+  let per_task, compute_cycles, bus_beats, entries_peak =
+    match engine with
+    | Legacy_replay ->
+        let outcomes =
+          List.map
+            (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated)) ->
+              let eligible = elide_eligible backend elide bench in
+              let elide_exec =
+                match elide with Elide_on -> eligible | _ -> false
+              in
+              let outcome =
+                Accel.Engine.run ~obs ~elide:elide_exec ~mem:sys.System.mem
+                  ~guard:(System.guard sys) ~bus:sys.System.bus
+                  ~directives:bench.directives
+                  ~addressing:(Driver.Backend.addressing backend)
+                  ~naive_tag_writes:(System.naive_tag_writes sys)
+                  {
+                    Accel.Engine.instance = a.handle.Driver.task_id;
+                    kernel = bench.kernel;
+                    layout = a.handle.Driver.layout;
+                    params = bench.params;
+                    obj_ids = a.handle.Driver.obj_ids;
+                  }
+              in
+              differential_check elide ~eligible ~bench
+                outcome.Accel.Engine.denied;
+              (bench, a, outcome))
+            allocated
+        in
+        let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
+        let streams =
+          List.map
+            (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), outcome) ->
+              { Accel.Replay.instance = a.handle.Driver.task_id;
+                trace = outcome.Accel.Engine.trace;
+                max_outstanding = bench.directives.Hls.Directives.max_outstanding })
+            outcomes
+        in
+        let replayed =
+          Accel.Replay.run sys.System.fabric ~start:replay_start streams
+        in
+        ( List.map
+            (fun (bench, a, (o : Accel.Engine.outcome)) ->
+              (bench, a, o.Accel.Engine.denied, o.Accel.Engine.checks,
+               o.Accel.Engine.elided))
+            outcomes,
+          replayed.Accel.Replay.makespan - replay_start,
+          replayed.Accel.Replay.bus_beats,
+          entries_peak )
+    | Event_driven ->
+        let ev_tasks =
+          List.map
+            (fun ((bench : Machsuite.Bench_def.t), a) ->
+              let eligible = elide_eligible backend elide bench in
+              let elide_exec =
+                match elide with Elide_on -> eligible | _ -> false
+              in
+              { et_bench = bench; et_alloc = a; et_elide = elide_exec })
+            allocated
+        in
+        let outcomes, makespan, bus_beats =
+          run_event_compute sys ~start:replay_start ev_tasks
+        in
+        List.iter
+          (fun (et, (o : Accel.Engine.ev_outcome)) ->
+            let eligible = elide_eligible backend elide et.et_bench in
+            differential_check elide ~eligible ~bench:et.et_bench
+              o.Accel.Engine.ev_denied)
+          outcomes;
+        let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
+        ( List.map
+            (fun (et, (o : Accel.Engine.ev_outcome)) ->
+              (et.et_bench, et.et_alloc, o.Accel.Engine.ev_denied,
+               o.Accel.Engine.ev_checks, o.Accel.Engine.ev_elided))
+            outcomes,
+          makespan - replay_start,
+          bus_beats,
+          entries_peak )
+  in
   emit_phase obs ~at:replay_start ~task:lead_task "compute" compute_cycles;
   Obs.Trace.set_now obs (replay_start + compute_cycles);
   let correct =
     List.for_all
-      (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), outcome) ->
-        outcome.Accel.Engine.denied = None
-        && verify sys.System.mem bench a.handle.Driver.layout)
-      outcomes
+      (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), denied, _, _) ->
+        denied = None && verify sys.System.mem bench a.handle.Driver.layout)
+      per_task
   in
   let teardown_start = Obs.Trace.now obs in
   let teardown_cycles, denial_lists =
     List.fold_left
-      (fun (cycles, acc) (_, (a : Driver.allocated), outcome) ->
-        let report =
-          Driver.deallocate driver a.handle
-            ~denied:outcome.Accel.Engine.denied
-        in
+      (fun (cycles, acc) (_, (a : Driver.allocated), denied, _, _) ->
+        let report = Driver.deallocate driver a.handle ~denied in
         (cycles + report.Driver.cycles, report.Driver.denials :: acc))
-      (0, []) outcomes
+      (0, []) per_task
   in
   let denials = List.concat (List.rev denial_lists) in
   emit_phase obs ~at:teardown_start ~task:lead_task "teardown" teardown_cycles;
   Obs.Trace.set_now obs (teardown_start + teardown_cycles);
   let checks =
-    List.fold_left (fun acc (_, _, o) -> acc + o.Accel.Engine.checks) 0 outcomes
+    List.fold_left (fun acc (_, _, _, checks, _) -> acc + checks) 0 per_task
   in
   let elided_checks =
-    List.fold_left (fun acc (_, _, o) -> acc + o.Accel.Engine.elided) 0 outcomes
+    List.fold_left (fun acc (_, _, _, _, elided) -> acc + elided) 0 per_task
   in
   let phases =
     { alloc = alloc_cycles; init = init_cycles;
@@ -590,5 +757,5 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   in
   finish sys ~config_label:(Config.label config) ~benchmark:"mixed" ~tasks ~phases
     ~correct ~denials ~checks ~elided_checks ~entries_peak
-    ~bus_beats:replayed.Accel.Replay.bus_beats ~area_luts ()
+    ~bus_beats ~area_luts ()
   end

@@ -36,6 +36,20 @@ type elide_mode =
           contract — a statically proven task that is dynamically denied
           raises [Failure] instead of being reported as a denial *)
 
+type engine =
+  | Legacy_replay
+      (** interpret the kernel up front, record its DMA trace, and replay the
+          contention through the serialized fabric (the default; the timing
+          oracle every prior result was measured against) *)
+  | Event_driven
+      (** run every instance live as a {!Ccsim.Sched} coroutine contending
+          for a round-robin {!Bus.Arbiter} on one shared timeline; guard
+          checks from concurrent instances interleave in true bus order and
+          every task executes (and is verified) functionally.  With a single
+          instance the schedule is cycle-identical to [Legacy_replay]
+          (enforced by differential tests); under contention only the
+          arbitration policy differs. *)
+
 type result = {
   config_label : string;
   benchmark : string;
@@ -72,13 +86,18 @@ val run :
   ?faults:Fault.Plan.t ->
   ?retry:Driver.retry_policy ->
   ?elide:elide_mode ->
+  ?engine:engine ->
   Config.t ->
   Machsuite.Bench_def.t ->
   result
 (** Run [tasks] identical independent tasks (default 8, the paper's eight
-    instances).  [cc_entries] sizes the CapChecker table (default 256).  Homogeneous accelerator tasks are interpreted once and their
-    DMA stream replicated per instance — concurrent timing is still modeled
-    exactly, per-instance, through the shared interconnect.
+    instances).  [cc_entries] sizes the CapChecker table (default 256).
+    Under the default [engine] ([Legacy_replay]) homogeneous accelerator
+    tasks are interpreted once and their DMA stream replicated per instance —
+    concurrent timing is still modeled exactly, per-instance, through the
+    shared interconnect; [Event_driven] instead executes every instance live
+    on the shared event timeline.  Raises [Invalid_argument] if
+    [tasks <= 0].
 
     [obs] (default {!Obs.Trace.null}) records an event trace of the run:
     bus grants, guard adjudications, table/MMIO traffic and [Task_phase]
@@ -98,14 +117,22 @@ val run :
     [elide] (default [Elide_off]) selects the adaptive check-elision policy
     for statically proven tasks; it only applies to the fault-free
     heterogeneous path (an active fault plan keeps every check, since faults
-    invalidate the static model's assumptions). *)
+    invalidate the static model's assumptions).
+
+    [engine] (default [Legacy_replay]) selects the timing core.  Under an
+    active fault plan, task placement and retry stay sequential in both
+    modes and only the contention replay switches cores; fault draw order
+    differs between cores, so seeded runs are reproducible per engine, not
+    across engines. *)
 
 val run_mixed :
   ?instances:int -> ?obs:Obs.Trace.t -> ?faults:Fault.Plan.t ->
-  ?retry:Driver.retry_policy -> ?elide:elide_mode -> Config.t ->
+  ?retry:Driver.retry_policy -> ?elide:elide_mode -> ?engine:engine ->
+  Config.t ->
   Machsuite.Bench_def.t list ->
   result
 (** One task per (distinct) benchmark on one shared system — the
-    mixed-accelerator SoCs of Figure 9.  Requires a heterogeneous config.
-    [faults]/[retry] behave as in {!run}.  [area_luts] sums each instance's
-    datapath exactly (no per-task mean). *)
+    mixed-accelerator SoCs of Figure 9.  Requires a heterogeneous config and
+    at least one benchmark (raises [Invalid_argument] otherwise).
+    [faults]/[retry]/[engine] behave as in {!run}.  [area_luts] sums each
+    instance's datapath exactly (no per-task mean). *)

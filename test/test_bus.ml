@@ -86,6 +86,91 @@ let prop_beats_conserved =
         beats_list;
       Fabric.total_beats f = List.fold_left ( + ) 0 beats_list)
 
+(* ---- round-robin arbiter (event-driven core) ---- *)
+
+(* Queue [n] bursts of [beats] from [src], each ready at [at]; every grant is
+   appended to [log] as (src, granted_at). *)
+let saturate arb log ~src ~at ~n ~beats =
+  for _ = 1 to n do
+    Arbiter.request arb ~src ~at ~beats ~is_read:true ~extra_latency:0
+      ~on_grant:(fun g -> log := (src, g.Fabric.granted_at) :: !log)
+  done
+
+let test_arbiter_matches_fabric_single_source () =
+  (* One source: the arbiter must grant exactly the legacy fabric's schedule
+     (the event engine's differential equivalence rests on this). *)
+  let f = Fabric.create Params.default in
+  let expect =
+    List.map
+      (fun (at, beats) ->
+        let g = Fabric.request f ~at ~beats ~is_read:true ~extra_latency:0 in
+        (g.Fabric.granted_at, g.Fabric.data_done, g.Fabric.completed))
+      [ (0, 8); (0, 2); (30, 4); (31, 1) ]
+  in
+  let sched = Ccsim.Sched.create () in
+  let arb = Arbiter.create ~sched Params.default in
+  let got = ref [] in
+  List.iter
+    (fun (at, beats) ->
+      Arbiter.request arb ~src:7 ~at ~beats ~is_read:true ~extra_latency:0
+        ~on_grant:(fun g ->
+          got := (g.Fabric.granted_at, g.Fabric.data_done, g.Fabric.completed) :: !got))
+    [ (0, 8); (0, 2); (30, 4); (31, 1) ];
+  Ccsim.Sched.run sched;
+  Alcotest.(check (list (triple int int int)))
+    "same grant schedule as the fabric" expect (List.rev !got);
+  checki "same beat accounting" (Fabric.total_beats f) (Arbiter.total_beats arb)
+
+let test_arbiter_fairness_two_sources () =
+  (* Two sources saturating from cycle 0: grants must alternate, so at every
+     prefix of the grant sequence the sources' total beats are within one
+     burst of each other. *)
+  let beats = 8 and n = 10 in
+  let sched = Ccsim.Sched.create () in
+  let arb = Arbiter.create ~sched Params.default in
+  let log = ref [] in
+  saturate arb log ~src:0 ~at:0 ~n ~beats;
+  saturate arb log ~src:1 ~at:0 ~n ~beats;
+  Ccsim.Sched.run sched;
+  let grants = List.rev !log in
+  checki "all grants delivered" (2 * n) (List.length grants);
+  let b0 = ref 0 and b1 = ref 0 in
+  List.iter
+    (fun (src, _) ->
+      if src = 0 then b0 := !b0 + beats else b1 := !b1 + beats;
+      checkb "prefix beat totals within one burst" true
+        (abs (!b0 - !b1) <= beats))
+    grants;
+  checki "source 0 got half the beats" (n * beats) !b0;
+  checki "source 1 got half the beats" (n * beats) !b1
+
+let test_arbiter_late_arrival_served_within_one_round () =
+  (* Two sources saturate the bus; a third arrives mid-stream.  Round-robin
+     must grant it after at most one request from each competing source (no
+     starvation), unlike the legacy fabric's global FIFO. *)
+  let beats = 8 in
+  let sched = Ccsim.Sched.create () in
+  let arb = Arbiter.create ~sched Params.default in
+  let log = ref [] in
+  saturate arb log ~src:0 ~at:0 ~n:12 ~beats;
+  saturate arb log ~src:1 ~at:0 ~n:12 ~beats;
+  let arrival = 50 in
+  Arbiter.request arb ~src:2 ~at:arrival ~beats ~is_read:true ~extra_latency:0
+    ~on_grant:(fun g -> log := (2, g.Fabric.granted_at) :: !log);
+  Ccsim.Sched.run sched;
+  let grants = List.rev !log in
+  let rec grants_between = function
+    | [] -> Alcotest.fail "late source never granted"
+    | (2, _) :: _ -> 0
+    | (_, at) :: rest when at >= arrival -> 1 + grants_between rest
+    | _ :: rest -> grants_between rest
+  in
+  let ahead = grants_between grants in
+  checkb
+    (Printf.sprintf "at most one grant per competitor before the late source \
+                     (got %d)" ahead)
+    true (ahead <= 2)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest [ prop_fifo_monotonic; prop_beats_conserved ]
 
@@ -98,5 +183,10 @@ let suite =
     ("extra latency", `Quick, test_fabric_extra_latency);
     ("write latency", `Quick, test_fabric_write_latency);
     ("address map", `Quick, test_addr_map);
+    ("arbiter: single source = fabric", `Quick,
+     test_arbiter_matches_fabric_single_source);
+    ("arbiter: two-source fairness", `Quick, test_arbiter_fairness_two_sources);
+    ("arbiter: late arrival served", `Quick,
+     test_arbiter_late_arrival_served_within_one_round);
   ]
   @ qsuite

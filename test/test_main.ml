@@ -2,6 +2,7 @@ let () =
   Alcotest.run "cheri_capchecker"
     [
       ("sim", Test_sim.suite);
+      ("sched", Test_sched.suite);
       ("cheri", Test_cheri.suite);
       ("tagmem", Test_tagmem.suite);
       ("bus", Test_bus.suite);

@@ -1,0 +1,249 @@
+(* Deterministic discrete-event scheduler, and the differential contract
+   between the event-driven engine and the legacy trace-then-replay oracle. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---- scheduler core ---- *)
+
+let test_ordering () =
+  let s = Ccsim.Sched.create () in
+  let log = ref [] in
+  let mark tag () = log := tag :: !log in
+  Ccsim.Sched.at s ~cycle:5 (mark "c5");
+  Ccsim.Sched.at s ~cycle:1 (mark "c1");
+  Ccsim.Sched.at s ~cycle:3 (mark "c3");
+  Ccsim.Sched.run s;
+  Alcotest.(check (list string)) "cycle order" [ "c1"; "c3"; "c5" ] (List.rev !log);
+  checki "clock at last event" 5 (Ccsim.Sched.now s)
+
+let test_stable_ties () =
+  let s = Ccsim.Sched.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Ccsim.Sched.at s ~cycle:2 (fun () -> log := i :: !log)
+  done;
+  Ccsim.Sched.run s;
+  Alcotest.(check (list int))
+    "same-cycle events run in scheduling order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_rank_orders_within_cycle () =
+  let s = Ccsim.Sched.create () in
+  let log = ref [] in
+  Ccsim.Sched.at s ~cycle:4 ~rank:Ccsim.Sched.rank_arbitrate (fun () ->
+      log := "arbitrate" :: !log);
+  Ccsim.Sched.at s ~cycle:4 (fun () -> log := "request" :: !log);
+  Ccsim.Sched.run s;
+  Alcotest.(check (list string))
+    "arbitration after same-cycle requests despite insertion order"
+    [ "request"; "arbitrate" ]
+    (List.rev !log)
+
+let test_past_cycle_clamped () =
+  let s = Ccsim.Sched.create () in
+  let ran_at = ref (-1) in
+  Ccsim.Sched.at s ~cycle:10 (fun () ->
+      Ccsim.Sched.at s ~cycle:3 (fun () -> ran_at := Ccsim.Sched.now s));
+  Ccsim.Sched.run s;
+  checki "event for a past cycle runs now, not backwards" 10 !ran_at
+
+let test_on_advance_monotone () =
+  let cycles = ref [] in
+  let s = Ccsim.Sched.create ~on_advance:(fun c -> cycles := c :: !cycles) () in
+  Ccsim.Sched.at s ~cycle:2 ignore;
+  Ccsim.Sched.at s ~cycle:2 ignore;
+  Ccsim.Sched.at s ~cycle:7 ignore;
+  Ccsim.Sched.run s;
+  Alcotest.(check (list int))
+    "one callback per distinct cycle, increasing" [ 2; 7 ] (List.rev !cycles)
+
+let test_process_wait () =
+  let s = Ccsim.Sched.create () in
+  let log = ref [] in
+  Ccsim.Sched.spawn s ~at:1 (fun () ->
+      log := ("a", Ccsim.Sched.now s) :: !log;
+      Ccsim.Sched.wait s 4;
+      log := ("b", Ccsim.Sched.now s) :: !log;
+      Ccsim.Sched.wait s 0;
+      log := ("c", Ccsim.Sched.now s) :: !log;
+      Ccsim.Sched.wait_until s ~cycle:3;
+      log := ("d", Ccsim.Sched.now s) :: !log);
+  Ccsim.Sched.run s;
+  Alcotest.(check (list (pair string int)))
+    "waits advance the process, no-ops don't"
+    [ ("a", 1); ("b", 5); ("c", 5); ("d", 5) ]
+    (List.rev !log)
+
+let test_process_suspend_resume () =
+  let s = Ccsim.Sched.create () in
+  let resume_slot = ref None in
+  let finished_at = ref (-1) in
+  Ccsim.Sched.spawn s ~at:0 (fun () ->
+      Ccsim.Sched.suspend s (fun resume -> resume_slot := Some resume);
+      finished_at := Ccsim.Sched.now s);
+  Ccsim.Sched.at s ~cycle:9 (fun () -> (Option.get !resume_slot) ());
+  Ccsim.Sched.run s;
+  checki "resumed at the resuming event's cycle" 9 !finished_at
+
+let test_interleaving () =
+  let s = Ccsim.Sched.create () in
+  let log = ref [] in
+  let proc name period =
+    Ccsim.Sched.spawn s ~at:0 (fun () ->
+        for _ = 1 to 3 do
+          Ccsim.Sched.wait s period;
+          log := (name, Ccsim.Sched.now s) :: !log
+        done)
+  in
+  proc "fast" 2;
+  proc "slow" 3;
+  Ccsim.Sched.run s;
+  Alcotest.(check (list (pair string int)))
+    "two processes interleave deterministically"
+    (* Both hit cycle 6; "slow" scheduled its resumption first (at cycle 3,
+       vs. cycle 4), so the stable tie-break runs it first. *)
+    [ ("fast", 2); ("slow", 3); ("fast", 4); ("slow", 6); ("fast", 6);
+      ("slow", 9) ]
+    (List.rev !log)
+
+(* ---- differential: event engine vs. trace-then-replay oracle ---- *)
+
+let denial_pair (d : Guard.Iface.denial) = (d.Guard.Iface.code, d.Guard.Iface.detail)
+
+(* With one instance there is no contention, so the two timing cores must
+   agree exactly: same wall clock, same phase split, same check and access
+   accounting, same denial set. *)
+let check_single_equivalence config_name config (bench : Machsuite.Bench_def.t) =
+  let legacy = Soc.Run.run ~tasks:1 ~engine:Soc.Run.Legacy_replay config bench in
+  let event = Soc.Run.run ~tasks:1 ~engine:Soc.Run.Event_driven config bench in
+  let ctx field = Printf.sprintf "%s/%s: %s" bench.name config_name field in
+  checki (ctx "wall") legacy.Soc.Run.wall event.Soc.Run.wall;
+  checki (ctx "alloc") legacy.Soc.Run.phases.Soc.Run.alloc
+    event.Soc.Run.phases.Soc.Run.alloc;
+  checki (ctx "init") legacy.Soc.Run.phases.Soc.Run.init
+    event.Soc.Run.phases.Soc.Run.init;
+  checki (ctx "compute") legacy.Soc.Run.phases.Soc.Run.compute
+    event.Soc.Run.phases.Soc.Run.compute;
+  checki (ctx "teardown") legacy.Soc.Run.phases.Soc.Run.teardown
+    event.Soc.Run.phases.Soc.Run.teardown;
+  checki (ctx "checks") legacy.Soc.Run.checks event.Soc.Run.checks;
+  checki (ctx "elided checks") legacy.Soc.Run.elided_checks
+    event.Soc.Run.elided_checks;
+  checki (ctx "bus beats") legacy.Soc.Run.bus_beats event.Soc.Run.bus_beats;
+  checki (ctx "entries peak") legacy.Soc.Run.entries_peak
+    event.Soc.Run.entries_peak;
+  checkb (ctx "correct") legacy.Soc.Run.correct event.Soc.Run.correct;
+  Alcotest.(check (list (pair string string)))
+    (ctx "denials")
+    (List.map denial_pair legacy.Soc.Run.denials)
+    (List.map denial_pair event.Soc.Run.denials)
+
+let test_differential_all_benches () =
+  List.iter
+    (check_single_equivalence "ccpu+caccel" Soc.Config.ccpu_caccel)
+    Machsuite.Registry.all
+
+let test_differential_other_configs () =
+  (* The contract is engine-independent of the protection scheme: spot-check
+     unguarded, coarse and cached configurations (distinct addressing modes
+     and checker latencies). *)
+  let benches =
+    [ Machsuite.Registry.find "aes"; Machsuite.Registry.find "spmv_crs" ]
+  in
+  List.iter
+    (fun bench ->
+      check_single_equivalence "ccpu+accel" Soc.Config.ccpu_accel bench;
+      check_single_equivalence "coarse" Soc.Config.ccpu_caccel_coarse bench;
+      check_single_equivalence "cached" Soc.Config.ccpu_caccel_cached bench)
+    benches
+
+let mixed_combo () =
+  List.map Machsuite.Registry.find [ "aes"; "spmv_crs"; "stencil2d"; "sort_merge" ]
+
+let test_mixed_event_makespan_bounded () =
+  (* Under contention round-robin arbitration can only help relative to the
+     replay's global earliest-ready FIFO; functional results and check
+     accounting must not change. *)
+  let benches = mixed_combo () in
+  let legacy =
+    Soc.Run.run_mixed ~engine:Soc.Run.Legacy_replay Soc.Config.ccpu_caccel benches
+  in
+  let event =
+    Soc.Run.run_mixed ~engine:Soc.Run.Event_driven Soc.Config.ccpu_caccel benches
+  in
+  checkb "both correct" true (legacy.Soc.Run.correct && event.Soc.Run.correct);
+  checki "same checks" legacy.Soc.Run.checks event.Soc.Run.checks;
+  checki "same bus beats" legacy.Soc.Run.bus_beats event.Soc.Run.bus_beats;
+  checkb
+    (Printf.sprintf "event makespan (%d) <= replay makespan (%d)"
+       event.Soc.Run.phases.Soc.Run.compute legacy.Soc.Run.phases.Soc.Run.compute)
+    true
+    (event.Soc.Run.phases.Soc.Run.compute
+    <= legacy.Soc.Run.phases.Soc.Run.compute)
+
+let test_homogeneous_event_makespan_bounded () =
+  let bench = Machsuite.Registry.find "gemm_ncubed" in
+  let legacy =
+    Soc.Run.run ~tasks:4 ~engine:Soc.Run.Legacy_replay Soc.Config.ccpu_caccel bench
+  in
+  let event =
+    Soc.Run.run ~tasks:4 ~engine:Soc.Run.Event_driven Soc.Config.ccpu_caccel bench
+  in
+  checkb "both correct" true (legacy.Soc.Run.correct && event.Soc.Run.correct);
+  checki "same checks" legacy.Soc.Run.checks event.Soc.Run.checks;
+  checkb "event makespan <= replay makespan" true
+    (event.Soc.Run.phases.Soc.Run.compute
+    <= legacy.Soc.Run.phases.Soc.Run.compute)
+
+let test_event_mode_deterministic () =
+  let go () =
+    let r =
+      Soc.Run.run_mixed ~engine:Soc.Run.Event_driven Soc.Config.ccpu_caccel
+        (mixed_combo ())
+    in
+    (r.Soc.Run.wall, r.Soc.Run.phases.Soc.Run.compute, r.Soc.Run.checks,
+     r.Soc.Run.bus_beats, r.Soc.Run.correct)
+  in
+  let a = go () and b = go () in
+  checkb "two event-mode runs are identical" true (a = b)
+
+let test_event_mode_faulted_invariant () =
+  (* Faulted runs switch only the contention core; the recovery invariant
+     (correct, or an explicit fallback per lost task) must hold in both, and
+     the event core must be deterministic under a fixed seed. *)
+  let bench = Machsuite.Registry.find "aes" in
+  let go () =
+    Soc.Run.run ~tasks:4 ~faults:(Fault.Plan.default ~seed:3)
+      ~engine:Soc.Run.Event_driven Soc.Config.ccpu_caccel bench
+  in
+  let r1 = go () and r2 = go () in
+  checkb "invariant: correct (fallbacks recomputed on CPU)" true
+    r1.Soc.Run.correct;
+  checkb "seeded event-mode fault run reproduces" true
+    (r1.Soc.Run.wall = r2.Soc.Run.wall
+    && r1.Soc.Run.faults = r2.Soc.Run.faults
+    && List.length r1.Soc.Run.fallbacks = List.length r2.Soc.Run.fallbacks)
+
+let suite =
+  [
+    ("event ordering", `Quick, test_ordering);
+    ("stable ties", `Quick, test_stable_ties);
+    ("rank within cycle", `Quick, test_rank_orders_within_cycle);
+    ("past cycle clamped", `Quick, test_past_cycle_clamped);
+    ("on_advance monotone", `Quick, test_on_advance_monotone);
+    ("process wait", `Quick, test_process_wait);
+    ("process suspend/resume", `Quick, test_process_suspend_resume);
+    ("process interleaving", `Quick, test_interleaving);
+    ("differential: all benches single-instance", `Slow,
+     test_differential_all_benches);
+    ("differential: other configs", `Quick, test_differential_other_configs);
+    ("mixed: event makespan bounded by replay", `Quick,
+     test_mixed_event_makespan_bounded);
+    ("homogeneous: event makespan bounded", `Quick,
+     test_homogeneous_event_makespan_bounded);
+    ("event mode deterministic", `Quick, test_event_mode_deterministic);
+    ("faulted event mode: invariant + determinism", `Quick,
+     test_event_mode_faulted_invariant);
+  ]
