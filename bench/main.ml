@@ -6,6 +6,17 @@
 
 let section = Ccsim.Report.section
 
+(* Worker domains for the embarrassingly parallel sections (set by --jobs;
+   Ccsim.Pool semantics: 1 = serial, 0 = all cores).  Parallelism only
+   changes wall-clock: every section draws its RNG picks serially before
+   dispatch and prints from index-ordered results after the pool barrier,
+   so stdout is identical at every value. *)
+let jobs_ref = ref 1
+let jobs () = !jobs_ref
+
+(* Timing snapshot filled by the `parallel` section, reported by --json. *)
+let parallel_snapshot : (int * float * float * float) option ref = ref None
+
 (* ------------------------------------------------------------------ *)
 (* Shared measurement store: each benchmark is executed once per system
    configuration and the tables below read from here.                  *)
@@ -37,13 +48,31 @@ let measure (bench : Machsuite.Bench_def.t) =
     by_config;
   }
 
-let store =
-  lazy
-    (List.map
-       (fun b ->
-         Printf.eprintf "[bench] measuring %s...\n%!" b.Machsuite.Bench_def.name;
-         measure b)
-       Machsuite.Registry.all)
+(* Computed on first use (sections that don't read it never pay for it) and
+   at most once per process.  The cell is only touched from the main domain;
+   the parallelism is inside Pool.map, over per-benchmark jobs that share
+   nothing. *)
+let store_cell : measurements list option ref = ref None
+
+let store () =
+  match !store_cell with
+  | Some s -> s
+  | None ->
+      let j = Ccsim.Pool.resolve (jobs ()) in
+      if j > 1 then
+        Printf.eprintf "[bench] measuring %d benchmarks on %d domains...\n%!"
+          (List.length Machsuite.Registry.all) j;
+      let s =
+        Ccsim.Pool.map ~jobs:j
+          (fun b ->
+            if j <= 1 then
+              Printf.eprintf "[bench] measuring %s...\n%!"
+                b.Machsuite.Bench_def.name;
+            measure b)
+          Machsuite.Registry.all
+      in
+      store_cell := Some s;
+      s
 
 let get label m = List.assoc label m.by_config
 let base8 m = get "ccpu+accel" m
@@ -107,7 +136,7 @@ let table2 () =
 
 let table3 () =
   print_string (section "Table 3: CWE memory-weakness matrix (attack suite)");
-  print_endline (Security.Matrix.render ());
+  print_endline (Security.Matrix.render ~jobs:(jobs ()) ());
   let own, cross = Security.Attacks.coarse_object_id_forge () in
   Printf.printf
     "\nCoarse object-id forging: same-task object -> %s; cross-task -> %s\n"
@@ -138,7 +167,7 @@ let fig7 () =
           Ccsim.Report.fixed 2 speedup;
           Ccsim.Report.log_bar ~width:36 ~max:10_000.0 speedup;
         ])
-      (Lazy.force store)
+      (store ())
   in
   print_endline
     (Ccsim.Report.table ~header:[ "Benchmark"; "Speedup"; "log10 0..10^4" ] rows)
@@ -173,7 +202,7 @@ let fig8 () =
           Ccsim.Report.pct area_o;
           Ccsim.Report.pct power_o;
         ])
-      (Lazy.force store)
+      (store ())
   in
   let geo xs = Ccsim.Report.pct (Ccsim.Stats.geomean !xs -. 1.0) in
   let rows = rows @ [ [ "geomean"; geo perf; geo offl; geo area; geo power ] ] in
@@ -190,25 +219,38 @@ let fig9 () =
   print_string (section "Figure 9: 20 mixed 8-accelerator systems");
   let rng = Ccsim.Rng.create 0x5EED in
   let all = Array.of_list Machsuite.Registry.all in
-  let overheads =
-    List.init 20 (fun idx ->
-        let picks = Array.init 8 (fun _ -> Ccsim.Rng.choose rng all) in
-        let benches = Array.to_list picks in
+  (* Draw every system's composition serially before dispatch — the RNG is
+     the only shared mutable state, so its stream must not depend on
+     scheduling.  Each pool job then boots its own pair of systems. *)
+  let systems =
+    List.init 20 (fun _ ->
+        Array.to_list (Array.init 8 (fun _ -> Ccsim.Rng.choose rng all)))
+  in
+  let measured =
+    Ccsim.Pool.map ~jobs:(jobs ())
+      (fun benches ->
         let base = Soc.Run.run_mixed Soc.Config.ccpu_accel benches in
         let cc = Soc.Run.run_mixed Soc.Config.ccpu_caccel benches in
         assert base.Soc.Run.correct;
         assert cc.Soc.Run.correct;
-        let o = ratio cc.Soc.Run.wall base.Soc.Run.wall -. 1.0 in
+        (base.Soc.Run.wall, cc.Soc.Run.wall))
+      systems
+  in
+  let overheads =
+    List.mapi
+      (fun idx ((base_wall, cc_wall), benches) ->
+        let o = ratio cc_wall base_wall -. 1.0 in
         Printf.printf "  system %2d: wall %9d -> %9d  overhead %s  [%s]\n" (idx + 1)
-          base.Soc.Run.wall cc.Soc.Run.wall (Ccsim.Report.pct o)
+          base_wall cc_wall (Ccsim.Report.pct o)
           (String.concat ","
              (List.map (fun (b : Machsuite.Bench_def.t) -> b.name) benches));
         1.0 +. o)
+      (List.combine measured systems)
   in
   let homogeneous =
     List.map
       (fun m -> ratio (cc8 m).Soc.Run.wall (base8 m).Soc.Run.wall)
-      (Lazy.force store)
+      (store ())
   in
   Printf.printf "mixed-system overhead geomean: %s (homogeneous geomean %s)\n"
     (Ccsim.Report.pct (Ccsim.Stats.geomean overheads -. 1.0))
@@ -225,11 +267,13 @@ let contention () =
         systems)");
   let rng = Ccsim.Rng.create 0x5EED in
   let all = Array.of_list Machsuite.Registry.all in
-  let deltas =
-    List.init 8 (fun idx ->
-        let benches =
-          Array.to_list (Array.init 8 (fun _ -> Ccsim.Rng.choose rng all))
-        in
+  let systems =
+    List.init 8 (fun _ ->
+        Array.to_list (Array.init 8 (fun _ -> Ccsim.Rng.choose rng all)))
+  in
+  let measured =
+    Ccsim.Pool.map ~jobs:(jobs ())
+      (fun benches ->
         let replay =
           Soc.Run.run_mixed ~engine:Soc.Run.Legacy_replay Soc.Config.ccpu_caccel
             benches
@@ -240,8 +284,13 @@ let contention () =
         in
         assert replay.Soc.Run.correct;
         assert event.Soc.Run.correct;
-        let rc = replay.Soc.Run.phases.Soc.Run.compute in
-        let ec = event.Soc.Run.phases.Soc.Run.compute in
+        ( replay.Soc.Run.phases.Soc.Run.compute,
+          event.Soc.Run.phases.Soc.Run.compute ))
+      systems
+  in
+  let deltas =
+    List.mapi
+      (fun idx ((rc, ec), benches) ->
         let delta = ratio ec rc -. 1.0 in
         Printf.printf
           "  system %2d: replay makespan %9d  event %9d  delta %s  [%s]\n"
@@ -249,6 +298,7 @@ let contention () =
           (String.concat ","
              (List.map (fun (b : Machsuite.Bench_def.t) -> b.name) benches));
         1.0 +. delta)
+      (List.combine measured systems)
   in
   Printf.printf
     "event/replay makespan geomean: %s (round-robin arbitration vs global \
@@ -284,7 +334,7 @@ let fig10 () =
            ~header:
              [ "Config"; "Wall"; "Alloc"; "Init"; "Compute"; "Teardown"; "vs cpu" ]
            rows))
-    (Lazy.force store)
+    (store ())
 
 (* ------------------------------------------------------------------ *)
 (* Figure 11: gemm_ncubed over degrees of parallelism                    *)
@@ -293,12 +343,21 @@ let fig10 () =
 let fig11 () =
   print_string (section "Figure 11: gemm_ncubed vs degree of parallelism");
   let bench = Machsuite.Registry.find "gemm_ncubed" in
+  let sweep =
+    Soc.Run.sweep_many ~jobs:(jobs ()) ~tasks_list:[ 1; 2; 4; 8; 16 ]
+      [ (Soc.Config.cpu, None);
+        (Soc.Config.ccpu_accel, Some 16);
+        (Soc.Config.ccpu_caccel, Some 16) ]
+      bench
+  in
   let rows =
     List.map
-      (fun tasks ->
-        let cpu = Soc.Run.run ~tasks Soc.Config.cpu bench in
-        let base = Soc.Run.run ~tasks ~instances:16 Soc.Config.ccpu_accel bench in
-        let cc = Soc.Run.run ~tasks ~instances:16 Soc.Config.ccpu_caccel bench in
+      (fun (tasks, results) ->
+        let cpu, base, cc =
+          match results with
+          | [ cpu; base; cc ] -> (cpu, base, cc)
+          | _ -> assert false
+        in
         let speedup = ratio cpu.Soc.Run.wall base.Soc.Run.wall in
         let overhead = ratio cc.Soc.Run.wall base.Soc.Run.wall -. 1.0 in
         [
@@ -308,7 +367,7 @@ let fig11 () =
           Ccsim.Report.fixed 1 speedup;
           Ccsim.Report.pct overhead;
         ])
-      [ 1; 2; 4; 8; 16 ]
+      sweep
   in
   print_endline
     (Ccsim.Report.table
@@ -482,17 +541,28 @@ let obs_section () =
   print_string
     (section "Observability: event-trace metrics per configuration (aes, 8 tasks)");
   let bench = Machsuite.Registry.find "aes" in
+  (* Each job creates its own private sink (the pool's isolation rule);
+     the rendered tables are printed after the barrier in config order. *)
+  let reports =
+    Ccsim.Pool.map ~jobs:(jobs ())
+      (fun config ->
+        let obs = Obs.Trace.create ~capacity:(1 lsl 18) () in
+        let r = Soc.Run.run ~tasks:8 ~obs config bench in
+        assert r.Soc.Run.correct;
+        ( r.Soc.Run.config_label,
+          r.Soc.Run.wall,
+          Obs.Trace.length obs,
+          Obs.Trace.dropped obs,
+          Obs.Metrics.to_table (Obs.Metrics.of_trace obs) ))
+      [ Soc.Config.ccpu_accel; Soc.Config.ccpu_caccel;
+        Soc.Config.ccpu_caccel_coarse; Soc.Config.ccpu_caccel_cached ]
+  in
   List.iter
-    (fun config ->
-      let obs = Obs.Trace.create ~capacity:(1 lsl 18) () in
-      let r = Soc.Run.run ~tasks:8 ~obs config bench in
-      assert r.Soc.Run.correct;
-      Printf.printf "\n-- %s (wall %d cycles, %d events, %d dropped) --\n"
-        r.Soc.Run.config_label r.Soc.Run.wall (Obs.Trace.length obs)
-        (Obs.Trace.dropped obs);
-      print_string (Obs.Metrics.to_table (Obs.Metrics.of_trace obs)))
-    [ Soc.Config.ccpu_accel; Soc.Config.ccpu_caccel;
-      Soc.Config.ccpu_caccel_coarse; Soc.Config.ccpu_caccel_cached ]
+    (fun (label, wall, events, dropped, table) ->
+      Printf.printf "\n-- %s (wall %d cycles, %d events, %d dropped) --\n" label
+        wall events dropped;
+      print_string table)
+    reports
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection: recovered-vs-degraded under seeded fault plans      *)
@@ -504,39 +574,43 @@ let faults_section () =
        "Fault injection: recovery under seeded fault plans (4 tasks, ccpu+caccel)");
   let benches = [ "aes"; "fft_transpose"; "sort_radix" ] in
   let seeds = [ 1; 2; 3; 4; 5 ] in
-  let rows =
+  let points =
     List.concat_map
-      (fun name ->
-        let bench = Machsuite.Registry.find name in
-        List.map
-          (fun seed ->
-            let faults = Fault.Plan.default ~seed in
-            let r = Soc.Run.run ~tasks:4 ~faults Soc.Config.ccpu_caccel bench in
-            (* The subsystem's core invariant: a faulted run either completes
-               correctly (degraded tasks recomputed on the CPU) or it is a
-               bug — never a silently wrong result. *)
-            if not r.Soc.Run.correct then
-              failwith
-                (Printf.sprintf "%s seed %d: incorrect result under faults"
-                   name seed);
-            let r2 = Soc.Run.run ~tasks:4 ~faults Soc.Config.ccpu_caccel bench in
-            if r2 <> r then
-              failwith
-                (Printf.sprintf "%s seed %d: fault run not deterministic" name
-                   seed);
-            let c = r.Soc.Run.faults in
-            let injected =
-              c.Fault.Injector.bus_stalls + c.Fault.Injector.bus_errors
-              + c.Fault.Injector.guard_denials + c.Fault.Injector.table_fulls
-              + c.Fault.Injector.cache_drops + c.Fault.Injector.alloc_fails
-            in
-            [ name; string_of_int seed; string_of_int injected;
-              string_of_int c.Fault.Injector.retries;
-              string_of_int r.Soc.Run.recovered;
-              string_of_int (List.length r.Soc.Run.fallbacks);
-              string_of_int r.Soc.Run.wall ])
-          seeds)
+      (fun name -> List.map (fun seed -> (name, seed)) seeds)
       benches
+  in
+  (* One (benchmark, seed) point per pool job; both the measured run and
+     its determinism replay happen inside the job, on systems the job
+     creates itself. *)
+  let rows =
+    Ccsim.Pool.map ~jobs:(jobs ())
+      (fun (name, seed) ->
+        let bench = Machsuite.Registry.find name in
+        let faults = Fault.Plan.default ~seed in
+        let r = Soc.Run.run ~tasks:4 ~faults Soc.Config.ccpu_caccel bench in
+        (* The subsystem's core invariant: a faulted run either completes
+           correctly (degraded tasks recomputed on the CPU) or it is a
+           bug — never a silently wrong result. *)
+        if not r.Soc.Run.correct then
+          failwith
+            (Printf.sprintf "%s seed %d: incorrect result under faults" name
+               seed);
+        let r2 = Soc.Run.run ~tasks:4 ~faults Soc.Config.ccpu_caccel bench in
+        if r2 <> r then
+          failwith
+            (Printf.sprintf "%s seed %d: fault run not deterministic" name seed);
+        let c = r.Soc.Run.faults in
+        let injected =
+          c.Fault.Injector.bus_stalls + c.Fault.Injector.bus_errors
+          + c.Fault.Injector.guard_denials + c.Fault.Injector.table_fulls
+          + c.Fault.Injector.cache_drops + c.Fault.Injector.alloc_fails
+        in
+        [ name; string_of_int seed; string_of_int injected;
+          string_of_int c.Fault.Injector.retries;
+          string_of_int r.Soc.Run.recovered;
+          string_of_int (List.length r.Soc.Run.fallbacks);
+          string_of_int r.Soc.Run.wall ])
+      points
   in
   print_endline
     (Ccsim.Report.table
@@ -695,7 +769,7 @@ let elision () =
   print_string
     (section "Elision: statically proven tasks skip per-beat adjudication");
   let rows =
-    List.map
+    Ccsim.Pool.map ~jobs:(jobs ())
       (fun (bench : Machsuite.Bench_def.t) ->
         let proven =
           Analysis.proven
@@ -730,6 +804,53 @@ let elision () =
            "Wall guarded"; "Wall elided"; "Cycles saved" ]
        rows)
 
+(* ------------------------------------------------------------------ *)
+(* Parallel runner: wall-clock speedup of the domain pool               *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the same 15-point gemm_ncubed sweep (5 task counts x 3 configs,
+   the heaviest capsim workload) serially and on the pool, asserts the
+   results are structurally identical — the determinism proof — and
+   records the numbers for the --json snapshot.  The timings themselves
+   are the one output that legitimately varies between runs. *)
+let parallel_section () =
+  print_string
+    (section "Parallel runner: domain-pool speedup (gemm_ncubed sweep)");
+  let bench = Machsuite.Registry.find "gemm_ncubed" in
+  let columns =
+    [ (Soc.Config.cpu, None);
+      (Soc.Config.ccpu_accel, Some 16);
+      (Soc.Config.ccpu_caccel, Some 16) ]
+  in
+  let tasks_list = [ 1; 2; 4; 8; 16 ] in
+  let par_jobs =
+    let j = Ccsim.Pool.resolve (jobs ()) in
+    if j > 1 then j else Ccsim.Pool.recommended ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let serial, serial_s =
+    time (fun () -> Soc.Run.sweep_many ~jobs:1 ~tasks_list columns bench)
+  in
+  let par, par_s =
+    time (fun () -> Soc.Run.sweep_many ~jobs:par_jobs ~tasks_list columns bench)
+  in
+  if serial <> par then failwith "parallel sweep diverged from the serial run";
+  let speedup = serial_s /. par_s in
+  Printf.printf "  workload: 15 independent full-system runs (5 task counts x 3 configs)\n";
+  Printf.printf "  serial   (--jobs 1):  %8.3f s\n" serial_s;
+  Printf.printf "  parallel (--jobs %d):  %8.3f s\n" par_jobs par_s;
+  Printf.printf "  speedup: %.2fx -- results structurally identical (asserted)\n"
+    speedup;
+  if par_jobs = 1 then
+    print_endline
+      "  (this host exposes a single core; run with --jobs 4 on a multicore\n\
+      \   host for the real speedup)";
+  parallel_snapshot := Some (par_jobs, serial_s, par_s, speedup)
+
 let sections =
   [
     ("table1", table1); ("table2", table2); ("table3", table3);
@@ -745,24 +866,101 @@ let sections =
     ("obs", obs_section);
     ("faults", faults_section);
     ("validation", validation);
+    ("parallel", parallel_section);
     ("micro", micro);
   ]
 
-(* With no arguments, regenerate everything; otherwise run the named
-   sections only (e.g. `bench/main.exe fig8 fig12`). *)
+(* With no positional arguments, regenerate everything; otherwise run the
+   named sections only (e.g. `bench/main.exe fig8 fig12`).  `--jobs N`
+   parallelizes the independent simulations inside each section (0 = all
+   cores) without changing any printed table; `--json` emits a
+   machine-readable timing snapshot on stdout (section prints go to stderr
+   instead). *)
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ :: [] | [] -> List.map fst sections
+  let rec parse args names jobs_n json =
+    match args with
+    | [] -> (List.rev names, jobs_n, json)
+    | "--json" :: rest -> parse rest names jobs_n true
+    | "--jobs" :: value :: rest -> (
+        match int_of_string_opt value with
+        | Some n when n >= 0 -> parse rest names n json
+        | Some _ | None ->
+            prerr_endline "bench: --jobs expects a non-negative integer";
+            exit 2)
+    | [ "--jobs" ] ->
+        prerr_endline "bench: --jobs expects a value";
+        exit 2
+    | name :: rest -> parse rest (name :: names) jobs_n json
   in
+  let names, jobs_n, json =
+    parse (List.tl (Array.to_list Sys.argv)) [] 1 false
+  in
+  jobs_ref := jobs_n;
+  let requested = match names with [] -> List.map fst sections | ns -> ns in
   List.iter
     (fun name ->
-      match List.assoc_opt name sections with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown section %s (known: %s)\n" name
-            (String.concat " " (List.map fst sections));
-          exit 1)
+      if not (List.mem_assoc name sections) then begin
+        Printf.eprintf "unknown section %s (known: %s)\n" name
+          (String.concat " " (List.map fst sections));
+        exit 1
+      end)
     requested;
-  print_newline ()
+  (* Under --json only the snapshot may reach stdout: route the sections'
+     human-readable prints to stderr for the duration. *)
+  let saved_stdout =
+    if json then begin
+      flush stdout;
+      let fd = Unix.dup Unix.stdout in
+      Unix.dup2 Unix.stderr Unix.stdout;
+      Some fd
+    end
+    else None
+  in
+  let timings =
+    List.map
+      (fun name ->
+        let t0 = Unix.gettimeofday () in
+        (List.assoc name sections) ();
+        flush stdout;
+        (name, Unix.gettimeofday () -. t0))
+      requested
+  in
+  match saved_stdout with
+  | None -> print_newline ()
+  | Some fd ->
+      flush stdout;
+      Unix.dup2 fd Unix.stdout;
+      Unix.close fd;
+      let open Obs.Json in
+      let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 timings in
+      let parallel =
+        match !parallel_snapshot with
+        | None -> Null
+        | Some (pj, serial_s, par_s, speedup) ->
+            Obj
+              [
+                ("jobs", Int pj);
+                ("serial_seconds", Float serial_s);
+                ("parallel_seconds", Float par_s);
+                ("speedup", Float speedup);
+              ]
+      in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("schema", String "bench-snapshot/1");
+                ("jobs", Int jobs_n);
+                ( "sections",
+                  List
+                    (List.map
+                       (fun (name, seconds) ->
+                         Obj
+                           [
+                             ("name", String name);
+                             ("seconds", Float seconds);
+                           ])
+                       timings) );
+                ("total_seconds", Float total);
+                ("parallel", parallel);
+              ]))

@@ -58,6 +58,19 @@ let engine_arg =
                    $(b,event) runs every instance live on a shared \
                    discrete-event timeline with round-robin bus arbitration.")
 
+let engine_name engine =
+  fst (List.find (fun (_, e) -> e = engine) engines)
+
+(* Parallelism across independent simulations (Ccsim.Pool).  Results are
+   index-deterministic: any --jobs value produces byte-identical output to
+   --jobs 1 (the CI gate diffs them). *)
+let jobs_arg =
+  Arg.(value & opt int 1
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for independent simulations: $(b,1) runs \
+                   serially (the default), $(b,0) uses every core.  Output \
+                   is byte-identical at any value.")
+
 (* Machine-readable result, stable across runs with the same inputs — the CI
    determinism gate diffs two of these byte-for-byte. *)
 let json_of_result (r : Soc.Run.result) =
@@ -199,25 +212,73 @@ let trace_cmd =
 (* ---- sweep ---- *)
 
 let sweep_cmd =
-  let run bench engine =
-    Printf.printf "%-6s %12s %12s %10s %10s\n" "tasks" "base wall" "cc wall" "speedup" "overhead";
-    List.iter
-      (fun tasks ->
-        let cpu = Soc.Run.run ~tasks Soc.Config.cpu bench in
-        let base =
-          Soc.Run.run ~tasks ~instances:16 ~engine Soc.Config.ccpu_accel bench
-        in
-        let cc =
-          Soc.Run.run ~tasks ~instances:16 ~engine Soc.Config.ccpu_caccel bench
-        in
-        Printf.printf "%-6d %12d %12d %9.1fx %+9.2f%%\n" tasks base.Soc.Run.wall
-          cc.Soc.Run.wall
-          (float_of_int cpu.Soc.Run.wall /. float_of_int base.Soc.Run.wall)
-          ((float_of_int cc.Soc.Run.wall /. float_of_int base.Soc.Run.wall -. 1.) *. 100.))
-      [ 1; 2; 4; 8; 16 ]
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the sweep as JSON.")
+  in
+  let run bench engine jobs json =
+    (* All 15 points (5 task counts x 3 configs) are independent full-system
+       runs; they execute as one Ccsim.Pool batch and are re-assembled in
+       row order after the barrier. *)
+    let rows =
+      Soc.Run.sweep_many ~jobs ~engine ~tasks_list:[ 1; 2; 4; 8; 16 ]
+        [ (Soc.Config.cpu, None);
+          (Soc.Config.ccpu_accel, Some 16);
+          (Soc.Config.ccpu_caccel, Some 16) ]
+        bench
+    in
+    let unpack = function
+      | (tasks, [ cpu; base; cc ]) -> (tasks, cpu, base, cc)
+      | _ -> assert false
+    in
+    if json then
+      let open Obs.Json in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ("benchmark", String bench.Machsuite.Bench_def.name);
+                ("engine", String (engine_name engine));
+                ( "rows",
+                  List
+                    (List.map
+                       (fun row ->
+                         let tasks, cpu, base, cc = unpack row in
+                         Obj
+                           [
+                             ("tasks", Int tasks);
+                             ("cpu_wall", Int cpu.Soc.Run.wall);
+                             ("base_wall", Int base.Soc.Run.wall);
+                             ("cc_wall", Int cc.Soc.Run.wall);
+                             ( "speedup",
+                               Float
+                                 (float_of_int cpu.Soc.Run.wall
+                                 /. float_of_int base.Soc.Run.wall) );
+                             ( "overhead_pct",
+                               Float
+                                 ((float_of_int cc.Soc.Run.wall
+                                  /. float_of_int base.Soc.Run.wall
+                                  -. 1.)
+                                 *. 100.) );
+                           ])
+                       rows) );
+              ]))
+    else begin
+      Printf.printf "%-6s %12s %12s %10s %10s\n" "tasks" "base wall" "cc wall"
+        "speedup" "overhead";
+      List.iter
+        (fun row ->
+          let tasks, cpu, base, cc = unpack row in
+          Printf.printf "%-6d %12d %12d %9.1fx %+9.2f%%\n" tasks
+            base.Soc.Run.wall cc.Soc.Run.wall
+            (float_of_int cpu.Soc.Run.wall /. float_of_int base.Soc.Run.wall)
+            ((float_of_int cc.Soc.Run.wall /. float_of_int base.Soc.Run.wall
+             -. 1.)
+            *. 100.))
+        rows
+    end
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Parallelism sweep (Figure 11 style)")
-    Term.(const run $ bench_arg $ engine_arg)
+    Term.(const run $ bench_arg $ engine_arg $ jobs_arg $ json_arg)
 
 (* ---- attack ---- *)
 
@@ -265,14 +326,16 @@ let faults_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
   in
-  let run bench config tasks seed engine json =
-    let plan = Fault.Plan.default ~seed in
-    let r = Soc.Run.run ~tasks ~faults:plan ~engine config bench in
-    if json then begin
-      print_endline (Obs.Json.to_string (json_of_result r));
-      if not r.Soc.Run.correct then exit 1
-    end
-    else begin
+  let runs_arg =
+    Arg.(value & opt int 1
+           & info [ "runs" ]
+               ~doc:"Number of independent runs at consecutive seeds (seed, \
+                     seed+1, ...).  Each run is its own deterministic \
+                     simulation; with $(b,--jobs) they execute in parallel.")
+  in
+  (* The default-seed single-run text and JSON formats are pinned by the
+     cram suite and two CI determinism gates — keep them byte-identical. *)
+  let print_fault_text plan (r : Soc.Run.result) =
     let c = r.Soc.Run.faults in
     Printf.printf "%s on %s, %d task(s), fault plan %s\n" r.Soc.Run.benchmark
       r.Soc.Run.config_label r.Soc.Run.tasks (Fault.Plan.to_string plan);
@@ -295,18 +358,51 @@ let faults_cmd =
     Printf.printf "  correct   %b\n" r.Soc.Run.correct;
     if r.Soc.Run.correct then
       print_endline "  invariant ok: completed correctly (degraded tasks recomputed on CPU)"
-    else begin
-      print_endline "  invariant VIOLATED: incorrect result without a covering fallback";
-      exit 1
+    else
+      print_endline "  invariant VIOLATED: incorrect result without a covering fallback"
+  in
+  let run bench config tasks seed runs engine jobs json =
+    if runs < 1 then (
+      prerr_endline "capsim: --runs must be at least 1";
+      exit 2);
+    let seeds = List.init runs (fun i -> seed + i) in
+    let plans = List.map (fun s -> Fault.Plan.default ~seed:s) seeds in
+    let specs =
+      List.map
+        (fun plan -> Soc.Run.spec ~tasks ~faults:plan ~engine config bench)
+        plans
+    in
+    let results = Soc.Run.run_many ~jobs specs in
+    let all_correct = List.for_all (fun r -> r.Soc.Run.correct) results in
+    if json then begin
+      (match results with
+      | [ r ] -> print_endline (Obs.Json.to_string (json_of_result r))
+      | _ ->
+          let open Obs.Json in
+          print_endline
+            (to_string
+               (Obj
+                  [
+                    ( "runs",
+                      List
+                        (List.map2
+                           (fun s r ->
+                             Obj [ ("seed", Int s); ("result", json_of_result r) ])
+                           seeds results) );
+                  ])));
+      if not all_correct then exit 1
     end
+    else begin
+      List.iter2 print_fault_text plans results;
+      if not all_correct then exit 1
     end
   in
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Run one benchmark under a seeded deterministic fault plan")
     Term.(
-      const run $ bench_arg $ config_arg $ tasks_arg $ seed_arg $ engine_arg
-      $ json_arg)
+      const run $ bench_arg $ config_arg $ tasks_arg $ seed_arg $ runs_arg
+      $ engine_arg $ jobs_arg $ json_arg)
 
 (* ---- lint ---- *)
 
@@ -412,9 +508,42 @@ let lint_cmd =
     Term.(const run $ bench_opt $ all_arg $ json_arg)
 
 let matrix_cmd =
-  let run () = print_endline (Security.Matrix.render ()) in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the matrix as JSON.")
+  in
+  let run jobs json =
+    if json then
+      let open Obs.Json in
+      let rows = Security.Matrix.rows ~jobs () in
+      print_endline
+        (to_string
+           (Obj
+              [
+                ( "schemes",
+                  List
+                    (List.map (fun (n, _) -> String n) Security.Matrix.schemes)
+                );
+                ( "rows",
+                  List
+                    (List.map
+                       (fun (r : Security.Matrix.row) ->
+                         Obj
+                           [
+                             ("group", String r.Security.Matrix.group);
+                             ("cwes", String r.Security.Matrix.cwes);
+                             ("title", String r.Security.Matrix.title);
+                             ( "cells",
+                               List
+                                 (List.map
+                                    (fun c -> String c)
+                                    r.Security.Matrix.cells) );
+                           ])
+                       rows) );
+              ]))
+    else print_endline (Security.Matrix.render ~jobs ())
+  in
   Cmd.v (Cmd.info "matrix" ~doc:"Print the CWE matrix (Table 3)")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg $ json_arg)
 
 let () =
   let info =

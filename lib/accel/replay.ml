@@ -10,7 +10,8 @@ type stream = { instance : int; trace : Trace.t; max_outstanding : int }
 
 type instance_state = {
   id : int;
-  events : Trace.event array;
+  trace : Trace.t;  (* read through Trace.get/length: no per-instance copy *)
+  n : int;
   limit : int;
   mutable next : int;
   mutable ready : int;
@@ -24,7 +25,7 @@ let error_turnaround = 8
 (* cycles between observing an error response and re-issuing the transaction *)
 
 let candidate_time st =
-  let ev = st.events.(st.next) in
+  let ev = Trace.get st.trace st.next in
   let cand = st.ready + ev.Trace.gap in
   (* A streaming read with a full outstanding queue must wait for the oldest
      in-flight read to return. *)
@@ -39,7 +40,7 @@ let run ?(error_retry_limit = 4) fabric ~start streams =
   let states =
     List.map
       (fun s ->
-        { id = s.instance; events = Trace.events s.trace;
+        { id = s.instance; trace = s.trace; n = Trace.length s.trace;
           limit = max 1 s.max_outstanding; next = 0; ready = start;
           outstanding = Queue.create (); finish = start;
           event_retries = 0; failed = false })
@@ -50,7 +51,7 @@ let run ?(error_retry_limit = 4) fabric ~start streams =
     let best =
       List.fold_left
         (fun acc st ->
-          if st.next >= Array.length st.events then acc
+          if st.next >= st.n then acc
           else
             let cand = candidate_time st in
             match acc with
@@ -61,7 +62,7 @@ let run ?(error_retry_limit = 4) fabric ~start streams =
     match best with
     | None -> ()
     | Some (st, cand) ->
-        let ev = st.events.(st.next) in
+        let ev = Trace.get st.trace st.next in
         (if ev.Trace.kind = Guard.Iface.Read && (not ev.Trace.dependent)
             && Queue.length st.outstanding >= st.limit
          then ignore (Queue.pop st.outstanding));
@@ -77,7 +78,7 @@ let run ?(error_retry_limit = 4) fabric ~start streams =
             (* Retry budget exhausted: this instance's run is lost; the
                driver decides what to do with the task. *)
             st.failed <- true;
-            st.next <- Array.length st.events
+            st.next <- st.n
           end
           else begin
             st.event_retries <- st.event_retries + 1;
@@ -122,7 +123,7 @@ let run_event ?error_retry_limit ~sched ~arb ~start streams =
         in
         let failed = ref false in
         Ccsim.Sched.spawn sched ~at:start (fun () ->
-            try Array.iter (Flow.issue flow) (Trace.events s.trace)
+            try Trace.iter (Flow.issue flow) s.trace
             with Flow.Failed -> failed := true);
         (s.instance, flow, failed))
       streams

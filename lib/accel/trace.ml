@@ -57,6 +57,16 @@ let add_access t ~bus ~max_burst ~gap ~kind ~addr ~size ~dependent ~latency =
   end
 
 let length t = t.len
+
+let get t idx =
+  if idx < 0 || idx >= t.len then invalid_arg "Accel.Trace.get";
+  t.events.(idx)
+
+let iter f t =
+  for idx = 0 to t.len - 1 do
+    f t.events.(idx)
+  done
+
 let events t = Array.sub t.events 0 t.len
 
 let total_beats t =

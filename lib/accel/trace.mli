@@ -39,5 +39,19 @@ val add_access :
     the burst-length limit allows (AXI burst formation). *)
 
 val length : t -> int
+
+val get : t -> int -> event
+(** [get t i] is the [i]th recorded event, without copying the trace.
+    Raises [Invalid_argument] outside [\[0, length t)]. *)
+
+val iter : (event -> unit) -> t -> unit
+(** In recording order, without copying.  The replay hot path uses
+    {!get}/{!iter}; {!events} stays for callers that want a stable
+    snapshot. *)
+
 val events : t -> event array
+(** A fresh snapshot of the recorded events (unaffected by later
+    {!add}/{!add_access}).  Allocates a copy on every call — prefer
+    {!get}/{!iter}/{!length} on hot paths. *)
+
 val total_beats : t -> int

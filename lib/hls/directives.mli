@@ -31,3 +31,41 @@ val make :
   ?area_luts:int ->
   unit ->
   t
+
+(** {1 Synthesis}
+
+    [synthesize] is the stand-in for invoking Vitis HLS on (kernel source,
+    directive set): it elaborates the kernel IR into a [design] — the port
+    map, static datapath schedule statistics and the performance/area
+    figures the system model consumes.  A design depends only on the kernel
+    and the directives, never on launch parameters or system state, so it is
+    memoized per [(kernel name, directives)]: a parallelism sweep that runs
+    the same benchmark at 1/2/4/8/16 tasks synthesizes once and hits the
+    cache thereafter.  The cache is domain-safe (mutex-guarded) — parallel
+    {!Ccsim.Pool} jobs may share it freely. *)
+
+type design = {
+  d_kernel : string;         (** kernel name (the cache key's first half) *)
+  d_directives : t;          (** the directive set synthesized under *)
+  d_ports : int;             (** DMA-visible memory ports (= heap buffers) *)
+  d_scratch_mems : int;      (** accelerator-internal BRAMs *)
+  d_static_ops : int;        (** datapath operation nodes in the schedule *)
+  d_loop_depth : int;        (** deepest loop nest *)
+  d_buffer_bytes : int;      (** total heap-buffer footprint in bytes *)
+  d_compute_ipc : float;     (** as {!field:compute_ipc} *)
+  d_max_outstanding : int;   (** as {!field:max_outstanding} *)
+  d_fine_ports : bool;       (** as {!field:fine_ports} *)
+  d_area_luts : int;         (** as {!field:area_luts} *)
+}
+
+val synthesize : kernel:Kernel.Ir.t -> t -> design
+(** Memoized; a cache hit returns a design structurally identical to fresh
+    synthesis (pinned by a unit test). *)
+
+val synthesize_uncached : kernel:Kernel.Ir.t -> t -> design
+(** Always re-elaborates; the oracle the cache is tested against. *)
+
+val cache_stats : unit -> int * int
+(** [(hits, misses)] since start-up (or {!cache_clear}). *)
+
+val cache_clear : unit -> unit

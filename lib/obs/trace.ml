@@ -31,3 +31,16 @@ let capacity t = match t.ring with None -> 0 | Some r -> Ring.capacity r
 let clear t =
   (match t.ring with None -> () | Some r -> Ring.clear r);
   t.clock <- 0
+
+let merge_into ~into sources =
+  match into.ring with
+  | None -> ()
+  | Some r ->
+      List.iter
+        (fun src ->
+          if src == into then invalid_arg "Obs.Trace.merge_into: source = into";
+          (match src.ring with
+          | None -> ()
+          | Some sr -> Ring.iter (Ring.push r) sr);
+          if src.clock > into.clock then into.clock <- src.clock)
+        sources

@@ -55,3 +55,14 @@ val length : t -> int
 val dropped : t -> int
 val capacity : t -> int
 val clear : t -> unit
+
+val merge_into : into:t -> t list -> unit
+(** [merge_into ~into sources] appends the retained events of each source, in
+    list order, into [into]'s ring and advances [into]'s clock to the maximum
+    of all clocks.  This is the join step of a parallel batch
+    ({!Ccsim.Pool}): each job records into its own sink, and after the
+    barrier the per-job sinks are merged in job-index order, so the merged
+    stream is identical to scheduling-independent serial recording.  Events
+    a source already dropped are gone and are not re-counted here.  Sources
+    must be distinct from [into] ([Invalid_argument] otherwise); a [null]
+    destination ignores everything. *)

@@ -32,18 +32,48 @@ let granularity_label protection =
   else
     match protection with Soc.Config.Prot_iommu -> "PG" | _ -> "TA"
 
-let for_schemes f = List.map (fun (_, protection) -> f protection) schemes
-
 let protected_cell outcome = if Attacks.is_protected outcome then "yes" else "X"
 
 let const_cells value = List.map (fun _ -> value) schemes
 
-let rows () =
+(* Every measured cell of one scheme's column.  Each column boots its own
+   attack systems and shares nothing with the others, so columns are
+   independent jobs for the domain pool; rows are assembled from the
+   columns after the barrier, in schemes order, making the matrix identical
+   at any [jobs] value. *)
+type column = {
+  col_granularity : string;
+  col_untrusted : string;
+  col_uaf : string;
+  col_fixed : string;
+  col_uninit : string;
+}
+
+let measure_column protection =
+  {
+    col_granularity = granularity_label protection;
+    col_untrusted =
+      (let aimed = Attacks.untrusted_pointer_deref protection in
+       if not (Attacks.is_protected aimed) then "X"
+       else
+         (* Cross-task blocked; granularity bounds what remains. *)
+         granularity_label protection);
+    col_uaf = protected_cell (Attacks.use_after_free protection);
+    col_fixed = protected_cell (Attacks.fixed_address_os protection);
+    col_uninit = protected_cell (Attacks.uninitialized_pointer protection);
+  }
+
+let columns ?jobs () =
+  Ccsim.Pool.map ?jobs (fun (_, protection) -> measure_column protection) schemes
+
+let rows ?jobs () =
+  let cols = columns ?jobs () in
+  let cells_of f = List.map f cols in
   [
     {
       group = "a"; cwes = "119-131,466,680,786-788,805,806";
       title = "Buffer over-reads / overwrites";
-      cells = for_schemes granularity_label;
+      cells = cells_of (fun c -> c.col_granularity);
     };
     {
       group = "a"; cwes = "761";
@@ -56,28 +86,22 @@ let rows () =
     {
       group = "a"; cwes = "822,823";
       title = "Untrusted pointer dereference / offset";
-      cells =
-        for_schemes (fun protection ->
-            let aimed = Attacks.untrusted_pointer_deref protection in
-            if not (Attacks.is_protected aimed) then "X"
-            else
-              (* Cross-task blocked; granularity bounds what remains. *)
-              granularity_label protection);
+      cells = cells_of (fun c -> c.col_untrusted);
     };
     {
       group = "b"; cwes = "416";
       title = "Use after free / dangling device pointer";
-      cells = for_schemes (fun p -> protected_cell (Attacks.use_after_free p));
+      cells = cells_of (fun c -> c.col_uaf);
     };
     {
       group = "b"; cwes = "587";
       title = "Assignment of fixed address to pointer";
-      cells = for_schemes (fun p -> protected_cell (Attacks.fixed_address_os p));
+      cells = cells_of (fun c -> c.col_fixed);
     };
     {
       group = "b"; cwes = "824";
       title = "Access of uninitialized pointer";
-      cells = for_schemes (fun p -> protected_cell (Attacks.uninitialized_pointer p));
+      cells = cells_of (fun c -> c.col_uninit);
     };
     {
       group = "c"; cwes = "244,415,590,690,763";
@@ -103,9 +127,9 @@ let rows () =
     };
   ]
 
-let render () =
+let render ?jobs () =
   let header = "Grp" :: "CWE" :: "Weakness" :: List.map fst schemes in
   let body =
-    List.map (fun r -> r.group :: r.cwes :: r.title :: r.cells) (rows ())
+    List.map (fun r -> r.group :: r.cwes :: r.title :: r.cells) (rows ?jobs ())
   in
   Ccsim.Report.table ~header body

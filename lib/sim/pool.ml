@@ -1,0 +1,53 @@
+let recommended () = Domain.recommended_domain_count ()
+
+let resolve jobs =
+  if jobs < 0 then invalid_arg "Ccsim.Pool: jobs must be >= 0"
+  else if jobs = 0 then recommended ()
+  else jobs
+
+(* A slot is written by exactly one worker (the one that claimed its index)
+   and read only after every worker has been joined, so plain mutation is
+   race-free; no per-slot synchronization is needed. *)
+type 'a slot = Empty | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+let run ?(jobs = 1) count f =
+  if count < 0 then invalid_arg "Ccsim.Pool.run: negative count";
+  let jobs = resolve jobs in
+  if jobs <= 1 || count <= 1 then Array.init count f
+  else begin
+    let slots = Array.make count Empty in
+    let next = Atomic.make 0 in
+    (* Chunked claiming: cheap enough that a handful of atomic operations
+       never shows up next to a full-system simulation, small enough that a
+       slow job cannot strand much work behind it. *)
+    let chunk = max 1 (count / (jobs * 8)) in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < count then begin
+          let stop = min count (start + chunk) in
+          for idx = start to stop - 1 do
+            slots.(idx) <-
+              (match f idx with
+              | v -> Done v
+              | exception e -> Failed (e, Printexc.get_raw_backtrace ()))
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = Array.init (min jobs count - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.map
+      (function
+        | Done v -> v
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty -> assert false)
+      slots
+  end
+
+let map ?jobs f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (run ?jobs (Array.length arr) (fun idx -> f arr.(idx)))

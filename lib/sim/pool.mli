@@ -1,0 +1,43 @@
+(** Fixed-size domain worker pool for embarrassingly parallel simulation jobs.
+
+    [run ~jobs n f] evaluates [f 0 .. f (n-1)] on up to [jobs] OCaml 5
+    domains and returns the results in index order.  Workers claim chunks of
+    consecutive indices from a shared atomic cursor and write each result
+    into a preallocated slot array, so the output is {e index-deterministic}:
+    the result array is identical whatever the scheduling, and identical to
+    the serial run — parallelism can only change wall-clock time, never a
+    result.  The CI determinism gate and the [soc] batch tests rely on this.
+
+    {2 Domain-safety rules for job closures}
+
+    The pool runs [f] concurrently on several domains.  Jobs must therefore
+    be {e isolated}: a job may only read immutable shared data (benchmark
+    definitions, configs, parameter lists) and must create every piece of
+    mutable state it touches itself — its own {!Soc}[.System], its own
+    [Obs.Trace] sink, its own fault-plan RNG.  Sharing a mutable structure
+    (a sink, a system, an [Rng.t]) across jobs is a data race and breaks
+    determinism.  [Soc.Run.run_many] enforces this by constructing all
+    per-run state inside the job.
+
+    Exceptions raised by a job are caught, and the exception of the
+    lowest-numbered failing job is re-raised (with its backtrace) after all
+    workers finish — again independent of scheduling. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]: how many domains this machine can
+    usefully run. *)
+
+val resolve : int -> int
+(** Normalize a user-facing [--jobs] value: [0] means {!recommended},
+    positive values pass through.  Raises [Invalid_argument] on negatives. *)
+
+val run : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ~jobs n f] is [[| f 0; ...; f (n-1) |]].  [jobs] defaults to [1],
+    which runs serially on the calling domain with no pool at all (the
+    deterministic baseline); [0] means {!recommended}.  With [jobs > 1], at
+    most [min jobs n] domains run concurrently (the caller's domain is one
+    of them). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] evaluated on the pool, preserving
+    order. *)

@@ -225,6 +225,10 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
   let eligible = elide_eligible backend elide bench in
   let elide_exec = (match elide with Elide_on -> eligible | _ -> false) in
   let directives = bench.directives in
+  (* One synthesized design per (kernel, directives): a sweep re-running this
+     benchmark at other task counts or configs hits the memo cache instead of
+     re-elaborating the datapath schedule. *)
+  let design = Hls.Directives.synthesize ~kernel directives in
   let cfg = sys.System.cpu_cfg in
   let rec allocate acc n =
     if n = 0 then List.rev acc
@@ -278,7 +282,7 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
             (fun (a : Driver.allocated) ->
               { Accel.Replay.instance = a.handle.Driver.task_id;
                 trace = outcome.Accel.Engine.trace;
-                max_outstanding = directives.Hls.Directives.max_outstanding })
+                max_outstanding = design.Hls.Directives.d_max_outstanding })
             allocated
         in
         let replayed =
@@ -361,7 +365,7 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
     ~entries_peak ~bus_beats
     ~area_luts:
       (System.total_area_luts sys
-         ~accel_luts_per_instance:directives.Hls.Directives.area_luts)
+         ~accel_luts_per_instance:design.Hls.Directives.d_area_luts)
     ()
 
 (* Fault-aware execution. *)
@@ -493,9 +497,14 @@ let run_hetero_faulted sys ~benchmark ~area_luts ~policy ~engine
   let streams =
     List.map
       (fun at ->
+        let design =
+          Hls.Directives.synthesize
+            ~kernel:at.at_bench.Machsuite.Bench_def.kernel
+            at.at_bench.directives
+        in
         { Accel.Replay.instance = at.at_alloc.Driver.handle.Driver.task_id;
           trace = at.at_outcome.Accel.Engine.trace;
-          max_outstanding = at.at_bench.directives.Hls.Directives.max_outstanding })
+          max_outstanding = design.Hls.Directives.d_max_outstanding })
       accel
   in
   let replay_start = Obs.Trace.now obs in
@@ -580,12 +589,15 @@ let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
   | Config.Hetero _ ->
       if Fault.Plan.is_none faults then run_hetero sys bench ~tasks ~elide ~engine
       else
-        let directives = bench.Machsuite.Bench_def.directives in
+        let design =
+          Hls.Directives.synthesize ~kernel:bench.Machsuite.Bench_def.kernel
+            bench.Machsuite.Bench_def.directives
+        in
         run_hetero_faulted sys
           ~benchmark:bench.Machsuite.Bench_def.kernel.Kernel.Ir.name
           ~area_luts:
             (System.total_area_luts sys
-               ~accel_luts_per_instance:directives.Hls.Directives.area_luts)
+               ~accel_luts_per_instance:design.Hls.Directives.d_area_luts)
           ~policy:retry ~engine
           (List.init tasks (fun _ -> bench))
 
@@ -602,12 +614,15 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   (* Exact datapath area: per-instance LUTs summed, never a truncating
      per-task mean — mixed benches with unequal area would under-report the
      silicon the power model is charged for. *)
+  let design_of (b : Machsuite.Bench_def.t) =
+    Hls.Directives.synthesize ~kernel:b.Machsuite.Bench_def.kernel b.directives
+  in
   let area_luts =
     System.total_area_luts_exact sys
       ~accel_luts_total:
         (List.fold_left
            (fun acc (b : Machsuite.Bench_def.t) ->
-             acc + b.directives.Hls.Directives.area_luts)
+             acc + (design_of b).Hls.Directives.d_area_luts)
            0 benches)
   in
   if not (Fault.Plan.is_none faults) then
@@ -682,7 +697,8 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
             (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), outcome) ->
               { Accel.Replay.instance = a.handle.Driver.task_id;
                 trace = outcome.Accel.Engine.trace;
-                max_outstanding = bench.directives.Hls.Directives.max_outstanding })
+                max_outstanding =
+                  (design_of bench).Hls.Directives.d_max_outstanding })
             outcomes
         in
         let replayed =
@@ -759,3 +775,65 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
     ~correct ~denials ~checks ~elided_checks ~entries_peak
     ~bus_beats ~area_luts ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Batch entry points: many independent full-system runs on a domain    *)
+(* pool.  A spec captures everything a run needs; the job itself builds  *)
+(* every piece of mutable state (the System, the sink, the fault-plan    *)
+(* RNG), so jobs share nothing mutable and results are                   *)
+(* index-deterministic regardless of scheduling.                         *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  sp_config : Config.t;
+  sp_bench : Machsuite.Bench_def.t;
+  sp_tasks : int;
+  sp_instances : int option;
+  sp_cc_entries : int;
+  sp_bus : Bus.Params.t;
+  sp_faults : Fault.Plan.t;
+  sp_retry : Driver.retry_policy;
+  sp_elide : elide_mode;
+  sp_engine : engine;
+}
+
+let spec ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
+    ?(faults = Fault.Plan.none) ?(retry = Driver.default_retry_policy)
+    ?(elide = Elide_off) ?(engine = Legacy_replay) config bench =
+  { sp_config = config; sp_bench = bench; sp_tasks = tasks;
+    sp_instances = instances; sp_cc_entries = cc_entries; sp_bus = bus;
+    sp_faults = faults; sp_retry = retry; sp_elide = elide; sp_engine = engine }
+
+let run_spec ?obs sp =
+  run ~tasks:sp.sp_tasks ?instances:sp.sp_instances ~cc_entries:sp.sp_cc_entries
+    ~bus:sp.sp_bus ?obs ~faults:sp.sp_faults ~retry:sp.sp_retry
+    ~elide:sp.sp_elide ~engine:sp.sp_engine sp.sp_config sp.sp_bench
+
+let run_many ?(jobs = 1) ?obs_of specs =
+  let arr = Array.of_list specs in
+  Array.to_list
+    (Ccsim.Pool.run ~jobs (Array.length arr) (fun idx ->
+         let obs = Option.map (fun f -> f idx) obs_of in
+         run_spec ?obs arr.(idx)))
+
+let sweep_many ?(jobs = 1) ?(engine = Legacy_replay) ~tasks_list columns bench =
+  let specs =
+    List.concat_map
+      (fun tasks ->
+        List.map
+          (fun (config, instances) ->
+            spec ~tasks ?instances ~engine config bench)
+          columns)
+      tasks_list
+  in
+  let results = run_many ~jobs specs in
+  let ncols = List.length columns in
+  let rec regroup tasks_list results =
+    match tasks_list with
+    | [] -> []
+    | tasks :: rest ->
+        let row = List.filteri (fun idx _ -> idx < ncols) results in
+        let remainder = List.filteri (fun idx _ -> idx >= ncols) results in
+        (tasks, row) :: regroup rest remainder
+  in
+  regroup tasks_list results

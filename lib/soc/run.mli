@@ -136,3 +136,55 @@ val run_mixed :
     at least one benchmark (raises [Invalid_argument] otherwise).
     [faults]/[retry]/[engine] behave as in {!run}.  [area_luts] sums each
     instance's datapath exactly (no per-task mean). *)
+
+(** {1 Batch execution on a domain pool}
+
+    Full-system runs are independent of one another — distinct [System]s,
+    distinct memories, distinct fault-plan RNG streams — which makes a batch
+    embarrassingly parallel.  {!run_many} evaluates one {!spec} per
+    {!Ccsim.Pool} job and returns results in spec order; because each job
+    constructs {e all} of its mutable state itself (its system, its optional
+    sink via [obs_of], the injector seeded from the spec's fault plan), the
+    result list is byte-identical at every [jobs] value.  Do not share a
+    sink, a system, or any other mutable structure across specs: the
+    "no shared mutable state across jobs" rule of {!Ccsim.Pool} applies. *)
+
+type spec = {
+  sp_config : Config.t;
+  sp_bench : Machsuite.Bench_def.t;
+  sp_tasks : int;
+  sp_instances : int option;
+  sp_cc_entries : int;
+  sp_bus : Bus.Params.t;
+  sp_faults : Fault.Plan.t;   (** the plan's seed derives this run's RNG *)
+  sp_retry : Driver.retry_policy;
+  sp_elide : elide_mode;
+  sp_engine : engine;
+}
+
+val spec :
+  ?tasks:int -> ?instances:int -> ?cc_entries:int -> ?bus:Bus.Params.t ->
+  ?faults:Fault.Plan.t -> ?retry:Driver.retry_policy -> ?elide:elide_mode ->
+  ?engine:engine -> Config.t -> Machsuite.Bench_def.t -> spec
+(** Defaults mirror {!run}'s. *)
+
+val run_spec : ?obs:Obs.Trace.t -> spec -> result
+(** [run_spec sp] = {!run} with [sp]'s fields; the serial oracle
+    {!run_many} is tested against. *)
+
+val run_many :
+  ?jobs:int -> ?obs_of:(int -> Obs.Trace.t) -> spec list -> result list
+(** Run every spec, up to [jobs] ({!Ccsim.Pool} semantics: default 1 =
+    serial, 0 = all cores) at a time, returning results in spec order.
+    [obs_of i] supplies the private sink for job [i] — typically one
+    pre-created sink per spec, merged after the barrier with
+    {!Obs.Trace.merge_into}.  A sink must not be shared between specs. *)
+
+val sweep_many :
+  ?jobs:int -> ?engine:engine -> tasks_list:int list ->
+  (Config.t * int option) list -> Machsuite.Bench_def.t ->
+  (int * result list) list
+(** The parallelism-sweep shape (Figure 11 / [capsim sweep]): for every task
+    count in [tasks_list], run [bench] under each [(config, instances)]
+    column.  All points run as one {!run_many} batch; the returned rows
+    pair each task count with its per-column results in column order. *)

@@ -1,0 +1,39 @@
+The --jobs flag parallelizes independent simulations on a domain pool.  The
+contract is that parallelism only changes wall-clock time: any --jobs value
+produces byte-identical output to --jobs 1.  These diffs pin that contract
+for every parallel subcommand (CI repeats them with the JSON outputs).
+
+The parallelism sweep, serial vs 2 and 4 worker domains:
+
+  $ ../../bin/capsim.exe sweep -b aes > sweep1.out
+  $ ../../bin/capsim.exe sweep -b aes --jobs 2 > sweep2.out
+  $ ../../bin/capsim.exe sweep -b aes --jobs 4 > sweep4.out
+  $ diff sweep1.out sweep2.out && diff sweep1.out sweep4.out
+
+The same through the JSON emitter, and with --jobs 0 (all cores):
+
+  $ ../../bin/capsim.exe sweep -b aes --json > sweepj1.out
+  $ ../../bin/capsim.exe sweep -b aes --json --jobs 0 > sweepj0.out
+  $ diff sweepj1.out sweepj0.out
+
+The CWE matrix measures its per-scheme columns in parallel:
+
+  $ ../../bin/capsim.exe matrix > matrix1.out
+  $ ../../bin/capsim.exe matrix --jobs 4 > matrix4.out
+  $ diff matrix1.out matrix4.out
+  $ ../../bin/capsim.exe matrix --json > matrixj1.out
+  $ ../../bin/capsim.exe matrix --json --jobs 4 > matrixj4.out
+  $ diff matrixj1.out matrixj4.out
+
+A multi-seed fault batch (seeds 4..6; every seeded run re-derives its RNG
+inside its own job, so the batch is as reproducible as a single run):
+
+  $ ../../bin/capsim.exe faults -b aes -c ccpu+caccel -t 4 --seed 4 --runs 3 > faults1.out
+  $ ../../bin/capsim.exe faults -b aes -c ccpu+caccel -t 4 --seed 4 --runs 3 --jobs 4 > faults4.out
+  $ diff faults1.out faults4.out
+
+A batch's first run is the single run, byte for byte:
+
+  $ ../../bin/capsim.exe faults -b aes -c ccpu+caccel -t 4 --seed 4 > single.out
+  $ head -n 7 faults1.out > batch_head.out
+  $ diff single.out batch_head.out

@@ -283,6 +283,37 @@ let prop_replay_makespan_bounds =
 
 let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_replay_makespan_bounds ]
 
+(* ---- get/iter vs the events snapshot ---- *)
+
+let test_trace_access_parity () =
+  let evs = List.init 9 (fun i -> ev ~dependent:(i mod 3 = 0) (1 + (i mod 4))) in
+  let t = trace_of_events evs in
+  let snapshot = Accel.Trace.events t in
+  checki "length" (List.length evs) (Accel.Trace.length t);
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check bool) "get matches snapshot" true (Accel.Trace.get t i = e))
+    snapshot;
+  let collected = ref [] in
+  Accel.Trace.iter (fun e -> collected := e :: !collected) t;
+  Alcotest.(check bool) "iter matches snapshot in order" true
+    (List.rev !collected = Array.to_list snapshot);
+  Alcotest.(check bool) "get bounds checked" true
+    (try
+       ignore (Accel.Trace.get t (Accel.Trace.length t));
+       false
+     with Invalid_argument _ -> true)
+
+let test_trace_snapshot_is_stable () =
+  (* [events] is a copy: growing the trace afterwards must not change it. *)
+  let t = trace_of_events [ ev 2; ev 3 ] in
+  let snapshot = Accel.Trace.events t in
+  Accel.Trace.add t (ev 4);
+  checki "snapshot keeps its length" 2 (Array.length snapshot);
+  checki "trace grew" 3 (Accel.Trace.length t);
+  Alcotest.(check bool) "new event visible via get" true
+    (Accel.Trace.get t 2 = ev 4)
+
 let suite =
   [
     ("burst merge contiguous", `Quick, test_burst_merge_contiguous);
@@ -306,5 +337,7 @@ let suite =
     ("replay latency hidden streaming", `Quick, test_replay_guard_latency_hidden_on_streaming);
     ("replay contention", `Quick, test_replay_contention);
     ("replay posted writes", `Quick, test_replay_posted_writes);
+    ("trace get/iter parity", `Quick, test_trace_access_parity);
+    ("trace snapshot stable", `Quick, test_trace_snapshot_is_stable);
   ]
   @ qsuite

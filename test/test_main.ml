@@ -2,6 +2,7 @@ let () =
   Alcotest.run "cheri_capchecker"
     [
       ("sim", Test_sim.suite);
+      ("pool", Test_pool.suite);
       ("sched", Test_sched.suite);
       ("cheri", Test_cheri.suite);
       ("tagmem", Test_tagmem.suite);
@@ -19,6 +20,7 @@ let () =
       ("driver", Test_driver.suite);
       ("revoker", Test_revoker.suite);
       ("machsuite", Test_machsuite.suite);
+      ("hls", Test_hls.suite);
       ("soc", Test_soc.suite);
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);

@@ -60,6 +60,69 @@ let test_trace_clock_and_drops () =
       check_int "newest kept 2" 4 b.Obs.Event.cycle
   | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
 
+(* ---- merge_into: the join step of a parallel batch ---- *)
+
+let test_merge_into_order_and_clock () =
+  let mk cycles =
+    let t = Obs.Trace.create ~capacity:16 () in
+    List.iter
+      (fun c -> Obs.Trace.emit_at t ~cycle:c (Obs.Event.Mmio_read { offset = c }))
+      cycles;
+    t
+  in
+  let a = mk [ 1; 2 ] and b = mk [ 5; 9 ] and c = mk [] in
+  Obs.Trace.set_now a 2;
+  Obs.Trace.set_now b 9;
+  let into = Obs.Trace.create ~capacity:16 () in
+  Obs.Trace.emit_at into ~cycle:0 (Obs.Event.Mmio_write { offset = 0 });
+  Obs.Trace.merge_into ~into [ a; b; c ];
+  check_int "all events landed" 5 (Obs.Trace.length into);
+  Alcotest.(check (list int)) "source order preserved" [ 0; 1; 2; 5; 9 ]
+    (List.map (fun e -> e.Obs.Event.cycle) (Obs.Trace.events into));
+  check_int "clock advanced to max source clock" 9 (Obs.Trace.now into);
+  check_int "sources untouched" 2 (Obs.Trace.length a)
+
+let test_merge_into_null_and_self () =
+  let src = Obs.Trace.create ~capacity:8 () in
+  Obs.Trace.emit src (Obs.Event.Mmio_read { offset = 4 });
+  (* A null destination ignores everything — the usual no-observation path. *)
+  Obs.Trace.merge_into ~into:Obs.Trace.null [ src ];
+  check_int "null absorbs nothing" 0 (Obs.Trace.length Obs.Trace.null);
+  check_bool "self-merge rejected" true
+    (try
+       Obs.Trace.merge_into ~into:src [ src ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_merge_into_equals_serial_recording () =
+  (* Recording 3 fault-free runs into per-job sinks and merging equals one
+     sink observing the same runs back to back, up to the clock offsets the
+     runs themselves set — the property the parallel bench sections use. *)
+  let bench = Machsuite.Registry.find "aes" in
+  let sinks =
+    List.map
+      (fun _ ->
+        let t = Obs.Trace.create ~capacity:(1 lsl 16) () in
+        ignore (Soc.Run.run ~tasks:2 ~obs:t Soc.Config.ccpu_caccel bench);
+        t)
+      [ 0; 1; 2 ]
+  in
+  let merged = Obs.Trace.create ~capacity:(1 lsl 18) () in
+  Obs.Trace.merge_into ~into:merged sinks;
+  check_int "merged carries every event"
+    (List.fold_left (fun acc s -> acc + Obs.Trace.length s) 0 sinks)
+    (Obs.Trace.length merged);
+  match sinks with
+  | first :: _ ->
+      Alcotest.(check bool) "merged prefix is the first sink verbatim" true
+        (Obs.Trace.events first
+        = List.filteri
+            (fun i _ -> i < Obs.Trace.length first)
+            (Obs.Trace.events merged))
+  | [] -> assert false
+
+(* ---- Metrics: histogram percentile vs the exact nearest-rank one ---- *)
+
 (* ---- Metrics: histogram percentile vs the exact nearest-rank one ---- *)
 
 let test_histogram_percentile () =
@@ -289,6 +352,12 @@ let suite =
     Alcotest.test_case "ring below capacity" `Quick test_ring_partial;
     Alcotest.test_case "null sink is inert" `Quick test_null_sink;
     Alcotest.test_case "trace clock and drops" `Quick test_trace_clock_and_drops;
+    Alcotest.test_case "merge_into order and clock" `Quick
+      test_merge_into_order_and_clock;
+    Alcotest.test_case "merge_into null/self handling" `Quick
+      test_merge_into_null_and_self;
+    Alcotest.test_case "merge equals serial recording" `Slow
+      test_merge_into_equals_serial_recording;
     Alcotest.test_case "histogram percentile brackets exact" `Quick
       test_histogram_percentile;
     Alcotest.test_case "metrics merge" `Quick test_metrics_merge;

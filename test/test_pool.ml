@@ -1,0 +1,89 @@
+(* lib/sim Pool: the domain worker pool must be index-deterministic — the
+   result array is identical to the serial run at any jobs value, and an
+   exception surfaces as the lowest-numbered failing job's, independent of
+   scheduling.  Every parallel code path in the repo leans on these two
+   properties. *)
+
+let checki = Alcotest.(check int)
+
+(* A job function with observable per-index structure and enough work that
+   chunks genuinely interleave across domains. *)
+let busy idx =
+  let acc = ref idx in
+  for i = 1 to 10_000 do
+    acc := (!acc * 31 + i) land 0xFFFFFF
+  done;
+  (idx, !acc)
+
+let test_parity_serial_vs_parallel () =
+  let n = 100 in
+  let serial = Ccsim.Pool.run ~jobs:1 n busy in
+  List.iter
+    (fun jobs ->
+      let par = Ccsim.Pool.run ~jobs n busy in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs:%d identical to serial" jobs)
+        true (par = serial))
+    [ 2; 3; 4; 7 ]
+
+let test_index_order () =
+  let r = Ccsim.Pool.run ~jobs:4 50 (fun i -> i * i) in
+  Array.iteri (fun i v -> checki "slot holds its own index's result" (i * i) v) r
+
+let test_edge_counts () =
+  checki "count 0" 0 (Array.length (Ccsim.Pool.run ~jobs:4 0 (fun i -> i)));
+  let one = Ccsim.Pool.run ~jobs:4 1 (fun i -> i + 41) in
+  checki "count 1 length" 1 (Array.length one);
+  checki "count 1 value" 41 one.(0)
+
+let test_jobs_zero_resolves () =
+  checki "resolve 0" (Ccsim.Pool.recommended ()) (Ccsim.Pool.resolve 0);
+  checki "resolve passthrough" 3 (Ccsim.Pool.resolve 3);
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Ccsim.Pool.resolve (-1));
+       false
+     with Invalid_argument _ -> true);
+  (* jobs:0 must actually run (on however many domains the host has). *)
+  let r = Ccsim.Pool.run ~jobs:0 10 (fun i -> i + 1) in
+  checki "jobs:0 runs" 10 (Array.length r)
+
+let test_map_preserves_order () =
+  let xs = [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ] in
+  Alcotest.(check (list string))
+    "map parity with List.map" (List.map String.uppercase_ascii xs)
+    (Ccsim.Pool.map ~jobs:4 String.uppercase_ascii xs)
+
+exception Boom of int
+
+let test_lowest_failure_wins () =
+  (* Several jobs fail; whatever the scheduling, the reported exception must
+     be the lowest-numbered one's. *)
+  List.iter
+    (fun jobs ->
+      match
+        Ccsim.Pool.run ~jobs 64 (fun i ->
+            if i mod 10 = 7 then raise (Boom i) else i)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+          checki (Printf.sprintf "jobs:%d lowest failing index" jobs) 7 i)
+    [ 1; 2; 4 ]
+
+let test_negative_count_rejected () =
+  Alcotest.(check bool) "negative count" true
+    (try
+       ignore (Ccsim.Pool.run ~jobs:2 (-1) (fun i -> i));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ("serial/parallel parity", `Quick, test_parity_serial_vs_parallel);
+    ("index order", `Quick, test_index_order);
+    ("edge counts", `Quick, test_edge_counts);
+    ("jobs 0 resolves to recommended", `Quick, test_jobs_zero_resolves);
+    ("map preserves order", `Quick, test_map_preserves_order);
+    ("lowest failing index wins", `Quick, test_lowest_failure_wins);
+    ("negative count rejected", `Quick, test_negative_count_rejected);
+  ]

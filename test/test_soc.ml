@@ -151,6 +151,82 @@ let test_naive_flag_only_on_naive () =
   checkb "guarded never naive" false
     (Soc.System.naive_tag_writes (Soc.System.create Soc.Config.ccpu_caccel))
 
+(* ---- batch execution on the domain pool ---- *)
+
+(* A deliberately heterogeneous batch: different configs, task counts,
+   engines and an active fault plan, so parity failures can't hide behind a
+   uniform workload. *)
+let batch_specs () =
+  [
+    Soc.Run.spec ~tasks:2 Soc.Config.ccpu_caccel small;
+    Soc.Run.spec ~tasks:1 Soc.Config.cpu small;
+    Soc.Run.spec ~tasks:4 ~instances:2 ~engine:Soc.Run.Event_driven
+      Soc.Config.ccpu_accel small;
+    Soc.Run.spec ~tasks:2 ~faults:(Fault.Plan.default ~seed:3)
+      Soc.Config.ccpu_caccel small;
+    Soc.Run.spec ~tasks:2 ~elide:Soc.Run.Elide_on Soc.Config.ccpu_caccel
+      pointer_chasing;
+  ]
+
+let test_run_many_matches_serial () =
+  let specs = batch_specs () in
+  let serial = List.map (fun sp -> Soc.Run.run_spec sp) specs in
+  List.iter
+    (fun jobs ->
+      checkb
+        (Printf.sprintf "run_many jobs:%d equals serial" jobs)
+        true
+        (Soc.Run.run_many ~jobs specs = serial))
+    [ 1; 2; 4 ]
+
+let test_run_many_obs_sinks_are_private () =
+  let specs = [ Soc.Run.spec ~tasks:2 Soc.Config.ccpu_caccel small;
+                Soc.Run.spec ~tasks:2 Soc.Config.ccpu_caccel small ] in
+  let mk () = List.map (fun _ -> Obs.Trace.create ~capacity:(1 lsl 16) ()) specs in
+  let serial_sinks = mk () and par_sinks = mk () in
+  let serial =
+    Soc.Run.run_many ~jobs:1 ~obs_of:(List.nth serial_sinks) specs
+  in
+  let par = Soc.Run.run_many ~jobs:2 ~obs_of:(List.nth par_sinks) specs in
+  checkb "results identical with recording" true (serial = par);
+  List.iter2
+    (fun s p ->
+      checki "per-job sinks capture the same events" (Obs.Trace.length s)
+        (Obs.Trace.length p))
+    serial_sinks par_sinks
+
+let test_sweep_many_matches_run () =
+  let columns =
+    [ (Soc.Config.cpu, None); (Soc.Config.ccpu_caccel, Some 4) ]
+  in
+  let sweep =
+    Soc.Run.sweep_many ~jobs:4 ~tasks_list:[ 1; 4 ] columns small
+  in
+  checki "one row per task count" 2 (List.length sweep);
+  List.iter
+    (fun (tasks, results) ->
+      match results with
+      | [ cpu; cc ] ->
+          checkb "cpu column equals direct run" true
+            (cpu = Soc.Run.run ~tasks Soc.Config.cpu small);
+          checkb "cc column equals direct run" true
+            (cc = Soc.Run.run ~tasks ~instances:4 Soc.Config.ccpu_caccel small)
+      | _ -> Alcotest.fail "column arity")
+    sweep
+
+let test_parallel_fault_runs_deterministic () =
+  (* Seeded fault plans re-derive their RNG inside each job, so a parallel
+     fault batch is as reproducible as a serial one. *)
+  let specs =
+    List.init 6 (fun i ->
+        Soc.Run.spec ~tasks:2 ~faults:(Fault.Plan.default ~seed:(i + 1))
+          Soc.Config.ccpu_caccel small)
+  in
+  let a = Soc.Run.run_many ~jobs:4 specs in
+  let b = Soc.Run.run_many ~jobs:2 specs in
+  checkb "same batch twice, different jobs, same results" true (a = b);
+  List.iter (fun r -> checkb "faulted run correct" true r.Soc.Run.correct) a
+
 let suite =
   [
     ("config labels", `Quick, test_labels);
@@ -166,4 +242,9 @@ let suite =
     ("power model", `Quick, test_power_model_monotonic);
     ("system shapes", `Quick, test_system_create_shapes);
     ("naive flag", `Quick, test_naive_flag_only_on_naive);
+    ("run_many equals serial", `Slow, test_run_many_matches_serial);
+    ("run_many private sinks", `Slow, test_run_many_obs_sinks_are_private);
+    ("sweep_many equals direct runs", `Slow, test_sweep_many_matches_run);
+    ("parallel fault batch deterministic", `Slow,
+     test_parallel_fault_runs_deterministic);
   ]
