@@ -851,6 +851,52 @@ let parallel_section () =
       \   host for the real speedup)";
   parallel_snapshot := Some (par_jobs, serial_s, par_s, speedup)
 
+(* Service mode: per-tenant tail latency and CapChecker table pressure as
+   the tenant population sweeps past table capacity, with and without churn.
+   The profile cache inside Serve.Loop means the kernel mix is profiled once
+   for the whole sweep. *)
+let serve_section () =
+  print_string (section "serve: tenant sweep (p99 latency and table thrash)");
+  Printf.printf
+    "  256-entry table, 8 instances, %d requests per point, seed 42\n" 2500;
+  let header =
+    [ "tenants"; "churn%"; "admitted"; "rejects"; "cpu"; "p50"; "p99";
+      "installs"; "evictions"; "conflicts"; "thrash" ]
+  in
+  let rows =
+    List.concat_map
+      (fun tenants ->
+        List.map
+          (fun churn ->
+            let base = Serve.Loop.default_params ~seed:42 ~tenants ~requests:2500 () in
+            let params =
+              { base with
+                Serve.Loop.sv_jobs = jobs ();
+                sv_workload =
+                  { base.Serve.Loop.sv_workload with Serve.Workload.churn_pct = churn } }
+            in
+            let r = Serve.Loop.run params in
+            let tt = r.Serve.Report.rp_totals in
+            let s = r.Serve.Report.rp_table in
+            [ string_of_int tenants;
+              string_of_int churn;
+              string_of_int tt.Serve.Report.t_admitted;
+              string_of_int
+                (tt.Serve.Report.t_rejected_gone
+                + tt.Serve.Report.t_rejected_inflight
+                + tt.Serve.Report.t_rejected_table);
+              string_of_int tt.Serve.Report.t_cpu_fallbacks;
+              string_of_int r.Serve.Report.rp_p50;
+              string_of_int r.Serve.Report.rp_p99;
+              string_of_int s.Capchecker.Table.st_installs;
+              string_of_int s.Capchecker.Table.st_evictions;
+              string_of_int s.Capchecker.Table.st_conflicts;
+              string_of_int (Serve.Report.thrash r) ])
+          [ 0; 25 ])
+      [ 64; 256; 1024 ]
+  in
+  print_string (Ccsim.Report.table ~header rows)
+
 let sections =
   [
     ("table1", table1); ("table2", table2); ("table3", table3);
@@ -867,6 +913,7 @@ let sections =
     ("faults", faults_section);
     ("validation", validation);
     ("parallel", parallel_section);
+    ("serve", serve_section);
     ("micro", micro);
   ]
 

@@ -545,6 +545,127 @@ let matrix_cmd =
   Cmd.v (Cmd.info "matrix" ~doc:"Print the CWE matrix (Table 3)")
     Term.(const run $ jobs_arg $ json_arg)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let tenants_arg =
+    Arg.(value & opt int 100
+           & info [ "tenants" ] ~doc:"Tenant compartments sharing the SoC.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 1000
+           & info [ "requests" ] ~doc:"Total requests offered over the run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload RNG seed.")
+  in
+  let instances_arg =
+    Arg.(value & opt int 8
+           & info [ "instances" ] ~doc:"Accelerator instances.")
+  in
+  let entries_arg =
+    Arg.(value & opt int 256
+           & info [ "cc-entries" ] ~doc:"CapChecker table capacity.")
+  in
+  let inflight_arg =
+    Arg.(value & opt int 4
+           & info [ "max-inflight" ]
+               ~doc:"Per-tenant bound on concurrently admitted requests.")
+  in
+  let watermark_arg =
+    Arg.(value & opt int 90
+           & info [ "watermark" ]
+               ~doc:"Admission watermark: admit only below this percentage \
+                     of table occupancy (100 disables).")
+  in
+  let spill_arg =
+    Arg.(value & opt int (-1)
+           & info [ "spill" ]
+               ~doc:"Wait-queue depth beyond which admitted requests run on \
+                     the CPU (default: twice the instance count).")
+  in
+  let gap_arg =
+    Arg.(value & opt int 0
+           & info [ "gap" ]
+               ~doc:"Mean request inter-arrival gap in cycles (0 derives it \
+                     from the profiled service time and $(b,--util)).")
+  in
+  let util_arg =
+    Arg.(value & opt int 80
+           & info [ "util" ]
+               ~doc:"Target accelerator utilization (percent) for the \
+                     derived gap.")
+  in
+  let churn_arg =
+    Arg.(value & opt int 10
+           & info [ "churn" ]
+               ~doc:"Percentage of tenants that depart mid-run.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10
+           & info [ "top" ] ~doc:"Tenants shown in the p99 table.")
+  in
+  let bench_opt =
+    Arg.(value & opt (some bench_conv) None
+           & info [ "b"; "benchmark" ]
+               ~doc:"Serve a single kernel instead of the default mix.")
+  in
+  let json_arg =
+    Arg.(value & flag
+           & info [ "json" ]
+               ~doc:"Emit the full report as JSON (byte-identical across \
+                     repeat seeds and $(b,--jobs) values).")
+  in
+  let run config tenants requests seed instances entries inflight watermark
+      spill gap util churn top bench jobs json =
+    let spill = if spill < 0 then 2 * instances else spill in
+    let mix =
+      match bench with
+      | Some (b : Machsuite.Bench_def.t) -> [ (b.name, 1) ]
+      | None -> Serve.Workload.default_mix
+    in
+    let params =
+      {
+        Serve.Loop.sv_config = config;
+        sv_instances = instances;
+        sv_cc_entries = entries;
+        sv_policy =
+          {
+            Serve.Admission.max_inflight = inflight;
+            watermark_pct = watermark;
+            spill_depth = spill;
+          };
+        sv_workload =
+          {
+            Serve.Workload.tenants;
+            requests;
+            seed;
+            mean_gap = gap;
+            ramp = 0;
+            churn_pct = churn;
+            mix;
+            scales = Serve.Workload.default_scales;
+          };
+        sv_util_pct = util;
+        sv_jobs = jobs;
+        sv_check_invariants = false;
+      }
+    in
+    let report = Serve.Loop.run params in
+    if json then print_endline (Serve.Report.to_string report)
+    else print_string (Serve.Report.to_table ~top report)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Multi-tenant accelerator-as-a-service: a seeded open-loop \
+             workload over tenant compartments with admission control, \
+             per-tenant tail latency and CapChecker table-pressure \
+             reporting")
+    Term.(const run $ config_arg $ tenants_arg $ requests_arg $ seed_arg
+          $ instances_arg $ entries_arg $ inflight_arg $ watermark_arg
+          $ spill_arg $ gap_arg $ util_arg $ churn_arg $ top_arg $ bench_opt
+          $ jobs_arg $ json_arg)
+
 let () =
   let info =
     Cmd.info "capsim" ~version:"1.0.0"
@@ -554,4 +675,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; trace_cmd; sweep_cmd; attack_cmd; matrix_cmd;
-            faults_cmd; lint_cmd ]))
+            faults_cmd; lint_cmd; serve_cmd ]))

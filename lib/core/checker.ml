@@ -130,6 +130,22 @@ let evict_task t ~task =
     Obs.Trace.emit t.obs (Obs.Event.Table_evict { task; obj = -1; count });
   count
 
+let table_stats t = Table.stats t.table
+
+let observe_table t ~into =
+  let s = Table.stats t.table in
+  let set name v =
+    (* [add] on a fresh metrics store; callers merging several checkers into
+       one store get the sum, which is what a fleet-wide gauge means here. *)
+    Obs.Metrics.add into name v
+  in
+  set "checker.table_installs" s.Table.st_installs;
+  set "checker.table_evictions" s.Table.st_evictions;
+  set "checker.table_conflicts" s.Table.st_conflicts;
+  set "checker.table_rejected" s.Table.st_rejected;
+  set "checker.table_live" s.Table.st_live;
+  set "checker.table_peak" s.Table.st_peak
+
 let exception_flag t = t.flag
 let clear_exception_flag t = t.flag <- false
 

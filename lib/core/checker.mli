@@ -82,6 +82,17 @@ val install : t -> task:int -> obj:int -> Cheri.Cap.t -> Table.install_result
 val evict : t -> task:int -> obj:int -> bool
 val evict_task : t -> task:int -> int
 
+val table_stats : t -> Table.stats
+(** Cumulative table-pressure counters (see {!Table.stats}).  Installs
+    suppressed by an injected [Table_full] fault never reach the table and are
+    not counted — the counters describe real hardware state transitions. *)
+
+val observe_table : t -> into:Obs.Metrics.t -> unit
+(** Surface {!table_stats} as ["checker.table_*"] counters in a metrics
+    store: [table_installs], [table_evictions], [table_conflicts],
+    [table_rejected], plus the [table_live] gauge and [table_peak]
+    high-water mark. *)
+
 val exception_flag : t -> bool
 (** The global "an exception has been caught" flag. *)
 

@@ -6,19 +6,47 @@ type entry = {
   mutable exn_bit : bool;
 }
 
-type t = { slots : entry array }
+(* Pressure counters are maintained inline so that long-horizon workloads
+   (the serve mode's tenant churn) can read install/evict/conflict totals and
+   the live-occupancy gauge without replaying a trace.  [live] also turns
+   [live_count] into an O(1) read — it used to fold over every slot, which a
+   per-admission watermark check would have made O(entries * requests). *)
+type stats = {
+  st_installs : int;
+  st_evictions : int;
+  st_conflicts : int;
+  st_rejected : int;
+  st_live : int;
+  st_peak : int;
+}
+
+type t = {
+  slots : entry array;
+  mutable installs : int;
+  mutable evictions : int;
+  mutable conflicts : int;
+  mutable rejected : int;
+  mutable live : int;
+  mutable peak : int;
+}
 
 let create ~entries =
   assert (entries > 0);
   let fresh () =
     { cap = Cheri.Cap.null; task = -1; obj = -1; live = false; exn_bit = false }
   in
-  { slots = Array.init entries (fun _ -> fresh ()) }
+  { slots = Array.init entries (fun _ -> fresh ());
+    installs = 0; evictions = 0; conflicts = 0; rejected = 0; live = 0;
+    peak = 0 }
 
 let capacity t = Array.length t.slots
 
-let live_count t =
-  Array.fold_left (fun acc e -> if e.live then acc + 1 else acc) 0 t.slots
+let live_count t = t.live
+
+let stats t =
+  { st_installs = t.installs; st_evictions = t.evictions;
+    st_conflicts = t.conflicts; st_rejected = t.rejected; st_live = t.live;
+    st_peak = t.peak }
 
 type install_result = Installed of int | Table_full | Rejected_untagged
 
@@ -32,15 +60,20 @@ let find_slot t pred =
   go 0
 
 let install t ~task ~obj cap =
-  if not cap.Cheri.Cap.tag then Rejected_untagged
+  if not cap.Cheri.Cap.tag then begin
+    t.rejected <- t.rejected + 1;
+    Rejected_untagged
+  end
   else
-    let slot =
+    let replacing, slot =
       match find_slot t (fun e -> e.live && e.task = task && e.obj = obj) with
-      | Some idx -> Some idx
-      | None -> find_slot t (fun e -> not e.live)
+      | Some idx -> (true, Some idx)
+      | None -> (false, find_slot t (fun e -> not e.live))
     in
     match slot with
-    | None -> Table_full
+    | None ->
+        t.conflicts <- t.conflicts + 1;
+        Table_full
     | Some idx ->
         let e = t.slots.(idx) in
         e.cap <- cap;
@@ -48,6 +81,11 @@ let install t ~task ~obj cap =
         e.obj <- obj;
         e.live <- true;
         e.exn_bit <- false;
+        t.installs <- t.installs + 1;
+        if not replacing then begin
+          t.live <- t.live + 1;
+          if t.live > t.peak then t.peak <- t.live
+        end;
         Installed idx
 
 let lookup t ~task ~obj =
@@ -66,25 +104,29 @@ let evict t ~task ~obj =
       let e = t.slots.(idx) in
       e.live <- false;
       e.cap <- Cheri.Cap.null;
+      t.evictions <- t.evictions + 1;
+      t.live <- t.live - 1;
       true
   | None -> false
 
 let evict_task t ~task =
   let n = ref 0 in
   Array.iter
-    (fun e ->
+    (fun (e : entry) ->
       if e.live && e.task = task then begin
         e.live <- false;
         e.cap <- Cheri.Cap.null;
         incr n
       end)
     t.slots;
+  t.evictions <- t.evictions + !n;
+  t.live <- t.live - !n;
   !n
 
 let entries_with_exceptions t =
   Array.fold_left
-    (fun acc e -> if e.exn_bit then (e.task, e.obj) :: acc else acc)
+    (fun acc (e : entry) -> if e.exn_bit then (e.task, e.obj) :: acc else acc)
     [] t.slots
   |> List.rev
 
-let iter_live t f = Array.iter (fun e -> if e.live then f e) t.slots
+let iter_live t f = Array.iter (fun (e : entry) -> if e.live then f e) t.slots

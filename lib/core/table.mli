@@ -24,7 +24,23 @@ val create : entries:int -> t
 (** [entries] is the hardware capacity (256 in the paper's prototype). *)
 
 val capacity : t -> int
+
 val live_count : t -> int
+(** Live-occupancy gauge, maintained incrementally (O(1)). *)
+
+type stats = {
+  st_installs : int;   (** successful installs, including same-key replaces *)
+  st_evictions : int;  (** entries removed by {!evict} or {!evict_task} *)
+  st_conflicts : int;  (** installs refused with {!Table_full} *)
+  st_rejected : int;   (** installs refused with {!Rejected_untagged} *)
+  st_live : int;       (** current occupancy (= {!live_count}) *)
+  st_peak : int;       (** high-water mark of occupancy over the table's life *)
+}
+(** Cumulative pressure counters since {!create}.  Under a long-horizon
+    multi-tenant workload, [st_conflicts] and [st_evictions] together measure
+    eviction thrash once tenant working sets exceed {!capacity}. *)
+
+val stats : t -> stats
 
 type install_result =
   | Installed of int      (** slot index *)

@@ -1,0 +1,20 @@
+type policy = { max_inflight : int; watermark_pct : int; spill_depth : int }
+
+type reason = Gone | Inflight | Table
+
+let reason_label = function
+  | Gone -> "gone"
+  | Inflight -> "inflight"
+  | Table -> "table"
+
+let default ~instances =
+  { max_inflight = 4; watermark_pct = 90; spill_depth = 2 * instances }
+
+let decide policy ~table_live ~capacity (tn : Tenant.t) =
+  if tn.Tenant.state <> Tenant.Active then Error Gone
+  else if tn.Tenant.inflight >= policy.max_inflight then Error Inflight
+  else if
+    policy.watermark_pct < 100
+    && table_live * 100 >= policy.watermark_pct * capacity
+  then Error Table
+  else Ok ()

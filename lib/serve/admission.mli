@@ -1,0 +1,35 @@
+(** The admission controller.
+
+    Open-loop traffic cannot be slowed down, so overload protection happens
+    here: a request is admitted only if its tenant is live, the tenant's
+    in-flight bound has room, and the checker table is below the occupancy
+    watermark.  Rejections are cheap and explicit — the report counts them
+    per reason — which keeps the service loop's queues bounded and the tail
+    latency of admitted requests meaningful. *)
+
+type policy = {
+  max_inflight : int;
+      (** per-tenant bound on concurrently admitted requests (>= 1) *)
+  watermark_pct : int;
+      (** admit only while table occupancy is strictly below this percentage
+          of capacity (0-100); 100 disables the watermark *)
+  spill_depth : int;
+      (** accelerator wait-queue depth beyond which an admitted request is
+          routed to the CPU instead of queued (>= 0) *)
+}
+
+type reason =
+  | Gone      (** tenant not (yet / any longer) active *)
+  | Inflight  (** per-tenant in-flight bound reached *)
+  | Table     (** checker-table occupancy at or above the watermark *)
+
+val reason_label : reason -> string
+(** ["gone"] / ["inflight"] / ["table"] — report and metrics keys. *)
+
+val default : instances:int -> policy
+(** [max_inflight = 4], [watermark_pct = 90], [spill_depth = 2*instances]. *)
+
+val decide :
+  policy -> table_live:int -> capacity:int -> Tenant.t -> (unit, reason) result
+(** Pure decision — no state is updated here; the loop applies the
+    bookkeeping so the decision can be unit-tested in isolation. *)

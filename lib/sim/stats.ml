@@ -42,3 +42,14 @@ let percentile p xs =
   let rank = int_of_float (ceil (p *. float_of_int n)) in
   let idx = max 0 (min (n - 1) (rank - 1)) in
   List.nth sorted idx
+
+let percentile_int p xs =
+  if xs = [] then invalid_arg "Stats.percentile_int: empty sample list";
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p *. float_of_int n)) in
+  let idx = max 0 (min (n - 1) (rank - 1)) in
+  List.nth sorted idx
+
+let percentile_int_opt p xs =
+  if xs = [] then None else Some (percentile_int p xs)

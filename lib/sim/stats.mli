@@ -31,3 +31,14 @@ val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on the sorted list.
     @raise Invalid_argument on the empty list (a phase that recorded no
     samples must be handled by the caller, not reported as a bogus 0). *)
+
+val percentile_int : float -> int list -> int
+(** Same nearest-rank convention on integer samples (cycle latencies), without
+    a lossy round-trip through [float].
+    @raise Invalid_argument on the empty list. *)
+
+val percentile_int_opt : float -> int list -> int option
+(** [None] on the empty list — for report rows over per-group samples where a
+    group legitimately recorded nothing (e.g. a tenant that was admitted no
+    requests) and must render as a documented zero-request row rather than
+    raise mid-report. *)

@@ -601,6 +601,45 @@ let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
           ~policy:retry ~engine
           (List.init tasks (fun _ -> bench))
 
+(* Per-kernel cost profile for the long-horizon service loop (lib/serve).
+   One single-task, fault-free run measures the four phases a request of this
+   kernel costs on a dedicated instance, plus what the same work costs on the
+   CPU when admission spills it.  Serving 10^4+ requests re-executes none of
+   the kernel's functional work: the loop replays these measured cycle costs
+   on its own timeline while performing real driver/table traffic. *)
+type service_profile = {
+  sv_bench : string;
+  sv_alloc : int;
+  sv_init : int;
+  sv_compute : int;
+  sv_teardown : int;
+  sv_checks : int;
+  sv_cpu_wall : int;
+}
+
+let service_profile ?(engine = Event_driven) config bench =
+  (match config with
+  | Config.Hetero _ -> ()
+  | Config.Cpu_only _ ->
+      invalid_arg "Run.service_profile: needs a heterogeneous config");
+  let r = run ~tasks:1 ~engine config bench in
+  if not r.correct then
+    failwith
+      (Printf.sprintf
+         "Run.service_profile: %s failed verification under %s — a service \
+          profile must come from a correct run"
+         bench.Machsuite.Bench_def.name r.config_label);
+  let cpu = run ~tasks:1 Config.cpu bench in
+  {
+    sv_bench = bench.Machsuite.Bench_def.name;
+    sv_alloc = r.phases.alloc;
+    sv_init = r.phases.init;
+    sv_compute = r.phases.compute;
+    sv_teardown = r.phases.teardown;
+    sv_checks = r.checks;
+    sv_cpu_wall = cpu.wall;
+  }
+
 let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
     ?(retry = Driver.default_retry_policy) ?(elide = Elide_off)
     ?(engine = Legacy_replay) config benches =

@@ -125,6 +125,26 @@ val run :
     differs between cores, so seeded runs are reproducible per engine, not
     across engines. *)
 
+type service_profile = {
+  sv_bench : string;
+  sv_alloc : int;     (** driver allocation, one task *)
+  sv_init : int;      (** input initialization, one task *)
+  sv_compute : int;   (** uncontended accelerator makespan, one task *)
+  sv_teardown : int;  (** eviction + scrub + free, one task *)
+  sv_checks : int;    (** protection adjudications of that task *)
+  sv_cpu_wall : int;  (** the same work executed on the CPU configuration *)
+}
+(** Measured per-request cycle costs of one kernel, used by the service loop
+    ([lib/serve]) to price requests without re-executing the kernel per
+    request. *)
+
+val service_profile :
+  ?engine:engine -> Config.t -> Machsuite.Bench_def.t -> service_profile
+(** One single-task fault-free {!run} of [bench] under [config] (default
+    [engine] is [Event_driven]) plus one {!Config.cpu} run for the fallback
+    cost.  Requires a heterogeneous config (raises [Invalid_argument]);
+    raises [Failure] if the profiling run does not verify correct. *)
+
 val run_mixed :
   ?instances:int -> ?obs:Obs.Trace.t -> ?faults:Fault.Plan.t ->
   ?retry:Driver.retry_policy -> ?elide:elide_mode -> ?engine:engine ->

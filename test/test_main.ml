@@ -27,4 +27,5 @@ let () =
       ("security", Test_security.suite);
       ("claims", Test_claims.suite);
       ("analysis", Test_analysis.suite);
+      ("serve", Test_serve.suite);
     ]
