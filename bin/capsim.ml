@@ -51,15 +51,58 @@ let engines =
   [ ("replay", Soc.Run.Legacy_replay); ("event", Soc.Run.Event_driven) ]
 
 let engine_arg =
-  Arg.(value & opt (enum engines) Soc.Run.Legacy_replay
+  Arg.(value & opt (some (enum engines)) None
          & info [ "engine" ]
              ~doc:"Timing core: $(b,replay) records each accelerator's DMA \
-                   stream and replays the contention (the default), \
-                   $(b,event) runs every instance live on a shared \
-                   discrete-event timeline with round-robin bus arbitration.")
+                   stream and replays the contention (the default on the \
+                   shared topology), $(b,event) runs every instance live on \
+                   a shared discrete-event timeline with round-robin bus \
+                   arbitration (the default — and only — core for \
+                   concurrent topologies).")
+
+(* Replay stays the default on the shared topology (every pinned output was
+   measured against it); a concurrent topology needs the event core, so
+   --topology crossbar/hier works without an explicit --engine event. *)
+let resolve_engine ~topology = function
+  | Some e -> e
+  | None ->
+      if topology = Bus.Topology.Shared then Soc.Run.Legacy_replay
+      else Soc.Run.Event_driven
 
 let engine_name engine =
   fst (List.find (fun (_, e) -> e = engine) engines)
+
+let topology_conv =
+  let parse s =
+    match Bus.Topology.kind_of_string s with
+    | Ok k -> Ok k
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    ( parse,
+      fun fmt k -> Format.pp_print_string fmt (Bus.Topology.kind_to_string k) )
+
+let topology_arg =
+  Arg.(value & opt topology_conv Bus.Topology.Shared
+         & info [ "topology" ]
+             ~doc:"Interconnect topology: $(b,shared) (one bus, one grant per \
+                   cycle — the default and the timing oracle), \
+                   $(b,crossbar)[$(b,:N)] (N-bank address-interleaved \
+                   crossbar, concurrent disjoint grants) or \
+                   $(b,hier)[$(b,:N)] (N clusters behind an uplink to a \
+                   shared root).")
+
+let checkers_arg =
+  Arg.(value & opt
+         (enum
+            [ ("central", Capchecker.Shim.Central);
+              ("shim", Capchecker.Shim.Distributed) ])
+         Capchecker.Shim.Central
+       & info [ "checkers" ]
+           ~doc:"Capability-checking placement: $(b,central) (one CapChecker \
+                 behind the interconnect, the default) or $(b,shim) \
+                 (per-accelerator shim tables refilled from the central \
+                 table; identical verdicts, different latency).")
 
 (* Parallelism across independent simulations (Ccsim.Pool).  Results are
    index-deterministic: any --jobs value produces byte-identical output to
@@ -152,8 +195,9 @@ let run_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
   in
-  let run bench config tasks engine json =
-    let r = Soc.Run.run ~tasks ~engine config bench in
+  let run bench config tasks engine topology checkers json =
+    let engine = resolve_engine ~topology engine in
+    let r = Soc.Run.run ~tasks ~engine ~topology ~checkers config bench in
     if json then print_endline (Obs.Json.to_string (json_of_result r))
     else begin
       Printf.printf "%s on %s, %d task(s)\n" r.Soc.Run.benchmark r.Soc.Run.config_label
@@ -172,7 +216,8 @@ let run_cmd =
     end
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark end to end")
-    Term.(const run $ bench_arg $ config_arg $ tasks_arg $ engine_arg $ json_arg)
+    Term.(const run $ bench_arg $ config_arg $ tasks_arg $ engine_arg
+          $ topology_arg $ checkers_arg $ json_arg)
 
 (* ---- trace ---- *)
 
@@ -190,6 +235,7 @@ let trace_cmd =
                      dropped (and counted).")
   in
   let run bench config tasks engine out capacity =
+    let engine = resolve_engine ~topology:Bus.Topology.Shared engine in
     let obs = Obs.Trace.create ~capacity () in
     let r = Soc.Run.run ~tasks ~obs ~engine config bench in
     Obs.Export.write_chrome ~path:out obs;
@@ -215,12 +261,14 @@ let sweep_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the sweep as JSON.")
   in
-  let run bench engine jobs json =
+  let run bench engine topology checkers jobs json =
+    let engine = resolve_engine ~topology engine in
     (* All 15 points (5 task counts x 3 configs) are independent full-system
        runs; they execute as one Ccsim.Pool batch and are re-assembled in
        row order after the barrier. *)
     let rows =
-      Soc.Run.sweep_many ~jobs ~engine ~tasks_list:[ 1; 2; 4; 8; 16 ]
+      Soc.Run.sweep_many ~jobs ~engine ~topology ~checkers
+        ~tasks_list:[ 1; 2; 4; 8; 16 ]
         [ (Soc.Config.cpu, None);
           (Soc.Config.ccpu_accel, Some 16);
           (Soc.Config.ccpu_caccel, Some 16) ]
@@ -246,6 +294,13 @@ let sweep_cmd =
                          Obj
                            [
                              ("tasks", Int tasks);
+                             ("correct",
+                              Bool
+                                (cpu.Soc.Run.correct && base.Soc.Run.correct
+                                && cc.Soc.Run.correct));
+                             ("cc_checks", Int cc.Soc.Run.checks);
+                             ("cc_denials",
+                              Int (List.length cc.Soc.Run.denials));
                              ("cpu_wall", Int cpu.Soc.Run.wall);
                              ("base_wall", Int base.Soc.Run.wall);
                              ("cc_wall", Int cc.Soc.Run.wall);
@@ -278,7 +333,8 @@ let sweep_cmd =
     end
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Parallelism sweep (Figure 11 style)")
-    Term.(const run $ bench_arg $ engine_arg $ jobs_arg $ json_arg)
+    Term.(const run $ bench_arg $ engine_arg $ topology_arg $ checkers_arg
+          $ jobs_arg $ json_arg)
 
 (* ---- attack ---- *)
 
@@ -362,6 +418,7 @@ let faults_cmd =
       print_endline "  invariant VIOLATED: incorrect result without a covering fallback"
   in
   let run bench config tasks seed runs engine jobs json =
+    let engine = resolve_engine ~topology:Bus.Topology.Shared engine in
     if runs < 1 then (
       prerr_endline "capsim: --runs must be at least 1";
       exit 2);
@@ -616,8 +673,8 @@ let serve_cmd =
                ~doc:"Emit the full report as JSON (byte-identical across \
                      repeat seeds and $(b,--jobs) values).")
   in
-  let run config tenants requests seed instances entries inflight watermark
-      spill gap util churn top bench jobs json =
+  let run config tenants requests seed instances entries topology checkers
+      inflight watermark spill gap util churn top bench jobs json =
     let spill = if spill < 0 then 2 * instances else spill in
     let mix =
       match bench with
@@ -629,6 +686,8 @@ let serve_cmd =
         Serve.Loop.sv_config = config;
         sv_instances = instances;
         sv_cc_entries = entries;
+        sv_topology = topology;
+        sv_checkers = checkers;
         sv_policy =
           {
             Serve.Admission.max_inflight = inflight;
@@ -662,9 +721,9 @@ let serve_cmd =
              per-tenant tail latency and CapChecker table-pressure \
              reporting")
     Term.(const run $ config_arg $ tenants_arg $ requests_arg $ seed_arg
-          $ instances_arg $ entries_arg $ inflight_arg $ watermark_arg
-          $ spill_arg $ gap_arg $ util_arg $ churn_arg $ top_arg $ bench_opt
-          $ jobs_arg $ json_arg)
+          $ instances_arg $ entries_arg $ topology_arg $ checkers_arg
+          $ inflight_arg $ watermark_arg $ spill_arg $ gap_arg $ util_arg
+          $ churn_arg $ top_arg $ bench_opt $ jobs_arg $ json_arg)
 
 let () =
   let info =

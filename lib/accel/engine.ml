@@ -263,16 +263,17 @@ type pending_burst = {
   pb_kind : Guard.Iface.kind;
   pb_dependent : bool;
   pb_latency : int;
+  pb_target : int; (* bank of the first beat; a burst never switches banks *)
   mutable pb_end : int;    (* one past the last byte merged so far *)
   mutable pb_bytes : int;
 }
 
 let run_event ?(obs = Obs.Trace.null) ?(elide = false) ?error_retry_limit ~sched
-    ~arb ~start ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task
+    ~ic ~start ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task
     ~on_done =
   Ccsim.Sched.spawn sched ~at:start (fun () ->
       let flow =
-        Flow.create ?error_retry_limit ~sched ~arb ~src:task.instance ~start
+        Flow.create ?error_retry_limit ~sched ~ic ~src:task.instance ~start
           ~max_outstanding:directives.Hls.Directives.max_outstanding ()
       in
       let max_burst = bus.Bus.Params.max_burst in
@@ -282,7 +283,7 @@ let run_event ?(obs = Obs.Trace.null) ?(elide = false) ?error_retry_limit ~sched
         | None -> ()
         | Some p ->
             pending := None;
-            Flow.issue flow
+            Flow.issue flow ~target:p.pb_target
               { Trace.gap = p.pb_gap; kind = p.pb_kind;
                 beats = Bus.Params.beats_for bus p.pb_bytes;
                 dependent = p.pb_dependent; latency = p.pb_latency }
@@ -318,8 +319,9 @@ let run_event ?(obs = Obs.Trace.null) ?(elide = false) ?error_retry_limit ~sched
                 pending :=
                   Some
                     { pb_gap = gap; pb_kind = kind; pb_dependent = dependent;
-                      pb_latency = latency; pb_end = addr + size;
-                      pb_bytes = size };
+                      pb_latency = latency;
+                      pb_target = Bus.Topology.target_for ic ~addr:phys;
+                      pb_end = addr + size; pb_bytes = size };
                 phys
               end);
           bk_copy =
@@ -328,20 +330,25 @@ let run_event ?(obs = Obs.Trace.null) ?(elide = false) ?error_retry_limit ~sched
               Ccsim.Sched.wait sched gap;
               let src_phys, rd_latency = adjudicate_rd () in
               let dst_phys, wr_latency = adjudicate_wr () in
-              (* DMA block move: max_burst-sized bursts back to back. *)
+              (* DMA block move: max_burst-sized bursts back to back, each
+                 chunk addressed to the bank its first beat lives in. *)
               let beats_left = ref (Bus.Params.beats_for bus bytes) in
               let copy_gap = ref gap in
+              let off = ref 0 in
               while !beats_left > 0 do
                 let beats = min !beats_left max_burst in
                 beats_left := !beats_left - beats;
                 Flow.issue flow
+                  ~target:(Bus.Topology.target_for ic ~addr:(src_phys + !off))
                   { Trace.gap = !copy_gap;
                     kind = Guard.Iface.Read; beats; dependent = false;
                     latency = rd_latency };
                 Flow.issue flow
+                  ~target:(Bus.Topology.target_for ic ~addr:(dst_phys + !off))
                   { Trace.gap = 0; kind = Guard.Iface.Write; beats;
                     dependent = false; latency = wr_latency };
-                copy_gap := 0
+                copy_gap := 0;
+                off := !off + (beats * bus.Bus.Params.beat_bytes)
               done;
               (src_phys, dst_phys));
         }

@@ -91,7 +91,7 @@ val run_event :
   ?elide:bool ->
   ?error_retry_limit:int ->
   sched:Ccsim.Sched.t ->
-  arb:Bus.Arbiter.t ->
+  ic:Bus.Topology.t ->
   start:int ->
   mem:Tagmem.Mem.t ->
   guard:Guard.Iface.t ->
@@ -104,13 +104,15 @@ val run_event :
   unit
 (** Event-driven execution: spawns a {!Ccsim.Sched} process at cycle [start]
     that interprets the kernel stepwise, suspending at each memory access to
-    contend for the bus through [arb] (via {!Flow}) instead of accumulating a
+    contend for the interconnect [ic] (via {!Flow}) instead of accumulating a
     trace for later replay.  Guard adjudication happens at the access's live
     issue point, so a stateful checker (e.g. the cached CapChecker) sees
     checks from concurrent instances interleaved in true bus order.  Burst
-    formation replicates {!Trace.add_access} exactly, and with a single
-    instance on the bus the resulting schedule is cycle-identical to
-    {!run} followed by {!Replay.run} — the differential tests enforce it.
+    formation replicates {!Trace.add_access} exactly — on a crossbar each
+    burst is addressed to the bank of its first beat's physical address —
+    and with a single instance on a [Shared] topology the resulting schedule
+    is cycle-identical to {!run} followed by {!Replay.run} — the
+    differential tests enforce it.
 
     [on_done] is called from inside the process when the task retires; the
     caller collects outcomes after {!Ccsim.Sched.run} drains.  [obs] is only

@@ -1,7 +1,8 @@
 type t = {
   sched : Ccsim.Sched.t;
-  arb : Bus.Arbiter.t;
+  ic : Bus.Topology.t;
   src : int;
+  home : int;  (* default target for events with no recorded address *)
   limit : int;
   error_retry_limit : int;
   outstanding : int Queue.t;  (* completion times of in-flight streaming reads *)
@@ -16,9 +17,10 @@ exception Failed
 let error_turnaround = 8
 (* cycles between observing an error response and re-issuing the transaction *)
 
-let create ?(error_retry_limit = 4) ~sched ~arb ~src ~start ~max_outstanding () =
+let create ?(error_retry_limit = 4) ~sched ~ic ~src ~start ~max_outstanding () =
   {
-    sched; arb; src;
+    sched; ic; src;
+    home = Bus.Topology.home_target ic ~src;
     limit = max 1 max_outstanding;
     error_retry_limit;
     outstanding = Queue.create ();
@@ -28,10 +30,11 @@ let create ?(error_retry_limit = 4) ~sched ~arb ~src ~start ~max_outstanding () 
     event_retries = 0;
   }
 
-let await_grant t ~at ~beats ~is_read ~extra_latency =
+let await_grant t ~target ~at ~beats ~is_read ~extra_latency =
   let result = ref None in
   Ccsim.Sched.suspend t.sched (fun resume ->
-      Bus.Arbiter.request t.arb ~src:t.src ~at ~beats ~is_read ~extra_latency
+      Bus.Topology.request t.ic ~src:t.src ~target ~at ~beats ~is_read
+        ~extra_latency
         ~on_grant:(fun g ->
           result := Some g;
           resume ()));
@@ -39,7 +42,8 @@ let await_grant t ~at ~beats ~is_read ~extra_latency =
   | Some g -> g
   | None -> assert false (* on_grant always fires before the resume runs *)
 
-let issue t (ev : Trace.event) =
+let issue ?target t (ev : Trace.event) =
+  let target = match target with Some tg -> tg | None -> t.home in
   let is_read = ev.Trace.kind = Guard.Iface.Read in
   let streaming = is_read && not ev.Trace.dependent in
   let rec attempt () =
@@ -54,7 +58,7 @@ let issue t (ev : Trace.event) =
       else cand
     in
     let grant =
-      await_grant t ~at:cand ~beats:ev.Trace.beats ~is_read
+      await_grant t ~target ~at:cand ~beats:ev.Trace.beats ~is_read
         ~extra_latency:ev.Trace.latency
     in
     if grant.Bus.Fabric.errored then begin

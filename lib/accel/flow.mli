@@ -5,7 +5,7 @@
     completion times of in-flight streaming reads (bounded by the
     synthesized interface's [max_outstanding]), the settle time of the last
     transaction, and the consecutive-error retry budget — but drives a live
-    {!Bus.Arbiter} from inside a {!Ccsim.Sched} process instead of walking a
+    {!Bus.Topology} from inside a {!Ccsim.Sched} process instead of walking a
     recorded trace.  Both the live engine ({!Engine.run_event}) and the
     trace-fed replay ({!Replay.run_event}) issue through it, so the two
     timing paths cannot drift apart.
@@ -26,7 +26,7 @@ val error_turnaround : int
 val create :
   ?error_retry_limit:int ->
   sched:Ccsim.Sched.t ->
-  arb:Bus.Arbiter.t ->
+  ic:Bus.Topology.t ->
   src:int ->
   start:int ->
   max_outstanding:int ->
@@ -34,7 +34,7 @@ val create :
   t
 (** [error_retry_limit] defaults to 4, matching {!Replay.run}. *)
 
-val issue : t -> Trace.event -> unit
+val issue : ?target:int -> t -> Trace.event -> unit
 (** Submit one transaction, suspending the calling process per the event's
     semantics: the request becomes ready [gap] cycles after the previous
     transaction released the datapath (a streaming read additionally waits
@@ -42,7 +42,10 @@ val issue : t -> Trace.event -> unit
     after the grant the process resumes at [granted_at + 1] for posted
     writes and streaming reads, or at [completed] for dependent reads.
     Injected error responses re-issue after {!error_turnaround} cycles and
-    raise {!Failed} once the budget is spent. *)
+    raise {!Failed} once the budget is spent.  [target] selects the bank on a
+    crossbar topology and defaults to the flow's home bank
+    ({!Bus.Topology.home_target}), the deterministic fallback for trace-fed
+    streams whose events carry no addresses. *)
 
 val ready : t -> int
 (** Cycle the datapath may issue its next transaction (= the calling

@@ -113,12 +113,12 @@ let run ?(error_retry_limit = 4) fabric ~start streams =
     failed = List.filter_map (fun st -> if st.failed then Some st.id else None) states;
   }
 
-let run_event ?error_retry_limit ~sched ~arb ~start streams =
+let run_event ?error_retry_limit ~sched ~ic ~start streams =
   let flows =
     List.map
       (fun s ->
         let flow =
-          Flow.create ?error_retry_limit ~sched ~arb ~src:s.instance ~start
+          Flow.create ?error_retry_limit ~sched ~ic ~src:s.instance ~start
             ~max_outstanding:s.max_outstanding ()
         in
         let failed = ref false in
@@ -135,7 +135,7 @@ let run_event ?error_retry_limit ~sched ~arb ~start streams =
   {
     makespan;
     per_instance = List.map (fun (id, flow, _) -> (id, Flow.finish flow)) flows;
-    bus_beats = Bus.Arbiter.total_beats arb;
+    bus_beats = Bus.Topology.total_beats ic;
     bus_errors =
       List.fold_left (fun acc (_, flow, _) -> acc + Flow.errors flow) 0 flows;
     failed =

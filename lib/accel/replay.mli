@@ -42,15 +42,17 @@ val run : ?error_retry_limit:int -> Bus.Fabric.t -> start:int -> stream list -> 
 val run_event :
   ?error_retry_limit:int ->
   sched:Ccsim.Sched.t ->
-  arb:Bus.Arbiter.t ->
+  ic:Bus.Topology.t ->
   start:int ->
   stream list ->
   result
 (** Replay every stream through the event-driven core: one {!Flow} process
-    per instance feeds its recorded trace to the round-robin arbiter, and
+    per instance feeds its recorded trace to the interconnect topology, and
     the scheduler is drained before the result is assembled ([sched] and
-    [arb] must be fresh and private to this call).  Per-event semantics are
+    [ic] must be fresh and private to this call).  Per-event semantics are
     identical to {!run}; what changes is the arbitration policy — grants
     rotate round-robin among contending sources instead of following the
     global earliest-ready order — and therefore the interleaving of fault
-    draws under injection.  [bus_beats] is read from the arbiter. *)
+    draws under injection.  Recorded events carry no addresses, so on a
+    crossbar every stream issues to its home bank
+    ({!Bus.Topology.home_target}).  [bus_beats] is read from the topology. *)

@@ -34,6 +34,18 @@ let params t = t.p
 let busy_until t = t.free_at
 let total_beats t = t.beats
 let queued t = t.queued
+let sources t = t.rotation
+
+let unregister t ~src =
+  match Hashtbl.find_opt t.queues src with
+  | None -> false
+  | Some q ->
+      if not (Queue.is_empty q) then false
+      else begin
+        Hashtbl.remove t.queues src;
+        t.rotation <- List.filter (fun s -> s <> src) t.rotation;
+        true
+      end
 
 let queue_of t src =
   match Hashtbl.find_opt t.queues src with

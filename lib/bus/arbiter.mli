@@ -52,3 +52,18 @@ val total_beats : t -> int
 
 val queued : t -> int
 (** Requests enqueued and not yet granted (0 once the scheduler drains). *)
+
+val sources : t -> int list
+(** Registered sources in first-request order (the rotation). *)
+
+val scan_order : t -> int list
+(** Sources in grant-scan order: round-robin starting just after the last
+    winner, or plain first-request order when no grant has happened yet or
+    the last winner has since been {!unregister}ed. *)
+
+val unregister : t -> src:int -> bool
+(** Remove an idle source (e.g. a departed serve-mode tenant's accelerator)
+    from the rotation.  Refuses (returns false) while the source still has
+    queued requests; a removed source re-registers transparently on its next
+    {!request}.  If the removed source was the last winner, the next scan
+    falls back to plain first-request order. *)

@@ -1,11 +1,20 @@
 type mode = Fine | Coarse
 
+(* Table mutations, broadcast to registered listeners so replicas of table
+   state held elsewhere (the per-source shims of {!Shim}) can invalidate.
+   Matches the hardware's snoop/invalidate channel on the refill network. *)
+type update =
+  | Up_install of { task : int; obj : int }
+  | Up_evict of { task : int; obj : int }
+  | Up_evict_task of { task : int }
+
 type t = {
   mode : mode;
   table : Table.t;
   obs : Obs.Trace.t;
   faults : Fault.Injector.t;
   mutable flag : bool;
+  mutable listeners : (update -> unit) list;
   log : (int * Guard.Iface.denial) Obs.Ring.t;
       (* bounded denial log, oldest first via Ring.to_list; hardware keeps
          only the flag and per-entry bits — and a denial storm must not grow
@@ -22,8 +31,13 @@ let create ?(entries = 256) ?(obs = Obs.Trace.null) ?(log_capacity = default_log
     obs;
     faults;
     flag = false;
+    listeners = [];
     log = Obs.Ring.create ~capacity:log_capacity;
   }
+
+let on_update t f = t.listeners <- t.listeners @ [ f ]
+
+let notify t u = List.iter (fun f -> f u) t.listeners
 
 let mode t = t.mode
 let table t = t.table
@@ -72,39 +86,51 @@ let deny t ~task ~obj detail =
   Obs.Trace.emit t.obs (Obs.Event.Check_denial { task; obj; detail });
   Guard.Iface.Denied denial
 
+let resolve t (req : Guard.Iface.req) =
+  match t.mode with
+  | Fine -> (
+      match req.port with
+      | Some port -> (port, req.addr)
+      | None -> (-1, req.addr))
+  | Coarse -> split_coarse req.addr
+
+let record_denial t ~task ~obj detail = deny t ~task ~obj detail
+
+let missing_provenance = "fine-mode request without object provenance"
+
+let missing_capability ~task ~obj =
+  Printf.sprintf "no capability for task %d object %d" task obj
+
+(* The shared tail of adjudication: evaluate the fetched entry against the
+   request.  [latency] varies with where the entry was found (central table,
+   shim hit, shim miss + refill) but the verdict never does — which is what
+   the cross-topology verdict-parity tests pin. *)
+let adjudicate_entry t (req : Guard.Iface.req) ~task ~obj ~phys ~latency
+    (entry : Table.entry) =
+  let kind =
+    match req.kind with
+    | Guard.Iface.Read -> Cheri.Cap.Read
+    | Guard.Iface.Write -> Cheri.Cap.Write
+  in
+  match Cheri.Cap.access_ok entry.Table.cap ~addr:phys ~size:req.size kind with
+  | Ok () ->
+      Obs.Trace.emit t.obs (Obs.Event.Check_ok { task; obj; latency });
+      Guard.Iface.Granted { phys; latency }
+  | Error e ->
+      deny t ~task ~obj
+        (Printf.sprintf "task %d object %d: %s (%s)" task obj
+           (Cheri.Cap.error_to_string e)
+           (Guard.Iface.req_to_string req))
+
 let check t (req : Guard.Iface.req) =
   let task = req.source in
-  let obj, phys =
-    match t.mode with
-    | Fine -> (
-        match req.port with
-        | Some port -> (port, req.addr)
-        | None -> (-1, req.addr))
-    | Coarse -> split_coarse req.addr
-  in
-  if obj < 0 then
-    deny t ~task ~obj:0 "fine-mode request without object provenance"
+  let obj, phys = resolve t req in
+  if obj < 0 then deny t ~task ~obj:0 missing_provenance
   else
     match Table.lookup t.table ~task ~obj with
-    | None ->
-        deny t ~task ~obj
-          (Printf.sprintf "no capability for task %d object %d" task obj)
-    | Some entry -> (
-        let kind =
-          match req.kind with
-          | Guard.Iface.Read -> Cheri.Cap.Read
-          | Guard.Iface.Write -> Cheri.Cap.Write
-        in
-        match Cheri.Cap.access_ok entry.Table.cap ~addr:phys ~size:req.size kind with
-        | Ok () ->
-            Obs.Trace.emit t.obs
-              (Obs.Event.Check_ok { task; obj; latency = check_latency });
-            Guard.Iface.Granted { phys; latency = check_latency }
-        | Error e ->
-            deny t ~task ~obj
-              (Printf.sprintf "task %d object %d: %s (%s)" task obj
-                 (Cheri.Cap.error_to_string e)
-                 (Guard.Iface.req_to_string req)))
+    | None -> deny t ~task ~obj (missing_capability ~task ~obj)
+    | Some entry ->
+        adjudicate_entry t req ~task ~obj ~phys ~latency:check_latency entry
 
 let install t ~task ~obj cap =
   (* An injected table-full models transient table pressure: the install is
@@ -115,19 +141,25 @@ let install t ~task ~obj cap =
   let result = Table.install t.table ~task ~obj cap in
   (match result with
   | Table.Installed slot ->
-      Obs.Trace.emit t.obs (Obs.Event.Table_insert { task; obj; slot })
+      Obs.Trace.emit t.obs (Obs.Event.Table_insert { task; obj; slot });
+      notify t (Up_install { task; obj })
   | Table.Table_full | Table.Rejected_untagged -> ());
   result
 
 let evict t ~task ~obj =
   let evicted = Table.evict t.table ~task ~obj in
-  if evicted then Obs.Trace.emit t.obs (Obs.Event.Table_evict { task; obj; count = 1 });
+  if evicted then begin
+    Obs.Trace.emit t.obs (Obs.Event.Table_evict { task; obj; count = 1 });
+    notify t (Up_evict { task; obj })
+  end;
   evicted
 
 let evict_task t ~task =
   let count = Table.evict_task t.table ~task in
-  if count > 0 then
+  if count > 0 then begin
     Obs.Trace.emit t.obs (Obs.Event.Table_evict { task; obj = -1; count });
+    notify t (Up_evict_task { task })
+  end;
   count
 
 let table_stats t = Table.stats t.table

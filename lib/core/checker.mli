@@ -76,6 +76,43 @@ val check : t -> Guard.Iface.req -> Guard.Iface.outcome
 
 val as_guard : t -> Guard.Iface.t
 
+(** {1 Distributed-checking hooks (see {!Shim})}
+
+    The pieces of {!check} a per-source shim needs to adjudicate locally
+    while staying verdict-identical to the central unit: provenance
+    resolution, the entry-evaluation tail, and the denial bookkeeping (flag,
+    per-entry exception bit, bounded log, [Check_denial] event). *)
+
+val resolve : t -> Guard.Iface.req -> int * int
+(** [(obj, phys)] per the checker's addressing mode; [obj < 0] means the
+    request carried no object provenance (a Fine-mode request without a
+    port) and must be denied with {!missing_provenance}. *)
+
+val adjudicate_entry :
+  t -> Guard.Iface.req -> task:int -> obj:int -> phys:int -> latency:int ->
+  Table.entry -> Guard.Iface.outcome
+(** Evaluate a fetched entry against the request: emits [Check_ok] (with the
+    caller's [latency] — central fetch, shim hit and shim refill differ) or
+    records the denial.  The verdict is independent of [latency]. *)
+
+val record_denial : t -> task:int -> obj:int -> string -> Guard.Iface.outcome
+(** The central denial path: raises the global flag, marks the entry's
+    exception bit, pushes the bounded log and emits [Check_denial] — shims
+    route every denial through here so software observes one stream. *)
+
+val missing_provenance : string
+val missing_capability : task:int -> obj:int -> string
+(** Canonical denial details, shared so shim denials are byte-identical. *)
+
+type update =
+  | Up_install of { task : int; obj : int }
+  | Up_evict of { task : int; obj : int }
+  | Up_evict_task of { task : int }
+
+val on_update : t -> (update -> unit) -> unit
+(** Register a table-mutation listener (fired after the event emit, in
+    registration order) — the invalidate channel replicas subscribe to. *)
+
 (** {1 CPU-side MMIO interface (capability interconnect)} *)
 
 val install : t -> task:int -> obj:int -> Cheri.Cap.t -> Table.install_result

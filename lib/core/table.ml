@@ -20,8 +20,58 @@ type stats = {
   st_peak : int;
 }
 
+(* Min-heap of free slot indices.  Install must keep picking the
+   lowest-numbered free slot (the slot index is visible in [Installed] results
+   and [Table_insert] events), so the free list is a heap rather than a stack:
+   pop-min reproduces the original linear scan's choice exactly. *)
+module Free_heap = struct
+  type h = { data : int array; mutable len : int }
+
+  let create cap = { data = Array.make (max cap 1) 0; len = 0 }
+
+  let swap h i j =
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- t
+
+  let push h x =
+    h.data.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && h.data.((!i - 1) / 2) > h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.len <- h.len - 1;
+      if h.len > 0 then begin
+        h.data.(0) <- h.data.(h.len);
+        let i = ref 0 in
+        let sifting = ref true in
+        while !sifting do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let s = ref !i in
+          if l < h.len && h.data.(l) < h.data.(!s) then s := l;
+          if r < h.len && h.data.(r) < h.data.(!s) then s := r;
+          if !s <> !i then begin
+            swap h !i !s;
+            i := !s
+          end
+          else sifting := false
+        done
+      end;
+      Some top
+    end
+end
+
 type t = {
   slots : entry array;
+  index : (int * int, int) Hashtbl.t; (* live (task, obj) -> slot *)
+  free : Free_heap.h;
   mutable installs : int;
   mutable evictions : int;
   mutable conflicts : int;
@@ -35,8 +85,14 @@ let create ~entries =
   let fresh () =
     { cap = Cheri.Cap.null; task = -1; obj = -1; live = false; exn_bit = false }
   in
+  let free = Free_heap.create entries in
+  for idx = 0 to entries - 1 do
+    Free_heap.push free idx
+  done;
   { slots = Array.init entries (fun _ -> fresh ());
-    installs = 0; evictions = 0; conflicts = 0; rejected = 0; live = 0;
+    index = Hashtbl.create (2 * entries);
+    free;
+    installs = 0; conflicts = 0; evictions = 0; rejected = 0; live = 0;
     peak = 0 }
 
 let capacity t = Array.length t.slots
@@ -50,15 +106,6 @@ let stats t =
 
 type install_result = Installed of int | Table_full | Rejected_untagged
 
-let find_slot t pred =
-  let n = Array.length t.slots in
-  let rec go idx =
-    if idx >= n then None
-    else if pred t.slots.(idx) then Some idx
-    else go (idx + 1)
-  in
-  go 0
-
 let install t ~task ~obj cap =
   if not cap.Cheri.Cap.tag then begin
     t.rejected <- t.rejected + 1;
@@ -66,9 +113,9 @@ let install t ~task ~obj cap =
   end
   else
     let replacing, slot =
-      match find_slot t (fun e -> e.live && e.task = task && e.obj = obj) with
+      match Hashtbl.find_opt t.index (task, obj) with
       | Some idx -> (true, Some idx)
-      | None -> (false, find_slot t (fun e -> not e.live))
+      | None -> (false, Free_heap.pop t.free)
     in
     match slot with
     | None ->
@@ -83,13 +130,14 @@ let install t ~task ~obj cap =
         e.exn_bit <- false;
         t.installs <- t.installs + 1;
         if not replacing then begin
+          Hashtbl.replace t.index (task, obj) idx;
           t.live <- t.live + 1;
           if t.live > t.peak then t.peak <- t.live
         end;
         Installed idx
 
 let lookup t ~task ~obj =
-  match find_slot t (fun e -> e.live && e.task = task && e.obj = obj) with
+  match Hashtbl.find_opt t.index (task, obj) with
   | Some idx -> Some t.slots.(idx)
   | None -> None
 
@@ -98,12 +146,20 @@ let mark_exception t ~task ~obj =
   | Some e -> e.exn_bit <- true
   | None -> ()
 
+let release_slot t idx =
+  let e = t.slots.(idx) in
+  e.live <- false;
+  e.cap <- Cheri.Cap.null;
+  (* A dead slot must not keep reporting an exception: the key may belong to a
+     departed tenant, and the slot will be recycled for an unrelated one. *)
+  e.exn_bit <- false;
+  Free_heap.push t.free idx
+
 let evict t ~task ~obj =
-  match find_slot t (fun e -> e.live && e.task = task && e.obj = obj) with
+  match Hashtbl.find_opt t.index (task, obj) with
   | Some idx ->
-      let e = t.slots.(idx) in
-      e.live <- false;
-      e.cap <- Cheri.Cap.null;
+      release_slot t idx;
+      Hashtbl.remove t.index (task, obj);
       t.evictions <- t.evictions + 1;
       t.live <- t.live - 1;
       true
@@ -111,11 +167,11 @@ let evict t ~task ~obj =
 
 let evict_task t ~task =
   let n = ref 0 in
-  Array.iter
-    (fun (e : entry) ->
+  Array.iteri
+    (fun idx (e : entry) ->
       if e.live && e.task = task then begin
-        e.live <- false;
-        e.cap <- Cheri.Cap.null;
+        Hashtbl.remove t.index (task, e.obj);
+        release_slot t idx;
         incr n
       end)
     t.slots;
@@ -125,7 +181,8 @@ let evict_task t ~task =
 
 let entries_with_exceptions t =
   Array.fold_left
-    (fun acc (e : entry) -> if e.exn_bit then (e.task, e.obj) :: acc else acc)
+    (fun acc (e : entry) ->
+      if e.live && e.exn_bit then (e.task, e.obj) :: acc else acc)
     [] t.slots
   |> List.rev
 

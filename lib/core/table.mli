@@ -64,6 +64,7 @@ val evict_task : t -> task:int -> int
 (** Evict every entry of a task (deallocation, Fig. 6 ②); returns the count. *)
 
 val entries_with_exceptions : t -> (int * int) list
-(** Live or dead (task, obj) keys whose exception bit is set. *)
+(** Live (task, obj) keys whose exception bit is set.  Eviction clears the
+    bit, so a departed tenant's slot never reports a stale exception. *)
 
 val iter_live : t -> (entry -> unit) -> unit

@@ -6,6 +6,8 @@ type params = {
   sv_config : Soc.Config.t;
   sv_instances : int;
   sv_cc_entries : int;
+  sv_topology : Bus.Topology.kind;
+  sv_checkers : Capchecker.Shim.checking;
   sv_policy : Admission.policy;
   sv_workload : Workload.params;
   sv_util_pct : int;
@@ -18,6 +20,8 @@ let default_params ?(seed = 1) ~tenants ~requests () =
     sv_config = Soc.Config.ccpu_caccel;
     sv_instances = 8;
     sv_cc_entries = 256;
+    sv_topology = Bus.Topology.Shared;
+    sv_checkers = Capchecker.Shim.Central;
     sv_policy = Admission.default ~instances:8;
     sv_workload =
       {
@@ -35,21 +39,29 @@ let default_params ?(seed = 1) ~tenants ~requests () =
     sv_check_invariants = false;
   }
 
-(* Kernel profiles are pure functions of (config, benchmark): memoized
-   process-wide so a sweep or a test suite profiles each kernel once.  The
-   cache is filled on the calling domain after the pool barrier, so pool jobs
-   never touch it. *)
+(* Kernel profiles are pure functions of (config, topology, checker
+   placement, benchmark): memoized process-wide so a sweep or a test suite
+   profiles each kernel once.  The cache is filled on the calling domain
+   after the pool barrier, so pool jobs never touch it. *)
 let profile_cache : (string * string, Soc.Run.service_profile) Hashtbl.t =
   Hashtbl.create 16
 
-let profiles_for ~jobs config names =
-  let label = Soc.Config.label config in
+let profiles_for ~jobs ~topology ~checkers config names =
+  let label =
+    Printf.sprintf "%s/%s/%s"
+      (Soc.Config.label config)
+      (Bus.Topology.kind_to_string topology)
+      (Capchecker.Shim.checking_to_string checkers)
+  in
   let missing =
     List.filter (fun n -> not (Hashtbl.mem profile_cache (label, n))) names
   in
   let fresh =
     Ccsim.Pool.map ~jobs
-      (fun n -> (n, Soc.Run.service_profile config (Machsuite.Registry.find n)))
+      (fun n ->
+        ( n,
+          Soc.Run.service_profile ~topology ~checkers config
+            (Machsuite.Registry.find n) ))
       missing
   in
   List.iter (fun (n, p) -> Hashtbl.replace profile_cache (label, n) p) fresh;
@@ -128,7 +140,10 @@ let run p =
   let benches =
     List.map (fun n -> (n, Machsuite.Registry.find n)) bench_names
   in
-  let profiles = profiles_for ~jobs:p.sv_jobs p.sv_config bench_names in
+  let profiles =
+    profiles_for ~jobs:p.sv_jobs ~topology:p.sv_topology ~checkers:p.sv_checkers
+      p.sv_config bench_names
+  in
   let gap =
     if wl0.Workload.mean_gap > 0 then wl0.Workload.mean_gap
     else

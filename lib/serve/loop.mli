@@ -29,6 +29,10 @@ type params = {
   sv_config : Soc.Config.t;  (** must carry a CapChecker (Fine or Coarse) *)
   sv_instances : int;
   sv_cc_entries : int;
+  sv_topology : Bus.Topology.kind;
+      (** interconnect shape of the profiled systems (default [Shared]) *)
+  sv_checkers : Capchecker.Shim.checking;
+      (** checking placement of the profiled systems (default [Central]) *)
   sv_policy : Admission.policy;
   sv_workload : Workload.params;
       (** [mean_gap = 0] derives the gap from the profiled mean service time
@@ -44,9 +48,9 @@ type params = {
 }
 
 val default_params : ?seed:int -> tenants:int -> requests:int -> unit -> params
-(** [ccpu_caccel], 8 instances, 256 entries, {!Admission.default}, the
-    default workload mix with 10% churn, auto gap at 80% utilization,
-    serial profiling, invariants off. *)
+(** [ccpu_caccel], 8 instances, 256 entries, shared topology with central
+    checking, {!Admission.default}, the default workload mix with 10% churn,
+    auto gap at 80% utilization, serial profiling, invariants off. *)
 
 val run : params -> Report.t
 (** @raise Invalid_argument if the config has no CapChecker or a parameter

@@ -35,21 +35,20 @@ let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
-let percentile p xs =
-  if xs = [] then invalid_arg "Stats.percentile: empty sample list";
-  let sorted = List.sort compare xs in
-  let n = List.length sorted in
+(* One nearest-rank implementation shared by the float and int front-ends:
+   sort once into an array and index directly, instead of the old
+   sort-a-list-then-List.nth pair of copies (O(n) per query after the sort). *)
+let nearest_rank ~what p xs =
+  if xs = [] then invalid_arg (Printf.sprintf "Stats.%s: empty sample list" what);
+  let sorted = Array.of_list xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
   let rank = int_of_float (ceil (p *. float_of_int n)) in
-  let idx = max 0 (min (n - 1) (rank - 1)) in
-  List.nth sorted idx
+  sorted.(max 0 (min (n - 1) (rank - 1)))
 
-let percentile_int p xs =
-  if xs = [] then invalid_arg "Stats.percentile_int: empty sample list";
-  let sorted = List.sort compare xs in
-  let n = List.length sorted in
-  let rank = int_of_float (ceil (p *. float_of_int n)) in
-  let idx = max 0 (min (n - 1) (rank - 1)) in
-  List.nth sorted idx
+let percentile p xs = nearest_rank ~what:"percentile" p xs
+
+let percentile_int p xs = nearest_rank ~what:"percentile_int" p xs
 
 let percentile_int_opt p xs =
   if xs = [] then None else Some (percentile_int p xs)

@@ -120,16 +120,22 @@ let run_event_compute sys ~start tasks_l =
   let sched =
     Ccsim.Sched.create ~on_advance:(fun cycle -> Obs.Trace.set_now obs cycle) ()
   in
-  let arb =
-    Bus.Arbiter.create ~obs ~faults:sys.System.faults ~sched sys.System.bus
+  let ic =
+    Bus.Topology.create ~obs ~faults:sys.System.faults ~sched
+      ~kind:sys.System.topology sys.System.bus
   in
+  (* With a fleet present, central-port contention is modelled against the
+     live scheduler clock for the duration of the compute phase. *)
+  (match sys.System.fleet with
+  | Some f -> Capchecker.Shim.connect_clock f (fun () -> Ccsim.Sched.now sched)
+  | None -> ());
   let n = List.length tasks_l in
   let results = Array.make (max n 1) None in
   List.iteri
     (fun idx et ->
       let bench = et.et_bench in
       let handle = et.et_alloc.Driver.handle in
-      Accel.Engine.run_event ~obs ~elide:et.et_elide ~sched ~arb ~start
+      Accel.Engine.run_event ~obs ~elide:et.et_elide ~sched ~ic ~start
         ~mem:sys.System.mem ~guard:(System.guard sys) ~bus:sys.System.bus
         ~directives:bench.Machsuite.Bench_def.directives
         ~addressing:(Driver.Backend.addressing backend)
@@ -144,6 +150,9 @@ let run_event_compute sys ~start tasks_l =
         ~on_done:(fun o -> results.(idx) <- Some o))
     tasks_l;
   Ccsim.Sched.run sched;
+  (match sys.System.fleet with
+  | Some f -> Capchecker.Shim.disconnect_clock f
+  | None -> ());
   let outcomes =
     List.mapi
       (fun idx et ->
@@ -160,7 +169,7 @@ let run_event_compute sys ~start tasks_l =
       (fun acc (_, o) -> max acc o.Accel.Engine.ev_finish)
       start outcomes
   in
-  (outcomes, makespan, Bus.Arbiter.total_beats arb)
+  (outcomes, makespan, Bus.Topology.total_beats ic)
 
 (* CPU-only execution: tasks run back-to-back on the one core. *)
 let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
@@ -520,9 +529,12 @@ let run_hetero_faulted sys ~benchmark ~area_luts ~policy ~engine
           sys.System.fabric ~start:replay_start streams
     | Event_driven ->
         let sched = Ccsim.Sched.create () in
-        let arb = Bus.Arbiter.create ~obs ~faults:inj ~sched sys.System.bus in
+        let ic =
+          Bus.Topology.create ~obs ~faults:inj ~sched
+            ~kind:sys.System.topology sys.System.bus
+        in
         Accel.Replay.run_event ~error_retry_limit:policy.Driver.max_attempts
-          ~sched ~arb ~start:replay_start streams
+          ~sched ~ic ~start:replay_start streams
   in
   let accel_compute = replayed.Accel.Replay.makespan - replay_start in
   let fallback_cycles = ref 0 in
@@ -578,12 +590,29 @@ let run_hetero_faulted sys ~benchmark ~area_luts ~policy ~engine
     ~bus_beats:replayed.Accel.Replay.bus_beats ~area_luts ~recovered:!recovered
     ~fallbacks:(List.rev !fallbacks) ()
 
+let require_event_engine ~engine ~topology ~what =
+  match (engine, topology) with
+  | Legacy_replay, kind when kind <> Bus.Topology.Shared ->
+      invalid_arg
+        (Printf.sprintf
+           "%s: topology %s needs the event engine (the legacy replay fabric \
+            serializes globally and cannot model concurrent grants)"
+           what
+           (Bus.Topology.kind_to_string kind))
+  | _ -> ()
+
 let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
     ?obs ?(faults = Fault.Plan.none) ?(retry = Driver.default_retry_policy)
-    ?(elide = Elide_off) ?(engine = Legacy_replay) config bench =
+    ?(elide = Elide_off) ?(engine = Legacy_replay)
+    ?(topology = Bus.Topology.Shared) ?(checkers = Capchecker.Shim.Central)
+    config bench =
   if tasks <= 0 then invalid_arg "Run.run: needs at least one task";
+  require_event_engine ~engine ~topology ~what:"Run.run";
   let instances = match instances with Some n -> max n tasks | None -> max 8 tasks in
-  let sys = System.create ~instances ~cc_entries ~bus ?obs ~faults config in
+  let sys =
+    System.create ~instances ~cc_entries ~bus ?obs ~faults ~topology ~checkers
+      config
+  in
   match config with
   | Config.Cpu_only isa -> run_cpu_only sys isa bench ~tasks
   | Config.Hetero _ ->
@@ -617,12 +646,13 @@ type service_profile = {
   sv_cpu_wall : int;
 }
 
-let service_profile ?(engine = Event_driven) config bench =
+let service_profile ?(engine = Event_driven) ?(topology = Bus.Topology.Shared)
+    ?(checkers = Capchecker.Shim.Central) config bench =
   (match config with
   | Config.Hetero _ -> ()
   | Config.Cpu_only _ ->
       invalid_arg "Run.service_profile: needs a heterogeneous config");
-  let r = run ~tasks:1 ~engine config bench in
+  let r = run ~tasks:1 ~engine ~topology ~checkers config bench in
   if not r.correct then
     failwith
       (Printf.sprintf
@@ -642,14 +672,16 @@ let service_profile ?(engine = Event_driven) config bench =
 
 let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
     ?(retry = Driver.default_retry_policy) ?(elide = Elide_off)
-    ?(engine = Legacy_replay) config benches =
+    ?(engine = Legacy_replay) ?(topology = Bus.Topology.Shared)
+    ?(checkers = Capchecker.Shim.Central) config benches =
   let tasks = List.length benches in
   if tasks <= 0 then invalid_arg "Run.run_mixed: needs at least one task";
+  require_event_engine ~engine ~topology ~what:"Run.run_mixed";
   let instances = match instances with Some n -> max n tasks | None -> tasks in
   (match config with
   | Config.Hetero _ -> ()
   | Config.Cpu_only _ -> invalid_arg "Run.run_mixed: needs a heterogeneous config");
-  let sys = System.create ~instances ?obs ~faults config in
+  let sys = System.create ~instances ?obs ~faults ~topology ~checkers config in
   (* Exact datapath area: per-instance LUTs summed, never a truncating
      per-task mean — mixed benches with unequal area would under-report the
      silicon the power model is charged for. *)
@@ -834,19 +866,25 @@ type spec = {
   sp_retry : Driver.retry_policy;
   sp_elide : elide_mode;
   sp_engine : engine;
+  sp_topology : Bus.Topology.kind;
+  sp_checkers : Capchecker.Shim.checking;
 }
 
 let spec ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
     ?(faults = Fault.Plan.none) ?(retry = Driver.default_retry_policy)
-    ?(elide = Elide_off) ?(engine = Legacy_replay) config bench =
+    ?(elide = Elide_off) ?(engine = Legacy_replay)
+    ?(topology = Bus.Topology.Shared) ?(checkers = Capchecker.Shim.Central)
+    config bench =
   { sp_config = config; sp_bench = bench; sp_tasks = tasks;
     sp_instances = instances; sp_cc_entries = cc_entries; sp_bus = bus;
-    sp_faults = faults; sp_retry = retry; sp_elide = elide; sp_engine = engine }
+    sp_faults = faults; sp_retry = retry; sp_elide = elide; sp_engine = engine;
+    sp_topology = topology; sp_checkers = checkers }
 
 let run_spec ?obs sp =
   run ~tasks:sp.sp_tasks ?instances:sp.sp_instances ~cc_entries:sp.sp_cc_entries
     ~bus:sp.sp_bus ?obs ~faults:sp.sp_faults ~retry:sp.sp_retry
-    ~elide:sp.sp_elide ~engine:sp.sp_engine sp.sp_config sp.sp_bench
+    ~elide:sp.sp_elide ~engine:sp.sp_engine ~topology:sp.sp_topology
+    ~checkers:sp.sp_checkers sp.sp_config sp.sp_bench
 
 let run_many ?(jobs = 1) ?obs_of specs =
   let arr = Array.of_list specs in
@@ -855,13 +893,15 @@ let run_many ?(jobs = 1) ?obs_of specs =
          let obs = Option.map (fun f -> f idx) obs_of in
          run_spec ?obs arr.(idx)))
 
-let sweep_many ?(jobs = 1) ?(engine = Legacy_replay) ~tasks_list columns bench =
+let sweep_many ?(jobs = 1) ?(engine = Legacy_replay)
+    ?(topology = Bus.Topology.Shared) ?(checkers = Capchecker.Shim.Central)
+    ~tasks_list columns bench =
   let specs =
     List.concat_map
       (fun tasks ->
         List.map
           (fun (config, instances) ->
-            spec ~tasks ?instances ~engine config bench)
+            spec ~tasks ?instances ~engine ~topology ~checkers config bench)
           columns)
       tasks_list
   in

@@ -87,6 +87,8 @@ val run :
   ?retry:Driver.retry_policy ->
   ?elide:elide_mode ->
   ?engine:engine ->
+  ?topology:Bus.Topology.kind ->
+  ?checkers:Capchecker.Shim.checking ->
   Config.t ->
   Machsuite.Bench_def.t ->
   result
@@ -123,7 +125,15 @@ val run :
     active fault plan, task placement and retry stay sequential in both
     modes and only the contention replay switches cores; fault draw order
     differs between cores, so seeded runs are reproducible per engine, not
-    across engines. *)
+    across engines.
+
+    [topology] (default [Shared]) selects the interconnect shape and
+    [checkers] (default [Central]) the checking placement (see
+    {!System.create}).  A non-[Shared] topology requires the event engine
+    (raises [Invalid_argument] under [Legacy_replay], whose serialized
+    fabric cannot model concurrent grants); [checkers = Distributed] works
+    under either engine — it changes adjudication latency, never
+    verdicts. *)
 
 type service_profile = {
   sv_bench : string;
@@ -139,15 +149,19 @@ type service_profile = {
     request. *)
 
 val service_profile :
-  ?engine:engine -> Config.t -> Machsuite.Bench_def.t -> service_profile
+  ?engine:engine -> ?topology:Bus.Topology.kind ->
+  ?checkers:Capchecker.Shim.checking -> Config.t -> Machsuite.Bench_def.t ->
+  service_profile
 (** One single-task fault-free {!run} of [bench] under [config] (default
     [engine] is [Event_driven]) plus one {!Config.cpu} run for the fallback
     cost.  Requires a heterogeneous config (raises [Invalid_argument]);
-    raises [Failure] if the profiling run does not verify correct. *)
+    raises [Failure] if the profiling run does not verify correct.
+    [topology]/[checkers] shape the profiled system like {!run}'s. *)
 
 val run_mixed :
   ?instances:int -> ?obs:Obs.Trace.t -> ?faults:Fault.Plan.t ->
   ?retry:Driver.retry_policy -> ?elide:elide_mode -> ?engine:engine ->
+  ?topology:Bus.Topology.kind -> ?checkers:Capchecker.Shim.checking ->
   Config.t ->
   Machsuite.Bench_def.t list ->
   result
@@ -180,12 +194,16 @@ type spec = {
   sp_retry : Driver.retry_policy;
   sp_elide : elide_mode;
   sp_engine : engine;
+  sp_topology : Bus.Topology.kind;
+  sp_checkers : Capchecker.Shim.checking;
 }
 
 val spec :
   ?tasks:int -> ?instances:int -> ?cc_entries:int -> ?bus:Bus.Params.t ->
   ?faults:Fault.Plan.t -> ?retry:Driver.retry_policy -> ?elide:elide_mode ->
-  ?engine:engine -> Config.t -> Machsuite.Bench_def.t -> spec
+  ?engine:engine -> ?topology:Bus.Topology.kind ->
+  ?checkers:Capchecker.Shim.checking -> Config.t -> Machsuite.Bench_def.t ->
+  spec
 (** Defaults mirror {!run}'s. *)
 
 val run_spec : ?obs:Obs.Trace.t -> spec -> result
@@ -201,7 +219,8 @@ val run_many :
     {!Obs.Trace.merge_into}.  A sink must not be shared between specs. *)
 
 val sweep_many :
-  ?jobs:int -> ?engine:engine -> tasks_list:int list ->
+  ?jobs:int -> ?engine:engine -> ?topology:Bus.Topology.kind ->
+  ?checkers:Capchecker.Shim.checking -> tasks_list:int list ->
   (Config.t * int option) list -> Machsuite.Bench_def.t ->
   (int * result list) list
 (** The parallelism-sweep shape (Figure 11 / [capsim sweep]): for every task

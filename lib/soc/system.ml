@@ -8,6 +8,8 @@ type t = {
   backend : Driver.Backend.t option;
   driver : Driver.t option;
   checker : Capchecker.Checker.t option;
+  topology : Bus.Topology.kind;
+  fleet : Capchecker.Shim.t option;
   instances : int;
   obs : Obs.Trace.t;
   faults : Fault.Injector.t;
@@ -50,7 +52,9 @@ let make_backend ~cc_entries ~mem ~instances ~obs ~faults (protection : Config.p
       (Driver.Backend.Capchecker_cached c, None)
 
 let create ?(instances = 8) ?(cc_entries = 256) ?(bus = Bus.Params.default)
-    ?(obs = Obs.Trace.null) ?(faults = Fault.Plan.none) config =
+    ?(obs = Obs.Trace.null) ?(faults = Fault.Plan.none)
+    ?(topology = Bus.Topology.Shared) ?(checkers = Capchecker.Shim.Central)
+    config =
   let mem = Tagmem.Mem.create ~size:Bus.Addr_map.dram_size in
   let heap =
     Tagmem.Alloc.create ~base:Bus.Addr_map.heap_base
@@ -72,14 +76,32 @@ let create ?(instances = 8) ?(cc_entries = 256) ?(bus = Bus.Params.default)
         Driver.create ~obs ~faults ~mem ~heap ~backend ~bus ~n_instances:instances ())
       backend
   in
-  { config; mem; heap; bus; fabric; cpu_cfg; backend; driver; checker; instances;
-    obs; faults }
+  (* The checker fleet exists whenever checking can depart from "one central
+     unit behind a one-grant-per-cycle bus": distributed (per-source shim)
+     placement always needs it, and central placement needs it on any
+     topology that can grant concurrently (the central unit's single port
+     becomes a contention point the event engine must model).  On the Shared
+     topology with central checking no fleet is created and the guard path
+     is bit-for-bit the legacy one — the differential oracle. *)
+  let fleet =
+    match checker with
+    | Some c
+      when checkers = Capchecker.Shim.Distributed
+           || topology <> Bus.Topology.Shared ->
+        Some (Capchecker.Shim.create ~central:c ~sources:instances checkers)
+    | Some _ | None -> None
+  in
+  { config; mem; heap; bus; fabric; cpu_cfg; backend; driver; checker; topology;
+    fleet; instances; obs; faults }
 
 let guard t =
   let g =
-    match t.backend with
-    | Some b -> Driver.Backend.guard_of b
-    | None -> Guard.Iface.pass_through
+    match t.fleet with
+    | Some f -> Capchecker.Shim.guard f
+    | None -> (
+        match t.backend with
+        | Some b -> Driver.Backend.guard_of b
+        | None -> Guard.Iface.pass_through)
   in
   if not (Fault.Injector.active t.faults) then g
   else
@@ -103,10 +125,11 @@ let naive_tag_writes t =
   match t.backend with Some b -> Driver.Backend.naive_tag_writes b | None -> false
 
 let guard_area_luts t =
-  match t.backend with
-  | None -> 0
-  | Some (Driver.Backend.No_protection _) -> 0
-  | Some b -> (Driver.Backend.guard_of b).Guard.Iface.info.area_luts
+  match (t.fleet, t.backend) with
+  | Some f, _ -> Capchecker.Shim.area_luts f
+  | None, None -> 0
+  | None, Some (Driver.Backend.No_protection _) -> 0
+  | None, Some b -> (Driver.Backend.guard_of b).Guard.Iface.info.area_luts
 
 let interconnect_luts = 12_000
 let memory_controller_luts = 20_000

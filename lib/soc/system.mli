@@ -15,6 +15,12 @@ type t = {
   driver : Driver.t option;
   checker : Capchecker.Checker.t option;
       (** the CapChecker instance when the protection is Fine/Coarse *)
+  topology : Bus.Topology.kind;
+  fleet : Capchecker.Shim.t option;
+      (** the checking fleet — present whenever checking departs from "one
+          central unit behind a shared bus": distributed (per-source shim)
+          placement, or central placement on a concurrent topology (where
+          the central unit's single port must be contention-modelled) *)
   instances : int;
   obs : Obs.Trace.t;
       (** the event sink every component of this system reports into
@@ -26,9 +32,14 @@ type t = {
 
 val create :
   ?instances:int -> ?cc_entries:int -> ?bus:Bus.Params.t -> ?obs:Obs.Trace.t ->
-  ?faults:Fault.Plan.t -> Config.t -> t
+  ?faults:Fault.Plan.t -> ?topology:Bus.Topology.kind ->
+  ?checkers:Capchecker.Shim.checking -> Config.t -> t
 (** [instances] defaults to 8 (the paper's setting), [cc_entries] to 256,
     [bus] to {!Bus.Params.default} (override for interconnect ablations).
+    [topology] (default [Shared]) selects the interconnect shape the event
+    engine builds; [checkers] (default [Central]) places capability checking
+    centrally or in per-source shims ({!Capchecker.Shim}).  The default pair
+    is bit-identical to a system without the fleet plumbing.
     [obs] (default {!Obs.Trace.null}) is threaded into the bus fabric, the
     protection backend and the driver; recording is observation-only and
     never changes simulated behaviour.  [faults] (default {!Fault.Plan.none})

@@ -171,6 +171,188 @@ let test_arbiter_late_arrival_served_within_one_round () =
                      (got %d)" ahead)
     true (ahead <= 2)
 
+let test_arbiter_unregister_and_scan_order () =
+  let sched = Ccsim.Sched.create () in
+  let arb = Arbiter.create ~sched Params.default in
+  let log = ref [] in
+  saturate arb log ~src:0 ~at:0 ~n:1 ~beats:2;
+  saturate arb log ~src:1 ~at:0 ~n:1 ~beats:2;
+  saturate arb log ~src:2 ~at:0 ~n:1 ~beats:2;
+  (* Refuses while requests are still queued. *)
+  Alcotest.(check bool) "refused while queued" false (Arbiter.unregister arb ~src:2);
+  Ccsim.Sched.run sched;
+  Alcotest.(check (list int)) "rotation is first-request order" [ 0; 1; 2 ]
+    (Arbiter.sources arb);
+  (* Source 2 won last, so the scan restarts just after it. *)
+  Alcotest.(check (list int)) "scan starts after the last winner" [ 0; 1; 2 ]
+    (Arbiter.scan_order arb);
+  checkb "idle source removed" true (Arbiter.unregister arb ~src:2);
+  checkb "double unregister refused" false (Arbiter.unregister arb ~src:2);
+  Alcotest.(check (list int)) "rotation without the removed source" [ 0; 1 ]
+    (Arbiter.sources arb);
+  (* The last winner is gone: the scan must fall back to plain
+     first-request order instead of looping or skipping a source. *)
+  Alcotest.(check (list int)) "scan falls back to plain order" [ 0; 1 ]
+    (Arbiter.scan_order arb);
+  (* The fallback order is the one the next grant actually uses. *)
+  let log2 = ref [] in
+  saturate arb log2 ~src:1 ~at:100 ~n:1 ~beats:2;
+  saturate arb log2 ~src:0 ~at:100 ~n:1 ~beats:2;
+  Ccsim.Sched.run sched;
+  (match List.rev !log2 with
+  | (first, _) :: _ -> checki "first grant follows the fallback order" 0 first
+  | [] -> Alcotest.fail "no grants after unregister");
+  (* A removed source re-registers transparently on its next request. *)
+  saturate arb log2 ~src:2 ~at:200 ~n:1 ~beats:2;
+  Ccsim.Sched.run sched;
+  Alcotest.(check (list int)) "re-registered at the rotation tail" [ 0; 1; 2 ]
+    (Arbiter.sources arb)
+
+(* ---- interconnect topologies ---- *)
+
+let topo_request ic log ~src ~addr ~at ~beats =
+  Topology.request ic ~src ~target:(Topology.target_for ic ~addr) ~at ~beats
+    ~is_read:true ~extra_latency:0
+    ~on_grant:(fun g -> log := (src, g.Fabric.granted_at) :: !log)
+
+let test_topology_shared_matches_fabric () =
+  (* The Shared topology is the differential oracle: a single-source run
+     must grant exactly the legacy fabric's schedule. *)
+  let f = Fabric.create Params.default in
+  let reqs = [ (0, 8); (0, 2); (30, 4); (31, 1) ] in
+  let expect =
+    List.map
+      (fun (at, beats) ->
+        let g = Fabric.request f ~at ~beats ~is_read:true ~extra_latency:0 in
+        (g.Fabric.granted_at, g.Fabric.data_done, g.Fabric.completed))
+      reqs
+  in
+  let sched = Ccsim.Sched.create () in
+  let ic = Topology.create ~sched ~kind:Topology.Shared Params.default in
+  let got = ref [] in
+  List.iter
+    (fun (at, beats) ->
+      Topology.request ic ~src:3 ~target:0 ~at ~beats ~is_read:true
+        ~extra_latency:0 ~on_grant:(fun g ->
+          got := (g.Fabric.granted_at, g.Fabric.data_done, g.Fabric.completed) :: !got))
+    reqs;
+  Ccsim.Sched.run sched;
+  Alcotest.(check (list (triple int int int)))
+    "same grant schedule as the fabric" expect (List.rev !got);
+  checki "same beat accounting" (Fabric.total_beats f) (Topology.total_beats ic)
+
+let test_topology_crossbar_concurrent_disjoint_banks () =
+  let sched = Ccsim.Sched.create () in
+  let ic =
+    Topology.create ~sched ~kind:(Topology.Crossbar { banks = 4 }) Params.default
+  in
+  checki "4 targets" 4 (Topology.targets ic);
+  checki "stripe 0" 0 (Topology.target_for ic ~addr:0);
+  checki "stripe 1" 1 (Topology.target_for ic ~addr:Topology.bank_interleave);
+  let log = ref [] in
+  (* Different banks: both granted at cycle 0 (concurrent grants). *)
+  topo_request ic log ~src:0 ~addr:0 ~at:0 ~beats:8;
+  topo_request ic log ~src:1 ~addr:Topology.bank_interleave ~at:0 ~beats:8;
+  (* Same bank as source 0: must serialize behind it. *)
+  topo_request ic log ~src:2 ~addr:64 ~at:0 ~beats:8;
+  Ccsim.Sched.run sched;
+  let at src = List.assoc src (List.rev !log) in
+  checki "bank 0 grants at 0" 0 (at 0);
+  checki "bank 1 grants concurrently" 0 (at 1);
+  checkb "same-bank traffic serializes" true (at 2 > 0);
+  checki "beats summed over banks" 24 (Topology.total_beats ic)
+
+let test_topology_hierarchical_uplink () =
+  (* An uncontended request pays the uplink to the root and the hop back:
+     same data schedule as the shared bus, shifted by one uplink, with the
+     return hop added to completion. *)
+  let f = Fabric.create Params.default in
+  let g = Fabric.request f ~at:0 ~beats:4 ~is_read:true ~extra_latency:0 in
+  let sched = Ccsim.Sched.create () in
+  let ic =
+    Topology.create ~sched ~kind:(Topology.Hierarchical { clusters = 4 })
+      Params.default
+  in
+  let got = ref None in
+  Topology.request ic ~src:0 ~target:0 ~at:0 ~beats:4 ~is_read:true
+    ~extra_latency:0 ~on_grant:(fun g -> got := Some g);
+  Ccsim.Sched.run sched;
+  match !got with
+  | None -> Alcotest.fail "no grant"
+  | Some h ->
+      checki "granted one uplink later" (g.Fabric.granted_at + Topology.uplink_latency)
+        h.Fabric.granted_at;
+      checki "completion adds the return hop"
+        (g.Fabric.completed + (2 * Topology.uplink_latency))
+        h.Fabric.completed
+
+(* Same request set, sources registered in permuted order: the rotation (and
+   hence individual grant cycles) may differ, but the bandwidth share must
+   not — per-source grant counts and the total beat count are invariant, and
+   repeating the identical setup must reproduce the identical grant log. *)
+let topology_fairness_run kind order =
+  let sched = Ccsim.Sched.create () in
+  let ic = Topology.create ~sched ~kind Params.default in
+  let log = ref [] in
+  List.iter
+    (fun src ->
+      for i = 0 to 7 do
+        topo_request ic log ~src
+          ~addr:(((src * 8) + i) * Topology.bank_interleave)
+          ~at:0 ~beats:4
+      done)
+    order;
+  Ccsim.Sched.run sched;
+  (List.rev !log, Topology.total_beats ic)
+
+let test_topology_fairness_and_determinism () =
+  List.iter
+    (fun kind ->
+      let name = Topology.kind_to_string kind in
+      let base, beats = topology_fairness_run kind [ 0; 1; 2; 3 ] in
+      let again, beats' = topology_fairness_run kind [ 0; 1; 2; 3 ] in
+      checkb (name ^ ": repeat run grant-identical") true (base = again);
+      checki (name ^ ": repeat run beat-identical") beats beats';
+      let permuted, beats'' = topology_fairness_run kind [ 3; 1; 0; 2 ] in
+      checki (name ^ ": beats invariant under registration order") beats beats'';
+      let count src l =
+        List.length (List.filter (fun (s, _) -> s = src) l)
+      in
+      List.iter
+        (fun src ->
+          checki
+            (Printf.sprintf "%s: source %d grant count invariant" name src)
+            (count src base) (count src permuted))
+        [ 0; 1; 2; 3 ];
+      (* Makespan (last grant cycle) is also registration-order invariant:
+         the rotation permutes who goes first, not how much anyone gets. *)
+      let last l = List.fold_left (fun acc (_, at) -> max acc at) 0 l in
+      checki (name ^ ": last grant invariant") (last base) (last permuted))
+    [ Topology.Shared; Topology.Crossbar { banks = 4 };
+      Topology.Hierarchical { clusters = 4 } ]
+
+let test_topology_kind_strings () =
+  let roundtrip k =
+    match Topology.kind_of_string (Topology.kind_to_string k) with
+    | Ok k' -> k = k'
+    | Error _ -> false
+  in
+  checkb "shared roundtrip" true (roundtrip Topology.Shared);
+  checkb "crossbar roundtrip" true (roundtrip (Topology.Crossbar { banks = 8 }));
+  checkb "hier roundtrip" true
+    (roundtrip (Topology.Hierarchical { clusters = 2 }));
+  checkb "xbar alias" true
+    (Topology.kind_of_string "xbar:2" = Ok (Topology.Crossbar { banks = 2 }));
+  checkb "bare crossbar uses the default" true
+    (Topology.kind_of_string "crossbar"
+    = Ok (Topology.Crossbar { banks = Topology.default_banks }));
+  checkb "garbage rejected" true
+    (match Topology.kind_of_string "mesh" with Error _ -> true | Ok _ -> false);
+  checkb "zero banks rejected" true
+    (match Topology.kind_of_string "crossbar:0" with
+    | Error _ -> true
+    | Ok _ -> false)
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest [ prop_fifo_monotonic; prop_beats_conserved ]
 
@@ -188,5 +370,15 @@ let suite =
     ("arbiter: two-source fairness", `Quick, test_arbiter_fairness_two_sources);
     ("arbiter: late arrival served", `Quick,
      test_arbiter_late_arrival_served_within_one_round);
+    ("arbiter: unregister and scan-order fallback", `Quick,
+     test_arbiter_unregister_and_scan_order);
+    ("topology: shared matches fabric", `Quick,
+     test_topology_shared_matches_fabric);
+    ("topology: crossbar concurrent disjoint banks", `Quick,
+     test_topology_crossbar_concurrent_disjoint_banks);
+    ("topology: hierarchical uplink", `Quick, test_topology_hierarchical_uplink);
+    ("topology: fairness and determinism", `Quick,
+     test_topology_fairness_and_determinism);
+    ("topology: kind strings", `Quick, test_topology_kind_strings);
   ]
   @ qsuite

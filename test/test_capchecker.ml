@@ -79,6 +79,112 @@ let test_table_evict_task () =
   checki "one left" 1 (Table.live_count t);
   checkb "other task intact" true (Table.lookup t ~task:2 ~obj:0 <> None)
 
+let slot_exn t ~task ~obj capability =
+  match Table.install t ~task ~obj capability with
+  | Table.Installed slot -> slot
+  | Table.Table_full -> Alcotest.fail "table full"
+  | Table.Rejected_untagged -> Alcotest.fail "rejected"
+
+let test_table_eviction_clears_exception_bit () =
+  (* Regression: eviction used to leave [exn_bit] set on the dead slot, so a
+     task that reused the slot inherited the previous occupant's exception
+     state and [entries_with_exceptions] reported ghosts. *)
+  let c = Checker.create ~entries:4 Checker.Fine in
+  ignore (install_exn c ~task:1 ~obj:0 (cap 0x1000 64));
+  ignore (Checker.check c (read_req ~port:0 ~source:1 ~addr:0x9999 ~size:8 ()));
+  checki "bit set by the denial" 1
+    (List.length (Table.entries_with_exceptions (Checker.table c)));
+  checkb "evicted" true (Checker.evict c ~task:1 ~obj:0);
+  checki "no ghost exception on a dead slot" 0
+    (List.length (Table.entries_with_exceptions (Checker.table c)));
+  (* The reused slot starts clean for its new occupant. *)
+  ignore (install_exn c ~task:2 ~obj:0 (cap 0x2000 64));
+  checki "reused slot starts clean" 0
+    (List.length (Table.entries_with_exceptions (Checker.table c)))
+
+let test_table_churn_no_ghost_exceptions () =
+  (* Sustained install/deny/evict churn — including [evict_task] — must
+     never accumulate exception bits on dead or reused slots. *)
+  let c = Checker.create ~entries:4 Checker.Fine in
+  for round = 0 to 24 do
+    let task = round mod 3 in
+    ignore (install_exn c ~task ~obj:0 (cap 0x1000 64));
+    ignore (install_exn c ~task ~obj:1 (cap 0x2000 64));
+    ignore (Checker.check c (read_req ~port:0 ~source:task ~addr:0x9999 ~size:8 ()));
+    checki
+      (Printf.sprintf "round %d: only the live denied entry flagged" round)
+      1
+      (List.length (Table.entries_with_exceptions (Checker.table c)));
+    if round mod 2 = 0 then checki "both entries revoked" 2 (Checker.evict_task c ~task)
+    else begin
+      checkb "evicted obj 0" true (Checker.evict c ~task ~obj:0);
+      checkb "evicted obj 1" true (Checker.evict c ~task ~obj:1)
+    end;
+    checki (Printf.sprintf "round %d: clean after revocation" round) 0
+      (List.length (Table.entries_with_exceptions (Checker.table c)));
+    checki "empty between rounds" 0 (Table.live_count (Checker.table c))
+  done
+
+let test_table_slot_reuse_lowest_first () =
+  (* The free-slot heap must reproduce the original linear scan's choice:
+     installs always land in the lowest-numbered free slot, and replacing a
+     live key reuses its slot instead of consuming a free one. *)
+  let t = Table.create ~entries:4 in
+  checki "slot 0" 0 (slot_exn t ~task:0 ~obj:0 (cap 0 16));
+  checki "slot 1" 1 (slot_exn t ~task:0 ~obj:1 (cap 32 16));
+  checki "slot 2" 2 (slot_exn t ~task:0 ~obj:2 (cap 64 16));
+  checki "slot 3" 3 (slot_exn t ~task:0 ~obj:3 (cap 96 16));
+  checkb "evict slot 1" true (Table.evict t ~task:0 ~obj:1);
+  checkb "evict slot 3" true (Table.evict t ~task:0 ~obj:3);
+  checki "lowest free slot first" 1 (slot_exn t ~task:1 ~obj:0 (cap 128 16));
+  checki "replace keeps the slot" 1 (slot_exn t ~task:1 ~obj:0 (cap 160 16));
+  checki "next free slot after that" 3 (slot_exn t ~task:1 ~obj:1 (cap 192 16));
+  checki "full again" 4 (Table.live_count t)
+
+(* The hash-indexed table against a naive association model: lookups,
+   live counts and full/evict outcomes must agree after any op sequence. *)
+let prop_table_matches_reference =
+  QCheck.Test.make ~count:300 ~name:"indexed table matches a naive reference"
+    QCheck.(small_list (triple (int_bound 3) (int_bound 3) (int_bound 3)))
+    (fun ops ->
+      let entries = 4 in
+      let t = Table.create ~entries in
+      let model : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+      List.for_all
+        (fun (op, task, obj) ->
+          match op with
+          | 0 | 1 -> (
+              match Table.install t ~task ~obj (cap 0x1000 64) with
+              | Table.Installed _ ->
+                  Hashtbl.replace model (task, obj) ();
+                  true
+              | Table.Table_full ->
+                  Hashtbl.length model = entries
+                  && not (Hashtbl.mem model (task, obj))
+              | Table.Rejected_untagged -> false)
+          | 2 ->
+              let was = Hashtbl.mem model (task, obj) in
+              Hashtbl.remove model (task, obj);
+              Table.evict t ~task ~obj = was
+          | _ ->
+              let mine =
+                Hashtbl.fold
+                  (fun (tk, ob) () acc -> if tk = task then (tk, ob) :: acc else acc)
+                  model []
+              in
+              List.iter (Hashtbl.remove model) mine;
+              Table.evict_task t ~task = List.length mine)
+        ops
+      && Table.live_count t = Hashtbl.length model
+      && List.for_all
+           (fun task ->
+             List.for_all
+               (fun obj ->
+                 (Table.lookup t ~task ~obj <> None)
+                 = Hashtbl.mem model (task, obj))
+               [ 0; 1; 2; 3 ])
+           [ 0; 1; 2; 3 ])
+
 (* ---------------- fine mode ---------------- *)
 
 let test_fine_grants_and_denies () =
@@ -196,6 +302,110 @@ let test_granted_after_denial () =
   checkb "still grants" true
     (granted (Checker.check c (read_req ~port:0 ~source:1 ~addr:0x1000 ~size:8 ())))
 
+(* ---------------- distributed shims ---------------- *)
+
+let same_verdict a b =
+  match (a, b) with
+  | Guard.Iface.Granted { phys = p; _ }, Guard.Iface.Granted { phys = p'; _ } ->
+      p = p'
+  | Guard.Iface.Denied d, Guard.Iface.Denied d' -> d = d'
+  | Guard.Iface.Granted _, Guard.Iface.Denied _
+  | Guard.Iface.Denied _, Guard.Iface.Granted _ -> false
+
+let verdict_to_string = function
+  | Guard.Iface.Granted { phys; _ } -> Printf.sprintf "granted @0x%x" phys
+  | Guard.Iface.Denied d -> "denied: " ^ d.Guard.Iface.detail
+
+(* Drive an identical install/check/churn sequence through a plain central
+   checker and through a distributed shim fleet over a second identically
+   configured central: every verdict — grant phys and denial detail alike —
+   must match; only latency may differ. *)
+let shim_parity_sequence mode compose =
+  let plain = Checker.create ~entries:8 mode in
+  let central = Checker.create ~entries:8 mode in
+  let fleet = Shim.create ~central ~sources:4 Shim.Distributed in
+  let install ~task ~obj c =
+    ignore (install_exn plain ~task ~obj c);
+    ignore (install_exn central ~task ~obj c)
+  in
+  let evict ~task ~obj =
+    ignore (Checker.evict plain ~task ~obj);
+    ignore (Checker.evict central ~task ~obj)
+  in
+  let evict_task ~task =
+    ignore (Checker.evict_task plain ~task);
+    ignore (Checker.evict_task central ~task)
+  in
+  let compare req =
+    let a = Checker.check plain req and b = Shim.check fleet req in
+    checkb
+      (Printf.sprintf "parity (%s vs %s)" (verdict_to_string a)
+         (verdict_to_string b))
+      true (same_verdict a b)
+  in
+  install ~task:1 ~obj:0 (cap 0x1000 64);
+  install ~task:2 ~obj:1 (cap 0x2000 32);
+  (* In-bounds, repeated (second one is a shim hit), out-of-bounds, wrong
+     task, missing provenance/object. *)
+  compare (read_req ~port:0 ~source:1 ~addr:(compose ~obj:0 0x1000) ~size:8 ());
+  compare (read_req ~port:0 ~source:1 ~addr:(compose ~obj:0 0x1020) ~size:8 ());
+  compare (read_req ~port:0 ~source:1 ~addr:(compose ~obj:0 0x1040) ~size:8 ());
+  compare (write_req ~port:1 ~source:2 ~addr:(compose ~obj:1 0x2000) ~size:8 ());
+  compare (read_req ~port:0 ~source:2 ~addr:(compose ~obj:0 0x1000) ~size:8 ());
+  compare (read_req ~source:1 ~addr:0x1000 ~size:8 ());
+  (* Churn: central evictions must invalidate the shims' cached copies — a
+     stale shim grant here would be an isolation hole. *)
+  evict ~task:1 ~obj:0;
+  compare (read_req ~port:0 ~source:1 ~addr:(compose ~obj:0 0x1020) ~size:8 ());
+  install ~task:1 ~obj:0 (cap 0x1000 16);
+  compare (read_req ~port:0 ~source:1 ~addr:(compose ~obj:0 0x1020) ~size:8 ());
+  compare (read_req ~port:0 ~source:1 ~addr:(compose ~obj:0 0x1008) ~size:8 ());
+  evict_task ~task:2;
+  compare (write_req ~port:1 ~source:2 ~addr:(compose ~obj:1 0x2000) ~size:8 ())
+
+let fine_addr ~obj:_ phys = phys
+
+let test_shim_parity_fine () = shim_parity_sequence Checker.Fine fine_addr
+
+let test_shim_parity_coarse () =
+  shim_parity_sequence Checker.Coarse (fun ~obj phys ->
+      Checker.compose_coarse ~obj phys)
+
+let test_shim_hit_miss_accounting () =
+  let central = Checker.create ~entries:8 Checker.Fine in
+  let fleet = Shim.create ~central ~sources:2 Shim.Distributed in
+  ignore (install_exn central ~task:1 ~obj:0 (cap 0x1000 64));
+  let req = read_req ~port:0 ~source:1 ~addr:0x1000 ~size:8 () in
+  ignore (Shim.check fleet req);
+  checki "first check misses" 1 (Shim.misses fleet);
+  checki "no hit yet" 0 (Shim.hits fleet);
+  ignore (Shim.check fleet req);
+  checki "second check hits locally" 1 (Shim.hits fleet);
+  checki "no extra miss" 1 (Shim.misses fleet);
+  checki "one shim materialized" 1 (Shim.shim_count fleet);
+  (* Central churn invalidates the copy: the next check misses again. *)
+  ignore (Checker.evict central ~task:1 ~obj:0);
+  ignore (install_exn central ~task:1 ~obj:0 (cap 0x1000 64));
+  ignore (Shim.check fleet req);
+  checki "invalidation forces a refill" 2 (Shim.misses fleet);
+  let stats = Shim.shim_stats fleet in
+  checkb "refills counted as shim installs" true
+    (stats.Table.st_installs >= 2)
+
+let test_shim_area_and_guard () =
+  let central = Checker.create ~entries:256 Checker.Fine in
+  let dist = Shim.create ~central ~sources:8 Shim.Distributed in
+  let cent = Shim.create ~central ~sources:8 Shim.Central in
+  checki "central placement adds no area"
+    (Checker.as_guard central).Guard.Iface.info.Guard.Iface.area_luts
+    (Shim.area_luts cent);
+  checkb "shim tables cost area" true (Shim.area_luts dist > Shim.area_luts cent);
+  let g = Shim.guard dist in
+  checkb "guard name marks the shims" true
+    (String.length g.Guard.Iface.info.Guard.Iface.name >= 6);
+  ignore (install_exn central ~task:0 ~obj:0 (cap 0 16));
+  checki "entries view stays central" 1 (g.Guard.Iface.entries_in_use ())
+
 (* ---------------- costs and area ---------------- *)
 
 let test_mmio_costs_positive () =
@@ -234,7 +444,9 @@ let prop_check_agrees_with_cap =
       granted (Checker.check c req)
       = (Cheri.Cap.access_ok capability ~addr ~size:8 Cheri.Cap.Read = Ok ()))
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_check_agrees_with_cap ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_check_agrees_with_cap; prop_table_matches_reference ]
 
 let suite =
   [
@@ -243,6 +455,15 @@ let suite =
     ("table full and evict", `Quick, test_table_full);
     ("table rejects untagged", `Quick, test_table_rejects_untagged);
     ("table evict task", `Quick, test_table_evict_task);
+    ("table eviction clears exception bit", `Quick,
+     test_table_eviction_clears_exception_bit);
+    ("table churn: no ghost exceptions", `Quick,
+     test_table_churn_no_ghost_exceptions);
+    ("table slot reuse lowest-first", `Quick, test_table_slot_reuse_lowest_first);
+    ("shim parity: fine", `Quick, test_shim_parity_fine);
+    ("shim parity: coarse", `Quick, test_shim_parity_coarse);
+    ("shim hit/miss accounting", `Quick, test_shim_hit_miss_accounting);
+    ("shim area and guard", `Quick, test_shim_area_and_guard);
     ("fine grants/denies", `Quick, test_fine_grants_and_denies);
     ("fine read-only cap", `Quick, test_fine_readonly_cap);
     ("coarse compose/split", `Quick, test_coarse_compose_split);

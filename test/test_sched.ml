@@ -209,6 +209,93 @@ let test_event_mode_deterministic () =
   let a = go () and b = go () in
   checkb "two event-mode runs are identical" true (a = b)
 
+(* ---- interconnect topologies at run level ---- *)
+
+let test_topology_shared_is_identity () =
+  (* --topology shared must be byte-for-byte the plain event engine: same
+     result record on a contended run, under both checker placements'
+     default (central). *)
+  let bench = Machsuite.Registry.find "aes" in
+  let base =
+    Soc.Run.run ~tasks:4 ~engine:Soc.Run.Event_driven Soc.Config.ccpu_caccel
+      bench
+  in
+  let shared =
+    Soc.Run.run ~tasks:4 ~engine:Soc.Run.Event_driven
+      ~topology:Bus.Topology.Shared Soc.Config.ccpu_caccel bench
+  in
+  checkb "shared topology is the identity" true (base = shared)
+
+let test_topology_verdict_parity () =
+  (* Topology and checker placement shape latency, never adjudication: every
+     combination must agree on correctness, check counts, denials, beats and
+     peak table occupancy. *)
+  let bench = Machsuite.Registry.find "spmv_crs" in
+  let base =
+    Soc.Run.run ~tasks:4 ~engine:Soc.Run.Event_driven Soc.Config.ccpu_caccel
+      bench
+  in
+  List.iter
+    (fun (topology, checkers) ->
+      let r =
+        Soc.Run.run ~tasks:4 ~engine:Soc.Run.Event_driven ~topology ~checkers
+          Soc.Config.ccpu_caccel bench
+      in
+      let name =
+        Printf.sprintf "%s/%s"
+          (Bus.Topology.kind_to_string topology)
+          (Capchecker.Shim.checking_to_string checkers)
+      in
+      checkb (name ^ ": correct") true r.Soc.Run.correct;
+      checki (name ^ ": checks") base.Soc.Run.checks r.Soc.Run.checks;
+      checki (name ^ ": bus beats") base.Soc.Run.bus_beats r.Soc.Run.bus_beats;
+      checki (name ^ ": entries peak") base.Soc.Run.entries_peak
+        r.Soc.Run.entries_peak;
+      Alcotest.(check (list (pair string string)))
+        (name ^ ": denials")
+        (List.map denial_pair base.Soc.Run.denials)
+        (List.map denial_pair r.Soc.Run.denials))
+    [ (Bus.Topology.Shared, Capchecker.Shim.Distributed);
+      (Bus.Topology.Crossbar { banks = 4 }, Capchecker.Shim.Central);
+      (Bus.Topology.Crossbar { banks = 4 }, Capchecker.Shim.Distributed);
+      (Bus.Topology.Hierarchical { clusters = 4 }, Capchecker.Shim.Central);
+      (Bus.Topology.Hierarchical { clusters = 4 }, Capchecker.Shim.Distributed) ]
+
+let test_topology_runs_deterministic () =
+  (* Concurrent topologies stay deterministic: repeat runs are identical. *)
+  let bench = Machsuite.Registry.find "aes" in
+  List.iter
+    (fun topology ->
+      let go () =
+        Soc.Run.run ~tasks:4 ~engine:Soc.Run.Event_driven ~topology
+          ~checkers:Capchecker.Shim.Distributed Soc.Config.ccpu_caccel bench
+      in
+      checkb
+        (Bus.Topology.kind_to_string topology ^ ": repeat run identical")
+        true
+        (go () = go ()))
+    [ Bus.Topology.Crossbar { banks = 4 };
+      Bus.Topology.Hierarchical { clusters = 4 } ]
+
+let test_topology_requires_event_engine () =
+  let bench = Machsuite.Registry.find "aes" in
+  let rejects f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | (_ : Soc.Run.result) -> false
+  in
+  checkb "replay + crossbar rejected" true
+    (rejects (fun () ->
+         Soc.Run.run ~tasks:1 ~engine:Soc.Run.Legacy_replay
+           ~topology:(Bus.Topology.Crossbar { banks = 4 })
+           Soc.Config.ccpu_caccel bench));
+  (* Distributed checkers alone are engine-agnostic. *)
+  let r =
+    Soc.Run.run ~tasks:1 ~engine:Soc.Run.Legacy_replay
+      ~checkers:Capchecker.Shim.Distributed Soc.Config.ccpu_caccel bench
+  in
+  checkb "replay + shim checkers allowed and correct" true r.Soc.Run.correct
+
 let test_event_mode_faulted_invariant () =
   (* Faulted runs switch only the contention core; the recovery invariant
      (correct, or an explicit fallback per lost task) must hold in both, and
@@ -244,6 +331,11 @@ let suite =
     ("homogeneous: event makespan bounded", `Quick,
      test_homogeneous_event_makespan_bounded);
     ("event mode deterministic", `Quick, test_event_mode_deterministic);
+    ("topology: shared is the identity", `Quick, test_topology_shared_is_identity);
+    ("topology: verdict parity", `Quick, test_topology_verdict_parity);
+    ("topology: deterministic", `Quick, test_topology_runs_deterministic);
+    ("topology: replay engine rejected", `Quick,
+     test_topology_requires_event_engine);
     ("faulted event mode: invariant + determinism", `Quick,
      test_event_mode_faulted_invariant);
   ]
