@@ -519,15 +519,34 @@ let lint_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
   in
-  let run bench _all json =
-    let benches =
-      match bench with Some b -> [ b ] | None -> Machsuite.Registry.all
-    in
+  let demo_arg =
+    Arg.(value & flag
+           & info [ "demo-violation" ]
+               ~doc:"Lint a synthetic kernel with a provable out-of-bounds \
+                     store instead of the built-in benchmarks — exercises \
+                     the nonzero-exit contract so scripts and CI can pin \
+                     it.")
+  in
+  (* A kernel the analyzer must flag: the loop's last iteration stores one
+     element past the buffer. *)
+  let demo_violation_kernel =
+    let open Kernel.Ir in
+    { name = "demo-oob";
+      bufs = [ { buf_name = "out"; elem = I32; len = 8; writable = true } ];
+      scratch = [];
+      body = [ For ("idx", i 0, i 9, [ Store ("out", v "idx", v "idx") ]) ] }
+  in
+  let run bench _all json demo =
     let reports =
-      List.map
-        (fun (b : Machsuite.Bench_def.t) ->
-          Analysis.analyze ~params:(Analysis.param_ranges b.params) b.kernel)
-        benches
+      if demo then [ Analysis.analyze demo_violation_kernel ]
+      else
+        let benches =
+          match bench with Some b -> [ b ] | None -> Machsuite.Registry.all
+        in
+        List.map
+          (fun (b : Machsuite.Bench_def.t) ->
+            Analysis.analyze ~params:(Analysis.param_ranges b.params) b.kernel)
+          benches
     in
     let failing (r : Analysis.report) =
       r.Analysis.lint <> []
@@ -562,7 +581,164 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Static capability-footprint analysis of the benchmark kernels")
-    Term.(const run $ bench_opt $ all_arg $ json_arg)
+    Term.(const run $ bench_opt $ all_arg $ json_arg $ demo_arg)
+
+let verify_cmd =
+  let depth_arg =
+    Arg.(value & opt int Verify.Engine.default_opts.Verify.Engine.v_depth
+           & info [ "depth" ]
+               ~doc:"Ops per source program (interleavings grow as a \
+                     multinomial of this).")
+  in
+  let accels_arg =
+    Arg.(value & opt int Verify.Engine.default_opts.Verify.Engine.v_accels
+           & info [ "accels" ] ~doc:"Accelerator tasks (1-8).")
+  in
+  let objs_arg =
+    Arg.(value & opt int Verify.Engine.default_opts.Verify.Engine.v_objs
+           & info [ "objs" ]
+               ~doc:"Protected objects (1-16); grant maps grow as \
+                     $(b,3^(accels*objs)).")
+  in
+  let obj_len_arg =
+    Arg.(value & opt int Verify.Engine.default_opts.Verify.Engine.v_obj_len
+           & info [ "obj-len" ] ~doc:"Bytes per object (2-4096).")
+  in
+  let space_arg =
+    Arg.(value & opt int Verify.Engine.default_opts.Verify.Engine.v_space_bits
+           & info [ "space-bits" ]
+               ~doc:"Phase-1 encoding sweep runs over a $(b,2^bits)-byte \
+                     window; cost grows as $(b,4^bits).")
+  in
+  let mutation_conv =
+    let parse s =
+      match Verify.Model.mutation_of_string s with
+      | Ok m -> Ok m
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv
+      ( parse,
+        fun fmt m ->
+          Format.pp_print_string fmt (Verify.Model.mutation_to_string m) )
+  in
+  let mutate_arg =
+    Arg.(value & opt mutation_conv Verify.Model.M_none
+           & info [ "mutate" ]
+               ~doc:"Run against a deliberately broken checker \
+                     ($(b,ghost-exn), $(b,wide-bounds), $(b,skip-revoke), \
+                     $(b,elide-unproven)) — the verifier must find a \
+                     counterexample, demonstrating sensitivity.  Default \
+                     $(b,none): the real system, which must verify clean.")
+  in
+  let random_arg =
+    Arg.(value & opt int 0
+           & info [ "random" ]
+               ~doc:"Instead of the exhaustive sweep, run N seeded random \
+                     scenarios (the QCheck-style fallback for bounds the \
+                     exhaustive mode cannot reach).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for $(b,--random).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+           & info [ "replay" ]
+               ~doc:"Re-execute one counterexample token deterministically \
+                     and report what happens.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run depth accels objs obj_len space_bits topology checkers mutation
+      random seed replay json =
+    let opts =
+      { Verify.Engine.v_depth = depth; v_accels = accels; v_objs = objs;
+        v_obj_len = obj_len; v_space_bits = space_bits;
+        v_topology = topology; v_checkers = checkers; v_mutation = mutation }
+    in
+    match replay with
+    | Some token -> (
+        match Verify.Engine.replay token with
+        | Error e ->
+            prerr_endline ("replay: " ^ e);
+            exit 2
+        | Ok (trace, cx) ->
+            if json then
+              print_endline
+                (Obs.Json.to_string
+                   (Obs.Json.Obj
+                      [ ( "trace",
+                          Obs.Json.List
+                            (List.map Verify.Engine.json_of_step trace) );
+                        ( "counterexample",
+                          match cx with
+                          | None -> Obs.Json.Null
+                          | Some cx ->
+                              Verify.Engine.json_of_counterexample cx ) ]))
+            else begin
+              List.iter
+                (fun (s : Verify.Harness.step) ->
+                  Printf.printf "[%d] cycle %d: %s -> %s\n"
+                    s.Verify.Harness.s_index s.Verify.Harness.s_cycle
+                    (Verify.Model.op_pretty s.Verify.Harness.s_src
+                       s.Verify.Harness.s_op)
+                    s.Verify.Harness.s_note)
+                trace;
+              match cx with
+              | None -> print_endline "replay: no violation"
+              | Some cx ->
+                  let b = Buffer.create 256 in
+                  Verify.Engine.render_counterexample b cx;
+                  print_string (Buffer.contents b)
+            end;
+            if cx <> None then exit 1)
+    | None ->
+        if random > 0 then begin
+          let r = Verify.Engine.random_suite opts ~seed ~runs:random in
+          (if json then
+             print_endline
+               (Obs.Json.to_string
+                  (Obs.Json.Obj
+                     [ ("runs", Obs.Json.Int r.Verify.Engine.rr_runs);
+                       ( "violating",
+                         Obs.Json.Int r.Verify.Engine.rr_violating );
+                       ( "counterexample",
+                         match r.Verify.Engine.rr_counterexample with
+                         | None -> Obs.Json.Null
+                         | Some cx -> Verify.Engine.json_of_counterexample cx
+                       ) ]))
+           else begin
+             Printf.printf "random: %d runs\n" r.Verify.Engine.rr_runs;
+             match r.Verify.Engine.rr_counterexample with
+             | None -> print_endline "verified: no counterexample"
+             | Some cx ->
+                 let b = Buffer.create 256 in
+                 Verify.Engine.render_counterexample b cx;
+                 print_string (Buffer.contents b)
+           end);
+          if r.Verify.Engine.rr_counterexample <> None then exit 1
+        end
+        else begin
+          let r = Verify.Engine.run opts in
+          if json then
+            print_endline
+              (Obs.Json.to_string (Verify.Engine.json_of_report r))
+          else print_string (Verify.Engine.render_report r);
+          if not (Verify.Engine.ok r) then exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Bounded-exhaustive model checking of the protection stack: \
+             every capability encoding over a tiny window, every grant map, \
+             every arbiter interleaving of the probe programs — with \
+             revocation, fault injection, check elision and shim refill in \
+             flight.  Exit 0 when the bound is exhausted clean, 1 on a \
+             counterexample (printed with a deterministic $(b,--replay) \
+             token).")
+    Term.(const run $ depth_arg $ accels_arg $ objs_arg $ obj_len_arg
+          $ space_arg $ topology_arg $ checkers_arg $ mutate_arg $ random_arg
+          $ seed_arg $ replay_arg $ json_arg)
 
 let matrix_cmd =
   let json_arg =
@@ -734,4 +910,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; trace_cmd; sweep_cmd; attack_cmd; matrix_cmd;
-            faults_cmd; lint_cmd; serve_cmd ]))
+            faults_cmd; lint_cmd; serve_cmd; verify_cmd ]))

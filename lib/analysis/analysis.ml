@@ -21,8 +21,16 @@ module Interval = struct
       hi = (if next.hi > old.hi then max_int else old.hi);
     }
 
-  (* Endpoint arithmetic: min_int / max_int act as infinities and overflow
-     saturates toward them, which only ever widens the interval. *)
+  (* Endpoint arithmetic.  The sentinel reading is positional: a [lo] of
+     [min_int] means unbounded below and a [hi] of [max_int] unbounded
+     above; the literal extremes in the opposite positions are ordinary
+     exact bounds (e.g. [const max_int] has an exact lower bound of
+     [max_int]).  Overflow saturates toward the matching sentinel, which
+     only ever widens the interval — but negation and multiplication must
+     resolve sentinel-ness by position before flipping signs, or
+     [neg (const max_int)] collapses to [[-inf, min_int]] and excludes the
+     true value [-max_int] (the unsoundness the extreme-value property
+     tests pin down). *)
 
   let sat_add x y =
     let s = x + y in
@@ -41,7 +49,24 @@ module Interval = struct
       hi = (if a.hi = max_int || b.hi = max_int then max_int else sat_add a.hi b.hi);
     }
 
-  let neg iv = { lo = ext_neg iv.hi; hi = ext_neg iv.lo }
+  (* A bound with its sentinel-ness resolved from its position. *)
+  type bound = Ninf | Fin of int | Pinf
+
+  let lo_bound v = if v = min_int then Ninf else Fin v
+  let hi_bound v = if v = max_int then Pinf else Fin v
+  let sat = function Ninf -> min_int | Pinf -> max_int | Fin v -> v
+
+  let neg_bound = function
+    | Ninf -> Pinf
+    | Pinf -> Ninf
+    | Fin v -> if v = min_int then Pinf else Fin (-v)
+
+  let neg iv =
+    {
+      lo = sat (neg_bound (hi_bound iv.hi));
+      hi = sat (neg_bound (lo_bound iv.lo));
+    }
+
   let sub a b = add a (neg b)
 
   let ext_mul x y =
@@ -54,22 +79,46 @@ module Interval = struct
       let p = x * y in
       if p / x <> y then (if x > 0 = (y > 0) then max_int else min_int) else p
 
+  let mul_bound x y =
+    match (x, y) with
+    | Fin 0, _ | _, Fin 0 -> Fin 0
+    | Ninf, Ninf | Pinf, Pinf -> Pinf
+    | Ninf, Pinf | Pinf, Ninf -> Ninf
+    | Pinf, Fin v | Fin v, Pinf -> if v > 0 then Pinf else Ninf
+    | Ninf, Fin v | Fin v, Ninf -> if v > 0 then Ninf else Pinf
+    | Fin u, Fin v ->
+        if (u = -1 && v = min_int) || (v = -1 && u = min_int) then Pinf
+        else
+          let p = u * v in
+          (* the division check is exact: a wrapped product sits >= 2^63
+             away from the true one, so it can never divide back to [v] *)
+          if p / u = v then Fin p
+          else if u > 0 = (v > 0) then Pinf
+          else Ninf
+
   let of_corners c0 c1 c2 c3 =
     { lo = min (min c0 c1) (min c2 c3); hi = max (max c0 c1) (max c2 c3) }
 
+  (* A saturated overflowed corner is sound on both sides: a product past
+     [max_int] is >= the literal [max_int] as a lower bound and reads as
+     the +inf sentinel as an upper bound; dually below [min_int]. *)
   let mul a b =
-    of_corners (ext_mul a.lo b.lo) (ext_mul a.lo b.hi) (ext_mul a.hi b.lo)
-      (ext_mul a.hi b.hi)
+    of_corners
+      (sat (mul_bound (lo_bound a.lo) (lo_bound b.lo)))
+      (sat (mul_bound (lo_bound a.lo) (hi_bound b.hi)))
+      (sat (mul_bound (hi_bound a.hi) (lo_bound b.lo)))
+      (sat (mul_bound (hi_bound a.hi) (hi_bound b.hi)))
 
   (* Truncating division is monotone in each argument over a sign-constant
-     divisor range, so corner evaluation is exact on the box. *)
+     divisor range, so corner evaluation is exact on the box.  Only the
+     dividend's sentinels need resolving: divisors are >= 1 here, and a
+     literal-extreme dividend divides exactly (no overflow cases). *)
   let div a b =
-    let ext_div x y =
-      if x = min_int then min_int else if x = max_int then max_int else x / y
-    in
+    let div_lo x y = if x = min_int then min_int else x / y in
+    let div_hi x y = if x = max_int then max_int else x / y in
     let pos a b =
-      of_corners (ext_div a.lo b.lo) (ext_div a.lo b.hi) (ext_div a.hi b.lo)
-        (ext_div a.hi b.hi)
+      of_corners (div_lo a.lo b.lo) (div_lo a.lo b.hi) (div_hi a.hi b.lo)
+        (div_hi a.hi b.hi)
     in
     if b.lo >= 1 then pos a b
     else if b.hi <= -1 then neg (pos a (neg b))  (* x / -y = -(x / y) *)

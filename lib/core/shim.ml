@@ -44,6 +44,9 @@ type t = {
   shims : (int, shim) Hashtbl.t;
   mutable clock : (unit -> int) option;
   mutable port_free_at : int;
+  mutable invalidations : int;
+      (* shim-table entries dropped through the central invalidate channel —
+         the epoch-bump/refill race counter the verification layer pins *)
 }
 
 let default_shim_entries = 8
@@ -53,15 +56,19 @@ let invalidate t u =
   let each f = Hashtbl.iter (fun _ sh -> f sh) t.shims in
   match u with
   | Checker.Up_install { task; obj } | Checker.Up_evict { task; obj } ->
-      each (fun sh -> ignore (Table.evict sh.sh_table ~task ~obj))
+      each (fun sh ->
+          if Table.evict sh.sh_table ~task ~obj then
+            t.invalidations <- t.invalidations + 1)
   | Checker.Up_evict_task { task } ->
-      each (fun sh -> ignore (Table.evict_task sh.sh_table ~task))
+      each (fun sh ->
+          t.invalidations <- t.invalidations + Table.evict_task sh.sh_table ~task)
 
 let create ?(shim_entries = default_shim_entries)
     ?(refill_latency = default_refill_latency) ~central ~sources checking =
   let t =
     { central; checking; shim_entries; refill_latency; sources;
-      shims = Hashtbl.create 64; clock = None; port_free_at = 0 }
+      shims = Hashtbl.create 64; clock = None; port_free_at = 0;
+      invalidations = 0 }
   in
   if checking = Distributed then Checker.on_update central (invalidate t);
   t
@@ -147,6 +154,7 @@ let check t (req : Guard.Iface.req) =
 let hits t = Hashtbl.fold (fun _ sh acc -> acc + sh.sh_hits) t.shims 0
 let misses t = Hashtbl.fold (fun _ sh acc -> acc + sh.sh_misses) t.shims 0
 let shim_count t = Hashtbl.length t.shims
+let invalidations t = t.invalidations
 
 (* Fleet-wide shim-table pressure: every field summed across shims (peak is
    the sum of per-shim peaks — an upper bound on simultaneous residency). *)
@@ -170,7 +178,8 @@ let observe_shims t ~into =
   Obs.Metrics.add into "shim.table_evictions" s.Table.st_evictions;
   Obs.Metrics.add into "shim.table_live" s.Table.st_live;
   Obs.Metrics.add into "shim.hits" (hits t);
-  Obs.Metrics.add into "shim.misses" (misses t)
+  Obs.Metrics.add into "shim.misses" (misses t);
+  Obs.Metrics.add into "shim.invalidations" (invalidations t)
 
 let area_luts t =
   match t.checking with

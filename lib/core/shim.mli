@@ -69,6 +69,12 @@ val misses : t -> int
 val shim_count : t -> int
 (** Sources that have checked at least once. *)
 
+val invalidations : t -> int
+(** Shim-table entries dropped through the central invalidate channel
+    ({!Checker.on_update}): a revocation-epoch bump or any other central
+    mutation landing between a shim refill and the next access shows up
+    here — the stale-copy race the verification layer pins directly. *)
+
 val shim_stats : t -> Table.stats
 (** {!Table.stats} summed across every shim's private table. *)
 

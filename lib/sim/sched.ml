@@ -66,15 +66,20 @@ let pop t =
   sift_down t.heap t.size 0;
   top
 
-let run t =
-  while t.size > 0 do
+let run_steps t n =
+  let steps = ref 0 in
+  while t.size > 0 && !steps < n do
     let ev = pop t in
     if ev.cycle > t.clock then begin
       t.clock <- ev.cycle;
       t.on_advance t.clock
     end;
-    ev.fn ()
-  done
+    ev.fn ();
+    incr steps
+  done;
+  !steps
+
+let run t = ignore (run_steps t max_int)
 
 let pending t = t.size
 

@@ -37,6 +37,14 @@ val run : t -> unit
     processes whose resumption was never scheduled are simply left
     suspended — callers should check their own completion flags. *)
 
+val run_steps : t -> int -> int
+(** [run_steps t n] is {!run} bounded to at most [n] events; returns the
+    number actually run (< [n] only when the heap drained).  The
+    schedule-control hook of the bounded-exhaustive verifier ([lib/verify]):
+    an explored interleaving is driven under a step budget so a harness bug
+    that fails to quiesce surfaces as budget exhaustion with [pending t > 0],
+    never as a hung exploration. *)
+
 val pending : t -> int
 (** Number of events still in the heap. *)
 

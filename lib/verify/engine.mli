@@ -1,0 +1,70 @@
+(** The verification driver behind [capsim verify].
+
+    A run is a pure function of the options: phase 1 (the encoding sweep),
+    then bounded-exhaustive scenario x interleaving exploration, stopping at
+    the first counterexample, which is minimized and serialized to a replay
+    token.  Two runs with equal options render byte-identical reports — the
+    CI determinism gate relies on this. *)
+
+type opts = {
+  v_depth : int;       (** per-source program length *)
+  v_accels : int;
+  v_objs : int;
+  v_obj_len : int;
+  v_space_bits : int;  (** phase-1 window is [2^space_bits] bytes *)
+  v_topology : Bus.Topology.kind;
+  v_checkers : Capchecker.Shim.checking;
+  v_mutation : Model.mutation;  (** [M_none] for the real system *)
+}
+
+val default_opts : opts
+(** depth 2, 2 accelerators, 3 objects of 8 bytes, 4-bit window, shared
+    topology, distributed checking, no mutation. *)
+
+type counterexample = {
+  cx_violation : Harness.violation;
+  cx_trace : Harness.step list;
+  cx_scenario : Model.scenario;
+  cx_schedule : int list;
+  cx_token : string;  (** feed to {!replay} / [capsim verify --replay] *)
+}
+
+type report = {
+  r_opts : opts;
+  r_sweep : Space.sweep;
+  r_scenarios : int;
+  r_schedules : int;
+  r_pruned : int;
+  r_ops : int;
+  r_invalidations : int;
+  r_counterexample : counterexample option;
+}
+
+val run : opts -> report
+
+val ok : report -> bool
+(** No phase-1 failure and no counterexample. *)
+
+val replay :
+  string -> (Harness.step list * counterexample option, string) result
+(** Parse a token, re-execute its schedule, report what happened.  A token
+    from a real counterexample reproduces its violation deterministically. *)
+
+type random_report = {
+  rr_runs : int;
+  rr_violating : int;
+  rr_counterexample : counterexample option;
+}
+
+val random_suite : opts -> seed:int -> runs:int -> random_report
+(** The random fallback: seeded random scenarios/schedules through the same
+    harness, stopping at the first violation. *)
+
+val json_of_report : report -> Obs.Json.t
+val render_report : report -> string
+(** Deterministic text form; includes a ready-to-run [--replay] command
+    line when a counterexample exists. *)
+
+val json_of_counterexample : counterexample -> Obs.Json.t
+val json_of_step : Harness.step -> Obs.Json.t
+val render_counterexample : Buffer.t -> counterexample -> unit

@@ -1,0 +1,67 @@
+(** Differential execution of one {!Model.scenario}.
+
+    The implementation under test (a real {!Capchecker.Checker} behind the
+    scenario's {!Capchecker.Shim} placement) runs in lock-step with a
+    central-only mirror checker and a small spec oracle.  After every op the
+    property layer is evaluated; the first failure poisons the harness so the
+    trace ends at the violating step.
+
+    Properties checked (names are stable, they appear in CLI output):
+    - [oob-grant] — the checker forwarded an access the oracle denies (the
+      global no-out-of-bounds invariant);
+    - [benign-denial] — the checker denied an access the oracle grants;
+    - [phys-mismatch] — granted, but to the wrong physical address;
+    - [shim-parity] — shim-fleet verdict differs from the pure-central
+      mirror's (placement must only change latency);
+    - [ghost-exn] — a live table entry reports an exception no denial since
+      its install justifies (the slot-reuse hygiene the table must maintain);
+    - [elide-unsound] — an access ran with checks elided but is not
+      statically proven safe (the monotonicity side-condition of elision);
+    - [install-result] — a capability install failed although the table is
+      sized for every grant of the scenario. *)
+
+type violation = {
+  v_prop : string;   (** property name, one of the seven above *)
+  v_detail : string;
+  v_step : int;      (** index into the executed schedule *)
+  v_cycle : int;
+}
+
+type step = {
+  s_index : int;
+  s_cycle : int;
+  s_src : int;
+  s_op : Model.op;
+  s_note : string;  (** outcome as executed ("granted phys=0x18", …) *)
+}
+
+type t
+
+val boot : Model.scenario -> t
+(** Fresh systems (implementation + mirror + oracle) with the scenario's
+    boot grants installed everywhere.  A failing boot install is already a
+    violation. *)
+
+val exec : t -> cycle:int -> src:int -> Model.op -> unit
+(** Execute one op as source [src] at [cycle]; evaluates every property.
+    No-op once a violation is recorded. *)
+
+val violation : t -> violation option
+val trace : t -> step list
+(** Executed steps in order; ends at the violating step if any. *)
+
+val steps_executed : t -> int
+
+val shim_invalidations : t -> int
+(** Invalidate-channel drops observed by the implementation's shim fleet
+    (coverage evidence that revocation raced a refill). *)
+
+val shim_misses : t -> int
+
+val p_oob_grant : string
+val p_benign_denial : string
+val p_phys : string
+val p_parity : string
+val p_ghost : string
+val p_elide : string
+val p_install : string

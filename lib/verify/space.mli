@@ -1,0 +1,46 @@
+(** The verifier's two state spaces.
+
+    Phase 1 sweeps the capability-encoding layer: every region over a tiny
+    [2^space_bits]-byte window (rounding must be the identity), the window
+    stretched through odd multipliers into exponent-forcing ranges (rounding
+    must cover, be idempotent, and agree with [Cap.set_bounds]), all 4096
+    permission masks, and the coarse compose/split corners — each derived
+    capability checked against an independently re-derived [access_ok]
+    semantics and round-tripped through the 128-bit encoding.
+
+    Phase 2 enumerates scenarios: the cross product
+    [grant-map x mode x elide x fault] over a fixed task/object box, the
+    grant map encoded as a base-3 integer (absent / ro / rw per key).  The
+    enumeration order is fixed, so the first counterexample is a
+    deterministic function of the dimensions. *)
+
+type sweep = {
+  sw_caps : int;    (** capabilities derived *)
+  sw_checks : int;  (** predicate checks evaluated *)
+  sw_failure : string option;  (** first failing check, if any *)
+}
+
+val encoding_sweep : space_bits:int -> sweep
+(** Phase 1 over a [2^space_bits]-byte window.  [space_bits] in [1, 8] is
+    sensible; cost grows as [4^space_bits]. *)
+
+type dims = {
+  d_accels : int;
+  d_objs : int;
+  d_obj_len : int;
+  d_depth : int;  (** per-source program length (canonical probe programs) *)
+  d_topology : Bus.Topology.kind;
+  d_checkers : Capchecker.Shim.checking;
+  d_mutation : Model.mutation;
+}
+
+val count : dims -> int
+(** [8 * 3^(accels*objs)] — the number of scenarios {!scenarios} yields. *)
+
+val scenarios : dims -> Model.scenario Seq.t
+(** The phase-2 enumeration, lazily. *)
+
+val random_scenario : Ccsim.Rng.t -> dims -> Model.scenario * int list
+(** One random scenario (random grant map, random programs of length up to
+    [d_depth], random feasible schedule) from the simulator's seeded
+    generator — the [--random] fallback and the QCheck generator's core. *)

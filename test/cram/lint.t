@@ -24,3 +24,13 @@ lint exit nonzero, so the full-registry sweep doubles as a CI gate.
 
   $ ../../bin/capsim.exe lint --all > /dev/null && echo clean
   clean
+
+The exit-code contract (0 = proven or honestly unknown, 1 = a possible
+violation), pinned with the built-in demo kernel whose loop runs one
+iteration past its buffer:
+
+  $ ../../bin/capsim.exe lint --demo-violation; echo "exit=$?"
+  demo-oob: VIOLATION
+    out          rw len 8      reads -              writes [0,8]          VIOLATION: write of out[8] (len 8) at out[idx] <- idx
+  0/1 kernels proven in bounds
+  exit=1

@@ -22,7 +22,17 @@ let test_interval_arith () =
   ieq "mul negatives" (I.make 2 20) (I.mul (I.make (-5) (-1)) (I.make (-4) (-2)));
   checkb "unbounded add stays unbounded" true
     (not (I.is_bounded (I.add I.top (I.const 1))));
-  ieq "const" (I.make 7 7) (I.const 7)
+  ieq "const" (I.make 7 7) (I.const 7);
+  (* literal-extreme endpoints are exact bounds, not infinity sentinels:
+     negating/multiplying them must keep the true value inside *)
+  checkb "neg const max_int keeps -max_int" true
+    (I.mem (-max_int) (I.neg (I.const max_int)));
+  checkb "neg const min_int covers +overflow" true
+    ((I.neg (I.const min_int)).I.hi = max_int);
+  checkb "sub near max_int keeps -1" true
+    (I.mem (-1) (I.sub (I.const (max_int - 1)) (I.const max_int)));
+  checkb "mul const max_int by -1 keeps -max_int" true
+    (I.mem (-max_int) (I.mul (I.const max_int) (I.const (-1))))
 
 let test_interval_lattice () =
   ieq "join" (I.make 0 9) (I.join (I.make 0 3) (I.make 5 9));
@@ -36,6 +46,126 @@ let test_interval_lattice () =
   let w = I.widen (I.make 0 4) (I.make 0 5) in
   checkb "widen blows moving hi" true (w.I.hi = max_int && w.I.lo = 0);
   ieq "widen stable" (I.make 0 4) (I.widen (I.make 0 4) (I.make 1 4))
+
+(* ---------------- interval soundness at the 63-bit extremes ----------------
+
+   The domain's contract: endpoints [min_int]/[max_int] are infinity
+   sentinels and endpoint arithmetic saturates toward them, over-approximating
+   the {e wrap-free} concrete semantics the interpreter is specified with.
+   So the property is stated against extended integers: a concrete result
+   that mathematically overflows 63 bits must land in an interval whose
+   matching endpoint is the infinity sentinel.  Plain [a + b ∈ add A B] with
+   native ints would be both unsound to check (the concrete side wraps) and
+   miss exactly the corner this guards. *)
+
+type ext = Num of int | Pos_over | Neg_over
+
+let ext_add a b =
+  if b > 0 && a > max_int - b then Pos_over
+  else if b < 0 && a < min_int - b then Neg_over
+  else Num (a + b)
+
+let ext_neg a = if a = min_int then Pos_over else Num (-a)
+
+let ext_sub a b = match ext_neg b with
+  | Num nb -> ext_add a nb
+  | Pos_over (* b = min_int *) ->
+      (* a - min_int = a + (max_int + 1) *)
+      if a >= 0 then Pos_over else Num (a + max_int + 1)
+  | Neg_over -> assert false
+
+let ext_mul a b =
+  if a = 0 || b = 0 then Num 0
+  else if a = -1 then ext_neg b
+  else if b = -1 then ext_neg a
+  else
+    let p = a * b in
+    if p / a = b && (p <> min_int || (a < 0) <> (b < 0)) then Num p
+    else if a > 0 = (b > 0) then Pos_over
+    else Neg_over
+
+(* membership under the sentinel reading: lo = min_int means unbounded
+   below, hi = max_int unbounded above *)
+let ext_mem e (iv : I.t) =
+  match e with
+  | Num v -> I.mem v iv
+  | Pos_over -> iv.I.hi = max_int
+  | Neg_over -> iv.I.lo = min_int
+
+let extreme_endpoint =
+  QCheck.Gen.frequency
+    [ ( 3,
+        QCheck.Gen.oneofl
+          [ min_int; min_int + 1; min_int + 2; min_int / 2; -1000000; -7; -2;
+            -1; 0; 1; 2; 7; 1000000; max_int / 2; max_int - 2; max_int - 1;
+            max_int ] );
+      (1, QCheck.Gen.int) ]
+
+let interval_arb =
+  (* degenerate extreme-point intervals get extra weight: [const max_int]
+     times [const (-1)] is precisely the corner class worth hammering *)
+  QCheck.make ~print:I.to_string
+    (QCheck.Gen.oneof
+       [ QCheck.Gen.map2 (fun a b -> I.make a b) extreme_endpoint
+           extreme_endpoint;
+         QCheck.Gen.map I.const extreme_endpoint ])
+
+(* concrete witnesses of an interval: its corners and a few interior points *)
+let samples (iv : I.t) =
+  List.filter
+    (fun v -> I.mem v iv)
+    [ iv.I.lo; iv.I.hi; 0; 1; -1; min_int; max_int;
+      (if iv.I.lo < max_int then iv.I.lo + 1 else iv.I.lo);
+      (if iv.I.hi > min_int then iv.I.hi - 1 else iv.I.hi) ]
+
+let forall_pairs a b f =
+  List.for_all (fun x -> List.for_all (fun y -> f x y) (samples b)) (samples a)
+
+let prop_binop name abstract concrete =
+  QCheck.Test.make ~count:2000 ~name
+    QCheck.(pair interval_arb interval_arb)
+    (fun (a, b) ->
+      forall_pairs a b (fun x y -> ext_mem (concrete x y) (abstract a b)))
+
+let prop_add_sound =
+  prop_binop "interval add sound at 63-bit extremes" I.add ext_add
+
+let prop_sub_sound =
+  prop_binop "interval sub sound at 63-bit extremes" I.sub ext_sub
+
+let prop_mul_sound =
+  prop_binop "interval mul sound at 63-bit extremes" I.mul ext_mul
+
+let prop_neg_sound =
+  QCheck.Test.make ~count:2000 ~name:"interval neg sound at 63-bit extremes"
+    interval_arb
+    (fun a ->
+      List.for_all (fun x -> ext_mem (ext_neg x) (I.neg a)) (samples a))
+
+let prop_join_meet_sound =
+  QCheck.Test.make ~count:2000 ~name:"join/meet sound on sampled members"
+    QCheck.(pair interval_arb interval_arb)
+    (fun (a, b) ->
+      let j = I.join a b in
+      List.for_all (fun v -> I.mem v j) (samples a)
+      && List.for_all (fun v -> I.mem v j) (samples b)
+      &&
+      let common = List.filter (fun v -> I.mem v b) (samples a) in
+      match I.meet a b with
+      | Some m -> List.for_all (fun v -> I.mem v m) common
+      | None -> common = [])
+
+let prop_widen_covers =
+  QCheck.Test.make ~count:2000 ~name:"widen covers both arguments"
+    QCheck.(pair interval_arb interval_arb)
+    (fun (old, next) ->
+      let w = I.widen old next in
+      I.subset old w && I.subset next w)
+
+let interval_qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_sound; prop_sub_sound; prop_mul_sound; prop_neg_sound;
+      prop_join_meet_sound; prop_widen_covers ]
 
 (* ---------------- crafted kernels ---------------- *)
 
@@ -389,3 +519,4 @@ let suite =
     ("elision needs capable backend", `Quick, test_elision_needs_capable_backend);
     ("elision emits event", `Quick, test_elision_emits_event);
   ]
+  @ interval_qsuite

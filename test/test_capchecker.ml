@@ -392,6 +392,35 @@ let test_shim_hit_miss_accounting () =
   checkb "refills counted as shim installs" true
     (stats.Table.st_installs >= 2)
 
+(* The stale-copy race the verification layer pins directly: a revocation
+   landing between a shim refill and the task's next access must drop the
+   cached copy through the invalidate channel — a grant from the
+   pre-revocation entry would be an isolation hole. *)
+let test_shim_revocation_between_refill_and_access () =
+  let central = Checker.create ~entries:8 Checker.Fine in
+  let fleet = Shim.create ~central ~sources:2 Shim.Distributed in
+  ignore (install_exn central ~task:1 ~obj:0 (cap 0x1000 64));
+  let req = read_req ~port:0 ~source:1 ~addr:0x1000 ~size:8 () in
+  (* miss + refill: the shim now holds a private copy *)
+  checkb "pre-revocation access grants" true (granted (Shim.check fleet req));
+  checki "refill took the miss path" 1 (Shim.misses fleet);
+  let inv0 = Shim.invalidations fleet in
+  (* the revocation epoch bump (task-wide eviction) lands before any further
+     access touches the freshly refilled copy *)
+  ignore (Checker.evict_task central ~task:1);
+  checkb "invalidate channel dropped the cached copy" true
+    (Shim.invalidations fleet > inv0);
+  (* the next access must re-consult the central table and be denied *)
+  checkb "post-revocation access denied" true
+    (not (granted (Shim.check fleet req)));
+  checki "denial re-took the miss path" 2 (Shim.misses fleet);
+  checki "stale entry never adjudicated locally" 0 (Shim.hits fleet);
+  (* a fresh install restores both the grant and the local hit path *)
+  ignore (install_exn central ~task:1 ~obj:0 (cap 0x1000 64));
+  checkb "reinstall restores the grant" true (granted (Shim.check fleet req));
+  ignore (Shim.check fleet req);
+  checkb "reinstall restores the hit path" true (Shim.hits fleet > 0)
+
 let test_shim_area_and_guard () =
   let central = Checker.create ~entries:256 Checker.Fine in
   let dist = Shim.create ~central ~sources:8 Shim.Distributed in
@@ -463,6 +492,9 @@ let suite =
     ("shim parity: fine", `Quick, test_shim_parity_fine);
     ("shim parity: coarse", `Quick, test_shim_parity_coarse);
     ("shim hit/miss accounting", `Quick, test_shim_hit_miss_accounting);
+    ( "shim revocation between refill and access",
+      `Quick,
+      test_shim_revocation_between_refill_and_access );
     ("shim area and guard", `Quick, test_shim_area_and_guard);
     ("fine grants/denies", `Quick, test_fine_grants_and_denies);
     ("fine read-only cap", `Quick, test_fine_readonly_cap);

@@ -28,4 +28,5 @@ let () =
       ("claims", Test_claims.suite);
       ("analysis", Test_analysis.suite);
       ("serve", Test_serve.suite);
+      ("verify", Test_verify.suite);
     ]
