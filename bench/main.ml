@@ -814,7 +814,10 @@ let elision () =
    the heaviest capsim workload) serially and on the pool, asserts the
    results are structurally identical — the determinism proof — and
    records the numbers for the --json snapshot.  The timings themselves
-   are the one output that legitimately varies between runs. *)
+   are the one output that legitimately varies between runs.  Both legs
+   run with the fast paths off: the caches would otherwise collapse the
+   sweep to a handful of lookups and the "speedup" would measure domain
+   spawn overhead instead of the pool. *)
 let parallel_section () =
   print_string
     (section "Parallel runner: domain-pool speedup (gemm_ncubed sweep)");
@@ -834,11 +837,20 @@ let parallel_section () =
     let v = f () in
     (v, Unix.gettimeofday () -. t0)
   in
-  let serial, serial_s =
-    time (fun () -> Soc.Run.sweep_many ~jobs:1 ~tasks_list columns bench)
-  in
-  let par, par_s =
-    time (fun () -> Soc.Run.sweep_many ~jobs:par_jobs ~tasks_list columns bench)
+  let saved_mode = Soc.Fastpath.current_mode () in
+  let (serial, serial_s), (par, par_s) =
+    Fun.protect
+      ~finally:(fun () -> Soc.Fastpath.set_mode saved_mode)
+      (fun () ->
+        Soc.Fastpath.set_mode Soc.Fastpath.Interpretive;
+        let serial =
+          time (fun () -> Soc.Run.sweep_many ~jobs:1 ~tasks_list columns bench)
+        in
+        let par =
+          time (fun () ->
+              Soc.Run.sweep_many ~jobs:par_jobs ~tasks_list columns bench)
+        in
+        (serial, par))
   in
   if serial <> par then failwith "parallel sweep diverged from the serial run";
   let speedup = serial_s /. par_s in
@@ -993,7 +1005,40 @@ let serve_section () =
           [ 0; 25 ])
       [ 64; 256; 1024 ]
   in
-  print_string (Ccsim.Report.table ~header rows)
+  print_string (Ccsim.Report.table ~header rows);
+  (* Same tenant sweep with the service fabric re-run on a 4-bank crossbar:
+     banked grants shorten the adjudication queue behind each request, so the
+     tail (p99) moves while the verdicts and table dynamics stay put.  The
+     delta column is crossbar p99 relative to the shared-bus p99 above. *)
+  print_string
+    (section "serve: shared bus vs 4-bank crossbar (p99 delta, churn 0)");
+  let topo_header =
+    [ "tenants"; "shared p50"; "shared p99"; "xbar4 p50"; "xbar4 p99";
+      "p99 delta" ]
+  in
+  let topo_rows =
+    List.map
+      (fun tenants ->
+        let report topology =
+          let base =
+            Serve.Loop.default_params ~seed:42 ~tenants ~requests:2500 ()
+          in
+          Serve.Loop.run
+            { base with Serve.Loop.sv_jobs = jobs (); sv_topology = topology }
+        in
+        let shared = report Bus.Topology.Shared in
+        let xbar = report (Bus.Topology.Crossbar { banks = 4 }) in
+        [ string_of_int tenants;
+          string_of_int shared.Serve.Report.rp_p50;
+          string_of_int shared.Serve.Report.rp_p99;
+          string_of_int xbar.Serve.Report.rp_p50;
+          string_of_int xbar.Serve.Report.rp_p99;
+          Ccsim.Report.pct
+            (ratio xbar.Serve.Report.rp_p99 shared.Serve.Report.rp_p99 -. 1.0)
+        ])
+      [ 64; 256; 1024 ]
+  in
+  print_string (Ccsim.Report.table ~header:topo_header topo_rows)
 
 let sections =
   [
@@ -1017,29 +1062,49 @@ let sections =
   ]
 
 (* With no positional arguments, regenerate everything; otherwise run the
-   named sections only (e.g. `bench/main.exe fig8 fig12`).  `--jobs N`
+   named sections only — positionally (`bench/main.exe fig8 fig12`) or as a
+   comma list (`--sections fig7,fig9,contention`; `--only` is an alias).
+   `--list-sections` prints the section names and exits.  `--jobs N`
    parallelizes the independent simulations inside each section (0 = all
    cores) without changing any printed table; `--json` emits a
    machine-readable timing snapshot on stdout (section prints go to stderr
-   instead). *)
+   instead), whose `baseline` field names the committed BENCH file the CI
+   regression gate compares against (`--baseline FILE` overrides it). *)
 let () =
-  let rec parse args names jobs_n json =
+  let split_sections value =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' value)
+  in
+  let rec parse args names jobs_n json baseline =
     match args with
-    | [] -> (List.rev names, jobs_n, json)
-    | "--json" :: rest -> parse rest names jobs_n true
+    | [] -> (List.rev names, jobs_n, json, baseline)
+    | "--json" :: rest -> parse rest names jobs_n true baseline
+    | "--list-sections" :: _ ->
+        List.iter (fun (name, _) -> print_endline name) sections;
+        exit 0
+    | ("--sections" | "--only") :: value :: rest ->
+        parse rest
+          (List.fold_left (fun acc s -> s :: acc) names (split_sections value))
+          jobs_n json baseline
+    | [ ("--sections" | "--only") ] ->
+        prerr_endline "bench: --sections expects a comma-separated list";
+        exit 2
+    | "--baseline" :: value :: rest -> parse rest names jobs_n json value
+    | [ "--baseline" ] ->
+        prerr_endline "bench: --baseline expects a file name";
+        exit 2
     | "--jobs" :: value :: rest -> (
         match int_of_string_opt value with
-        | Some n when n >= 0 -> parse rest names n json
+        | Some n when n >= 0 -> parse rest names n json baseline
         | Some _ | None ->
             prerr_endline "bench: --jobs expects a non-negative integer";
             exit 2)
     | [ "--jobs" ] ->
         prerr_endline "bench: --jobs expects a value";
         exit 2
-    | name :: rest -> parse rest (name :: names) jobs_n json
+    | name :: rest -> parse rest (name :: names) jobs_n json baseline
   in
-  let names, jobs_n, json =
-    parse (List.tl (Array.to_list Sys.argv)) [] 1 false
+  let names, jobs_n, json, baseline =
+    parse (List.tl (Array.to_list Sys.argv)) [] 1 false "BENCH_5.json"
   in
   jobs_ref := jobs_n;
   let requested = match names with [] -> List.map fst sections | ns -> ns in
@@ -1109,4 +1174,5 @@ let () =
                        timings) );
                 ("total_seconds", Float total);
                 ("parallel", parallel);
+                ("baseline", String baseline);
               ]))

@@ -104,6 +104,32 @@ let checkers_arg =
                  (per-accelerator shim tables refilled from the central \
                  table; identical verdicts, different latency).")
 
+(* Replay acceleration mode (lib/soc/fastpath.ml).  Every mode produces
+   byte-identical output — the CI replay-compilation gate diffs on/off — so
+   the flag only trades simulation time for re-verification. *)
+let fastpath_conv =
+  let parse s =
+    match Soc.Fastpath.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown fast-path mode %s (on, off or diff)" s))
+  in
+  Arg.conv
+    (parse, fun fmt m -> Format.pp_print_string fmt (Soc.Fastpath.mode_to_string m))
+
+let fastpath_arg =
+  Arg.(value & opt fastpath_conv Soc.Fastpath.Fast
+         & info [ "fast-path" ]
+             ~doc:"Replay acceleration: $(b,on) (the default) compiles \
+                   recorded DMA traces into burst segments, derives cached \
+                   access scripts instead of re-interpreting kernels, and \
+                   skips per-access guard calls on statically proven tasks — \
+                   byte-identical results, order-of-magnitude faster sweeps; \
+                   $(b,off) re-interprets everything (the ground truth); \
+                   $(b,diff) computes both legs and fails on any divergence.")
+
 (* Parallelism across independent simulations (Ccsim.Pool).  Results are
    index-deterministic: any --jobs value produces byte-identical output to
    --jobs 1 (the CI gate diffs them). *)
@@ -195,7 +221,8 @@ let run_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
   in
-  let run bench config tasks engine topology checkers json =
+  let run bench config tasks engine topology checkers fastpath json =
+    Soc.Fastpath.set_mode fastpath;
     let engine = resolve_engine ~topology engine in
     let r = Soc.Run.run ~tasks ~engine ~topology ~checkers config bench in
     if json then print_endline (Obs.Json.to_string (json_of_result r))
@@ -217,7 +244,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark end to end")
     Term.(const run $ bench_arg $ config_arg $ tasks_arg $ engine_arg
-          $ topology_arg $ checkers_arg $ json_arg)
+          $ topology_arg $ checkers_arg $ fastpath_arg $ json_arg)
 
 (* ---- trace ---- *)
 
@@ -261,7 +288,8 @@ let sweep_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the sweep as JSON.")
   in
-  let run bench engine topology checkers jobs json =
+  let run bench engine topology checkers fastpath jobs json =
+    Soc.Fastpath.set_mode fastpath;
     let engine = resolve_engine ~topology engine in
     (* All 15 points (5 task counts x 3 configs) are independent full-system
        runs; they execute as one Ccsim.Pool batch and are re-assembled in
@@ -334,7 +362,7 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Parallelism sweep (Figure 11 style)")
     Term.(const run $ bench_arg $ engine_arg $ topology_arg $ checkers_arg
-          $ jobs_arg $ json_arg)
+          $ fastpath_arg $ jobs_arg $ json_arg)
 
 (* ---- attack ---- *)
 
@@ -417,7 +445,8 @@ let faults_cmd =
     else
       print_endline "  invariant VIOLATED: incorrect result without a covering fallback"
   in
-  let run bench config tasks seed runs engine jobs json =
+  let run bench config tasks seed runs engine fastpath jobs json =
+    Soc.Fastpath.set_mode fastpath;
     let engine = resolve_engine ~topology:Bus.Topology.Shared engine in
     if runs < 1 then (
       prerr_endline "capsim: --runs must be at least 1";
@@ -459,7 +488,7 @@ let faults_cmd =
        ~doc:"Run one benchmark under a seeded deterministic fault plan")
     Term.(
       const run $ bench_arg $ config_arg $ tasks_arg $ seed_arg $ runs_arg
-      $ engine_arg $ jobs_arg $ json_arg)
+      $ engine_arg $ fastpath_arg $ jobs_arg $ json_arg)
 
 (* ---- lint ---- *)
 
@@ -850,7 +879,8 @@ let serve_cmd =
                      repeat seeds and $(b,--jobs) values).")
   in
   let run config tenants requests seed instances entries topology checkers
-      inflight watermark spill gap util churn top bench jobs json =
+      fastpath inflight watermark spill gap util churn top bench jobs json =
+    Soc.Fastpath.set_mode fastpath;
     let spill = if spill < 0 then 2 * instances else spill in
     let mix =
       match bench with
@@ -898,8 +928,8 @@ let serve_cmd =
              reporting")
     Term.(const run $ config_arg $ tenants_arg $ requests_arg $ seed_arg
           $ instances_arg $ entries_arg $ topology_arg $ checkers_arg
-          $ inflight_arg $ watermark_arg $ spill_arg $ gap_arg $ util_arg
-          $ churn_arg $ top_arg $ bench_opt $ jobs_arg $ json_arg)
+          $ fastpath_arg $ inflight_arg $ watermark_arg $ spill_arg $ gap_arg
+          $ util_arg $ churn_arg $ top_arg $ bench_opt $ jobs_arg $ json_arg)
 
 let () =
   let info =

@@ -1,4 +1,14 @@
-type addressing = Plain | Coarse_ids | Fine_ports
+type addressing = Script.addressing = Plain | Coarse_ids | Fine_ports
+
+(* How adjudication is performed when a static proof covers the task's whole
+   footprint and the guard declares a pure constant-latency check path
+   (Guard.Iface.const_latency).  [Fp_on l] skips the guard call outright and
+   grants at latency [l] — the access still counts as a check, so every
+   reported number matches the un-fast-pathed run.  [Fp_check l] calls the
+   guard anyway and fails loudly if the grant differs from what the fast path
+   would have fabricated: the differential mode's oracle for the purity
+   contract. *)
+type fastpath = Fp_off | Fp_on of int | Fp_check of int
 
 type task = {
   instance : int;
@@ -59,6 +69,7 @@ type backend = {
 type counters = {
   mutable c_checks : int;
   mutable c_elided : int;
+  mutable c_fastpathed : int;
   mutable c_reads : int;
   mutable c_writes : int;
   mutable c_ops : int;
@@ -67,11 +78,11 @@ type counters = {
 }
 
 let fresh_counters () =
-  { c_checks = 0; c_elided = 0; c_reads = 0; c_writes = 0; c_ops = 0;
-    c_pending_ops = 0; c_gap_debt = 0.0 }
+  { c_checks = 0; c_elided = 0; c_fastpathed = 0; c_reads = 0; c_writes = 0;
+    c_ops = 0; c_pending_ops = 0; c_gap_debt = 0.0 }
 
-let run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
-    ~counters:c ~backend task =
+let run_core ~elide ~fastpath ~recorder ~mem ~guard ~directives ~addressing
+    ~naive_tag_writes ~counters:c ~backend task =
   let open Hls.Directives in
   let obj_of name =
     match List.assoc_opt name task.obj_ids with
@@ -112,12 +123,30 @@ let run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
     end
     else begin
       c.c_checks <- c.c_checks + 1;
-      let req =
-        { Guard.Iface.source = task.instance; port = port_of name; addr; size; kind }
-      in
-      match guard.Guard.Iface.check req with
-      | Guard.Iface.Granted { phys; latency } -> (phys, latency)
-      | Guard.Iface.Denied denial -> raise (Denied_access denial)
+      match fastpath with
+      | Fp_on latency ->
+          (* Proven footprint + pure guard: the grant is a foregone
+             conclusion, so fabricate it.  Still counted as a check — the
+             hardware would have performed it; only the simulator skips. *)
+          c.c_fastpathed <- c.c_fastpathed + 1;
+          (plain, latency)
+      | Fp_off | Fp_check _ -> (
+          let req =
+            { Guard.Iface.source = task.instance; port = port_of name; addr; size; kind }
+          in
+          match guard.Guard.Iface.check req with
+          | Guard.Iface.Granted { phys; latency } ->
+              (match fastpath with
+              | Fp_check l when phys <> plain || latency <> l ->
+                  failwith
+                    (Printf.sprintf
+                       "Accel.Engine: fast-path divergence on %s: guard \
+                        granted (phys=0x%x, latency=%d), fast path would \
+                        fabricate (phys=0x%x, latency=%d)"
+                       name phys latency plain l)
+              | _ -> ());
+              (phys, latency)
+          | Guard.Iface.Denied denial -> raise (Denied_access denial))
     end
   in
   let machine =
@@ -132,6 +161,11 @@ let run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
              of this access when the guard stamps its check events; adjudicate
              never touches the gap state, so timing is backend-independent. *)
           let gap = take_gap () in
+          (match recorder with
+          | Some r ->
+              Script.Recorder.access r ~gap ~kind:Guard.Iface.Read ~name
+                ~off:byte_offset ~size:width ~dependent ~ops:c.c_ops
+          | None -> ());
           let phys =
             backend.bk_access ~gap ~kind:Guard.Iface.Read ~addr ~size:width
               ~dependent
@@ -148,6 +182,11 @@ let run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
           let byte_offset = idx * width in
           let addr = bus_addr b name ~byte_offset in
           let gap = take_gap () in
+          (match recorder with
+          | Some r ->
+              Script.Recorder.access r ~gap ~kind:Guard.Iface.Write ~name
+                ~off:byte_offset ~size:width ~dependent:false ~ops:c.c_ops
+          | None -> ());
           let phys =
             backend.bk_access ~gap ~kind:Guard.Iface.Write ~addr ~size:width
               ~dependent:false
@@ -170,6 +209,10 @@ let run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
             let src_addr = bus_addr sb src ~byte_offset:0 in
             let dst_addr = bus_addr db dst ~byte_offset:0 in
             let gap = take_gap () in
+            (match recorder with
+            | Some r ->
+                Script.Recorder.copy r ~gap ~bytes ~src ~dst ~ops:c.c_ops
+            | None -> ());
             let src_phys, dst_phys =
               backend.bk_copy ~gap ~bytes
                 ~adjudicate_rd:
@@ -206,8 +249,8 @@ let run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
         { Guard.Iface.code = "bus";
           detail = Printf.sprintf "bus error at 0x%x+%d" addr size }
 
-let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
-    ~addressing ~naive_tag_writes task =
+let run ?(obs = Obs.Trace.null) ?(elide = false) ?(fastpath = Fp_off) ?recorder
+    ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task =
   let trace = Trace.create () in
   let backend =
     {
@@ -245,12 +288,14 @@ let run ?(obs = Obs.Trace.null) ?(elide = false) ~mem ~guard ~bus ~directives
   in
   let c = fresh_counters () in
   let denied =
-    run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
-      ~counters:c ~backend task
+    run_core ~elide ~fastpath ~recorder ~mem ~guard ~directives ~addressing
+      ~naive_tag_writes ~counters:c ~backend task
   in
   if c.c_elided > 0 && Obs.Trace.enabled obs then
     Obs.Trace.emit obs
       (Obs.Event.Check_elided { task = task.instance; count = c.c_elided });
+  if c.c_fastpathed > 0 then
+    Obs.Counters.add Obs.Counters.accesses_fast_pathed c.c_fastpathed;
   { trace; denied; checks = c.c_checks; elided = c.c_elided; reads = c.c_reads;
     writes = c.c_writes; ops = c.c_ops }
 
@@ -268,9 +313,9 @@ type pending_burst = {
   mutable pb_bytes : int;
 }
 
-let run_event ?(obs = Obs.Trace.null) ?(elide = false) ?error_retry_limit ~sched
-    ~ic ~start ~mem ~guard ~bus ~directives ~addressing ~naive_tag_writes task
-    ~on_done =
+let run_event ?(obs = Obs.Trace.null) ?(elide = false) ?(fastpath = Fp_off)
+    ?recorder ?error_retry_limit ~sched ~ic ~start ~mem ~guard ~bus ~directives
+    ~addressing ~naive_tag_writes task ~on_done =
   Ccsim.Sched.spawn sched ~at:start (fun () ->
       let flow =
         Flow.create ?error_retry_limit ~sched ~ic ~src:task.instance ~start
@@ -357,8 +402,8 @@ let run_event ?(obs = Obs.Trace.null) ?(elide = false) ?error_retry_limit ~sched
       let failed = ref false in
       let denied =
         match
-          run_core ~elide ~mem ~guard ~directives ~addressing ~naive_tag_writes
-            ~counters:c ~backend task
+          run_core ~elide ~fastpath ~recorder ~mem ~guard ~directives
+            ~addressing ~naive_tag_writes ~counters:c ~backend task
         with
         | denied -> (
             (* A denial truncates the stream, but the burst already formed
@@ -375,6 +420,8 @@ let run_event ?(obs = Obs.Trace.null) ?(elide = false) ?error_retry_limit ~sched
       if c.c_elided > 0 && Obs.Trace.enabled obs then
         Obs.Trace.emit obs
           (Obs.Event.Check_elided { task = task.instance; count = c.c_elided });
+      if c.c_fastpathed > 0 then
+        Obs.Counters.add Obs.Counters.accesses_fast_pathed c.c_fastpathed;
       on_done
         { ev_denied = denied; ev_checks = c.c_checks; ev_elided = c.c_elided;
           ev_reads = c.c_reads; ev_writes = c.c_writes; ev_ops = c.c_ops;

@@ -9,13 +9,28 @@
     memory.  A denial aborts the task, mirroring the CapChecker catching the
     access and raising its exception flag. *)
 
-type addressing =
+type addressing = Script.addressing =
   | Plain        (** raw physical addresses, no provenance (unguarded, IOMMU,
                      IOPMP, sNPU configurations) *)
   | Coarse_ids   (** object id retrofitted into the top 8 address bits by the
                      trusted driver (CapChecker Coarse) *)
   | Fine_ports   (** per-object port provenance carried out of band
                      (CapChecker Fine) *)
+
+type fastpath =
+  | Fp_off       (** adjudicate every access against the guard *)
+  | Fp_on of int
+      (** skip the guard call and grant at this constant latency.  Sound only
+          when the task's whole footprint is statically proven in bounds
+          ({!Analysis.proven}) {e and} the guard declares a pure
+          constant-latency check path ({!Guard.Iface.const_latency}).  The
+          access still counts in [checks] — the modeled hardware would have
+          performed it; only the simulator skips — so every reported number
+          matches the un-fast-pathed run.  Skips are tallied in
+          {!Obs.Counters.accesses_fast_pathed}. *)
+  | Fp_check of int
+      (** differential oracle: adjudicate anyway and [failwith] if the grant
+          differs from what [Fp_on] would have fabricated *)
 
 type task = {
   instance : int;  (** functional-unit instance = interconnect source id *)
@@ -60,6 +75,8 @@ type ev_outcome = {
 val run :
   ?obs:Obs.Trace.t ->
   ?elide:bool ->
+  ?fastpath:fastpath ->
+  ?recorder:Script.Recorder.t ->
   mem:Tagmem.Mem.t ->
   guard:Guard.Iface.t ->
   bus:Bus.Params.t ->
@@ -84,11 +101,23 @@ val run :
     counted in [elided] instead of [checks], and a {!Obs.Event.Check_elided}
     event is emitted once the task retires.  Only sound when a static
     analysis has proven the task's whole access footprint inside its granted
-    capabilities — {!Soc.Run} gates this on {!Analysis.proven}. *)
+    capabilities — {!Soc.Run} gates this on {!Analysis.proven}.
+
+    [fastpath] (default [Fp_off]) replaces adjudication of each access with a
+    fabricated grant at the guard's declared constant latency; {!Soc.Run}
+    gates it on the same proof plus {!Guard.Iface.const_latency}.  Unlike
+    [elide] it models the checker as present (checks counted, latency
+    charged) — it is a pure simulator speedup, not a hardware configuration.
+
+    [recorder] accumulates the task's config-independent access script (see
+    {!Script}) alongside normal execution; recording never alters the
+    outcome. *)
 
 val run_event :
   ?obs:Obs.Trace.t ->
   ?elide:bool ->
+  ?fastpath:fastpath ->
+  ?recorder:Script.Recorder.t ->
   ?error_retry_limit:int ->
   sched:Ccsim.Sched.t ->
   ic:Bus.Topology.t ->

@@ -151,4 +151,7 @@ let as_guard t =
         area_luts = area_luts t };
     check = (fun req -> check t req);
     entries_in_use = (fun () -> t.live);
+    (* Hit/miss latency (1 vs 21) depends on cache state and every check
+       updates it. *)
+    const_latency = None;
   }

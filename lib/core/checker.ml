@@ -208,4 +208,9 @@ let as_guard t =
       };
     check = (fun req -> check t req);
     entries_in_use = (fun () -> Table.live_count t.table);
+    (* A granted check is a pure table lookup against driver-programmed
+       state at the fixed pipeline latency; only denials mutate (exception
+       flag, denial log), and those are exactly the accesses the proof-
+       driven fast path can never take. *)
+    const_latency = Some check_latency;
   }

@@ -200,4 +200,7 @@ let guard t =
     Guard.Iface.info =
       { base.Guard.Iface.info with Guard.Iface.name; area_luts = area_luts t };
     check = (fun req -> check t req);
+    (* Shim-local hits and central-port refills give history-dependent
+       latency, and hits touch per-source replica state. *)
+    const_latency = None;
   }

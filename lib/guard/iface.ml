@@ -26,6 +26,7 @@ type t = {
   info : info;
   check : req -> outcome;
   entries_in_use : unit -> int;
+  const_latency : int option;
 }
 
 let pass_through =
@@ -33,6 +34,7 @@ let pass_through =
     info = { name = "none"; granularity = G_none; area_luts = 0 };
     check = (fun r -> Granted { phys = r.addr; latency = 0 });
     entries_in_use = (fun () -> 0);
+    const_latency = Some 0;
   }
 
 let req_to_string r =

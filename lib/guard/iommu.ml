@@ -91,4 +91,7 @@ let as_guard t =
     Iface.info = { name = "iommu"; granularity = Iface.G_page; area_luts };
     check;
     entries_in_use = (fun () -> mapped_pages t);
+    (* The TLB makes grant latency history-dependent (2 on a hit, 20 on a
+       walk) and every check mutates TLB state. *)
+    const_latency = None;
   }

@@ -48,4 +48,6 @@ let as_guard t =
       { name = "iopmp"; granularity = Iface.G_task; area_luts = area_luts t };
     check;
     entries_in_use = (fun () -> List.length t.rules);
+    (* Pure associative comparators: a grant reads the region file only. *)
+    const_latency = Some 1;
   }

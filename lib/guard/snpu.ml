@@ -50,4 +50,6 @@ let as_guard t =
     check;
     entries_in_use =
       (fun () -> Hashtbl.fold (fun _ r acc -> acc + List.length !r) t.table 0);
+    (* Pure bounds-register comparators embedded in the datapath. *)
+    const_latency = Some 1;
   }

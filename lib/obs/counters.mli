@@ -1,0 +1,34 @@
+(** Process-global fast-path visibility counters.
+
+    The compiled-replay and proof-driven fast paths are, by construction,
+    invisible in every simulated number; these counters are the only place
+    the skips show up (surfaced by [capsim bench] and the differential test
+    suite).  Pure telemetry — nothing in the simulator reads them back, so
+    bumping them can never perturb a result.  Safe to bump from pool worker
+    domains. *)
+
+type t
+
+val segments_replayed : t
+(** Compiled trace segments fast-forwarded through the fabric in one jump. *)
+
+val accesses_fast_pathed : t
+(** Adjudications skipped because the task was statically proven in bounds
+    and the guard declared a pure constant-latency check path. *)
+
+val traces_memoized : t
+(** Kernel interpretations avoided by replaying a recorded access script. *)
+
+val runs_memoized : t
+(** Whole system runs served from the cross-sweep result cache. *)
+
+val name : t -> string
+val get : t -> int
+val add : t -> int -> unit
+val incr : t -> unit
+
+val reset : unit -> unit
+(** Zero every counter (start of a bench section or test case). *)
+
+val snapshot : unit -> (string * int) list
+(** All counters as [(name, value)] pairs, in declaration order. *)

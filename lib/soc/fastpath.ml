@@ -1,0 +1,125 @@
+(* Proof-driven fast paths and cross-sweep memoization: process-global policy
+   and caches for the simulator's replay speedups.
+
+   Everything here is a pure simulator optimization: each cache keys on the
+   complete set of inputs its value is a deterministic function of, so a hit
+   reproduces exactly what recomputation would have produced (the
+   differential test suite and the [Differential] mode pin this).  Tables are
+   mutex-guarded so pool worker domains can share them; values are immutable
+   once stored, so a returned hit needs no further synchronization. *)
+
+type mode = Fast | Interpretive | Differential
+
+let mode_cell = Atomic.make Fast
+
+let set_mode m = Atomic.set mode_cell m
+let current_mode () = Atomic.get mode_cell
+let enabled () = Atomic.get mode_cell <> Interpretive
+
+let mode_to_string = function
+  | Fast -> "on"
+  | Interpretive -> "off"
+  | Differential -> "diff"
+
+let mode_of_string = function
+  | "on" | "fast" -> Some Fast
+  | "off" | "interpretive" -> Some Interpretive
+  | "diff" | "differential" -> Some Differential
+  | _ -> None
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Identity of a benchmark as the access-sequence layers see it: the kernel
+   is named uniquely by the registry, and params/directives are the only
+   other inputs the interpretation's access sequence (and its CPU cycle
+   count) depends on.  Ablations that rewrite directives under the same name
+   get distinct keys. *)
+type bench_key = {
+  bk_name : string;
+  bk_params : (string * Kernel.Value.t) list;
+  bk_directives : Hls.Directives.t;
+}
+
+let bench_key (b : Machsuite.Bench_def.t) =
+  { bk_name = b.Machsuite.Bench_def.name; bk_params = b.params;
+    bk_directives = b.directives }
+
+(* ---- static-proof verdicts ---- *)
+
+let proven_tbl : (bench_key, bool) Hashtbl.t = Hashtbl.create 32
+let proven_mutex = Mutex.create ()
+
+let proven (bench : Machsuite.Bench_def.t) =
+  let key = bench_key bench in
+  match with_lock proven_mutex (fun () -> Hashtbl.find_opt proven_tbl key) with
+  | Some v -> v
+  | None ->
+      let v =
+        Analysis.proven
+          (Analysis.analyze
+             ~params:(Analysis.param_intervals bench.Machsuite.Bench_def.params)
+             bench.Machsuite.Bench_def.kernel)
+      in
+      with_lock proven_mutex (fun () ->
+          if not (Hashtbl.mem proven_tbl key) then Hashtbl.add proven_tbl key v);
+      v
+
+(* ---- recorded access scripts ---- *)
+
+type script_entry = { sc_script : Accel.Script.t; sc_correct : bool }
+
+let script_tbl : (bench_key, script_entry) Hashtbl.t = Hashtbl.create 32
+let script_mutex = Mutex.create ()
+
+let find_script key =
+  match with_lock script_mutex (fun () -> Hashtbl.find_opt script_tbl key) with
+  | Some e -> Some (e.sc_script, e.sc_correct)
+  | None -> None
+
+let store_script key script ~correct =
+  with_lock script_mutex (fun () ->
+      if not (Hashtbl.mem script_tbl key) then
+        Hashtbl.add script_tbl key { sc_script = script; sc_correct = correct })
+
+(* ---- CPU model results ---- *)
+
+(* One Cpu.Model.run covers every task count (the CPU path multiplies the
+   single-task cycle count), so the key is just (isa, bench). *)
+let cpu_tbl : (Cpu.Model.isa * bench_key, int * bool) Hashtbl.t =
+  Hashtbl.create 32
+
+let cpu_mutex = Mutex.create ()
+
+let find_cpu ~isa key =
+  with_lock cpu_mutex (fun () -> Hashtbl.find_opt cpu_tbl (isa, key))
+
+let store_cpu ~isa key value =
+  with_lock cpu_mutex (fun () ->
+      if not (Hashtbl.mem cpu_tbl (isa, key)) then
+        Hashtbl.add cpu_tbl (isa, key) value)
+
+(* ---- cache lifecycle ---- *)
+
+(* Caches owned by other modules (the whole-run memo lives in Run, next to
+   its result type) register a reset hook at module-init time. *)
+let clear_hooks : (unit -> unit) list Atomic.t = Atomic.make []
+
+let rec register_clear f =
+  let hooks = Atomic.get clear_hooks in
+  if not (Atomic.compare_and_set clear_hooks hooks (f :: hooks)) then
+    register_clear f
+
+let clear () =
+  with_lock proven_mutex (fun () -> Hashtbl.reset proven_tbl);
+  with_lock script_mutex (fun () -> Hashtbl.reset script_tbl);
+  with_lock cpu_mutex (fun () -> Hashtbl.reset cpu_tbl);
+  List.iter (fun f -> f ()) (Atomic.get clear_hooks)
+
+let stats () =
+  [
+    ("proven_verdicts", with_lock proven_mutex (fun () -> Hashtbl.length proven_tbl));
+    ("scripts", with_lock script_mutex (fun () -> Hashtbl.length script_tbl));
+    ("cpu_results", with_lock cpu_mutex (fun () -> Hashtbl.length cpu_tbl));
+  ]

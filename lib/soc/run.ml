@@ -69,11 +69,7 @@ let finish (sys : System.t) ~config_label ~benchmark ~tasks ~phases ~correct
    access in bounds.  [Elide_differential] keeps the guard in the loop and
    instead asserts the soundness contract: a proven task must never be
    dynamically denied. *)
-let statically_proven (bench : Machsuite.Bench_def.t) =
-  Analysis.proven
-    (Analysis.analyze
-       ~params:(Analysis.param_intervals bench.params)
-       bench.Machsuite.Bench_def.kernel)
+let statically_proven (bench : Machsuite.Bench_def.t) = Fastpath.proven bench
 
 let elide_eligible backend mode bench =
   match mode with
@@ -92,6 +88,79 @@ let differential_check mode ~eligible ~(bench : Machsuite.Bench_def.t)
            bench.Machsuite.Bench_def.name d.Guard.Iface.code
            d.Guard.Iface.detail)
   | _ -> ()
+
+(* Fast-path adjudication decision for one bench under one system: skip the
+   per-access guard call only when the guard declares a pure constant-latency
+   check path, the backend adjudicates against the per-buffer capabilities the
+   static analysis models, and the analysis proves the task's whole footprint
+   in bounds — the same contract that gates elision, minus turning the modeled
+   hardware off.  In [Differential] mode the guard stays in the loop as an
+   oracle ([Fp_check]) and the engine [failwith]s on any divergence. *)
+let fastpath_for ~fast ~elide_exec ~backend ~(guard : Guard.Iface.t) bench =
+  if (not fast) || elide_exec then Accel.Engine.Fp_off
+  else
+    match guard.Guard.Iface.const_latency with
+    | Some l
+      when Driver.Backend.supports_elision backend && Fastpath.proven bench ->
+        if Fastpath.current_mode () = Fastpath.Differential then
+          Accel.Engine.Fp_check l
+        else Accel.Engine.Fp_on l
+    | _ -> Accel.Engine.Fp_off
+
+(* The script-derivation mirror of the engine's elide/fast-path/live-guard
+   trichotomy. *)
+let adjudication_of ~elide_exec ~(guard : Guard.Iface.t) fp =
+  if elide_exec then Accel.Script.Adj_elide
+  else
+    match fp with
+    | Accel.Engine.Fp_on l -> Accel.Script.Adj_fastpath l
+    | Accel.Engine.Fp_off | Accel.Engine.Fp_check _ ->
+        Accel.Script.Adj_live guard
+
+(* ------------------------------------------------------------------ *)
+(* Cross-sweep whole-run memoization.  A result is a deterministic      *)
+(* function of everything in the key below, provided no observability   *)
+(* sink is attached (events would be lost on a hit) and no fault plan   *)
+(* is active (fault draws consume a per-system RNG whose effect is not  *)
+(* part of the key, and faulted runs must never be elided anyway).      *)
+(* The entry points enforce both gates before consulting the table.     *)
+(* ------------------------------------------------------------------ *)
+
+type run_memo_key = {
+  mk_mixed : bool;
+      (* [run] and [run_mixed] default [instances] differently and label
+         results differently, so a singleton mixed run is not a [run] *)
+  mk_config : Config.t;
+  mk_benches : Fastpath.bench_key list;  (* singleton for [run] *)
+  mk_tasks : int;
+  mk_instances : int option;
+  mk_cc_entries : int;
+  mk_bus : Bus.Params.t;
+  mk_elide : elide_mode;
+  mk_engine : engine;
+  mk_topology : Bus.Topology.kind;
+  mk_checkers : Capchecker.Shim.checking;
+}
+
+let run_memo : (run_memo_key, result) Hashtbl.t = Hashtbl.create 64
+let run_memo_mutex = Mutex.create ()
+
+let () =
+  Fastpath.register_clear (fun () ->
+      Mutex.protect run_memo_mutex (fun () -> Hashtbl.reset run_memo))
+
+let memo_run key compute =
+  match
+    Mutex.protect run_memo_mutex (fun () -> Hashtbl.find_opt run_memo key)
+  with
+  | Some r ->
+      Obs.Counters.incr Obs.Counters.runs_memoized;
+      r
+  | None ->
+      let r = compute () in
+      Mutex.protect run_memo_mutex (fun () ->
+          if not (Hashtbl.mem run_memo key) then Hashtbl.add run_memo key r);
+      r
 
 (* Observation-only phase markers: stamped on the shared sink at the phase's
    start cycle.  The sink is never consulted by the simulation, so emitting
@@ -112,7 +181,17 @@ type ev_task = {
   et_bench : Machsuite.Bench_def.t;
   et_alloc : Driver.allocated;
   et_elide : bool;
+  et_fastpath : Accel.Engine.fastpath;
+  et_recorder : Accel.Script.Recorder.t option;
+      (** record this task's access script alongside live interpretation *)
+  et_script : (Accel.Script.t * Accel.Script.adjudication) option;
+      (** drive the event core from a cached script instead of interpreting *)
 }
+
+let interpreted_ev_task ?(elide = false) ?(fastpath = Accel.Engine.Fp_off)
+    ?recorder ?script bench alloc =
+  { et_bench = bench; et_alloc = alloc; et_elide = elide;
+    et_fastpath = fastpath; et_recorder = recorder; et_script = script }
 
 let run_event_compute sys ~start tasks_l =
   let obs = sys.System.obs in
@@ -135,19 +214,50 @@ let run_event_compute sys ~start tasks_l =
     (fun idx et ->
       let bench = et.et_bench in
       let handle = et.et_alloc.Driver.handle in
-      Accel.Engine.run_event ~obs ~elide:et.et_elide ~sched ~ic ~start
-        ~mem:sys.System.mem ~guard:(System.guard sys) ~bus:sys.System.bus
-        ~directives:bench.Machsuite.Bench_def.directives
-        ~addressing:(Driver.Backend.addressing backend)
-        ~naive_tag_writes:(System.naive_tag_writes sys)
-        {
-          Accel.Engine.instance = handle.Driver.task_id;
-          kernel = bench.kernel;
-          layout = handle.Driver.layout;
-          params = bench.params;
-          obj_ids = handle.Driver.obj_ids;
-        }
-        ~on_done:(fun o -> results.(idx) <- Some o))
+      match et.et_script with
+      | Some (script, adj) ->
+          (* Script-driven stream: mirrors the interpreted engine's scheduler
+             calls exactly (the differential suite pins parity), skipping only
+             the functional kernel work. *)
+          Accel.Script.drive_event script ~sched ~ic ~start ~bus:sys.System.bus
+            ~mem_size:(Tagmem.Mem.size sys.System.mem)
+            ~max_outstanding:
+              bench.Machsuite.Bench_def.directives.Hls.Directives.max_outstanding
+            ~layout:handle.Driver.layout ~obj_ids:handle.Driver.obj_ids
+            ~addressing:(Driver.Backend.addressing backend)
+            ~source:handle.Driver.task_id adj
+            ~on_done:(fun (d : Accel.Script.ev_derived) ->
+              Obs.Counters.incr Obs.Counters.traces_memoized;
+              if d.Accel.Script.e_fastpathed > 0 then
+                Obs.Counters.add Obs.Counters.accesses_fast_pathed
+                  d.Accel.Script.e_fastpathed;
+              results.(idx) <-
+                Some
+                  {
+                    Accel.Engine.ev_denied = d.Accel.Script.e_denied;
+                    ev_checks = d.e_checks;
+                    ev_elided = d.e_elided;
+                    ev_reads = d.e_reads;
+                    ev_writes = d.e_writes;
+                    ev_ops = d.e_ops;
+                    ev_finish = d.e_finish;
+                    ev_failed = d.e_failed;
+                  })
+      | None ->
+          Accel.Engine.run_event ~obs ~elide:et.et_elide ~fastpath:et.et_fastpath
+            ?recorder:et.et_recorder ~sched ~ic ~start ~mem:sys.System.mem
+            ~guard:(System.guard sys) ~bus:sys.System.bus
+            ~directives:bench.Machsuite.Bench_def.directives
+            ~addressing:(Driver.Backend.addressing backend)
+            ~naive_tag_writes:(System.naive_tag_writes sys)
+            {
+              Accel.Engine.instance = handle.Driver.task_id;
+              kernel = bench.kernel;
+              layout = handle.Driver.layout;
+              params = bench.params;
+              obj_ids = handle.Driver.obj_ids;
+            }
+            ~on_done:(fun o -> results.(idx) <- Some o))
     tasks_l;
   Ccsim.Sched.run sched;
   (match sys.System.fleet with
@@ -172,40 +282,51 @@ let run_event_compute sys ~start tasks_l =
   (outcomes, makespan, Bus.Topology.total_beats ic)
 
 (* CPU-only execution: tasks run back-to-back on the one core. *)
-let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
+let run_cpu_only sys ~fast isa (bench : Machsuite.Bench_def.t) ~tasks =
   let kernel = bench.Machsuite.Bench_def.kernel in
   let cfg = Cpu.Model.config isa in
   let n_bufs = List.length kernel.bufs in
   let obs = sys.System.obs in
+  let fast = fast && not (Obs.Trace.enabled obs) in
   let t0 = Obs.Trace.now obs in
   let bytes = buffer_bytes kernel in
   let alloc_cycles = tasks * n_bufs * Driver.malloc_cycles in
   let init_cycles = tasks * Cpu.Model.init_store_cycles cfg ~bytes in
-  let bindings =
-    List.map
-      (fun (decl : Kernel.Ir.buf_decl) ->
-        let bytes = Kernel.Ir.buf_decl_bytes decl in
-        let align, padded = Cheri.Bounds_enc.malloc_shape ~length:bytes in
-        { Memops.Layout.decl;
-          base = Tagmem.Alloc.malloc sys.System.heap ~align:(max align 16) padded })
-      kernel.bufs
-  in
-  let layout = Memops.Layout.make bindings in
-  init_layout sys.System.mem bench layout;
+  let bkey = Fastpath.bench_key bench in
   emit_phase obs ~at:t0 ~task:0 "alloc" alloc_cycles;
   emit_phase obs ~at:(t0 + alloc_cycles) ~task:0 "init" init_cycles;
   Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles);
-  let res =
-    Cpu.Model.run ~obs cfg sys.System.mem kernel layout ~params:bench.params ()
+  let cycles, correct =
+    match if fast then Fastpath.find_cpu ~isa bkey else None with
+    | Some cached -> cached
+    | None ->
+        let bindings =
+          List.map
+            (fun (decl : Kernel.Ir.buf_decl) ->
+              let bytes = Kernel.Ir.buf_decl_bytes decl in
+              let align, padded = Cheri.Bounds_enc.malloc_shape ~length:bytes in
+              { Memops.Layout.decl;
+                base =
+                  Tagmem.Alloc.malloc sys.System.heap ~align:(max align 16) padded })
+            kernel.bufs
+        in
+        let layout = Memops.Layout.make bindings in
+        init_layout sys.System.mem bench layout;
+        let res =
+          Cpu.Model.run ~obs cfg sys.System.mem kernel layout
+            ~params:bench.params ()
+        in
+        (match res.Cpu.Model.trap with
+        | None -> ()
+        | Some reason -> failwith ("benign CPU run trapped: " ^ reason));
+        let correct = verify sys.System.mem bench layout in
+        List.iter
+          (fun b -> Tagmem.Alloc.free sys.System.heap b.Memops.Layout.base)
+          bindings;
+        if fast then Fastpath.store_cpu ~isa bkey (res.Cpu.Model.cycles, correct);
+        (res.Cpu.Model.cycles, correct)
   in
-  (match res.Cpu.Model.trap with
-  | None -> ()
-  | Some reason -> failwith ("benign CPU run trapped: " ^ reason));
-  let correct = verify sys.System.mem bench layout in
-  List.iter (fun b -> Tagmem.Alloc.free sys.System.heap b.Memops.Layout.base) bindings;
-  let per_task_compute =
-    res.Cpu.Model.cycles + Cpu.Model.cap_setup_cycles cfg ~n_bufs
-  in
+  let per_task_compute = cycles + Cpu.Model.cap_setup_cycles cfg ~n_bufs in
   let phases =
     {
       alloc = alloc_cycles;
@@ -227,7 +348,7 @@ let run_cpu_only sys isa (bench : Machsuite.Bench_def.t) ~tasks =
    the accelerator, replicates its DMA stream per instance, and replays the
    contention; [Event_driven] runs every instance live on the shared
    event timeline (see {!run_event_compute}). *)
-let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
+let run_hetero sys ~fast (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
   let kernel = bench.Machsuite.Bench_def.kernel in
   let driver = Option.get sys.System.driver in
   let backend = Option.get sys.System.backend in
@@ -247,15 +368,27 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
       | Error msg -> failwith ("driver allocation failed: " ^ msg)
   in
   let obs = sys.System.obs in
+  (* Scripts and fast paths are gated off while a sink is attached: the
+     derivations skip the interpreter whose side effects (guard events on the
+     interpreter's clock, functional stores) the sink would have seen. *)
+  let fast = fast && not (Obs.Trace.enabled obs) in
+  let guard = System.guard sys in
+  let fp = fastpath_for ~fast ~elide_exec ~backend ~guard bench in
+  let bkey = Fastpath.bench_key bench in
+  let script_hit = if fast then Fastpath.find_script bkey else None in
   let t0 = Obs.Trace.now obs in
   let allocated = allocate [] tasks in
   let alloc_cycles =
     List.fold_left (fun acc (a : Driver.allocated) -> acc + a.cycles) 0 allocated
   in
-  List.iter
-    (fun (a : Driver.allocated) ->
-      init_layout sys.System.mem bench a.handle.Driver.layout)
-    allocated;
+  (* Functional buffer initialization only feeds the interpreter and the
+     verifier; a script hit replaces both (it carries the recording run's
+     verdict), so the stores can be skipped wholesale. *)
+  if script_hit = None then
+    List.iter
+      (fun (a : Driver.allocated) ->
+        init_layout sys.System.mem bench a.handle.Driver.layout)
+      allocated;
   let bytes = buffer_bytes kernel in
   let init_cycles = tasks * Cpu.Model.init_store_cycles cfg ~bytes in
   let first = (List.hd allocated).handle in
@@ -271,42 +404,92 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
       correct =
     match engine with
     | Legacy_replay ->
-        let outcome =
-          Accel.Engine.run ~obs ~elide:elide_exec ~mem:sys.System.mem
-            ~guard:(System.guard sys) ~bus:sys.System.bus ~directives
-            ~addressing:(Driver.Backend.addressing backend)
-            ~naive_tag_writes:(System.naive_tag_writes sys)
-            {
-              Accel.Engine.instance = first.Driver.task_id;
-              kernel;
-              layout = first.Driver.layout;
-              params = bench.params;
-              obj_ids = first.Driver.obj_ids;
-            }
+        (* (trace, denial, checks, elided, single-task verdict) of the lead
+           task — derived from the cached script when available, interpreted
+           (and recorded) otherwise. *)
+        let trace, denied, t_checks, t_elided, t_correct =
+          match script_hit with
+          | Some (script, s_correct) ->
+              let d =
+                Accel.Script.to_trace script ~bus:sys.System.bus
+                  ~mem_size:(Tagmem.Mem.size sys.System.mem)
+                  ~layout:first.Driver.layout ~obj_ids:first.Driver.obj_ids
+                  ~addressing:(Driver.Backend.addressing backend)
+                  ~source:first.Driver.task_id
+                  (adjudication_of ~elide_exec ~guard fp)
+              in
+              Obs.Counters.incr Obs.Counters.traces_memoized;
+              if d.Accel.Script.d_fastpathed > 0 then
+                Obs.Counters.add Obs.Counters.accesses_fast_pathed
+                  d.Accel.Script.d_fastpathed;
+              ( d.Accel.Script.d_trace, d.Accel.Script.d_denied,
+                d.Accel.Script.d_checks, d.Accel.Script.d_elided,
+                d.Accel.Script.d_denied = None && s_correct )
+          | None ->
+              let recorder =
+                if fast then Some (Accel.Script.Recorder.create ()) else None
+              in
+              let outcome =
+                Accel.Engine.run ~obs ~elide:elide_exec ~fastpath:fp ?recorder
+                  ~mem:sys.System.mem ~guard ~bus:sys.System.bus ~directives
+                  ~addressing:(Driver.Backend.addressing backend)
+                  ~naive_tag_writes:(System.naive_tag_writes sys)
+                  {
+                    Accel.Engine.instance = first.Driver.task_id;
+                    kernel;
+                    layout = first.Driver.layout;
+                    params = bench.params;
+                    obj_ids = first.Driver.obj_ids;
+                  }
+              in
+              let correct =
+                outcome.Accel.Engine.denied = None
+                && verify sys.System.mem bench first.Driver.layout
+              in
+              (match recorder with
+              | Some r -> (
+                  match
+                    Accel.Script.Recorder.finalize r
+                      ~total_ops:outcome.Accel.Engine.ops
+                      ~complete:(outcome.Accel.Engine.denied = None)
+                  with
+                  | Some s -> Fastpath.store_script bkey s ~correct
+                  | None -> ())
+              | None -> ());
+              ( outcome.Accel.Engine.trace, outcome.Accel.Engine.denied,
+                outcome.Accel.Engine.checks, outcome.Accel.Engine.elided,
+                correct )
         in
-        differential_check elide ~eligible ~bench outcome.Accel.Engine.denied;
-        let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
-        let streams =
-          List.map
-            (fun (a : Driver.allocated) ->
-              { Accel.Replay.instance = a.handle.Driver.task_id;
-                trace = outcome.Accel.Engine.trace;
-                max_outstanding = design.Hls.Directives.d_max_outstanding })
-            allocated
-        in
+        differential_check elide ~eligible ~bench denied;
+        let entries_peak = guard.Guard.Iface.entries_in_use () in
         let replayed =
-          Accel.Replay.run sys.System.fabric ~start:replay_start streams
-        in
-        let correct =
-          outcome.Accel.Engine.denied = None
-          && verify sys.System.mem bench first.Driver.layout
+          if fast then
+            (* Compile once; the replicated streams share the segments. *)
+            let ctrace =
+              Accel.Trace.Compiled.compile ~bus:sys.System.bus
+                ~max_outstanding:(max 1 design.Hls.Directives.d_max_outstanding)
+                trace
+            in
+            Accel.Replay.run_compiled sys.System.fabric ~start:replay_start
+              (List.map
+                 (fun (a : Driver.allocated) ->
+                   { Accel.Replay.cinstance = a.handle.Driver.task_id;
+                     ctrace })
+                 allocated)
+          else
+            Accel.Replay.run sys.System.fabric ~start:replay_start
+              (List.map
+                 (fun (a : Driver.allocated) ->
+                   { Accel.Replay.instance = a.handle.Driver.task_id;
+                     trace;
+                     max_outstanding = design.Hls.Directives.d_max_outstanding })
+                 allocated)
         in
         let per_task =
           List.map
             (fun (a : Driver.allocated) ->
               let denied =
-                if a.handle.Driver.task_id = first.Driver.task_id then
-                  outcome.Accel.Engine.denied
+                if a.handle.Driver.task_id = first.Driver.task_id then denied
                 else None
               in
               (a, denied))
@@ -315,13 +498,26 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
         ( per_task,
           replayed.Accel.Replay.makespan - replay_start,
           replayed.Accel.Replay.bus_beats,
-          outcome.Accel.Engine.checks * tasks,
-          outcome.Accel.Engine.elided * tasks,
-          entries_peak, correct )
+          t_checks * tasks,
+          t_elided * tasks,
+          entries_peak, t_correct )
     | Event_driven ->
+        let adj = adjudication_of ~elide_exec ~guard fp in
         let ev_tasks =
-          List.map
-            (fun a -> { et_bench = bench; et_alloc = a; et_elide = elide_exec })
+          List.mapi
+            (fun idx a ->
+              match script_hit with
+              | Some (script, _) ->
+                  interpreted_ev_task ~elide:elide_exec ~script:(script, adj)
+                    bench a
+              | None ->
+                  let recorder =
+                    if fast && idx = 0 then
+                      Some (Accel.Script.Recorder.create ())
+                    else None
+                  in
+                  interpreted_ev_task ~elide:elide_exec ~fastpath:fp ?recorder
+                    bench a)
             allocated
         in
         let outcomes, makespan, bus_beats =
@@ -331,15 +527,41 @@ let run_hetero sys (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
           (fun (_, o) ->
             differential_check elide ~eligible ~bench o.Accel.Engine.ev_denied)
           outcomes;
-        let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
+        let entries_peak = guard.Guard.Iface.entries_in_use () in
         let correct =
-          List.for_all
-            (fun (et, o) ->
-              o.Accel.Engine.ev_denied = None
-              && verify sys.System.mem bench
-                   et.et_alloc.Driver.handle.Driver.layout)
-            outcomes
+          match script_hit with
+          | Some (_, s_correct) ->
+              List.for_all
+                (fun (_, o) -> o.Accel.Engine.ev_denied = None)
+                outcomes
+              && s_correct
+          | None ->
+              List.for_all
+                (fun (et, o) ->
+                  o.Accel.Engine.ev_denied = None
+                  && verify sys.System.mem bench
+                       et.et_alloc.Driver.handle.Driver.layout)
+                outcomes
         in
+        List.iter
+          (fun (et, (o : Accel.Engine.ev_outcome)) ->
+            match et.et_recorder with
+            | None -> ()
+            | Some r -> (
+                match
+                  Accel.Script.Recorder.finalize r ~total_ops:o.Accel.Engine.ev_ops
+                    ~complete:(o.Accel.Engine.ev_denied = None
+                               && not o.Accel.Engine.ev_failed)
+                with
+                | Some s ->
+                    let c =
+                      o.Accel.Engine.ev_denied = None
+                      && verify sys.System.mem bench
+                           et.et_alloc.Driver.handle.Driver.layout
+                    in
+                    Fastpath.store_script bkey s ~correct:c
+                | None -> ()))
+          outcomes;
         let per_task =
           List.map (fun (et, o) -> (et.et_alloc, o.Accel.Engine.ev_denied)) outcomes
         in
@@ -601,6 +823,32 @@ let require_event_engine ~engine ~topology ~what =
            (Bus.Topology.kind_to_string kind))
   | _ -> ()
 
+(* Mode dispatch shared by [run] and [run_mixed]: [execute ~fast] performs
+   one complete run against a fresh system.  [Fast] wraps it in the whole-run
+   memo when eligible; [Differential] computes both legs (the fast leg still
+   warming and exercising every cache) and compares the complete result
+   records — any divergence is a bug in the fast-path layers, never a tuning
+   matter, so it [failwith]s. *)
+let dispatch ~memo_eligible ~key ~what execute =
+  match Fastpath.current_mode () with
+  | Fastpath.Interpretive -> execute ~fast:false
+  | Fastpath.Fast ->
+      if memo_eligible then memo_run key (fun () -> execute ~fast:true)
+      else execute ~fast:true
+  | Fastpath.Differential ->
+      if memo_eligible then begin
+        let fast_r = memo_run key (fun () -> execute ~fast:true) in
+        let slow_r = execute ~fast:false in
+        if fast_r <> slow_r then
+          failwith
+            (Printf.sprintf
+               "%s: fast-path divergence on %s under %s: derived and \
+                interpreted results differ"
+               what fast_r.benchmark fast_r.config_label);
+        slow_r
+      end
+      else execute ~fast:false
+
 let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
     ?obs ?(faults = Fault.Plan.none) ?(retry = Driver.default_retry_policy)
     ?(elide = Elide_off) ?(engine = Legacy_replay)
@@ -608,27 +856,41 @@ let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
     config bench =
   if tasks <= 0 then invalid_arg "Run.run: needs at least one task";
   require_event_engine ~engine ~topology ~what:"Run.run";
-  let instances = match instances with Some n -> max n tasks | None -> max 8 tasks in
-  let sys =
-    System.create ~instances ~cc_entries ~bus ?obs ~faults ~topology ~checkers
-      config
+  let instances' = match instances with Some n -> max n tasks | None -> max 8 tasks in
+  let execute ~fast =
+    let sys =
+      System.create ~instances:instances' ~cc_entries ~bus ?obs ~faults
+        ~topology ~checkers config
+    in
+    match config with
+    | Config.Cpu_only isa -> run_cpu_only sys ~fast isa bench ~tasks
+    | Config.Hetero _ ->
+        if Fault.Plan.is_none faults then
+          run_hetero sys ~fast bench ~tasks ~elide ~engine
+        else
+          let design =
+            Hls.Directives.synthesize ~kernel:bench.Machsuite.Bench_def.kernel
+              bench.Machsuite.Bench_def.directives
+          in
+          (* Faulted runs never consult a cache or skip an adjudication: every
+             retry, degrade and fault draw happens against the live system. *)
+          run_hetero_faulted sys
+            ~benchmark:bench.Machsuite.Bench_def.kernel.Kernel.Ir.name
+            ~area_luts:
+              (System.total_area_luts sys
+                 ~accel_luts_per_instance:design.Hls.Directives.d_area_luts)
+            ~policy:retry ~engine
+            (List.init tasks (fun _ -> bench))
   in
-  match config with
-  | Config.Cpu_only isa -> run_cpu_only sys isa bench ~tasks
-  | Config.Hetero _ ->
-      if Fault.Plan.is_none faults then run_hetero sys bench ~tasks ~elide ~engine
-      else
-        let design =
-          Hls.Directives.synthesize ~kernel:bench.Machsuite.Bench_def.kernel
-            bench.Machsuite.Bench_def.directives
-        in
-        run_hetero_faulted sys
-          ~benchmark:bench.Machsuite.Bench_def.kernel.Kernel.Ir.name
-          ~area_luts:
-            (System.total_area_luts sys
-               ~accel_luts_per_instance:design.Hls.Directives.d_area_luts)
-          ~policy:retry ~engine
-          (List.init tasks (fun _ -> bench))
+  let memo_eligible = obs = None && Fault.Plan.is_none faults in
+  let key =
+    { mk_mixed = false; mk_config = config;
+      mk_benches = [ Fastpath.bench_key bench ];
+      mk_tasks = tasks; mk_instances = instances; mk_cc_entries = cc_entries;
+      mk_bus = bus; mk_elide = elide; mk_engine = engine;
+      mk_topology = topology; mk_checkers = checkers }
+  in
+  dispatch ~memo_eligible ~key ~what:"Run.run" execute
 
 (* Per-kernel cost profile for the long-horizon service loop (lib/serve).
    One single-task, fault-free run measures the four phases a request of this
@@ -670,6 +932,21 @@ let service_profile ?(engine = Event_driven) ?(topology = Bus.Topology.Shared)
     sv_cpu_wall = cpu.wall;
   }
 
+(* Per-task plan of a fault-free mixed run: the cached script when one
+   exists, otherwise live interpretation — with a recorder attached to the
+   first task of each not-yet-cached bench (mixed compositions repeat
+   benches, so claims are deduplicated within the run). *)
+type mixed_plan = {
+  mp_bench : Machsuite.Bench_def.t;
+  mp_alloc : Driver.allocated;
+  mp_key : Fastpath.bench_key;
+  mp_eligible : bool;
+  mp_elide_exec : bool;
+  mp_fp : Accel.Engine.fastpath;
+  mp_script : (Accel.Script.t * bool) option;
+  mp_recorder : Accel.Script.Recorder.t option;
+}
+
 let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
     ?(retry = Driver.default_retry_policy) ?(elide = Elide_off)
     ?(engine = Legacy_replay) ?(topology = Bus.Topology.Shared)
@@ -677,16 +954,19 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   let tasks = List.length benches in
   if tasks <= 0 then invalid_arg "Run.run_mixed: needs at least one task";
   require_event_engine ~engine ~topology ~what:"Run.run_mixed";
-  let instances = match instances with Some n -> max n tasks | None -> tasks in
+  let instances' = match instances with Some n -> max n tasks | None -> tasks in
   (match config with
   | Config.Hetero _ -> ()
   | Config.Cpu_only _ -> invalid_arg "Run.run_mixed: needs a heterogeneous config");
-  let sys = System.create ~instances ?obs ~faults ~topology ~checkers config in
   (* Exact datapath area: per-instance LUTs summed, never a truncating
      per-task mean — mixed benches with unequal area would under-report the
      silicon the power model is charged for. *)
   let design_of (b : Machsuite.Bench_def.t) =
     Hls.Directives.synthesize ~kernel:b.Machsuite.Bench_def.kernel b.directives
+  in
+  let execute ~fast =
+  let sys =
+    System.create ~instances:instances' ?obs ~faults ~topology ~checkers config
   in
   let area_luts =
     System.total_area_luts_exact sys
@@ -703,6 +983,9 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   let driver = Option.get sys.System.driver in
   let backend = Option.get sys.System.backend in
   let cfg = sys.System.cpu_cfg in
+  let obs = sys.System.obs in
+  let fast = fast && not (Obs.Trace.enabled obs) in
+  let guard = System.guard sys in
   let allocated =
     List.map
       (fun (bench : Machsuite.Bench_def.t) ->
@@ -712,15 +995,37 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
             failwith ("driver allocation failed for " ^ bench.name ^ ": " ^ msg))
       benches
   in
-  let obs = sys.System.obs in
+  let claimed : (Fastpath.bench_key, unit) Hashtbl.t = Hashtbl.create 8 in
+  let plans =
+    List.map
+      (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated)) ->
+        let eligible = elide_eligible backend elide bench in
+        let elide_exec = match elide with Elide_on -> eligible | _ -> false in
+        let fp = fastpath_for ~fast ~elide_exec ~backend ~guard bench in
+        let key = Fastpath.bench_key bench in
+        let script = if fast then Fastpath.find_script key else None in
+        let recorder =
+          if fast && script = None && not (Hashtbl.mem claimed key) then begin
+            Hashtbl.add claimed key ();
+            Some (Accel.Script.Recorder.create ())
+          end
+          else None
+        in
+        { mp_bench = bench; mp_alloc = a; mp_key = key;
+          mp_eligible = eligible; mp_elide_exec = elide_exec; mp_fp = fp;
+          mp_script = script; mp_recorder = recorder })
+      allocated
+  in
   let t0 = Obs.Trace.now obs in
   let alloc_cycles =
     List.fold_left (fun acc (_, (a : Driver.allocated)) -> acc + a.cycles) 0 allocated
   in
   List.iter
-    (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated)) ->
-      init_layout sys.System.mem bench a.handle.Driver.layout)
-    allocated;
+    (fun p ->
+      if p.mp_script = None then
+        init_layout sys.System.mem p.mp_bench
+          p.mp_alloc.Driver.handle.Driver.layout)
+    plans;
   let init_cycles =
     List.fold_left
       (fun acc ((bench : Machsuite.Bench_def.t), _) ->
@@ -732,53 +1037,105 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   emit_phase obs ~at:(t0 + alloc_cycles) ~task:lead_task "init" init_cycles;
   Obs.Trace.set_now obs (t0 + alloc_cycles + init_cycles);
   let replay_start = t0 + alloc_cycles + init_cycles in
-  (* Per task: (bench, allocation, denial, checks, elided). *)
+  (* Per task: (bench, allocation, denial, checks, elided, verified). *)
   let per_task, compute_cycles, bus_beats, entries_peak =
     match engine with
     | Legacy_replay ->
         let outcomes =
           List.map
-            (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated)) ->
-              let eligible = elide_eligible backend elide bench in
-              let elide_exec =
-                match elide with Elide_on -> eligible | _ -> false
+            (fun p ->
+              let bench = p.mp_bench in
+              let a = p.mp_alloc in
+              let handle = a.Driver.handle in
+              let trace, denied, checks, elided, verified =
+                match p.mp_script with
+                | Some (script, s_correct) ->
+                    let d =
+                      Accel.Script.to_trace script ~bus:sys.System.bus
+                        ~mem_size:(Tagmem.Mem.size sys.System.mem)
+                        ~layout:handle.Driver.layout
+                        ~obj_ids:handle.Driver.obj_ids
+                        ~addressing:(Driver.Backend.addressing backend)
+                        ~source:handle.Driver.task_id
+                        (adjudication_of ~elide_exec:p.mp_elide_exec ~guard
+                           p.mp_fp)
+                    in
+                    Obs.Counters.incr Obs.Counters.traces_memoized;
+                    if d.Accel.Script.d_fastpathed > 0 then
+                      Obs.Counters.add Obs.Counters.accesses_fast_pathed
+                        d.Accel.Script.d_fastpathed;
+                    ( d.Accel.Script.d_trace, d.Accel.Script.d_denied,
+                      d.Accel.Script.d_checks, d.Accel.Script.d_elided,
+                      d.Accel.Script.d_denied = None && s_correct )
+                | None ->
+                    let outcome =
+                      Accel.Engine.run ~obs ~elide:p.mp_elide_exec
+                        ~fastpath:p.mp_fp ?recorder:p.mp_recorder
+                        ~mem:sys.System.mem ~guard ~bus:sys.System.bus
+                        ~directives:bench.Machsuite.Bench_def.directives
+                        ~addressing:(Driver.Backend.addressing backend)
+                        ~naive_tag_writes:(System.naive_tag_writes sys)
+                        {
+                          Accel.Engine.instance = handle.Driver.task_id;
+                          kernel = bench.kernel;
+                          layout = handle.Driver.layout;
+                          params = bench.params;
+                          obj_ids = handle.Driver.obj_ids;
+                        }
+                    in
+                    let verified =
+                      outcome.Accel.Engine.denied = None
+                      && verify sys.System.mem bench handle.Driver.layout
+                    in
+                    (match p.mp_recorder with
+                    | Some r -> (
+                        match
+                          Accel.Script.Recorder.finalize r
+                            ~total_ops:outcome.Accel.Engine.ops
+                            ~complete:(outcome.Accel.Engine.denied = None)
+                        with
+                        | Some s ->
+                            Fastpath.store_script p.mp_key s ~correct:verified
+                        | None -> ())
+                    | None -> ());
+                    ( outcome.Accel.Engine.trace, outcome.Accel.Engine.denied,
+                      outcome.Accel.Engine.checks, outcome.Accel.Engine.elided,
+                      verified )
               in
-              let outcome =
-                Accel.Engine.run ~obs ~elide:elide_exec ~mem:sys.System.mem
-                  ~guard:(System.guard sys) ~bus:sys.System.bus
-                  ~directives:bench.directives
-                  ~addressing:(Driver.Backend.addressing backend)
-                  ~naive_tag_writes:(System.naive_tag_writes sys)
-                  {
-                    Accel.Engine.instance = a.handle.Driver.task_id;
-                    kernel = bench.kernel;
-                    layout = a.handle.Driver.layout;
-                    params = bench.params;
-                    obj_ids = a.handle.Driver.obj_ids;
-                  }
-              in
-              differential_check elide ~eligible ~bench
-                outcome.Accel.Engine.denied;
-              (bench, a, outcome))
-            allocated
+              differential_check elide ~eligible:p.mp_eligible ~bench denied;
+              (p, trace, denied, checks, elided, verified))
+            plans
         in
-        let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
-        let streams =
-          List.map
-            (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), outcome) ->
-              { Accel.Replay.instance = a.handle.Driver.task_id;
-                trace = outcome.Accel.Engine.trace;
-                max_outstanding =
-                  (design_of bench).Hls.Directives.d_max_outstanding })
-            outcomes
-        in
+        let entries_peak = guard.Guard.Iface.entries_in_use () in
         let replayed =
-          Accel.Replay.run sys.System.fabric ~start:replay_start streams
+          if fast then
+            Accel.Replay.run_compiled sys.System.fabric ~start:replay_start
+              (List.map
+                 (fun (p, trace, _, _, _, _) ->
+                   { Accel.Replay.cinstance =
+                       p.mp_alloc.Driver.handle.Driver.task_id;
+                     ctrace =
+                       Accel.Trace.Compiled.compile ~bus:sys.System.bus
+                         ~max_outstanding:
+                           (max 1
+                              (design_of p.mp_bench)
+                                .Hls.Directives.d_max_outstanding)
+                         trace })
+                 outcomes)
+          else
+            Accel.Replay.run sys.System.fabric ~start:replay_start
+              (List.map
+                 (fun (p, trace, _, _, _, _) ->
+                   { Accel.Replay.instance =
+                       p.mp_alloc.Driver.handle.Driver.task_id;
+                     trace;
+                     max_outstanding =
+                       (design_of p.mp_bench).Hls.Directives.d_max_outstanding })
+                 outcomes)
         in
         ( List.map
-            (fun (bench, a, (o : Accel.Engine.outcome)) ->
-              (bench, a, o.Accel.Engine.denied, o.Accel.Engine.checks,
-               o.Accel.Engine.elided))
+            (fun (p, _, denied, checks, elided, verified) ->
+              (p.mp_bench, p.mp_alloc, denied, checks, elided, verified))
             outcomes,
           replayed.Accel.Replay.makespan - replay_start,
           replayed.Accel.Replay.bus_beats,
@@ -786,28 +1143,57 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
     | Event_driven ->
         let ev_tasks =
           List.map
-            (fun ((bench : Machsuite.Bench_def.t), a) ->
-              let eligible = elide_eligible backend elide bench in
-              let elide_exec =
-                match elide with Elide_on -> eligible | _ -> false
+            (fun p ->
+              let adj =
+                adjudication_of ~elide_exec:p.mp_elide_exec ~guard p.mp_fp
               in
-              { et_bench = bench; et_alloc = a; et_elide = elide_exec })
-            allocated
+              {
+                et_bench = p.mp_bench;
+                et_alloc = p.mp_alloc;
+                et_elide = p.mp_elide_exec;
+                et_fastpath = p.mp_fp;
+                et_recorder = p.mp_recorder;
+                et_script =
+                  Option.map (fun (s, _) -> (s, adj)) p.mp_script;
+              })
+            plans
         in
         let outcomes, makespan, bus_beats =
           run_event_compute sys ~start:replay_start ev_tasks
         in
-        List.iter
-          (fun (et, (o : Accel.Engine.ev_outcome)) ->
-            let eligible = elide_eligible backend elide et.et_bench in
-            differential_check elide ~eligible ~bench:et.et_bench
-              o.Accel.Engine.ev_denied)
-          outcomes;
-        let entries_peak = (System.guard sys).Guard.Iface.entries_in_use () in
+        let outcomes =
+          List.map2
+            (fun p (et, (o : Accel.Engine.ev_outcome)) ->
+              differential_check elide ~eligible:p.mp_eligible
+                ~bench:p.mp_bench o.Accel.Engine.ev_denied;
+              let verified =
+                match p.mp_script with
+                | Some (_, s_correct) ->
+                    o.Accel.Engine.ev_denied = None && s_correct
+                | None ->
+                    o.Accel.Engine.ev_denied = None
+                    && verify sys.System.mem p.mp_bench
+                         et.et_alloc.Driver.handle.Driver.layout
+              in
+              (match p.mp_recorder with
+              | Some r -> (
+                  match
+                    Accel.Script.Recorder.finalize r
+                      ~total_ops:o.Accel.Engine.ev_ops
+                      ~complete:(o.Accel.Engine.ev_denied = None
+                                 && not o.Accel.Engine.ev_failed)
+                  with
+                  | Some s -> Fastpath.store_script p.mp_key s ~correct:verified
+                  | None -> ())
+              | None -> ());
+              (p, o, verified))
+            plans outcomes
+        in
+        let entries_peak = guard.Guard.Iface.entries_in_use () in
         ( List.map
-            (fun (et, (o : Accel.Engine.ev_outcome)) ->
-              (et.et_bench, et.et_alloc, o.Accel.Engine.ev_denied,
-               o.Accel.Engine.ev_checks, o.Accel.Engine.ev_elided))
+            (fun (p, (o : Accel.Engine.ev_outcome), verified) ->
+              (p.mp_bench, p.mp_alloc, o.Accel.Engine.ev_denied,
+               o.Accel.Engine.ev_checks, o.Accel.Engine.ev_elided, verified))
             outcomes,
           makespan - replay_start,
           bus_beats,
@@ -816,15 +1202,12 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   emit_phase obs ~at:replay_start ~task:lead_task "compute" compute_cycles;
   Obs.Trace.set_now obs (replay_start + compute_cycles);
   let correct =
-    List.for_all
-      (fun ((bench : Machsuite.Bench_def.t), (a : Driver.allocated), denied, _, _) ->
-        denied = None && verify sys.System.mem bench a.handle.Driver.layout)
-      per_task
+    List.for_all (fun (_, _, _, _, _, verified) -> verified) per_task
   in
   let teardown_start = Obs.Trace.now obs in
   let teardown_cycles, denial_lists =
     List.fold_left
-      (fun (cycles, acc) (_, (a : Driver.allocated), denied, _, _) ->
+      (fun (cycles, acc) (_, (a : Driver.allocated), denied, _, _, _) ->
         let report = Driver.deallocate driver a.handle ~denied in
         (cycles + report.Driver.cycles, report.Driver.denials :: acc))
       (0, []) per_task
@@ -833,10 +1216,10 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   emit_phase obs ~at:teardown_start ~task:lead_task "teardown" teardown_cycles;
   Obs.Trace.set_now obs (teardown_start + teardown_cycles);
   let checks =
-    List.fold_left (fun acc (_, _, _, checks, _) -> acc + checks) 0 per_task
+    List.fold_left (fun acc (_, _, _, checks, _, _) -> acc + checks) 0 per_task
   in
   let elided_checks =
-    List.fold_left (fun acc (_, _, _, _, elided) -> acc + elided) 0 per_task
+    List.fold_left (fun acc (_, _, _, _, elided, _) -> acc + elided) 0 per_task
   in
   let phases =
     { alloc = alloc_cycles; init = init_cycles;
@@ -846,6 +1229,16 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
     ~correct ~denials ~checks ~elided_checks ~entries_peak
     ~bus_beats ~area_luts ()
   end
+  in
+  let memo_eligible = obs = None && Fault.Plan.is_none faults in
+  let key =
+    { mk_mixed = true; mk_config = config;
+      mk_benches = List.map Fastpath.bench_key benches;
+      mk_tasks = tasks; mk_instances = instances; mk_cc_entries = 256;
+      mk_bus = Bus.Params.default; mk_elide = elide; mk_engine = engine;
+      mk_topology = topology; mk_checkers = checkers }
+  in
+  dispatch ~memo_eligible ~key ~what:"Run.run_mixed" execute
 
 (* ------------------------------------------------------------------ *)
 (* Batch entry points: many independent full-system runs on a domain    *)

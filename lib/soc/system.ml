@@ -119,6 +119,8 @@ let guard t =
                 detail = "injected transient guard denial";
               }
           else g.Guard.Iface.check req);
+      (* Injected denials draw RNG per check: neither pure nor constant. *)
+      const_latency = None;
     }
 
 let naive_tag_writes t =

@@ -29,4 +29,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("serve", Test_serve.suite);
       ("verify", Test_verify.suite);
+      ("fastpath", Test_fastpath.suite);
     ]
