@@ -130,6 +130,46 @@ let fastpath_arg =
                    $(b,off) re-interprets everything (the ground truth); \
                    $(b,diff) computes both legs and fails on any divergence.")
 
+(* Event-engine steady-state fast-forward (lib/sim/eventff.ml): flat bus
+   drivers plus periodic-schedule leaping in the contended event core.
+   Exact by construction — the CI event-ff gate diffs on/off — so, like
+   --fast-path, the flag only trades simulation time for re-verification. *)
+let eventff_conv =
+  let parse s =
+    match Ccsim.Eventff.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown event-ff mode %s (on, off or diff)" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt m -> Format.pp_print_string fmt (Ccsim.Eventff.mode_to_string m) )
+
+let eventff_arg =
+  Arg.(value & opt eventff_conv Ccsim.Eventff.On
+         & info [ "event-ff" ]
+             ~doc:"Event-engine steady-state fast-forward: $(b,on) (the \
+                   default) drives contended buses with flat callback \
+                   clients and leaps periodic arbitration schedules whole \
+                   periods at a time — byte-identical results; $(b,off) \
+                   single-steps every event (the ground truth); $(b,diff) \
+                   runs both legs and fails on any divergence.")
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist eligible run results (no observability sink, no \
+                   fault plan) to $(docv), keyed by the full run \
+                   configuration and a digest of this binary, and reuse \
+                   them across processes.  Off unless given; a rebuild \
+                   orphans old entries.")
+
+let apply_common ~eventff ~cache_dir =
+  Ccsim.Eventff.set_mode eventff;
+  Soc.Runcache.set_dir cache_dir
+
 (* Parallelism across independent simulations (Ccsim.Pool).  Results are
    index-deterministic: any --jobs value produces byte-identical output to
    --jobs 1 (the CI gate diffs them). *)
@@ -221,8 +261,10 @@ let run_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the result as JSON.")
   in
-  let run bench config tasks engine topology checkers fastpath json =
+  let run bench config tasks engine topology checkers fastpath eventff
+      cache_dir json =
     Soc.Fastpath.set_mode fastpath;
+    apply_common ~eventff ~cache_dir;
     let engine = resolve_engine ~topology engine in
     let r = Soc.Run.run ~tasks ~engine ~topology ~checkers config bench in
     if json then print_endline (Obs.Json.to_string (json_of_result r))
@@ -244,7 +286,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one benchmark end to end")
     Term.(const run $ bench_arg $ config_arg $ tasks_arg $ engine_arg
-          $ topology_arg $ checkers_arg $ fastpath_arg $ json_arg)
+          $ topology_arg $ checkers_arg $ fastpath_arg $ eventff_arg
+          $ cache_dir_arg $ json_arg)
 
 (* ---- trace ---- *)
 
@@ -288,8 +331,9 @@ let sweep_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the sweep as JSON.")
   in
-  let run bench engine topology checkers fastpath jobs json =
+  let run bench engine topology checkers fastpath eventff cache_dir jobs json =
     Soc.Fastpath.set_mode fastpath;
+    apply_common ~eventff ~cache_dir;
     let engine = resolve_engine ~topology engine in
     (* All 15 points (5 task counts x 3 configs) are independent full-system
        runs; they execute as one Ccsim.Pool batch and are re-assembled in
@@ -362,7 +406,7 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Parallelism sweep (Figure 11 style)")
     Term.(const run $ bench_arg $ engine_arg $ topology_arg $ checkers_arg
-          $ fastpath_arg $ jobs_arg $ json_arg)
+          $ fastpath_arg $ eventff_arg $ cache_dir_arg $ jobs_arg $ json_arg)
 
 (* ---- attack ---- *)
 
@@ -445,8 +489,11 @@ let faults_cmd =
     else
       print_endline "  invariant VIOLATED: incorrect result without a covering fallback"
   in
-  let run bench config tasks seed runs engine fastpath jobs json =
+  let run bench config tasks seed runs engine fastpath eventff jobs json =
     Soc.Fastpath.set_mode fastpath;
+    (* Faulted runs never take the fast-forward leg or the disk cache, but
+       diff mode still sanity-degrades explicitly through the same switch. *)
+    apply_common ~eventff ~cache_dir:None;
     let engine = resolve_engine ~topology:Bus.Topology.Shared engine in
     if runs < 1 then (
       prerr_endline "capsim: --runs must be at least 1";
@@ -488,7 +535,7 @@ let faults_cmd =
        ~doc:"Run one benchmark under a seeded deterministic fault plan")
     Term.(
       const run $ bench_arg $ config_arg $ tasks_arg $ seed_arg $ runs_arg
-      $ engine_arg $ fastpath_arg $ jobs_arg $ json_arg)
+      $ engine_arg $ fastpath_arg $ eventff_arg $ jobs_arg $ json_arg)
 
 (* ---- lint ---- *)
 
@@ -879,8 +926,10 @@ let serve_cmd =
                      repeat seeds and $(b,--jobs) values).")
   in
   let run config tenants requests seed instances entries topology checkers
-      fastpath inflight watermark spill gap util churn top bench jobs json =
+      fastpath eventff inflight watermark spill gap util churn top bench jobs
+      json =
     Soc.Fastpath.set_mode fastpath;
+    apply_common ~eventff ~cache_dir:None;
     let spill = if spill < 0 then 2 * instances else spill in
     let mix =
       match bench with
@@ -928,7 +977,8 @@ let serve_cmd =
              reporting")
     Term.(const run $ config_arg $ tenants_arg $ requests_arg $ seed_arg
           $ instances_arg $ entries_arg $ topology_arg $ checkers_arg
-          $ fastpath_arg $ inflight_arg $ watermark_arg $ spill_arg $ gap_arg
+          $ fastpath_arg $ eventff_arg $ inflight_arg $ watermark_arg
+          $ spill_arg $ gap_arg
           $ util_arg $ churn_arg $ top_arg $ bench_opt $ jobs_arg $ json_arg)
 
 let () =

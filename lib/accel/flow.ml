@@ -30,65 +30,70 @@ let create ?(error_retry_limit = 4) ~sched ~ic ~src ~start ~max_outstanding () =
     event_retries = 0;
   }
 
-let await_grant t ~target ~at ~beats ~is_read ~extra_latency =
-  let result = ref None in
-  Ccsim.Sched.suspend t.sched (fun resume ->
-      Bus.Topology.request t.ic ~src:t.src ~target ~at ~beats ~is_read
-        ~extra_latency
-        ~on_grant:(fun g ->
-          result := Some g;
-          resume ()));
-  match !result with
-  | Some g -> g
-  | None -> assert false (* on_grant always fires before the resume runs *)
-
+(* One effect suspension per event, retries included: the fiber parks once,
+   the grant callback does the absorption bookkeeping (and any synchronous
+   error re-request) itself, and the fiber is woken directly at the cycle
+   the instance may proceed.  The event sequence is identical to the old
+   two-suspension shape (request submitted at the same program point, the
+   wake scheduled from inside [on_grant] with the same cycle/rank/seq) — it
+   just skips one continuation capture per transaction, which the contended
+   interconnect sweeps feel.  The wake is always strictly in the future:
+   [ready] is at least [granted_at + 1]. *)
 let issue ?target t (ev : Trace.event) =
   let target = match target with Some tg -> tg | None -> t.home in
   let is_read = ev.Trace.kind = Guard.Iface.Read in
   let streaming = is_read && not ev.Trace.dependent in
-  let rec attempt () =
-    let cand = t.ready + ev.Trace.gap in
-    (* A streaming read with a full outstanding queue must wait for the
-       oldest in-flight read to return. *)
-    let cand =
-      if streaming && Queue.length t.outstanding >= t.limit then begin
-        let oldest = Queue.pop t.outstanding in
-        max cand oldest
-      end
-      else cand
-    in
-    let grant =
-      await_grant t ~target ~at:cand ~beats:ev.Trace.beats ~is_read
-        ~extra_latency:ev.Trace.latency
-    in
-    if grant.Bus.Fabric.errored then begin
-      t.errors <- t.errors + 1;
-      t.finish <- max t.finish grant.Bus.Fabric.completed;
-      if t.event_retries >= t.error_retry_limit then raise Failed
-      else begin
-        t.event_retries <- t.event_retries + 1;
-        t.ready <- grant.Bus.Fabric.completed + error_turnaround;
-        attempt ()
-      end
-    end
-    else begin
-      t.event_retries <- 0;
-      (match (ev.Trace.kind, ev.Trace.dependent) with
-      | Guard.Iface.Write, _ ->
-          (* Posted write: the instance moves on after the address phase. *)
-          t.ready <- grant.Bus.Fabric.granted_at + 1;
-          t.finish <- max t.finish grant.Bus.Fabric.data_done
-      | Guard.Iface.Read, true ->
-          t.ready <- grant.Bus.Fabric.completed;
-          t.finish <- max t.finish grant.Bus.Fabric.completed
-      | Guard.Iface.Read, false ->
-          Queue.push grant.Bus.Fabric.completed t.outstanding;
-          t.ready <- grant.Bus.Fabric.granted_at + 1;
-          t.finish <- max t.finish grant.Bus.Fabric.completed);
-      Ccsim.Sched.wait_until t.sched ~cycle:t.ready
-    end
-  in
-  attempt ()
+  let failed = ref false in
+  Ccsim.Sched.suspend t.sched (fun resume ->
+      let rec attempt () =
+        let cand = t.ready + ev.Trace.gap in
+        (* A streaming read with a full outstanding queue must wait for the
+           oldest in-flight read to return. *)
+        let cand =
+          if streaming && Queue.length t.outstanding >= t.limit then begin
+            let oldest = Queue.pop t.outstanding in
+            max cand oldest
+          end
+          else cand
+        in
+        Bus.Topology.request t.ic ~src:t.src ~target ~at:cand
+          ~beats:ev.Trace.beats ~is_read ~extra_latency:ev.Trace.latency
+          ~on_grant:(fun grant ->
+            if grant.Bus.Fabric.errored then begin
+              t.errors <- t.errors + 1;
+              t.finish <- max t.finish grant.Bus.Fabric.completed;
+              if t.event_retries >= t.error_retry_limit then begin
+                (* Wake the fiber now so [Failed] raises at the same point
+                   (and through the same handler chain) it always did. *)
+                failed := true;
+                resume ()
+              end
+              else begin
+                t.event_retries <- t.event_retries + 1;
+                t.ready <- grant.Bus.Fabric.completed + error_turnaround;
+                attempt ()
+              end
+            end
+            else begin
+              t.event_retries <- 0;
+              (match (ev.Trace.kind, ev.Trace.dependent) with
+              | Guard.Iface.Write, _ ->
+                  (* Posted write: the instance moves on after the address
+                     phase. *)
+                  t.ready <- grant.Bus.Fabric.granted_at + 1;
+                  t.finish <- max t.finish grant.Bus.Fabric.data_done
+              | Guard.Iface.Read, true ->
+                  t.ready <- grant.Bus.Fabric.completed;
+                  t.finish <- max t.finish grant.Bus.Fabric.completed
+              | Guard.Iface.Read, false ->
+                  Queue.push grant.Bus.Fabric.completed t.outstanding;
+                  t.ready <- grant.Bus.Fabric.granted_at + 1;
+                  t.finish <- max t.finish grant.Bus.Fabric.completed);
+              Ccsim.Sched.at t.sched ~cycle:t.ready resume
+            end)
+      in
+      attempt ());
+  if !failed then raise Failed
 
 let ready t = t.ready
 let finish t = t.finish

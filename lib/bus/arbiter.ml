@@ -6,134 +6,566 @@ type req = {
   on_grant : Fabric.grant -> unit;
 }
 
+(* A source that is driven by direct callbacks (no coroutine) may register a
+   flat client; when *every* active source has one, the arbiter can grant
+   scalar-ly ahead of the event heap, and — once the grant schedule proves
+   periodic — advance whole periods in O(1) (see [leap] below). *)
+type flat_client = {
+  fc_uniform : delta:int -> int;
+      (* Number of upcoming bursts (starting at the currently queued one)
+         the driver certifies to be shift-equivariant under a per-period
+         shift of [delta] cycles: identical burst parameters, and
+         next-arrival/state updates that are pure functions of previous
+         grant times (the driver checks its outstanding-window warmup and
+         that the window is entrained on period [delta] internally).
+         0 = no certificate. *)
+  fc_jump : n:int -> dt:int -> unit;
+      (* Absorb [n] further grants of the current uniform stretch, shifting
+         every time-valued state component by [dt]; only called with
+         [n <= fc_uniform ~delta () - 2]. *)
+}
+
+(* Sources live in a doubly-linked ring over a dense slot array, kept in
+   first-request order, so registration, unregistration and the grant scan
+   are allocation-free and O(1) amortized (the old list rotation was O(K²)
+   to register and allocated a K-cell scan list per arbitration). *)
+type slot = {
+  mutable s_src : int;
+  s_q : req Queue.t;
+  mutable s_prev : int;
+  mutable s_next : int;
+  mutable s_active : bool;
+  mutable s_flat : flat_client option;
+  mutable s_mark : int;  (* rotation-distinctness scratch for the leap *)
+}
+
+(* Fingerprint of one arbitration rotation, collected only while leaping:
+   per grant the slot, the grant cycle and request-arrival cycle relative to
+   the rotation start, and the burst shape.  Two consecutive equal
+   fingerprints with a constant offset are the recurrence the O(1) period
+   jump keys on. *)
+type rot_buf = {
+  mutable rb_len : int;
+  mutable rb_t0 : int;
+  mutable rb_slot : int array;
+  mutable rb_dt : int array;
+  mutable rb_at : int array;  (* request [at] relative to the rotation start *)
+  mutable rb_beats : int array;
+  mutable rb_shape : int array;  (* extra_latency * 2 + is_read *)
+}
+
+let rot_create () =
+  { rb_len = 0; rb_t0 = 0; rb_slot = Array.make 16 0; rb_dt = Array.make 16 0;
+    rb_at = Array.make 16 0; rb_beats = Array.make 16 0;
+    rb_shape = Array.make 16 0 }
+
+let rot_reset rb ~t0 =
+  rb.rb_len <- 0;
+  rb.rb_t0 <- t0
+
+let rot_push rb ~slot ~dt ~at ~beats ~shape =
+  let n = rb.rb_len in
+  if n = Array.length rb.rb_slot then begin
+    let grow a = Array.append a (Array.make n 0) in
+    rb.rb_slot <- grow rb.rb_slot;
+    rb.rb_dt <- grow rb.rb_dt;
+    rb.rb_at <- grow rb.rb_at;
+    rb.rb_beats <- grow rb.rb_beats;
+    rb.rb_shape <- grow rb.rb_shape
+  end;
+  rb.rb_slot.(n) <- slot;
+  rb.rb_dt.(n) <- dt;
+  rb.rb_at.(n) <- at;
+  rb.rb_beats.(n) <- beats;
+  rb.rb_shape.(n) <- shape;
+  rb.rb_len <- n + 1
+
+let rot_equal a b =
+  a.rb_len = b.rb_len
+  &&
+  let rec go i =
+    i >= a.rb_len
+    || a.rb_slot.(i) = b.rb_slot.(i)
+       && a.rb_dt.(i) = b.rb_dt.(i)
+       && a.rb_at.(i) = b.rb_at.(i)
+       && a.rb_beats.(i) = b.rb_beats.(i)
+       && a.rb_shape.(i) = b.rb_shape.(i)
+       && go (i + 1)
+  in
+  go 0
+
 type t = {
   sched : Ccsim.Sched.t;
   p : Params.t;
   obs : Obs.Trace.t;
   faults : Fault.Injector.t;
-  queues : (int, req Queue.t) Hashtbl.t;
-  mutable rotation : int list;  (* sources in first-request order *)
-  mutable last_granted : int;   (* -1 before any grant *)
+  mutable slots : slot array;
+  mutable n_slots : int;  (* slots ever allocated (dense prefix) *)
+  mutable free_slots : int list;  (* recycled after unregister *)
+  index : (int, int) Hashtbl.t;  (* src -> slot *)
+  mutable head : int;  (* first active slot in rotation order, -1 if none *)
+  mutable tail : int;
+  mutable active : int;
+  mutable flats : int;  (* active slots with a flat client *)
+  mutable last_granted : int;  (* source id, -1 before any grant *)
+  mutable last_slot : int;  (* slot hint for [last_granted], may be stale *)
   mutable free_at : int;
   mutable beats : int;
   mutable queued : int;
+  (* Earliest cycle known to hold a live arbitration event ([min_int] =
+     none known).  A schedule at or after it is skipped — see
+     [schedule_arbitration] for the covering argument. *)
+  mutable armed : int;
+  mutable live_events : int;  (* arbitration events in the heap *)
+  mutable leaping : bool;
+  mutable entry : unit -> unit;  (* preallocated arbitrate closure *)
+  mutable rot_mark : int;  (* epoch for slot distinctness marks *)
+  mutable rot_prev : rot_buf;
+  mutable rot_cur : rot_buf;
 }
 
-let create ?(obs = Obs.Trace.null) ?(faults = Fault.Injector.none) ~sched p =
-  {
-    sched; p; obs; faults;
-    queues = Hashtbl.create 16;
-    rotation = [];
-    last_granted = -1;
-    free_at = 0;
-    beats = 0;
-    queued = 0;
-  }
+let no_slot = -1
 
 let params t = t.p
 let busy_until t = t.free_at
 let total_beats t = t.beats
 let queued t = t.queued
-let sources t = t.rotation
+
+let slot_alloc t =
+  match t.free_slots with
+  | i :: rest ->
+      t.free_slots <- rest;
+      i
+  | [] ->
+      let i = t.n_slots in
+      if i = Array.length t.slots then begin
+        let cap = max 8 (2 * i) in
+        let fresh =
+          Array.init cap (fun j ->
+              if j < i then t.slots.(j)
+              else
+                { s_src = -1; s_q = Queue.create (); s_prev = no_slot;
+                  s_next = no_slot; s_active = false; s_flat = None;
+                  s_mark = -1 })
+        in
+        t.slots <- fresh
+      end;
+      t.n_slots <- i + 1;
+      i
+
+(* Register [src] at the rotation tail (first-request order; a re-registered
+   source re-appends, exactly as the old [rotation @ [src]] did). *)
+let slot_of t src =
+  match Hashtbl.find_opt t.index src with
+  | Some i -> i
+  | None ->
+      let i = slot_alloc t in
+      let sl = t.slots.(i) in
+      sl.s_src <- src;
+      sl.s_prev <- t.tail;
+      sl.s_next <- no_slot;
+      sl.s_active <- true;
+      sl.s_flat <- None;
+      sl.s_mark <- -1;
+      if t.tail = no_slot then t.head <- i else t.slots.(t.tail).s_next <- i;
+      t.tail <- i;
+      t.active <- t.active + 1;
+      Hashtbl.add t.index src i;
+      i
 
 let unregister t ~src =
-  match Hashtbl.find_opt t.queues src with
+  match Hashtbl.find_opt t.index src with
   | None -> false
-  | Some q ->
-      if not (Queue.is_empty q) then false
+  | Some i ->
+      let sl = t.slots.(i) in
+      if not (Queue.is_empty sl.s_q) then false
       else begin
-        Hashtbl.remove t.queues src;
-        t.rotation <- List.filter (fun s -> s <> src) t.rotation;
+        Hashtbl.remove t.index src;
+        if sl.s_prev = no_slot then t.head <- sl.s_next
+        else t.slots.(sl.s_prev).s_next <- sl.s_next;
+        if sl.s_next = no_slot then t.tail <- sl.s_prev
+        else t.slots.(sl.s_next).s_prev <- sl.s_prev;
+        sl.s_active <- false;
+        if sl.s_flat <> None then t.flats <- t.flats - 1;
+        sl.s_flat <- None;
+        sl.s_src <- -1;
+        t.active <- t.active - 1;
+        t.free_slots <- i :: t.free_slots;
         true
       end
 
-let queue_of t src =
-  match Hashtbl.find_opt t.queues src with
-  | Some q -> q
-  | None ->
-      let q = Queue.create () in
-      Hashtbl.add t.queues src q;
-      t.rotation <- t.rotation @ [ src ];
-      q
+let set_flat t ~src client =
+  let i = slot_of t src in
+  let sl = t.slots.(i) in
+  if sl.s_flat = None then t.flats <- t.flats + 1;
+  sl.s_flat <- Some client
 
-(* Sources in grant-scan order: round-robin, starting just after the last
-   winner.  [rotation] is in first-request order, which also makes the very
-   first grant deterministic. *)
+let sources t =
+  let rec go acc i =
+    if i = no_slot then List.rev acc else go (t.slots.(i).s_src :: acc) (t.slots.(i).s_next)
+  in
+  go [] t.head
+
+(* Slot the grant scan starts from: just after the last winner, wrapping;
+   the rotation head when no grant happened yet or the last winner has been
+   unregistered since. *)
+let scan_start t =
+  if t.last_granted = -1 then t.head
+  else begin
+    let i = t.last_slot in
+    let i =
+      if i >= 0 && i < t.n_slots && t.slots.(i).s_active
+         && t.slots.(i).s_src = t.last_granted
+      then i
+      else
+        match Hashtbl.find_opt t.index t.last_granted with
+        | Some j ->
+            t.last_slot <- j;
+            j
+        | None -> no_slot
+    in
+    if i = no_slot then t.head
+    else
+      let n = t.slots.(i).s_next in
+      if n = no_slot then t.head else n
+  end
+
 let scan_order t =
-  match t.last_granted with
-  | -1 -> t.rotation
-  | last ->
-      let rec split acc = function
-        | [] -> t.rotation (* winner no longer registered: plain order *)
-        | s :: rest when s = last -> rest @ List.rev (s :: acc)
-        | s :: rest -> split (s :: acc) rest
-      in
-      split [] t.rotation
+  let start = scan_start t in
+  if start = no_slot then []
+  else begin
+    let rec go acc i remaining =
+      if remaining = 0 then List.rev acc
+      else
+        let sl = t.slots.(i) in
+        let n = if sl.s_next = no_slot then t.head else sl.s_next in
+        go (sl.s_src :: acc) n (remaining - 1)
+    in
+    go [] start t.active
+  end
 
-let head_arrival t src =
-  match Hashtbl.find_opt t.queues src with
-  | None -> None
-  | Some q -> ( match Queue.peek_opt q with None -> None | Some r -> Some r.at)
+(* Winning slot at [now]: first source in scan order whose head request has
+   arrived.  Allocation-free. *)
+let find_winner t ~now =
+  let start = scan_start t in
+  if start = no_slot then no_slot
+  else begin
+    let rec go i remaining =
+      if remaining = 0 then no_slot
+      else
+        let sl = t.slots.(i) in
+        if (not (Queue.is_empty sl.s_q)) && (Queue.peek sl.s_q).at <= now then i
+        else
+          let n = if sl.s_next = no_slot then t.head else sl.s_next in
+          go n (remaining - 1)
+    in
+    go start t.active
+  end
 
 let min_head_arrival t =
-  List.fold_left
-    (fun acc src ->
-      match head_arrival t src with
-      | None -> acc
-      | Some a -> ( match acc with None -> Some a | Some b -> Some (min a b)))
-    None t.rotation
+  let rec go acc i =
+    if i = no_slot then acc
+    else
+      let sl = t.slots.(i) in
+      let acc =
+        if Queue.is_empty sl.s_q then acc
+        else
+          let a = (Queue.peek sl.s_q).at in
+          match acc with None -> Some a | Some b -> Some (min a b)
+      in
+      go acc sl.s_next
+  in
+  go None t.head
 
-let rec arbitrate t () =
-  let now = Ccsim.Sched.now t.sched in
-  if t.free_at <= now then
-    (* One grant per arbitration: the winning burst holds the bus until
-       [data_done], when the next arbitration fires. *)
-    let winner =
-      List.find_opt
-        (fun src ->
-          match head_arrival t src with Some a -> a <= now | None -> false)
-        (scan_order t)
-    in
-    match winner with
-    | Some src ->
-        let q = Hashtbl.find t.queues src in
-        let r = Queue.pop q in
-        t.queued <- t.queued - 1;
-        t.last_granted <- src;
-        let granted_at = now in
-        let data_done = granted_at + t.p.Params.addr_phase + r.beats in
-        t.free_at <- data_done;
-        t.beats <- t.beats + r.beats;
-        let mem_latency =
-          if r.is_read then t.p.Params.read_latency else t.p.Params.write_latency
+(* ---- event scheduling with chained coalescing ----
+
+   A schedule at [cycle] can be dropped whenever a live arbitration event
+   already sits at some cycle [a <= cycle]: that event runs no earlier than
+   the correct next grant cycle is reachable and its handler re-arms so the
+   chain lands on every subsequent grant cycle exactly — a grant re-arms at
+   the later of [data_done] and the earliest queued arrival (the next grant
+   cycle by definition), a no-winner wake re-arms at the earliest arrival,
+   and a busy wake re-arms at [free_at] (the bus can't grant sooner).  So
+   while any request is queued there is always a live event at or before
+   the next grant cycle, chaining forward without skipping one; the
+   skipped event could at best have arbitrated at [cycle >= a], which the
+   chain already covers.  [armed] tracks the earliest live event's cycle;
+   when that event fires the chain's re-arm re-establishes it.  Losing
+   track (an untracked later event) only costs a harmless duplicate:
+   arbitration is idempotent within a cycle, and a busy or no-winner wake
+   recomputes the identical re-arm. *)
+
+let schedule_arbitration t ~cycle =
+  if t.leaping || (t.armed <> min_int && t.armed <= cycle) then
+    Obs.Counters.incr Obs.Counters.events_coalesced
+  else begin
+    t.armed <- cycle;
+    t.live_events <- t.live_events + 1;
+    Ccsim.Sched.at t.sched ~cycle ~rank:Ccsim.Sched.rank_arbitrate t.entry
+  end
+
+(* Cycle a grant finishing at [data_done] should re-arm at: [data_done]
+   itself if any queued head has arrived by then, else the earliest later
+   arrival.  Walks the rotation from the post-winner scan position so the
+   early exit hits the next grant's candidate first — in sustained
+   contention the walk is O(1). *)
+let rearm_after t ~data_done =
+  let start = scan_start t in
+  let rec go best i remaining =
+    if remaining = 0 then best
+    else
+      let sl = t.slots.(i) in
+      let next = if sl.s_next = no_slot then t.head else sl.s_next in
+      if Queue.is_empty sl.s_q then go best next (remaining - 1)
+      else
+        let a = (Queue.peek sl.s_q).at in
+        if a <= data_done then data_done
+        else go (min best a) next (remaining - 1)
+  in
+  if start = no_slot then data_done else go max_int start t.active
+
+(* One grant: the winning burst holds the bus until [data_done]; timing,
+   fault draws and observability are shared verbatim between the evented
+   path and the leap. *)
+let do_grant t ~now i =
+  let sl = t.slots.(i) in
+  let r = Queue.pop sl.s_q in
+  t.queued <- t.queued - 1;
+  t.last_granted <- sl.s_src;
+  t.last_slot <- i;
+  let granted_at = now in
+  let data_done = granted_at + t.p.Params.addr_phase + r.beats in
+  t.free_at <- data_done;
+  t.beats <- t.beats + r.beats;
+  let mem_latency =
+    if r.is_read then t.p.Params.read_latency else t.p.Params.write_latency
+  in
+  let stall = Fault.Injector.bus_stall t.faults in
+  let errored = Fault.Injector.bus_error t.faults in
+  let completed = data_done + mem_latency + r.extra_latency + stall in
+  if Obs.Trace.enabled t.obs then begin
+    Obs.Trace.emit_at t.obs ~cycle:granted_at
+      (Obs.Event.Bus_grant
+         { source = sl.s_src; beats = r.beats; read = r.is_read; at = r.at;
+           granted_at; data_done; completed });
+    Obs.Trace.emit_at t.obs ~cycle:data_done
+      (Obs.Event.Bus_beat { source = sl.s_src; beats = r.beats })
+  end;
+  if t.queued > 0 && not t.leaping then
+    schedule_arbitration t ~cycle:(rearm_after t ~data_done);
+  r.on_grant { Fabric.granted_at; data_done; completed; errored }
+
+(* ---- steady-state leap ----
+
+   When every active source is flat-driven (pure-callback, no coroutine to
+   resume on the heap), no sink observes, no fault plan is live and the heap
+   holds nothing but this arbiter's own events, the entire remaining grant
+   schedule is a closed deterministic system: each grant's callback pushes
+   the next request synchronously.  So instead of bouncing every grant
+   through the heap, grant scalar-ly in a loop — the virtual time [tcur]
+   advances along [free_at] while the heap clock stays behind; stale armed
+   events later fire as busy no-ops.  Nothing can be scheduled meanwhile
+   ([leaping] suppresses re-arms and flat drivers call [on_done]
+   synchronously), so eligibility cannot change mid-loop and the loop drains
+   every queue.
+
+   On top of the scalar loop, a recurrence detector fingerprints rotations
+   (anchor slot, per-grant relative cycle and burst shape).  Two consecutive
+   identical fingerprints a constant [delta] apart, with each source granted
+   exactly once per rotation and each driver guaranteeing enough further
+   shift-invariant steps, prove the next rotations repeat shifted — so the
+   jump advances [n] whole periods in O(active): retime each queued request
+   by [n * delta], let each driver absorb [n] grants, and bump the bus
+   aggregates. *)
+
+let try_jump t ~tcur =
+  let prev = t.rot_prev and cur = t.rot_cur in
+  let delta = cur.rb_t0 - prev.rb_t0 in
+  if
+    delta > 0 && cur.rb_len = t.active && t.queued = t.active
+    && rot_equal prev cur
+  then begin
+    (* Per fingerprint row: the slot granted exactly once per rotation,
+       exactly one request queued (the shape the per-source retime below
+       relies on), and — the induction's base case — that queued request is
+       the last rotation's request for this slot shifted by one period:
+       same burst shape, arrival exactly [delta] later.  Together with the
+       matching fingerprints (grants and arrivals of the last two rotations
+       repeat shifted) and each driver's shift-equivariance certificate,
+       this pins the next rotation's arbitration inputs to the current
+       rotation's shifted by [delta], so by determinism and
+       time-translation invariance every skipped rotation replays. *)
+    t.rot_mark <- t.rot_mark + 1;
+    let entrained = ref true in
+    for k = 0 to cur.rb_len - 1 do
+      let sl = t.slots.(cur.rb_slot.(k)) in
+      if
+        sl.s_mark = t.rot_mark
+        || Queue.length sl.s_q <> 1
+        ||
+        let r = Queue.peek sl.s_q in
+        r.at <> cur.rb_t0 + cur.rb_at.(k) + delta
+        || r.beats <> cur.rb_beats.(k)
+        || (r.extra_latency * 2) + Bool.to_int r.is_read <> cur.rb_shape.(k)
+      then entrained := false
+      else sl.s_mark <- t.rot_mark
+    done;
+    if not !entrained then tcur
+    else begin
+      let n = ref max_int in
+      let rec min_uniform i =
+        if i = no_slot then ()
+        else begin
+          let sl = t.slots.(i) in
+          (match sl.s_flat with
+          | Some fc -> n := min !n (fc.fc_uniform ~delta - 2)
+          | None -> n := 0);
+          min_uniform sl.s_next
+        end
+      in
+      min_uniform t.head;
+      let n = !n in
+      if n < 4 then tcur
+      else begin
+        let dt = n * delta in
+        let rot_beats = ref 0 in
+        for k = 0 to cur.rb_len - 1 do
+          rot_beats := !rot_beats + cur.rb_beats.(k)
+        done;
+        let rec apply i =
+          if i = no_slot then ()
+          else begin
+            let sl = t.slots.(i) in
+            let r = Queue.pop sl.s_q in
+            Queue.push { r with at = r.at + dt } sl.s_q;
+            (match sl.s_flat with
+            | Some fc -> fc.fc_jump ~n ~dt
+            | None -> assert false);
+            apply sl.s_next
+          end
         in
-        let stall = Fault.Injector.bus_stall t.faults in
-        let errored = Fault.Injector.bus_error t.faults in
-        let completed = data_done + mem_latency + r.extra_latency + stall in
-        if Obs.Trace.enabled t.obs then begin
-          Obs.Trace.emit_at t.obs ~cycle:granted_at
-            (Obs.Event.Bus_grant
-               { source = src; beats = r.beats; read = r.is_read; at = r.at;
-                 granted_at; data_done; completed });
-          Obs.Trace.emit_at t.obs ~cycle:data_done
-            (Obs.Event.Bus_beat { source = src; beats = r.beats })
-        end;
-        if t.queued > 0 then schedule_arbitration t ~cycle:data_done;
-        r.on_grant { Fabric.granted_at; data_done; completed; errored }
-    | None -> (
-        (* Bus idle but every queued request arrives later: re-arm at the
-           earliest arrival.  (A grant while we slept re-arms on its own.) *)
-        match min_head_arrival t with
-        | Some a when a > now -> schedule_arbitration t ~cycle:a
-        | Some _ | None -> ())
+        apply t.head;
+        t.free_at <- t.free_at + dt;
+        t.beats <- t.beats + (n * !rot_beats);
+        Obs.Counters.add Obs.Counters.periods_leaped n;
+        (* Post-jump state is the pre-jump state shifted by [dt] exactly, so
+           the scalar loop resumes at the shifted current time and replays
+           the tail of the schedule verbatim; fingerprinting restarts from
+           scratch at the anchor's next grant. *)
+        rot_reset prev ~t0:min_int;
+        rot_reset cur ~t0:min_int;
+        tcur + dt
+      end
+    end
+  end
+  else tcur
 
-and schedule_arbitration t ~cycle =
-  Ccsim.Sched.at t.sched ~cycle ~rank:Ccsim.Sched.rank_arbitrate (arbitrate t)
+let leap t ~now =
+  t.leaping <- true;
+  let anchor = ref no_slot in
+  let fingerprinting = ref false in
+  let tcur = ref now in
+  let continue = ref true in
+  while !continue do
+    match find_winner t ~now:!tcur with
+    | -1 -> (
+        match min_head_arrival t with
+        | Some a when a > !tcur -> tcur := a
+        | Some _ -> assert false (* an arrived head is a winner *)
+        | None -> continue := false (* every queue drained *))
+    | i ->
+        if !anchor = no_slot then anchor := i;
+        if i = !anchor then begin
+          (* Rotation boundary: compare the two completed fingerprints and
+             jump if they recur, then start collecting the next one. *)
+          if !fingerprinting && t.rot_cur.rb_t0 <> min_int then begin
+            tcur := try_jump t ~tcur:!tcur;
+            let p = t.rot_prev in
+            t.rot_prev <- t.rot_cur;
+            t.rot_cur <- p
+          end;
+          rot_reset t.rot_cur ~t0:!tcur;
+          fingerprinting := true
+        end;
+        (if !fingerprinting then
+           let sl = t.slots.(i) in
+           if not (Queue.is_empty sl.s_q) then
+             let r = Queue.peek sl.s_q in
+             rot_push t.rot_cur ~slot:i ~dt:(!tcur - t.rot_cur.rb_t0)
+               ~at:(r.at - t.rot_cur.rb_t0) ~beats:r.beats
+               ~shape:((r.extra_latency * 2) + Bool.to_int r.is_read));
+        do_grant t ~now:!tcur i;
+        tcur := t.free_at
+  done;
+  t.leaping <- false;
+  rot_reset t.rot_prev ~t0:min_int;
+  rot_reset t.rot_cur ~t0:min_int
+
+let leap_eligible t =
+  t.flats > 0 && t.flats = t.active && t.queued > 0
+  && (not (Obs.Trace.enabled t.obs))
+  && (not (Fault.Injector.active t.faults))
+  && Ccsim.Sched.pending t.sched = t.live_events
+
+let arbitrate t () =
+  (* Entry bookkeeping: this event is no longer live; free its arm slot. *)
+  let now = Ccsim.Sched.now t.sched in
+  t.live_events <- t.live_events - 1;
+  if t.armed = now then t.armed <- min_int;
+  if t.free_at <= now then begin
+    if leap_eligible t then leap t ~now
+    else
+      match find_winner t ~now with
+      | -1 -> (
+          (* Bus idle but every queued request arrives later: re-arm at the
+             earliest arrival.  (A grant while we slept re-arms on its own.) *)
+          match min_head_arrival t with
+          | Some a when a > now -> schedule_arbitration t ~cycle:a
+          | Some _ | None -> ())
+      | i -> do_grant t ~now i
+  end
+  else begin
+    (* Bus busy: pushes that coalesced onto this event still need coverage
+       once the bus frees. *)
+    if t.queued > 0 then schedule_arbitration t ~cycle:t.free_at
+  end
+
+let create ?(obs = Obs.Trace.null) ?(faults = Fault.Injector.none) ~sched p =
+  let t =
+    {
+      sched; p; obs; faults;
+      slots = [||];
+      n_slots = 0;
+      free_slots = [];
+      index = Hashtbl.create 16;
+      head = no_slot;
+      tail = no_slot;
+      active = 0;
+      flats = 0;
+      last_granted = -1;
+      last_slot = no_slot;
+      free_at = 0;
+      beats = 0;
+      queued = 0;
+      armed = min_int;
+      live_events = 0;
+      leaping = false;
+      entry = ignore;
+      rot_mark = 0;
+      rot_prev = rot_create ();
+      rot_cur = rot_create ();
+    }
+  in
+  (* One arbitrate closure for the arbiter's whole life: scheduling used to
+     allocate a fresh partial application per event. *)
+  t.entry <- arbitrate t;
+  t
 
 let request t ~src ~at ~beats ~is_read ~extra_latency ~on_grant =
   if beats <= 0 then invalid_arg "Arbiter.request: beats must be positive";
   let now = Ccsim.Sched.now t.sched in
   let at = max at now in
-  Queue.push { at; beats; is_read; extra_latency; on_grant } (queue_of t src);
+  Queue.push { at; beats; is_read; extra_latency; on_grant }
+    (t.slots.(slot_of t src)).s_q;
   t.queued <- t.queued + 1;
   schedule_arbitration t ~cycle:(max at t.free_at)

@@ -23,8 +23,20 @@ let traces_memoized = make "traces_memoized"
 let runs_memoized = make "runs_memoized"
 (* whole system runs served from the cross-sweep result cache *)
 
+let runs_disk_cached = make "runs_disk_cached"
+(* whole system runs served from the on-disk cross-process cache *)
+
+let periods_leaped = make "periods_leaped"
+(* steady-state arbitration periods advanced in O(1) by the event
+   fast-forward's recurrence detector instead of being single-stepped *)
+
+let events_coalesced = make "events_coalesced"
+(* arbitration events never enqueued because a live event at the same cycle
+   (or an in-progress leap) makes them provable no-ops *)
+
 let all =
-  [ segments_replayed; accesses_fast_pathed; traces_memoized; runs_memoized ]
+  [ segments_replayed; accesses_fast_pathed; traces_memoized; runs_memoized;
+    runs_disk_cached; periods_leaped; events_coalesced ]
 
 let name c = c.name
 let get c = Atomic.get c.cell

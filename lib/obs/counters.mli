@@ -22,6 +22,18 @@ val traces_memoized : t
 val runs_memoized : t
 (** Whole system runs served from the cross-sweep result cache. *)
 
+val runs_disk_cached : t
+(** Whole system runs served from the on-disk cross-process cache. *)
+
+val periods_leaped : t
+(** Steady-state arbitration periods advanced in O(1) by the event
+    fast-forward's recurrence detector instead of being single-stepped.
+    Always 0 for faulted or observed runs (leaping bails on both). *)
+
+val events_coalesced : t
+(** Arbitration events never enqueued because a live event at the same cycle
+    (or an in-progress leap) makes them provable no-ops. *)
+
 val name : t -> string
 val get : t -> int
 val add : t -> int -> unit

@@ -1,0 +1,22 @@
+(** Process-global mode for the event-engine steady-state fast-forward.
+
+    [On] (the default) lets {!Soc.Run}'s event compute phase drive scripted
+    constant-latency tasks through direct arbiter callbacks instead of
+    effect-based coroutines, and lets {!Bus.Arbiter} leap periodic steady
+    state; every reported cycle is identical to the [Off] leg by
+    construction, and the differential suite plus the [Diff] mode pin it.
+
+    [Off] forces the coroutine single-step path — the oracle.
+
+    [Diff] makes the run layer execute both legs against fresh systems and
+    [failwith] on any divergence in the complete result record. *)
+
+type mode = On | Off | Diff
+
+val set_mode : mode -> unit
+val current_mode : unit -> mode
+
+val mode_to_string : mode -> string
+(** ["on"], ["off"], ["diff"] — the [--event-ff] CLI spellings. *)
+
+val mode_of_string : string -> mode option

@@ -156,11 +156,22 @@ let memo_run key compute =
   | Some r ->
       Obs.Counters.incr Obs.Counters.runs_memoized;
       r
-  | None ->
-      let r = compute () in
-      Mutex.protect run_memo_mutex (fun () ->
-          if not (Hashtbl.mem run_memo key) then Hashtbl.add run_memo key r);
-      r
+  | None -> (
+      (* Second level: the on-disk cross-process cache (opt-in, see
+         {!Runcache}).  Only memo-eligible runs reach [memo_run], so every
+         disk entry satisfies the same no-sink / no-faults contract as the
+         in-memory table. *)
+      match (Runcache.load key : result option) with
+      | Some r ->
+          Mutex.protect run_memo_mutex (fun () ->
+              if not (Hashtbl.mem run_memo key) then Hashtbl.add run_memo key r);
+          r
+      | None ->
+          let r = compute () in
+          Mutex.protect run_memo_mutex (fun () ->
+              if not (Hashtbl.mem run_memo key) then Hashtbl.add run_memo key r);
+          Runcache.store key r;
+          r)
 
 (* Observation-only phase markers: stamped on the shared sink at the phase's
    start cycle.  The sink is never consulted by the simulation, so emitting
@@ -193,7 +204,7 @@ let interpreted_ev_task ?(elide = false) ?(fastpath = Accel.Engine.Fp_off)
   { et_bench = bench; et_alloc = alloc; et_elide = elide;
     et_fastpath = fastpath; et_recorder = recorder; et_script = script }
 
-let run_event_compute sys ~start tasks_l =
+let run_event_compute sys ~ff ~start tasks_l =
   let obs = sys.System.obs in
   let backend = Option.get sys.System.backend in
   let sched =
@@ -219,30 +230,58 @@ let run_event_compute sys ~start tasks_l =
           (* Script-driven stream: mirrors the interpreted engine's scheduler
              calls exactly (the differential suite pins parity), skipping only
              the functional kernel work. *)
-          Accel.Script.drive_event script ~sched ~ic ~start ~bus:sys.System.bus
-            ~mem_size:(Tagmem.Mem.size sys.System.mem)
-            ~max_outstanding:
-              bench.Machsuite.Bench_def.directives.Hls.Directives.max_outstanding
-            ~layout:handle.Driver.layout ~obj_ids:handle.Driver.obj_ids
-            ~addressing:(Driver.Backend.addressing backend)
-            ~source:handle.Driver.task_id adj
-            ~on_done:(fun (d : Accel.Script.ev_derived) ->
-              Obs.Counters.incr Obs.Counters.traces_memoized;
-              if d.Accel.Script.e_fastpathed > 0 then
-                Obs.Counters.add Obs.Counters.accesses_fast_pathed
-                  d.Accel.Script.e_fastpathed;
-              results.(idx) <-
-                Some
-                  {
-                    Accel.Engine.ev_denied = d.Accel.Script.e_denied;
-                    ev_checks = d.e_checks;
-                    ev_elided = d.e_elided;
-                    ev_reads = d.e_reads;
-                    ev_writes = d.e_writes;
-                    ev_ops = d.e_ops;
-                    ev_finish = d.e_finish;
-                    ev_failed = d.e_failed;
-                  })
+          let on_done (d : Accel.Script.ev_derived) =
+            Obs.Counters.incr Obs.Counters.traces_memoized;
+            if d.Accel.Script.e_fastpathed > 0 then
+              Obs.Counters.add Obs.Counters.accesses_fast_pathed
+                d.Accel.Script.e_fastpathed;
+            results.(idx) <-
+              Some
+                {
+                  Accel.Engine.ev_denied = d.Accel.Script.e_denied;
+                  ev_checks = d.e_checks;
+                  ev_elided = d.e_elided;
+                  ev_reads = d.e_reads;
+                  ev_writes = d.e_writes;
+                  ev_ops = d.e_ops;
+                  ev_finish = d.e_finish;
+                  ev_failed = d.e_failed;
+                }
+          in
+          let max_outstanding =
+            bench.Machsuite.Bench_def.directives.Hls.Directives.max_outstanding
+          in
+          (* Steady-state fast-forward leg: a coroutine-free driver the shared
+             arbiter can leap over.  Only sound when the burst sequence is
+             clock-independent (constant-latency adjudication), targets are
+             static (shared bus) and nothing aperiodic watches the run (no
+             sink, inert injector); anything else falls back to the exact
+             fiber driver. *)
+          let flat =
+            if
+              ff
+              && sys.System.topology = Bus.Topology.Shared
+              && (not (Obs.Trace.enabled obs))
+              && not (Fault.Injector.active sys.System.faults)
+            then
+              Accel.Script.flat_plan script ~bus:sys.System.bus
+                ~mem_size:(Tagmem.Mem.size sys.System.mem)
+                ~layout:handle.Driver.layout ~obj_ids:handle.Driver.obj_ids
+                ~addressing:(Driver.Backend.addressing backend)
+                ~source:handle.Driver.task_id adj
+            else None
+          in
+          (match flat with
+          | Some plan ->
+              Accel.Script.drive_event_flat plan ~sched ~ic ~start
+                ~max_outstanding ~source:handle.Driver.task_id ~on_done
+          | None ->
+              Accel.Script.drive_event script ~sched ~ic ~start
+                ~bus:sys.System.bus
+                ~mem_size:(Tagmem.Mem.size sys.System.mem) ~max_outstanding
+                ~layout:handle.Driver.layout ~obj_ids:handle.Driver.obj_ids
+                ~addressing:(Driver.Backend.addressing backend)
+                ~source:handle.Driver.task_id adj ~on_done)
       | None ->
           Accel.Engine.run_event ~obs ~elide:et.et_elide ~fastpath:et.et_fastpath
             ?recorder:et.et_recorder ~sched ~ic ~start ~mem:sys.System.mem
@@ -348,7 +387,8 @@ let run_cpu_only sys ~fast isa (bench : Machsuite.Bench_def.t) ~tasks =
    the accelerator, replicates its DMA stream per instance, and replays the
    contention; [Event_driven] runs every instance live on the shared
    event timeline (see {!run_event_compute}). *)
-let run_hetero sys ~fast (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
+let run_hetero sys ~fast ~ff (bench : Machsuite.Bench_def.t) ~tasks ~elide
+    ~engine =
   let kernel = bench.Machsuite.Bench_def.kernel in
   let driver = Option.get sys.System.driver in
   let backend = Option.get sys.System.backend in
@@ -521,7 +561,7 @@ let run_hetero sys ~fast (bench : Machsuite.Bench_def.t) ~tasks ~elide ~engine =
             allocated
         in
         let outcomes, makespan, bus_beats =
-          run_event_compute sys ~start:replay_start ev_tasks
+          run_event_compute sys ~ff ~start:replay_start ev_tasks
         in
         List.iter
           (fun (_, o) ->
@@ -823,13 +863,43 @@ let require_event_engine ~engine ~topology ~what =
            (Bus.Topology.kind_to_string kind))
   | _ -> ()
 
-(* Mode dispatch shared by [run] and [run_mixed]: [execute ~fast] performs
-   one complete run against a fresh system.  [Fast] wraps it in the whole-run
-   memo when eligible; [Differential] computes both legs (the fast leg still
-   warming and exercising every cache) and compares the complete result
-   records — any divergence is a bug in the fast-path layers, never a tuning
-   matter, so it [failwith]s. *)
+(* Event fast-forward leg selection, orthogonal to the fast-path mode:
+   [execute ~fast ~ff] performs one complete run against a fresh system, the
+   [ff] flag enabling the flat event drivers and steady-state leaping in
+   {!run_event_compute}.  [Diff] runs both complete legs and compares the
+   full result records — the fast-forward is exact by construction, so any
+   divergence [failwith]s.  Runs with a sink attached or a live fault plan
+   never take the fast-forward leg (both legs would be identical, and the
+   off leg would double every emission), so Diff degrades to the off leg
+   there. *)
+let eventff_execute ~memo_eligible ~what execute ~fast =
+  match Ccsim.Eventff.current_mode () with
+  | Ccsim.Eventff.On -> execute ~fast ~ff:true
+  | Ccsim.Eventff.Off -> execute ~fast ~ff:false
+  | Ccsim.Eventff.Diff ->
+      if not memo_eligible then execute ~fast ~ff:false
+      else begin
+        let on_r = execute ~fast ~ff:true in
+        let off_r = execute ~fast ~ff:false in
+        if on_r <> off_r then
+          failwith
+            (Printf.sprintf
+               "%s: event fast-forward divergence on %s under %s: leaped and \
+                single-stepped results differ"
+               what on_r.benchmark on_r.config_label);
+        off_r
+      end
+
+(* Mode dispatch shared by [run] and [run_mixed]: [execute ~fast ~ff]
+   performs one complete run against a fresh system.  [Fast] wraps it in the
+   whole-run memo when eligible; [Differential] computes both legs (the fast
+   leg still warming and exercising every cache) and compares the complete
+   result records — any divergence is a bug in the fast-path layers, never a
+   tuning matter, so it [failwith]s.  The event fast-forward legs nest
+   inside each fast-path leg, so the memo caches an already-checked
+   result. *)
 let dispatch ~memo_eligible ~key ~what execute =
+  let execute = eventff_execute ~memo_eligible ~what execute in
   match Fastpath.current_mode () with
   | Fastpath.Interpretive -> execute ~fast:false
   | Fastpath.Fast ->
@@ -857,7 +927,7 @@ let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
   if tasks <= 0 then invalid_arg "Run.run: needs at least one task";
   require_event_engine ~engine ~topology ~what:"Run.run";
   let instances' = match instances with Some n -> max n tasks | None -> max 8 tasks in
-  let execute ~fast =
+  let execute ~fast ~ff =
     let sys =
       System.create ~instances:instances' ~cc_entries ~bus ?obs ~faults
         ~topology ~checkers config
@@ -866,7 +936,7 @@ let run ?(tasks = 8) ?instances ?(cc_entries = 256) ?(bus = Bus.Params.default)
     | Config.Cpu_only isa -> run_cpu_only sys ~fast isa bench ~tasks
     | Config.Hetero _ ->
         if Fault.Plan.is_none faults then
-          run_hetero sys ~fast bench ~tasks ~elide ~engine
+          run_hetero sys ~fast ~ff bench ~tasks ~elide ~engine
         else
           let design =
             Hls.Directives.synthesize ~kernel:bench.Machsuite.Bench_def.kernel
@@ -964,7 +1034,7 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
   let design_of (b : Machsuite.Bench_def.t) =
     Hls.Directives.synthesize ~kernel:b.Machsuite.Bench_def.kernel b.directives
   in
-  let execute ~fast =
+  let execute ~fast ~ff =
   let sys =
     System.create ~instances:instances' ?obs ~faults ~topology ~checkers config
   in
@@ -1159,7 +1229,7 @@ let run_mixed ?instances ?obs ?(faults = Fault.Plan.none)
             plans
         in
         let outcomes, makespan, bus_beats =
-          run_event_compute sys ~start:replay_start ev_tasks
+          run_event_compute sys ~ff ~start:replay_start ev_tasks
         in
         let outcomes =
           List.map2

@@ -208,6 +208,46 @@ let test_arbiter_unregister_and_scan_order () =
   Alcotest.(check (list int)) "re-registered at the rotation tail" [ 0; 1; 2 ]
     (Arbiter.sources arb)
 
+let test_arbiter_large_rotation_linear () =
+  (* Regression for the slot-ring rotation: registering, granting through
+     and tearing down a large source population must stay (near) linear.
+     The pre-ring arbiter re-built the rotation list on every registration
+     ([rotation @ [src]], O(K^2) total), allocated a K-cell scan list per
+     arbitration, and [unregister]/[queue_of] filtered full lists — at this
+     population that took minutes of CPU; linear is well under the bound
+     even on a loaded CI machine. *)
+  let n = 1 lsl 16 in
+  let t0 = Sys.time () in
+  let sched = Ccsim.Sched.create () in
+  let arb = Arbiter.create ~sched Params.default in
+  let grants = ref 0 in
+  for src = 0 to n - 1 do
+    Arbiter.request arb ~src ~at:0 ~beats:1 ~is_read:false ~extra_latency:0
+      ~on_grant:(fun _ -> incr grants)
+  done;
+  checki "registration is first-request order (spot check)" n
+    (List.length (Arbiter.sources arb));
+  Ccsim.Sched.run sched;
+  checki "every source granted" n !grants;
+  checki "queues drained" 0 (Arbiter.queued arb);
+  for src = 0 to n - 1 do
+    checkb "idle source unregisters" true (Arbiter.unregister arb ~src)
+  done;
+  Alcotest.(check (list int)) "rotation empty after teardown" []
+    (Arbiter.sources arb);
+  (* Re-register a second wave into recycled slots and drain it too. *)
+  for src = n to (2 * n) - 1 do
+    Arbiter.request arb ~src ~at:0 ~beats:1 ~is_read:false ~extra_latency:0
+      ~on_grant:(fun _ -> incr grants)
+  done;
+  Ccsim.Sched.run sched;
+  checki "second wave granted" (2 * n) !grants;
+  let dt = Sys.time () -. t0 in
+  checkb
+    (Printf.sprintf "%d-source churn stays linear (%.2fs CPU)" n dt)
+    true
+    (dt < 20.0)
+
 (* ---- interconnect topologies ---- *)
 
 let topo_request ic log ~src ~addr ~at ~beats =
@@ -372,6 +412,8 @@ let suite =
      test_arbiter_late_arrival_served_within_one_round);
     ("arbiter: unregister and scan-order fallback", `Quick,
      test_arbiter_unregister_and_scan_order);
+    ("arbiter: 65536-source churn stays linear", `Quick,
+     test_arbiter_large_rotation_linear);
     ("topology: shared matches fabric", `Quick,
      test_topology_shared_matches_fabric);
     ("topology: crossbar concurrent disjoint banks", `Quick,

@@ -1,0 +1,206 @@
+(* Differential pinning of the event-engine steady-state fast-forward
+   (lib/sim/eventff.ml + the flat drivers and arbiter leap behind it).
+
+   The fast-forward's contract is exactness: `--event-ff on` must be
+   byte-identical to single-stepping every event, across every topology,
+   checker placement, burst mix and composition.  The QCheck properties
+   below re-run the same simulation under both legs with all caches cleared
+   in between and compare the complete result records; the directed tests
+   pin the service loop and the bounded-exhaustive verifier the same way,
+   and assert the leap never engages where it must not (a live fault plan
+   or an attached observability sink). *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let with_mode m f =
+  let saved = Ccsim.Eventff.current_mode () in
+  Ccsim.Eventff.set_mode m;
+  Fun.protect ~finally:(fun () -> Ccsim.Eventff.set_mode saved) f
+
+(* Both legs of one simulation, every replay/memo cache cleared in between
+   so the second leg cannot be served from the first leg's results. *)
+let both_legs f =
+  Soc.Fastpath.clear ();
+  let off = with_mode Ccsim.Eventff.Off f in
+  Soc.Fastpath.clear ();
+  let on = with_mode Ccsim.Eventff.On f in
+  (off, on)
+
+(* ---- random single-bench runs: topology x checkers x config x size ---- *)
+
+let topologies =
+  [
+    Bus.Topology.Shared;
+    Bus.Topology.Crossbar { banks = 2 };
+    Bus.Topology.Crossbar { banks = 4 };
+    Bus.Topology.Hierarchical { clusters = 2 };
+    Bus.Topology.Hierarchical { clusters = 4 };
+  ]
+
+let checkings = [ Capchecker.Shim.Central; Capchecker.Shim.Distributed ]
+
+(* Distinct addressing modes and adjudication paths: Fine ports, Coarse ids
+   and the plain-address IOMMU backend all form bursts differently. *)
+let configs =
+  [
+    Soc.Config.ccpu_caccel;
+    Soc.Config.ccpu_caccel_coarse;
+    Soc.Config.ccpu_accel;
+  ]
+
+(* Small kernels with distinct burst mixes: streaming reads, dependent
+   chains, writes and copies. *)
+let bench_names = [ "kmp"; "stencil2d"; "gemm_ncubed" ]
+
+let case_gen =
+  QCheck.Gen.(
+    map
+      (fun (topo, (ck, (cfg, (bench, (tasks, entries))))) ->
+        (topo, ck, cfg, bench, tasks, entries))
+      (pair (oneofl topologies)
+         (pair (oneofl checkings)
+            (pair (oneofl configs)
+               (pair (oneofl bench_names)
+                  (pair (int_range 1 6) (oneofl [ 64; 512 ])))))))
+
+let case_print (topo, ck, cfg, bench, tasks, entries) =
+  Printf.sprintf "%s/%s %s on %s tasks=%d cc_entries=%d"
+    (match topo with
+    | Bus.Topology.Shared -> "shared"
+    | Bus.Topology.Crossbar { banks } -> Printf.sprintf "xbar%d" banks
+    | Bus.Topology.Hierarchical { clusters } -> Printf.sprintf "hier%d" clusters)
+    (Capchecker.Shim.checking_to_string ck)
+    (Soc.Config.label cfg) bench tasks entries
+
+let prop_single_bench_legs_identical =
+  QCheck.Test.make ~count:12
+    ~name:"event-ff on == off (random topology x checkers x bench)"
+    (QCheck.make ~print:case_print case_gen)
+    (fun (topology, checkers, config, bench, tasks, cc_entries) ->
+      let bench = Machsuite.Registry.find bench in
+      let off, on =
+        both_legs (fun () ->
+            Soc.Run.run ~tasks ~cc_entries ~engine:Soc.Run.Event_driven
+              ~topology ~checkers config bench)
+      in
+      off = on)
+
+(* ---- random mixed compositions ---- *)
+
+let mixed_gen =
+  QCheck.Gen.(
+    pair (oneofl topologies)
+      (pair (oneofl checkings)
+         (map
+            (fun picks ->
+              match picks with
+              | [] -> [ "kmp" ]
+              | ps -> ps)
+            (map
+               (fun mask ->
+                 List.filteri (fun i _ -> mask land (1 lsl i) <> 0) bench_names)
+               (int_range 1 7)))))
+
+let mixed_print (topo, (ck, names)) =
+  Printf.sprintf "%s/%s [%s]"
+    (match topo with
+    | Bus.Topology.Shared -> "shared"
+    | Bus.Topology.Crossbar { banks } -> Printf.sprintf "xbar%d" banks
+    | Bus.Topology.Hierarchical { clusters } -> Printf.sprintf "hier%d" clusters)
+    (Capchecker.Shim.checking_to_string ck)
+    (String.concat "," names)
+
+let prop_mixed_legs_identical =
+  QCheck.Test.make ~count:8
+    ~name:"event-ff on == off (random mixed compositions)"
+    (QCheck.make ~print:mixed_print mixed_gen)
+    (fun (topology, (checkers, names)) ->
+      let benches = List.map Machsuite.Registry.find names in
+      let off, on =
+        both_legs (fun () ->
+            Soc.Run.run_mixed ~engine:Soc.Run.Event_driven ~topology ~checkers
+              Soc.Config.ccpu_caccel benches)
+      in
+      off = on)
+
+(* ---- service loop and verifier parity ---- *)
+
+let test_serve_report_parity () =
+  let params =
+    Serve.Loop.default_params ~seed:17 ~tenants:48 ~requests:600 ()
+  in
+  let off, on = both_legs (fun () -> Serve.Loop.run params) in
+  checkb "serve report identical across event-ff legs" true (off = on)
+
+let test_verify_parity () =
+  let off, on =
+    both_legs (fun () ->
+        Verify.Engine.render_report (Verify.Engine.run Verify.Engine.default_opts))
+  in
+  Alcotest.(check string) "verify report identical across event-ff legs" off on
+
+(* ---- the leap must never engage where it cannot be exact ---- *)
+
+let kmp () = Machsuite.Registry.find "kmp"
+
+let test_faulted_runs_never_leap () =
+  with_mode Ccsim.Eventff.On (fun () ->
+      Soc.Fastpath.clear ();
+      Obs.Counters.reset ();
+      let r =
+        Soc.Run.run ~tasks:6 ~engine:Soc.Run.Event_driven
+          ~faults:(Fault.Plan.default ~seed:5) Soc.Config.ccpu_caccel (kmp ())
+      in
+      checkb "faulted run completed" true (r.Soc.Run.wall > 0);
+      checki "faulted runs leap zero periods" 0
+        (Obs.Counters.get Obs.Counters.periods_leaped))
+
+let test_observed_runs_never_leap () =
+  with_mode Ccsim.Eventff.On (fun () ->
+      Soc.Fastpath.clear ();
+      Obs.Counters.reset ();
+      let obs = Obs.Trace.create ~capacity:(1 lsl 14) () in
+      let r =
+        Soc.Run.run ~tasks:6 ~engine:Soc.Run.Event_driven ~obs
+          Soc.Config.ccpu_caccel (kmp ())
+      in
+      checkb "observed run completed" true (r.Soc.Run.wall > 0);
+      checki "observed runs leap zero periods" 0
+        (Obs.Counters.get Obs.Counters.periods_leaped))
+
+let test_diff_mode_passes () =
+  with_mode Ccsim.Eventff.Diff (fun () ->
+      Soc.Fastpath.clear ();
+      let r =
+        Soc.Run.run ~tasks:6 ~engine:Soc.Run.Event_driven
+          ~topology:(Bus.Topology.Crossbar { banks = 4 })
+          Soc.Config.ccpu_caccel (kmp ())
+      in
+      checkb "diff mode runs both legs without divergence" true
+        (r.Soc.Run.wall > 0))
+
+let test_coalescing_counter_moves () =
+  with_mode Ccsim.Eventff.On (fun () ->
+      Soc.Fastpath.clear ();
+      Obs.Counters.reset ();
+      ignore
+        (Soc.Run.run ~tasks:8 ~engine:Soc.Run.Event_driven
+           Soc.Config.ccpu_caccel (kmp ()));
+      checkb "contended run coalesces arbitration events" true
+        (Obs.Counters.get Obs.Counters.events_coalesced > 0))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_single_bench_legs_identical; prop_mixed_legs_identical ]
+
+let suite =
+  [
+    ("serve: report parity across legs", `Quick, test_serve_report_parity);
+    ("verify: report parity across legs", `Quick, test_verify_parity);
+    ("faulted runs leap zero periods", `Quick, test_faulted_runs_never_leap);
+    ("observed runs leap zero periods", `Quick, test_observed_runs_never_leap);
+    ("diff mode passes", `Quick, test_diff_mode_passes);
+    ("coalescing counter moves", `Quick, test_coalescing_counter_moves);
+  ]
+  @ qsuite
